@@ -1,0 +1,1 @@
+"""Benchmark harness: one module per figure/claim of the paper's evaluation."""

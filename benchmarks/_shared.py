@@ -1,0 +1,58 @@
+"""Shared infrastructure for the figure benchmarks.
+
+Every bench in this directory regenerates one figure (or claim table) of the
+paper.  The heavy lifting lives in :mod:`repro.experiments.figures`; this
+module provides:
+
+* ``FIGURE_DEFAULTS`` -- the run sizes used by the benches (larger than the
+  unit-test sizes, small enough that the whole harness finishes in minutes);
+* a per-session cache so figure panels that share a parameter sweep
+  (e.g. Fig. 5(a) latency and Fig. 5(c) throughput on Grid'5000) run the
+  sweep once;
+* ``emit_report`` -- prints the regenerated rows/series and also writes them
+  to ``benchmarks/results/<name>.txt`` so they survive pytest's output
+  capture.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from repro.experiments.figures import FigureDefaults
+from repro.metrics.report import MetricsReport
+
+#: Run sizes for the benches.  The paper runs 3-10 million operations on
+#: 84/20-node clusters; these defaults keep the shapes while finishing each
+#: figure in about a minute on a laptop.  Scale up for higher fidelity.
+FIGURE_DEFAULTS = FigureDefaults(
+    record_count=1500,
+    operation_count=6000,
+    thread_steps=(1, 15, 40, 70, 90),
+    n_nodes=10,
+    seed=11,
+    monitoring_interval=0.05,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_cache: Dict[str, MetricsReport] = {}
+
+
+def cached_report(key: str, builder: Callable[[], MetricsReport]) -> MetricsReport:
+    """Build (or reuse) a report shared by several benches in one session."""
+    if key not in _cache:
+        _cache[key] = builder()
+    return _cache[key]
+
+
+def emit_report(name: str, report: MetricsReport) -> str:
+    """Print the report and persist it under ``benchmarks/results``."""
+    text = report.render()
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return text

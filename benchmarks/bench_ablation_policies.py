@@ -1,0 +1,53 @@
+"""Ablation A2: Harmony's model-driven decision vs. static threshold rules.
+
+The paper's related-work section argues that earlier adaptive-consistency
+mechanisms rely on arbitrary static thresholds (e.g. switching on the
+write/read ratio).  This ablation runs Harmony next to static eventual /
+quorum / strong policies and a family of write-ratio threshold rules under
+identical conditions.
+
+Expected shape: Harmony delivers staleness at or below its target at a
+latency/throughput cost well below strong consistency, while threshold rules
+either blow past the staleness of Harmony (threshold too high -> effectively
+eventual) or pay close to strong-consistency cost (threshold too low ->
+effectively ALL).
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.ablations import policy_comparison_ablation
+from repro.experiments.scenarios import GRID5000
+
+THRESHOLDS = (0.1, 0.5, 2.0)
+
+
+def _build():
+    return policy_comparison_ablation(
+        scenario=GRID5000,
+        defaults=FIGURE_DEFAULTS,
+        threads=40,
+        thresholds=THRESHOLDS,
+    )
+
+
+def test_ablation_policy_comparison(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("ablation_policies", _build), rounds=1, iterations=1
+    )
+    emit_report("ablation_policy_comparison", report)
+
+    rows = {row["policy"]: row for row in report.sections["policy comparison"]}
+    asr = GRID5000.harmony_stale_rates[1]
+    harmony = rows[f"harmony-{int(asr * 100)}%"]
+
+    # Harmony honours its target.
+    assert harmony["stale_rate"] <= asr + 0.1
+    # Strong consistency is the most expensive option in throughput.
+    assert rows["strong"]["throughput_ops_s"] <= rows["eventual"]["throughput_ops_s"]
+    # Harmony beats strong consistency on throughput while staying within target.
+    assert harmony["throughput_ops_s"] > rows["strong"]["throughput_ops_s"]
+    # Workload A is write-heavy, so a low write-ratio threshold behaves like
+    # strong consistency (expensive), illustrating the paper's criticism.
+    low_threshold = rows["threshold-0.1"]
+    assert low_threshold["throughput_ops_s"] <= harmony["throughput_ops_s"] * 1.05

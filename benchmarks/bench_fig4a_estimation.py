@@ -1,0 +1,42 @@
+"""Figure 4(a): stale-read probability estimation over running time.
+
+Paper: the Harmony estimate plotted against running time for YCSB workload A
+(heavy read/update) and workload B (read-mostly) while the client thread
+count steps down 90 -> 70 -> 40 -> 15 -> 1 on Grid'5000.
+
+Reproduced series: the controller's estimate trace per workload and thread
+step, plus a per-step summary (mean/max estimate, measured stale rate).
+Expected shape: workload A estimates exceed workload B's, and estimates fall
+as the thread count (hence the write rate) falls.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.figures import figure_4a_estimation_over_time
+from repro.experiments.scenarios import GRID5000
+
+
+def _build():
+    return figure_4a_estimation_over_time(FIGURE_DEFAULTS, scenario=GRID5000)
+
+
+def test_figure_4a_estimation_over_time(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig4a", _build), rounds=1, iterations=1
+    )
+    emit_report("fig4a_estimation", report)
+
+    summary = report.sections["per-step summary"]
+    by_workload = {}
+    for row in summary:
+        by_workload.setdefault(row["workload"], {})[row["threads"]] = row["mean_estimate"]
+
+    # Shape check 1: the update-heavy workload A produces higher estimates
+    # than the read-mostly workload B at every thread count.
+    for threads, estimate_a in by_workload["workload-a"].items():
+        assert estimate_a >= by_workload["workload-b"][threads] - 1e-9
+
+    # Shape check 2: estimates grow with the thread count for workload A.
+    a_series = [by_workload["workload-a"][t] for t in sorted(by_workload["workload-a"])]
+    assert a_series[0] <= a_series[-1]

@@ -1,0 +1,45 @@
+"""Figure 4(b): stale-read probability estimation vs. network latency.
+
+Paper: the estimate as a function of the (EC2) network latency, 0-50 ms --
+high latency dominates the probability regardless of the thread count.
+
+Reproduced series: (1) the closed-form model evaluated at representative
+workload-A rates across the latency sweep, and (2) full simulated runs with
+the fabric latency scaled to each sweep point.  Expected shape: the estimate
+rises monotonically with latency and saturates towards (N-1)/N.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.figures import figure_4b_latency_impact
+from repro.experiments.scenarios import EC2
+
+LATENCIES_MS = (0.5, 1, 2, 5, 10, 20, 30, 40, 50)
+
+
+def _build():
+    # A modest thread count keeps the cluster-wide rates low enough that the
+    # latency sweep spans the full 0..1 probability range (as in the paper's
+    # scatter); at saturation every point would sit near 1.0.
+    return figure_4b_latency_impact(
+        latencies_ms=LATENCIES_MS, defaults=FIGURE_DEFAULTS, scenario=EC2, threads=4
+    )
+
+
+def test_figure_4b_latency_impact(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig4b", _build), rounds=1, iterations=1
+    )
+    emit_report("fig4b_latency", report)
+
+    analytic = report.sections["analytic model sweep"]
+    values = [row["estimated_stale_probability"] for row in analytic]
+    # Monotone non-decreasing in latency and saturating high.
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert values[-1] >= 0.7
+
+    simulated = report.sections["simulated sweep (fabric latency scaled)"]
+    sim_values = [row["mean_estimate"] for row in simulated]
+    # The simulated estimates follow the same trend (allowing noise).
+    assert sim_values[-1] > sim_values[0]

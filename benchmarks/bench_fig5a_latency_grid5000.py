@@ -1,0 +1,44 @@
+"""Figure 5(a): 99th-percentile read latency vs client threads on Grid'5000.
+
+Paper series: Harmony-40%, Harmony-20%, eventual consistency, strong
+consistency; YCSB workload A; threads 1..90; RF=5.
+
+Expected shape: strong consistency has the highest p99 latency (it waits for
+every replica and repairs divergent ones before answering), eventual
+consistency the lowest, and both Harmony settings sit close to eventual with
+the more restrictive setting slightly higher.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.figures import figure_5_latency_throughput
+from repro.experiments.scenarios import GRID5000
+from repro.workload.workloads import WORKLOAD_A
+
+
+def build_figure5_grid5000():
+    return figure_5_latency_throughput(
+        scenario=GRID5000, defaults=FIGURE_DEFAULTS, workload=WORKLOAD_A
+    )
+
+
+def test_figure_5a_read_latency_grid5000(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig5_grid5000", build_figure5_grid5000),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("fig5a_latency_grid5000", report)
+
+    rows = report.sections["99th percentile read latency (Fig. 5a/5b)"]
+    max_threads = max(row["threads"] for row in rows)
+    at_max = {row["policy"]: row["read_p99_ms"] for row in rows if row["threads"] == max_threads}
+
+    # Strong consistency is the slowest of the four series at high load.
+    assert at_max["strong"] >= at_max["eventual"]
+    assert at_max["strong"] >= at_max["harmony-40%"]
+    # The lenient Harmony setting stays much closer to eventual than to strong.
+    assert (at_max["harmony-40%"] - at_max["eventual"]) <= (
+        at_max["strong"] - at_max["harmony-40%"]
+    ) + 1e-9

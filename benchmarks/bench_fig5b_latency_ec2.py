@@ -1,0 +1,39 @@
+"""Figure 5(b): 99th-percentile read latency vs client threads on Amazon EC2.
+
+Paper series: Harmony-60%, Harmony-40%, eventual consistency, strong
+consistency; YCSB workload A on the EC2 platform (higher, more variable
+network latency, slower virtualised nodes).
+
+Expected shape: same ordering as Fig. 5(a) -- strong slowest, eventual
+fastest, Harmony in between -- at higher absolute latencies than Grid'5000.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.figures import figure_5_latency_throughput
+from repro.experiments.scenarios import EC2
+from repro.workload.workloads import WORKLOAD_A
+
+
+def build_figure5_ec2():
+    return figure_5_latency_throughput(
+        scenario=EC2, defaults=FIGURE_DEFAULTS, workload=WORKLOAD_A
+    )
+
+
+def test_figure_5b_read_latency_ec2(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig5_ec2", build_figure5_ec2), rounds=1, iterations=1
+    )
+    emit_report("fig5b_latency_ec2", report)
+
+    rows = report.sections["99th percentile read latency (Fig. 5a/5b)"]
+    max_threads = max(row["threads"] for row in rows)
+    at_max = {row["policy"]: row["read_p99_ms"] for row in rows if row["threads"] == max_threads}
+
+    assert at_max["strong"] >= at_max["eventual"]
+    assert at_max["strong"] >= at_max["harmony-60%"]
+    assert (at_max["harmony-60%"] - at_max["eventual"]) <= (
+        at_max["strong"] - at_max["harmony-60%"]
+    ) + 1e-9

@@ -1,0 +1,40 @@
+"""Figure 5(c): overall throughput vs client threads on Grid'5000.
+
+Paper series: Harmony-40%, Harmony-20%, eventual consistency, strong
+consistency; YCSB workload A.
+
+Expected shape: throughput grows with the thread count and then flattens as
+the cluster saturates; strong consistency saturates lowest; eventual
+consistency highest; Harmony close to eventual (the paper reports roughly a
+45% improvement over strong consistency at high thread counts).
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import cached_report, emit_report
+from benchmarks.bench_fig5a_latency_grid5000 import build_figure5_grid5000
+
+
+def test_figure_5c_throughput_grid5000(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig5_grid5000", build_figure5_grid5000),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("fig5c_throughput_grid5000", report)
+
+    rows = report.sections["overall throughput (Fig. 5c/5d)"]
+    max_threads = max(row["threads"] for row in rows)
+    at_max = {
+        row["policy"]: row["throughput_ops_s"] for row in rows if row["threads"] == max_threads
+    }
+    at_min = {row["policy"]: row["throughput_ops_s"] for row in rows if row["threads"] == 1}
+
+    # Throughput grows with thread count for every policy.
+    for policy, top in at_max.items():
+        assert top > at_min[policy]
+    # Orderings at saturation: eventual >= harmony >= strong, with a clear
+    # gap between harmony and strong (the paper's ~45% claim).
+    assert at_max["eventual"] >= at_max["harmony-40%"] * 0.95
+    assert at_max["harmony-40%"] > at_max["strong"]
+    assert at_max["harmony-40%"] >= 1.15 * at_max["strong"]

@@ -1,0 +1,33 @@
+"""Figure 5(d): overall throughput vs client threads on Amazon EC2.
+
+Paper series: Harmony-60%, Harmony-40%, eventual consistency, strong
+consistency; YCSB workload A on the EC2 platform.
+
+Expected shape: as Fig. 5(c) but at lower absolute throughput (the paper
+peaks around 10k ops/s on EC2 vs ~25k on Grid'5000): eventual highest,
+strong lowest, Harmony close to eventual.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import cached_report, emit_report
+from benchmarks.bench_fig5b_latency_ec2 import build_figure5_ec2
+
+
+def test_figure_5d_throughput_ec2(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig5_ec2", build_figure5_ec2), rounds=1, iterations=1
+    )
+    emit_report("fig5d_throughput_ec2", report)
+
+    rows = report.sections["overall throughput (Fig. 5c/5d)"]
+    max_threads = max(row["threads"] for row in rows)
+    at_max = {
+        row["policy"]: row["throughput_ops_s"] for row in rows if row["threads"] == max_threads
+    }
+    at_min = {row["policy"]: row["throughput_ops_s"] for row in rows if row["threads"] == 1}
+
+    for policy, top in at_max.items():
+        assert top > at_min[policy]
+    assert at_max["eventual"] >= at_max["harmony-60%"] * 0.95
+    assert at_max["harmony-60%"] > at_max["strong"]

@@ -1,0 +1,50 @@
+"""Figure 6(a): number of stale reads vs client threads on Grid'5000.
+
+Paper series: Harmony-40%, Harmony-20%, eventual consistency, strong
+consistency; YCSB workload A; RF=5.
+
+Expected shape: strong consistency never returns stale data; eventual
+consistency returns the most; Harmony sits in between, with the restrictive
+20% setting returning fewer stale reads than the lenient 40% setting, and
+its stale-read count dropping once the thread count pushes the estimate over
+the tolerated rate (the paper places that around 40 threads).
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.figures import figure_6_staleness
+from repro.experiments.scenarios import GRID5000
+from repro.workload.workloads import WORKLOAD_A
+
+
+def build_figure6_grid5000():
+    return figure_6_staleness(
+        scenario=GRID5000, defaults=FIGURE_DEFAULTS, workload=WORKLOAD_A
+    )
+
+
+def test_figure_6a_staleness_grid5000(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig6_grid5000", build_figure6_grid5000),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("fig6a_staleness_grid5000", report)
+
+    rows = report.sections["stale reads (Fig. 6a/6b)"]
+    totals = {}
+    for row in rows:
+        totals[row["policy"]] = totals.get(row["policy"], 0) + row["stale_reads"]
+
+    # Strong consistency: zero stale reads at every thread count.
+    assert totals["strong"] == 0
+    # Eventual consistency reads the most stale data overall.
+    assert totals["eventual"] >= totals["harmony-40%"]
+    assert totals["eventual"] >= totals["harmony-20%"]
+    # The restrictive setting does not read more stale data than the lenient one.
+    assert totals["harmony-20%"] <= totals["harmony-40%"] + 2
+    # Harmony achieves a substantial reduction vs eventual consistency
+    # (the paper's headline is ~80%; require a clear majority reduction here).
+    if totals["eventual"] >= 10:
+        assert totals["harmony-20%"] <= 0.5 * totals["eventual"]

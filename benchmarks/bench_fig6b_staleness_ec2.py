@@ -1,0 +1,37 @@
+"""Figure 6(b): number of stale reads vs client threads on Amazon EC2.
+
+Paper series: Harmony-60%, Harmony-40%, eventual consistency, strong
+consistency; YCSB workload A on the EC2 platform.
+
+Expected shape: same ordering as Fig. 6(a) with the EC2-specific tolerance
+settings -- strong at zero, eventual highest, Harmony between, the 40%
+setting below the 60% setting.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.figures import figure_6_staleness
+from repro.experiments.scenarios import EC2
+from repro.workload.workloads import WORKLOAD_A
+
+
+def build_figure6_ec2():
+    return figure_6_staleness(scenario=EC2, defaults=FIGURE_DEFAULTS, workload=WORKLOAD_A)
+
+
+def test_figure_6b_staleness_ec2(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("fig6_ec2", build_figure6_ec2), rounds=1, iterations=1
+    )
+    emit_report("fig6b_staleness_ec2", report)
+
+    rows = report.sections["stale reads (Fig. 6a/6b)"]
+    totals = {}
+    for row in rows:
+        totals[row["policy"]] = totals.get(row["policy"], 0) + row["stale_reads"]
+
+    assert totals["strong"] == 0
+    assert totals["eventual"] >= totals["harmony-60%"]
+    assert totals["eventual"] >= totals["harmony-40%"]
+    assert totals["harmony-40%"] <= totals["harmony-60%"] + 2

@@ -1,0 +1,29 @@
+"""Pytest configuration for the benchmark harness.
+
+Ensures the repository root is importable (so ``benchmarks._shared`` resolves
+regardless of how pytest was invoked) and prints a short banner describing
+the run sizes, since the benches scale the paper's multi-million-operation
+experiments down to laptop-sized runs.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+
+def pytest_report_header(config):
+    from benchmarks._shared import FIGURE_DEFAULTS
+
+    return (
+        "harmony benchmarks: "
+        f"{FIGURE_DEFAULTS.operation_count} ops/run, "
+        f"{FIGURE_DEFAULTS.record_count} records, "
+        f"{FIGURE_DEFAULTS.n_nodes} nodes, "
+        f"threads={tuple(FIGURE_DEFAULTS.thread_steps)} "
+        "(scaled-down reproduction; see EXPERIMENTS.md)"
+    )

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Platform comparison: Grid'5000-like LAN vs. EC2-like cloud network.
+
+The paper evaluates Harmony on two platforms and chooses higher tolerated
+stale-read rates on EC2 because its network latency is roughly five times
+higher (and much more variable) than Grid'5000's, which drives the estimated
+stale-read probability up (Fig. 4(b)).
+
+This example runs the same workload on both simulated platforms and shows:
+
+* the measured inter-replica network latency of each platform;
+* the stale-read estimate Harmony computes on each;
+* how the platform's recommended tolerance settings (40%/20% on Grid'5000,
+  60%/40% on EC2) translate into consistency levels and performance.
+
+Run with::
+
+    python examples/ec2_vs_grid5000.py
+"""
+
+from __future__ import annotations
+
+from repro import WORKLOAD_A, format_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import EC2, GRID5000
+
+THREADS = 40
+WORKLOAD = WORKLOAD_A.scaled(record_count=800, operation_count=5000)
+
+
+def run_platform(scenario, policy: str, seed: int = 11):
+    result = run_experiment(
+        scenario,
+        WORKLOAD,
+        policy,
+        THREADS,
+        seed=seed,
+        n_nodes=10,
+        monitoring_interval=0.05,
+    )
+    metrics = result.metrics
+    return {
+        "platform": scenario.name,
+        "policy": metrics.policy_name,
+        "mean_estimate": round(metrics.estimate_series.mean(), 3),
+        "read_p99_ms": round(metrics.read_latency.p99() * 1e3, 2),
+        "throughput_ops_s": round(metrics.ops_per_second(), 1),
+        "stale_reads": metrics.staleness.stale_reads,
+        "stale_rate": round(metrics.staleness.stale_rate(), 4),
+    }
+
+
+def main() -> None:
+    print("Platform network characteristics (one-way, mean):")
+    for scenario in (GRID5000, EC2):
+        intra = scenario.intra_rack_latency.mean() * 1e3
+        inter_dc = scenario.inter_dc_latency.mean() * 1e3
+        print(
+            f"  {scenario.name:9s} intra-rack {intra:6.3f} ms   inter-DC {inter_dc:6.3f} ms"
+            f"   Harmony settings used in the paper: "
+            f"{int(scenario.harmony_stale_rates[0]*100)}% / {int(scenario.harmony_stale_rates[1]*100)}%"
+        )
+    print()
+
+    rows = []
+    for scenario in (GRID5000, EC2):
+        lenient, restrictive = scenario.harmony_stale_rates
+        for policy in ("eventual", f"harmony-{lenient}", f"harmony-{restrictive}", "strong"):
+            rows.append(run_platform(scenario, policy))
+    print(
+        format_table(
+            rows,
+            title=f"Workload A, {THREADS} client threads, per-platform Harmony settings",
+        )
+    )
+    print()
+    print(
+        "Expected shape: the EC2-like platform produces higher stale-read estimates\n"
+        "(slower, more variable network), which is why the paper tolerates more\n"
+        "staleness there; on both platforms Harmony sits between eventual and strong\n"
+        "consistency, meeting its target at a fraction of strong consistency's cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Harmony: automated self-adaptive consistency for quorum-replicated cloud storage.
+
+A full reproduction of *Harmony: Towards Automated Self-Adaptive Consistency
+in Cloud Storage* (Chihoub, Ibrahim, Antoniu, Pérez -- IEEE CLUSTER 2012),
+built on a discrete-event-simulated Cassandra-like store and a YCSB-style
+workload generator so the entire evaluation runs on a laptop.
+
+Quick start
+-----------
+>>> from repro import (
+...     ClusterConfig, SimulatedCluster, WORKLOAD_A, WorkloadExecutor,
+...     HarmonyPolicy, StalenessAuditor,
+... )
+>>> cluster = SimulatedCluster(ClusterConfig(n_nodes=6, replication_factor=3, seed=7))
+>>> auditor = StalenessAuditor()
+>>> executor = WorkloadExecutor(
+...     cluster,
+...     WORKLOAD_A.scaled(record_count=200, operation_count=2000),
+...     HarmonyPolicy(tolerated_stale_rate=0.2),
+...     threads=8,
+...     auditor=auditor,
+... )
+>>> metrics = executor.run()
+>>> metrics.staleness.stale_rate() <= 0.2 + 0.1   # tolerance + noise margin
+True
+
+Package layout
+--------------
+``repro.core``
+    the Harmony contribution: stale-read estimation model, monitoring module,
+    adaptive consistency controller and the policy interface;
+``repro.cluster``
+    the simulated quorum-replicated store (ring, replication strategies,
+    storage engines, coordinator read/write paths, read repair, hints);
+``repro.network``
+    latency models (Grid'5000-like, EC2-like), topology and message fabric;
+``repro.workload``
+    YCSB-style workloads A-F, key distributions and closed-loop clients;
+``repro.staleness``
+    ground-truth staleness auditing and the paper's dual-read probe;
+``repro.metrics``
+    latency histograms, throughput meters, time series and reports;
+``repro.experiments``
+    scenarios (GRID5000, EC2), the experiment runner and per-figure
+    regenerators used by the benchmark harness;
+``repro.sim``
+    the discrete-event simulation engine everything runs on.
+"""
+
+from repro.cluster import (
+    ClusterConfig,
+    ConsistencyLevel,
+    SimulatedCluster,
+    quorum_size,
+)
+from repro.core import (
+    ClusterMonitor,
+    HarmonyConfig,
+    HarmonyController,
+    HarmonyPolicy,
+    StaleReadModel,
+    StaticEventualPolicy,
+    StaticQuorumPolicy,
+    StaticStrongPolicy,
+    ThresholdPolicy,
+    propagation_time,
+)
+from repro.experiments import (
+    EC2,
+    GRID5000,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.metrics import LatencyHistogram, MetricsReport, TimeSeries, format_table
+from repro.staleness import DualReadProbe, StalenessAuditor
+from repro.workload import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    CoreWorkload,
+    WorkloadConfig,
+    WorkloadExecutor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterMonitor",
+    "ConsistencyLevel",
+    "CoreWorkload",
+    "DualReadProbe",
+    "EC2",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GRID5000",
+    "HarmonyConfig",
+    "HarmonyController",
+    "HarmonyPolicy",
+    "LatencyHistogram",
+    "MetricsReport",
+    "SimulatedCluster",
+    "StaleReadModel",
+    "StalenessAuditor",
+    "StaticEventualPolicy",
+    "StaticQuorumPolicy",
+    "StaticStrongPolicy",
+    "ThresholdPolicy",
+    "TimeSeries",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "WorkloadConfig",
+    "WorkloadExecutor",
+    "__version__",
+    "format_table",
+    "propagation_time",
+    "quorum_size",
+    "run_experiment",
+]

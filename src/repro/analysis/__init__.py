@@ -1,0 +1,17 @@
+"""Analysis helpers: summary statistics and series comparison utilities."""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    crossover_point,
+    improvement_factor,
+    reduction_factor,
+    summarize,
+)
+
+__all__ = [
+    "bootstrap_ci",
+    "crossover_point",
+    "improvement_factor",
+    "reduction_factor",
+    "summarize",
+]

@@ -1,0 +1,115 @@
+"""Summary statistics and comparison helpers used by benches and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "summarize",
+    "improvement_factor",
+    "reduction_factor",
+    "bootstrap_ci",
+    "crossover_point",
+]
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean, median, std, min, max and percentiles of a sample."""
+    if len(values) == 0:
+        return {
+            "count": 0.0,
+            "mean": 0.0,
+            "median": 0.0,
+            "std": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+    array = np.asarray(values, dtype=float)
+    return {
+        "count": float(array.size),
+        "mean": float(array.mean()),
+        "median": float(np.median(array)),
+        "std": float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "p95": float(np.percentile(array, 95)),
+        "p99": float(np.percentile(array, 99)),
+    }
+
+
+def improvement_factor(baseline: float, candidate: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` (e.g. throughput).
+
+    ``(candidate - baseline) / baseline``; 0.45 means "45% better".  Returns
+    0.0 when the baseline is zero (no meaningful comparison).
+    """
+    if baseline == 0:
+        return 0.0
+    return (candidate - baseline) / baseline
+
+
+def reduction_factor(baseline: float, candidate: float) -> float:
+    """Relative reduction of ``candidate`` against ``baseline`` (e.g. stale reads).
+
+    ``1 - candidate / baseline``; 0.80 means "80% fewer".  Returns 0.0 when
+    the baseline is zero.
+    """
+    if baseline == 0:
+        return 0.0
+    return 1.0 - candidate / baseline
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+    statistic=np.mean,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for ``statistic`` of the sample."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        return (0.0, 0.0)
+    if array.size == 1:
+        return (float(array[0]), float(array[0]))
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, array.size, size=(n_resamples, array.size))
+    stats = np.apply_along_axis(statistic, 1, array[indices])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def crossover_point(
+    x: Sequence[float], series_a: Sequence[float], series_b: Sequence[float]
+) -> Optional[float]:
+    """First x at which ``series_a`` overtakes ``series_b`` (linear interpolation).
+
+    Returns ``None`` when the two series never cross on the given grid.
+    Used to locate regime changes such as "above how many threads does the
+    restrictive Harmony setting switch to higher consistency levels".
+    """
+    xs = np.asarray(x, dtype=float)
+    a = np.asarray(series_a, dtype=float)
+    b = np.asarray(series_b, dtype=float)
+    if not (xs.size == a.size == b.size):
+        raise ValueError("x, series_a and series_b must have the same length")
+    diff = a - b
+    for i in range(1, diff.size):
+        if diff[i - 1] == 0:
+            return float(xs[i - 1])
+        if diff[i - 1] * diff[i] < 0:
+            # Linear interpolation between the two grid points.
+            fraction = abs(diff[i - 1]) / (abs(diff[i - 1]) + abs(diff[i]))
+            return float(xs[i - 1] + fraction * (xs[i] - xs[i - 1]))
+    if diff.size and diff[-1] == 0:
+        return float(xs[-1])
+    return None

@@ -1,0 +1,424 @@
+"""The ``SimulatedCluster`` facade: wiring nodes, ring, coordinators and network.
+
+This is the object user code and the experiment harness interact with.  It
+owns the simulation engine (or shares one passed in), builds the topology,
+the token ring, one :class:`~repro.cluster.node.StorageNode` plus one
+:class:`~repro.cluster.coordinator.Coordinator` per address, and exposes
+client-style ``read`` / ``write`` entry points that dispatch to a coordinator.
+
+The facade also provides the two observation surfaces Harmony and the
+evaluation need:
+
+* ``stats`` -- cumulative ``nodetool``-style counters (read/write counts per
+  node) that the monitoring module samples to compute arrival rates;
+* ``newest_cell(key)`` / ``node(address)`` -- ground-truth inspection used by
+  the staleness auditor and the tests (zero simulated cost).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.coordinator import Coordinator, CoordinatorConfig, OperationResult
+from repro.cluster.node import NodeConfig, StorageNode
+from repro.cluster.replication import (
+    OldNetworkTopologyStrategy,
+    ReplicationStrategy,
+    SimpleStrategy,
+)
+from repro.cluster.ring import Murmur3Partitioner, Partitioner, TokenRing
+from repro.cluster.stats import ClusterStats
+from repro.cluster.storage import Cell
+from repro.network.fabric import Message, NetworkFabric
+from repro.network.latency import LatencyModel
+from repro.network.topology import NodeAddress, Topology, uniform_topology
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ClusterConfig", "SimulatedCluster"]
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to build a :class:`SimulatedCluster`.
+
+    Attributes
+    ----------
+    n_nodes:
+        Number of storage nodes (ignored if ``topology`` is given).
+    replication_factor:
+        Number of replicas per key (the paper uses 5).
+    racks_per_dc / datacenters:
+        Shape of the default topology when ``topology`` is not supplied.
+    topology:
+        Explicit topology; overrides the three fields above.
+    strategy:
+        ``"old_network_topology"`` (paper default) or ``"simple"``.
+    node:
+        Per-node performance envelope.
+    coordinator:
+        Coordinator path tunables.
+    intra_rack_latency / inter_rack_latency / inter_dc_latency:
+        Latency models used when building the default topology.
+    write_size_bytes:
+        Average write payload size (YCSB's default row is ~1 KB across
+        10 fields of 100 B).
+    vnodes:
+        Virtual nodes per physical node in the token ring.
+    seed:
+        Root random seed.
+    """
+
+    n_nodes: int = 6
+    replication_factor: int = 3
+    racks_per_dc: int = 2
+    datacenters: int = 1
+    topology: Optional[Topology] = None
+    strategy: str = "old_network_topology"
+    node: NodeConfig = field(default_factory=NodeConfig)
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    intra_rack_latency: Optional[LatencyModel] = None
+    inter_rack_latency: Optional[LatencyModel] = None
+    inter_dc_latency: Optional[LatencyModel] = None
+    write_size_bytes: int = 1024
+    vnodes: int = 8
+    seed: int = 0
+    drop_probability: float = 0.0
+    partitioner: Optional[Partitioner] = None
+
+    def __post_init__(self) -> None:
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if self.topology is None and self.n_nodes < self.replication_factor:
+            raise ValueError(
+                f"n_nodes ({self.n_nodes}) must be >= replication_factor "
+                f"({self.replication_factor})"
+            )
+        if self.strategy not in ("old_network_topology", "simple"):
+            raise ValueError(f"unknown replication strategy {self.strategy!r}")
+        if self.write_size_bytes <= 0:
+            raise ValueError("write_size_bytes must be positive")
+
+
+class SimulatedCluster:
+    """A quorum-replicated key-value store running inside the event engine.
+
+    Parameters
+    ----------
+    config:
+        Cluster configuration.
+    engine:
+        Optional shared :class:`SimulationEngine`; one is created if omitted.
+    streams:
+        Optional shared random streams; derived from ``config.seed`` if
+        omitted.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        engine: Optional[SimulationEngine] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        self.config = config
+        self.engine = engine or SimulationEngine()
+        self.streams = streams or RandomStreams(seed=config.seed)
+        inter_dc = config.inter_dc_latency
+        if inter_dc is None and config.topology is None and config.datacenters > 1:
+            # Multi-DC clusters need an inter-DC latency model; default to a
+            # WAN-ish log-normal so a bare ClusterConfig(datacenters=2) works
+            # out of the box (explicit models always take precedence).
+            from repro.network.latency import LogNormalLatency
+
+            inter_dc = LogNormalLatency(median=0.0005, sigma=0.3, floor=0.0002)
+        self.topology = config.topology or uniform_topology(
+            config.n_nodes,
+            racks_per_dc=config.racks_per_dc,
+            datacenters=config.datacenters,
+            intra_rack=config.intra_rack_latency,
+            inter_rack=config.inter_rack_latency,
+            inter_dc=inter_dc,
+        )
+        if self.topology.size < config.replication_factor:
+            raise ValueError(
+                f"topology has {self.topology.size} nodes, fewer than the replication "
+                f"factor {config.replication_factor}"
+            )
+        self.fabric = NetworkFabric(
+            self.engine,
+            self.topology,
+            self.streams,
+            drop_probability=config.drop_probability,
+        )
+        self.ring = TokenRing(
+            self.topology.nodes,
+            partitioner=config.partitioner or Murmur3Partitioner(),
+            vnodes=config.vnodes,
+        )
+        self.strategy: ReplicationStrategy
+        if config.strategy == "old_network_topology":
+            self.strategy = OldNetworkTopologyStrategy(config.replication_factor, self.topology)
+        else:
+            self.strategy = SimpleStrategy(config.replication_factor)
+        self.stats = ClusterStats()
+        self.nodes: Dict[NodeAddress, StorageNode] = {}
+        self.coordinators: Dict[NodeAddress, Coordinator] = {}
+        self._replica_cache: Dict[str, List[NodeAddress]] = {}
+        for address in self.topology.nodes:
+            counters = self.stats.register_node(address)
+            node = StorageNode(
+                engine=self.engine,
+                fabric=self.fabric,
+                address=address,
+                config=config.node,
+                streams=self.streams,
+                counters=counters,
+            )
+            coordinator = Coordinator(
+                engine=self.engine,
+                fabric=self.fabric,
+                topology=self.topology,
+                address=address,
+                nodes=self.nodes,
+                replicas_for=self.replicas_for,
+                counters=counters,
+                config=config.coordinator,
+                read_repair_rng=self.streams.stream(f"coordinator.{address}.read_repair"),
+                write_size_bytes=config.write_size_bytes,
+            )
+            self.nodes[address] = node
+            self.coordinators[address] = coordinator
+            self.fabric.register(address, self._make_dispatcher(node, coordinator))
+        self._round_robin = itertools.cycle(self.topology.nodes)
+        self._operation_observers: List[Callable[[OperationResult], None]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_dispatcher(node: StorageNode, coordinator: Coordinator) -> Callable[[Message], None]:
+        request_kinds = {"read_request", "write_request", "repair_write", "hint_replay"}
+
+        def dispatch(message: Message) -> None:
+            if message.kind in request_kinds:
+                node.handle_message(message)
+            else:
+                coordinator.handle_response(message)
+
+        return dispatch
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def replicas_for(self, key: str) -> List[NodeAddress]:
+        """Replica set of ``key`` (preference order; cached per key)."""
+        cached = self._replica_cache.get(key)
+        if cached is None:
+            cached = self.strategy.replicas(self.ring, key)
+            self._replica_cache[key] = cached
+        return list(cached)
+
+    @property
+    def replication_factor(self) -> int:
+        return self.config.replication_factor
+
+    @property
+    def addresses(self) -> List[NodeAddress]:
+        """All node addresses in deterministic order."""
+        return self.topology.nodes
+
+    def node(self, address: NodeAddress) -> StorageNode:
+        return self.nodes[address]
+
+    def coordinator(self, address: NodeAddress) -> Coordinator:
+        return self.coordinators[address]
+
+    # ------------------------------------------------------------------
+    # Client operations
+    # ------------------------------------------------------------------
+    def add_operation_observer(self, observer: Callable[[OperationResult], None]) -> None:
+        """Register a callback invoked with every completed operation.
+
+        The staleness auditor and the metrics collectors hook in here so that
+        client code (the workload executor) does not need to fan results out
+        manually.
+        """
+        self._operation_observers.append(observer)
+
+    def _notify(self, result: OperationResult) -> None:
+        for observer in self._operation_observers:
+            observer(result)
+
+    def _pick_coordinator(self, coordinator: Optional[NodeAddress]) -> Coordinator:
+        if coordinator is not None:
+            return self.coordinators[coordinator]
+        # Round-robin over *live* nodes, mirroring a client driver with a
+        # host list that skips unreachable contact points.
+        for _ in range(len(self.coordinators)):
+            address = next(self._round_robin)
+            if self.nodes[address].is_up:
+                return self.coordinators[address]
+        raise RuntimeError("no live coordinator available")
+
+    def write(
+        self,
+        key: str,
+        value: object,
+        consistency_level: ConsistencyLevel = ConsistencyLevel.ONE,
+        callback: Optional[Callable[[OperationResult], None]] = None,
+        *,
+        coordinator: Optional[NodeAddress] = None,
+        size_bytes: Optional[int] = None,
+        notify_observers: bool = True,
+    ) -> int:
+        """Issue an asynchronous write through a coordinator.
+
+        The write completes (and ``callback`` fires) once ``CL`` replicas have
+        acknowledged; remaining replicas converge in the background.
+        ``notify_observers=False`` skips the registered operation observers --
+        used by measurement probes that must not re-trigger themselves.
+        """
+
+        def on_complete(result: OperationResult) -> None:
+            if notify_observers:
+                self._notify(result)
+            if callback is not None:
+                callback(result)
+
+        return self._pick_coordinator(coordinator).write(
+            key,
+            value,
+            consistency_level,
+            on_complete,
+            size_bytes=size_bytes,
+        )
+
+    def read(
+        self,
+        key: str,
+        consistency_level: ConsistencyLevel = ConsistencyLevel.ONE,
+        callback: Optional[Callable[[OperationResult], None]] = None,
+        *,
+        coordinator: Optional[NodeAddress] = None,
+        notify_observers: bool = True,
+    ) -> int:
+        """Issue an asynchronous read through a coordinator.
+
+        ``notify_observers=False`` skips the registered operation observers
+        (see :meth:`write`).
+        """
+
+        def on_complete(result: OperationResult) -> None:
+            if notify_observers:
+                self._notify(result)
+            if callback is not None:
+                callback(result)
+
+        return self._pick_coordinator(coordinator).read(key, consistency_level, on_complete)
+
+    # ------------------------------------------------------------------
+    # Synchronous convenience wrappers (drive the engine until completion)
+    # ------------------------------------------------------------------
+    def write_sync(
+        self,
+        key: str,
+        value: object,
+        consistency_level: ConsistencyLevel = ConsistencyLevel.ONE,
+        **kwargs,
+    ) -> OperationResult:
+        """Blocking write: runs the engine until the write completes.
+
+        Only appropriate for examples, tests and interactive use -- the
+        workload executor always uses the asynchronous API.
+        """
+        box: List[OperationResult] = []
+        self.write(key, value, consistency_level, box.append, **kwargs)
+        self._run_until(lambda: bool(box))
+        return box[0]
+
+    def read_sync(
+        self, key: str, consistency_level: ConsistencyLevel = ConsistencyLevel.ONE, **kwargs
+    ) -> OperationResult:
+        """Blocking read: runs the engine until the read completes."""
+        box: List[OperationResult] = []
+        self.read(key, consistency_level, box.append, **kwargs)
+        self._run_until(lambda: bool(box))
+        return box[0]
+
+    def _run_until(self, predicate: Callable[[], bool], max_events: int = 1_000_000) -> None:
+        executed = 0
+        while not predicate():
+            if not self.engine.step():
+                raise RuntimeError("simulation ran out of events before the operation completed")
+            executed += 1
+            if executed > max_events:  # pragma: no cover - defensive
+                raise RuntimeError("operation did not complete within the event budget")
+
+    def settle(self, extra_time: float = 1.0) -> None:
+        """Run the engine until pending background work (propagation, repair,
+        hint replay) has drained, advancing at most ``extra_time`` seconds at
+        a time until the queue is empty."""
+        while self.engine.pending_events > 0:
+            self.engine.run_until(self.engine.now + extra_time)
+            if self.engine.next_event_time() is None:
+                break
+
+    # ------------------------------------------------------------------
+    # Ground-truth inspection (zero simulated cost)
+    # ------------------------------------------------------------------
+    def newest_cell(self, key: str) -> Optional[Cell]:
+        """Newest cell for ``key`` across every replica, right now."""
+        newest: Optional[Cell] = None
+        for address in self.replicas_for(key):
+            cell = self.nodes[address].peek(key)
+            if cell is not None and cell.is_newer_than(newest):
+                newest = cell
+        return newest
+
+    def replica_cells(self, key: str) -> Dict[NodeAddress, Optional[Cell]]:
+        """Per-replica view of ``key`` (for convergence tests and audits)."""
+        return {address: self.nodes[address].peek(key) for address in self.replicas_for(key)}
+
+    def is_consistent(self, key: str) -> bool:
+        """Whether every replica of ``key`` currently stores the same newest cell."""
+        cells = list(self.replica_cells(key).values())
+        timestamps = {(c.timestamp, c.value_id) if c is not None else None for c in cells}
+        return len(timestamps) <= 1
+
+    # ------------------------------------------------------------------
+    # Failure injection helpers
+    # ------------------------------------------------------------------
+    def take_down(self, address: NodeAddress) -> None:
+        """Bring a node offline (its replicas stop applying writes)."""
+        self.nodes[address].go_down()
+
+    def bring_up(self, address: NodeAddress, *, replay_hints: bool = True) -> int:
+        """Bring a node back online, optionally replaying hints destined to it."""
+        self.nodes[address].come_up()
+        replayed = 0
+        if replay_hints:
+            for coordinator in self.coordinators.values():
+                replayed += coordinator.replay_hints(address)
+        return replayed
+
+    def mean_inter_replica_latency(self, key: Optional[str] = None) -> float:
+        """Expected one-way latency among the replicas of ``key``.
+
+        With ``key=None`` an average over the whole cluster topology is
+        returned.  This is the ``Ln`` that Harmony's monitor feeds into
+        ``Tp``.
+        """
+        if key is not None:
+            base = self.topology.mean_inter_replica_latency(self.replicas_for(key))
+        else:
+            base = self.topology.mean_inter_replica_latency(self.topology.nodes)
+        return base * self.fabric.latency_scale
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedCluster(nodes={self.topology.size}, "
+            f"rf={self.config.replication_factor}, strategy={self.config.strategy})"
+        )

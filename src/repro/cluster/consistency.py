@@ -1,0 +1,147 @@
+"""Consistency levels and quorum arithmetic.
+
+Cassandra expresses per-operation consistency as either a named level
+(ONE, TWO, THREE, QUORUM, ALL, ...) or -- conceptually -- as the number of
+replicas that must acknowledge the operation before the coordinator replies
+to the client.  Harmony's adaptive module computes a *replica count* ``Xn``
+and maps it onto the closest level, so this module supports both views:
+
+* :class:`ConsistencyLevel` is the named enumeration;
+* :func:`level_for_replicas` converts a replica count into a level;
+* :meth:`ConsistencyLevel.blocked_for` converts a level back into the number
+  of replicas the coordinator must block for, given the replication factor.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+__all__ = [
+    "ConsistencyLevel",
+    "quorum_size",
+    "level_for_replicas",
+    "is_strongly_consistent",
+]
+
+
+def quorum_size(replication_factor: int) -> int:
+    """The quorum for a replication factor: ``floor(RF / 2) + 1``.
+
+    This is the formula from the paper's Section II (and Cassandra's
+    definition).  With ``RF = 5`` the quorum is 3.
+    """
+    if replication_factor < 1:
+        raise ValueError(f"replication factor must be >= 1, got {replication_factor!r}")
+    return replication_factor // 2 + 1
+
+
+class ConsistencyLevel(enum.Enum):
+    """Per-operation consistency levels, mirroring Cassandra 1.0.
+
+    ``ANY`` is accepted for writes only (a hint on any node satisfies it);
+    it is included for interface completeness but the Harmony controller
+    never selects it.
+    """
+
+    ANY = "ANY"
+    ONE = "ONE"
+    TWO = "TWO"
+    THREE = "THREE"
+    QUORUM = "QUORUM"
+    ALL = "ALL"
+
+    # ------------------------------------------------------------------
+    def blocked_for(self, replication_factor: int) -> int:
+        """Number of replica acknowledgements the coordinator waits for.
+
+        Raises
+        ------
+        ValueError
+            If the level requires more replicas than the replication factor
+            provides (e.g. ``THREE`` with ``RF = 2``), matching Cassandra's
+            ``UnavailableException`` semantics at request time.
+        """
+        rf = int(replication_factor)
+        if rf < 1:
+            raise ValueError(f"replication factor must be >= 1, got {replication_factor!r}")
+        if self is ConsistencyLevel.ANY:
+            required = 1
+        elif self is ConsistencyLevel.ONE:
+            required = 1
+        elif self is ConsistencyLevel.TWO:
+            required = 2
+        elif self is ConsistencyLevel.THREE:
+            required = 3
+        elif self is ConsistencyLevel.QUORUM:
+            required = quorum_size(rf)
+        elif self is ConsistencyLevel.ALL:
+            required = rf
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown consistency level {self!r}")
+        if required > rf:
+            raise ValueError(
+                f"consistency level {self.value} requires {required} replicas but the "
+                f"replication factor is only {rf}"
+            )
+        return required
+
+    @property
+    def is_write_only(self) -> bool:
+        """``ANY`` can only be used for writes."""
+        return self is ConsistencyLevel.ANY
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def level_for_replicas(replicas: int, replication_factor: int) -> ConsistencyLevel:
+    """Map a replica count onto the smallest named level that covers it.
+
+    Harmony computes a real-valued ``Xn`` and rounds it up; this helper then
+    chooses the Cassandra level whose blocked-for count is the smallest one
+    that is ``>= replicas``.  Counts above the replication factor are clamped
+    to ``ALL``; counts below one are clamped to ``ONE``.
+    """
+    rf = int(replication_factor)
+    if rf < 1:
+        raise ValueError(f"replication factor must be >= 1, got {replication_factor!r}")
+    count = int(math.ceil(replicas))
+    count = max(1, min(count, rf))
+    if count == rf:
+        # Asking for every replica is, semantically, strong consistency.
+        return ConsistencyLevel.ALL
+    candidates = [
+        ConsistencyLevel.ONE,
+        ConsistencyLevel.TWO,
+        ConsistencyLevel.THREE,
+        ConsistencyLevel.QUORUM,
+        ConsistencyLevel.ALL,
+    ]
+    best: ConsistencyLevel | None = None
+    best_blocked = None
+    for level in candidates:
+        try:
+            blocked = level.blocked_for(rf)
+        except ValueError:
+            continue
+        if blocked >= count and (best_blocked is None or blocked < best_blocked):
+            best = level
+            best_blocked = blocked
+    if best is None:  # pragma: no cover - ALL always satisfies count <= rf
+        best = ConsistencyLevel.ALL
+    return best
+
+
+def is_strongly_consistent(
+    read_level: ConsistencyLevel, write_level: ConsistencyLevel, replication_factor: int
+) -> bool:
+    """Whether ``R + W > N`` holds, guaranteeing reads observe the latest write.
+
+    This is the classic quorum-intersection condition; the integration tests
+    use it as an oracle (a configuration satisfying it must never produce a
+    stale read in the simulator).
+    """
+    r = read_level.blocked_for(replication_factor)
+    w = write_level.blocked_for(replication_factor)
+    return r + w > replication_factor

@@ -1,0 +1,590 @@
+"""Coordinator: client-facing read/write paths with per-operation consistency.
+
+Every client operation enters the cluster through a coordinator node (in
+Cassandra, the node the client's connection happens to reach).  The
+coordinator:
+
+**Write path** -- sends the mutation to *all* replicas of the key, but
+acknowledges the client as soon as ``blocked_for(CL)`` replicas have
+confirmed.  Replicas outside the blocked-for set keep applying the mutation
+asynchronously; the window between the client acknowledgement and the last
+replica applying the write is exactly the stale window of the paper's Fig. 2
+(``T`` + ``Tp``).  Replicas that do not acknowledge within the write timeout
+get a hint (hinted handoff) replayed later.
+
+**Read path** -- sends read requests to ``blocked_for(CL)`` replicas chosen
+by proximity (plus, with ``read_repair_chance``, to the remaining replicas),
+returns the newest cell among the first ``blocked_for`` responses, and
+asynchronously repairs any contacted replica that returned an older cell
+(read repair), mirroring the QUORUM flow of the paper's Fig. 1.
+
+The coordinator never blocks the simulated world: every operation is a
+little state machine driven by response messages and timeout events.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.hints import Hint, HintStore
+from repro.cluster.node import StorageNode
+from repro.cluster.stats import NodeCounters
+from repro.cluster.storage import Cell
+from repro.network.fabric import Message, NetworkFabric
+from repro.network.topology import NodeAddress, Topology
+from repro.sim.engine import EventHandle, SimulationEngine
+
+__all__ = ["Coordinator", "OperationResult", "CoordinatorConfig"]
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Tunables of the coordinator request paths.
+
+    Attributes
+    ----------
+    read_repair_chance:
+        Probability that a read also contacts the replicas outside the
+        blocked-for set so they can be checked and repaired in the
+        background (Cassandra's ``read_repair_chance``, 0.1 by default in
+        the 1.0.x era).
+    write_timeout / read_timeout:
+        Seconds after which missing replica acknowledgements are given up
+        on; unacknowledged writes turn into hints.
+    request_overhead:
+        Fixed coordinator-side processing time added to every client
+        operation (request parsing, Thrift/RPC overhead).
+    """
+
+    read_repair_chance: float = 0.1
+    write_timeout: float = 1.0
+    read_timeout: float = 1.0
+    request_overhead: float = 0.00005
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_repair_chance <= 1.0:
+            raise ValueError("read_repair_chance must be in [0, 1]")
+        if self.write_timeout <= 0 or self.read_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.request_overhead < 0:
+            raise ValueError("request_overhead must be non-negative")
+
+
+@dataclass
+class OperationResult:
+    """Outcome of one client operation, delivered to the completion callback.
+
+    Attributes
+    ----------
+    op_type:
+        ``"read"`` or ``"write"``.
+    key:
+        The key operated on.
+    cell:
+        For reads, the cell returned to the client (``None`` on a miss).
+        For writes, the cell that was written.
+    consistency_level:
+        The level the operation was executed with.
+    blocked_for:
+        Number of replica acknowledgements the coordinator waited for.
+    started_at / completed_at:
+        Virtual timestamps; ``latency`` is their difference.
+    timed_out:
+        True when the operation could not gather enough acknowledgements
+        before the timeout (the client still gets a response, flagged).
+    replicas:
+        The full replica set of the key (preference order).
+    responded:
+        Replicas that acknowledged before completion.
+    """
+
+    op_type: str
+    key: str
+    cell: Optional[Cell]
+    consistency_level: ConsistencyLevel
+    blocked_for: int
+    started_at: float
+    completed_at: float
+    timed_out: bool = False
+    replicas: List[NodeAddress] = field(default_factory=list)
+    responded: List[NodeAddress] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        """Client-observed operation latency in seconds."""
+        return self.completed_at - self.started_at
+
+
+class _PendingWrite:
+    """Book-keeping for one in-flight write."""
+
+    __slots__ = (
+        "request_id",
+        "cell",
+        "replicas",
+        "required",
+        "acks",
+        "callback",
+        "started_at",
+        "completed",
+        "timeout_handle",
+        "level",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        cell: Cell,
+        replicas: List[NodeAddress],
+        required: int,
+        level: ConsistencyLevel,
+        callback: Callable[[OperationResult], None],
+        started_at: float,
+    ) -> None:
+        self.request_id = request_id
+        self.cell = cell
+        self.replicas = replicas
+        self.required = required
+        self.level = level
+        self.acks: List[NodeAddress] = []
+        self.callback = callback
+        self.started_at = started_at
+        self.completed = False
+        self.timeout_handle: Optional[EventHandle] = None
+
+
+class _PendingRead:
+    """Book-keeping for one in-flight read."""
+
+    __slots__ = (
+        "request_id",
+        "key",
+        "replicas",
+        "contacted",
+        "required",
+        "responses",
+        "callback",
+        "started_at",
+        "completed",
+        "timeout_handle",
+        "level",
+        "repairs_outstanding",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        key: str,
+        replicas: List[NodeAddress],
+        contacted: List[NodeAddress],
+        required: int,
+        level: ConsistencyLevel,
+        callback: Callable[[OperationResult], None],
+        started_at: float,
+    ) -> None:
+        self.request_id = request_id
+        self.key = key
+        self.replicas = replicas
+        self.contacted = contacted
+        self.required = required
+        self.level = level
+        self.responses: Dict[NodeAddress, Optional[Cell]] = {}
+        self.callback = callback
+        self.started_at = started_at
+        self.completed = False
+        self.timeout_handle: Optional[EventHandle] = None
+        self.repairs_outstanding = 0
+
+
+class Coordinator:
+    """Client-facing request coordinator bound to one cluster node.
+
+    A coordinator holds no replica data itself (its node might also be a
+    replica, in which case the fabric's loopback latency applies); it only
+    orchestrates replica-level requests and merges their responses.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        fabric: NetworkFabric,
+        topology: Topology,
+        address: NodeAddress,
+        nodes: Dict[NodeAddress, StorageNode],
+        replicas_for: Callable[[str], List[NodeAddress]],
+        counters: NodeCounters,
+        config: Optional[CoordinatorConfig] = None,
+        *,
+        read_repair_rng=None,
+        write_size_bytes: int = 1024,
+    ) -> None:
+        self._engine = engine
+        self._fabric = fabric
+        self._topology = topology
+        self.address = address
+        self._nodes = nodes
+        self._replicas_for = replicas_for
+        self._counters = counters
+        self.config = config or CoordinatorConfig()
+        self._read_repair_rng = read_repair_rng
+        self._write_size_bytes = int(write_size_bytes)
+        self._request_ids = itertools.count()
+        self._value_ids = itertools.count()
+        self._pending_writes: Dict[int, _PendingWrite] = {}
+        self._pending_reads: Dict[int, _PendingRead] = {}
+        # Reads at level ALL that detected divergent replicas and are waiting
+        # for the blocking read repair to finish (paper Fig. 1, left side).
+        self._blocking_repairs: Dict[int, _PendingRead] = {}
+        self.hints = HintStore()
+        # The coordinator receives replica responses at a dedicated logical
+        # address component; responses are routed back via the fabric handler
+        # installed by the owning cluster (see SimulatedCluster).
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        key: str,
+        value: object,
+        consistency_level: ConsistencyLevel,
+        callback: Callable[[OperationResult], None],
+        *,
+        size_bytes: Optional[int] = None,
+        timestamp: Optional[float] = None,
+    ) -> int:
+        """Issue a write; ``callback`` receives the :class:`OperationResult`.
+
+        Returns the request id (useful for tracing in tests).
+        """
+        replicas = self._replicas_for(key)
+        required = consistency_level.blocked_for(len(replicas))
+        request_id = next(self._request_ids)
+        cell = Cell(
+            timestamp=timestamp if timestamp is not None else self._engine.now,
+            value_id=next(self._value_ids),
+            key=key,
+            value=value,
+            size_bytes=size_bytes if size_bytes is not None else self._write_size_bytes,
+        )
+        pending = _PendingWrite(
+            request_id=request_id,
+            cell=cell,
+            replicas=list(replicas),
+            required=required,
+            level=consistency_level,
+            callback=callback,
+            started_at=self._engine.now,
+        )
+        self._pending_writes[request_id] = pending
+        self._counters.coordinator_writes += 1
+        payload = {"request_id": request_id, "cell": cell}
+        for replica in replicas:
+            self._fabric.send(
+                self.address,
+                replica,
+                "write_request",
+                payload,
+                size_bytes=cell.size_bytes,
+            )
+        pending.timeout_handle = self._engine.schedule(
+            self.config.write_timeout, self._write_timed_out, request_id, label="write.timeout"
+        )
+        return request_id
+
+    def read(
+        self,
+        key: str,
+        consistency_level: ConsistencyLevel,
+        callback: Callable[[OperationResult], None],
+    ) -> int:
+        """Issue a read; ``callback`` receives the :class:`OperationResult`."""
+        if consistency_level.is_write_only:
+            raise ValueError("consistency level ANY cannot be used for reads")
+        replicas = self._replicas_for(key)
+        required = consistency_level.blocked_for(len(replicas))
+        request_id = next(self._request_ids)
+        ordered = self._order_by_proximity(replicas)
+        contacted = list(ordered[:required])
+        # Global read repair: occasionally contact every replica so the
+        # background repair can fix stale ones even under CL=ONE.
+        if required < len(replicas) and self._read_repair_roll():
+            contacted = list(ordered)
+        pending = _PendingRead(
+            request_id=request_id,
+            key=key,
+            replicas=list(replicas),
+            contacted=contacted,
+            required=required,
+            level=consistency_level,
+            callback=callback,
+            started_at=self._engine.now,
+        )
+        self._pending_reads[request_id] = pending
+        self._counters.coordinator_reads += 1
+        # As in Cassandra, the closest replica receives the full data request
+        # and the remaining contacted replicas receive cheaper digest requests
+        # (enough to detect staleness and trigger read repair).
+        for index, replica in enumerate(contacted):
+            payload = {"request_id": request_id, "key": key, "digest": index > 0}
+            self._fabric.send(self.address, replica, "read_request", payload, size_bytes=64)
+        pending.timeout_handle = self._engine.schedule(
+            self.config.read_timeout, self._read_timed_out, request_id, label="read.timeout"
+        )
+        return request_id
+
+    # ------------------------------------------------------------------
+    # Response handling (wired up by SimulatedCluster)
+    # ------------------------------------------------------------------
+    def handle_response(self, message: Message) -> None:
+        """Process a replica response addressed to this coordinator."""
+        payload = message.payload
+        if message.kind == "write_response":
+            request_id = payload["request_id"]
+            if payload.get("repair") and request_id in self._blocking_repairs:
+                self._on_blocking_repair_ack(request_id)
+            else:
+                self._on_write_ack(request_id, payload["replica"])
+        elif message.kind == "read_response":
+            self._on_read_response(payload["request_id"], payload["replica"], payload["cell"])
+        # Other kinds (repair acks) need no coordinator-side bookkeeping.
+
+    # ------------------------------------------------------------------
+    # Write-path internals
+    # ------------------------------------------------------------------
+    def _on_write_ack(self, request_id: int, replica: NodeAddress) -> None:
+        pending = self._pending_writes.get(request_id)
+        if pending is None:
+            return
+        if replica not in pending.acks:
+            pending.acks.append(replica)
+        if pending.completed:
+            # Late acks after completion just mean the replica converged;
+            # clean up once everyone answered.
+            if len(pending.acks) == len(pending.replicas):
+                self._pending_writes.pop(request_id, None)
+            return
+        if len(pending.acks) >= pending.required:
+            self._complete_write(pending, timed_out=False)
+
+    def _complete_write(self, pending: _PendingWrite, *, timed_out: bool) -> None:
+        pending.completed = True
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        # Keep tracking late acks only if some replicas have not answered yet.
+        if len(pending.acks) == len(pending.replicas):
+            self._pending_writes.pop(pending.request_id, None)
+        else:
+            # Re-arm a cleanup timeout: replicas that never answer get hints.
+            pending.timeout_handle = self._engine.schedule(
+                self.config.write_timeout,
+                self._hint_missing_replicas,
+                pending.request_id,
+                label="write.hint",
+            )
+        result = OperationResult(
+            op_type="write",
+            key=pending.cell.key,
+            cell=pending.cell,
+            consistency_level=pending.level,
+            blocked_for=pending.required,
+            started_at=pending.started_at,
+            completed_at=self._engine.now + self.config.request_overhead,
+            timed_out=timed_out,
+            replicas=list(pending.replicas),
+            responded=list(pending.acks),
+        )
+        pending.callback(result)
+
+    def _write_timed_out(self, request_id: int) -> None:
+        pending = self._pending_writes.get(request_id)
+        if pending is None or pending.completed:
+            return
+        # Could not gather enough acks in time: answer the client with the
+        # timeout flag (Cassandra would raise TimedOutException) and hint the
+        # replicas that never answered.
+        self._complete_write(pending, timed_out=True)
+        self._hint_missing_replicas(request_id)
+
+    def _hint_missing_replicas(self, request_id: int) -> None:
+        pending = self._pending_writes.pop(request_id, None)
+        if pending is None:
+            return
+        for replica in pending.replicas:
+            if replica not in pending.acks:
+                self.hints.add(
+                    Hint(target=replica, cell=pending.cell, created_at=self._engine.now)
+                )
+                self._counters.hints_stored += 1
+
+    def replay_hints(self, target: NodeAddress) -> int:
+        """Replay buffered hints for ``target`` (called when it comes back up)."""
+
+        def deliver(hint: Hint) -> None:
+            self._fabric.send(
+                self.address,
+                hint.target,
+                "hint_replay",
+                {"cell": hint.cell},
+                size_bytes=hint.cell.size_bytes,
+            )
+            self._counters.hints_replayed += 1
+
+        return self.hints.replay(target, deliver)
+
+    # ------------------------------------------------------------------
+    # Read-path internals
+    # ------------------------------------------------------------------
+    def _on_read_response(
+        self, request_id: int, replica: NodeAddress, cell: Optional[Cell]
+    ) -> None:
+        pending = self._pending_reads.get(request_id)
+        if pending is None:
+            return
+        pending.responses[replica] = cell
+        if pending.completed:
+            # A straggler response arriving after completion: use it for read
+            # repair, then clean up once everyone contacted has answered.
+            self._maybe_read_repair(pending)
+            if len(pending.responses) == len(pending.contacted):
+                self._pending_reads.pop(request_id, None)
+            return
+        if pending.repairs_outstanding > 0:
+            # Already waiting on a blocking repair triggered earlier.
+            return
+        if len(pending.responses) >= pending.required:
+            # Level ALL demands that the replicas agree before the client is
+            # answered: if they diverge, repair the stale ones first and only
+            # then complete (paper Fig. 1, strong-consistency flow).
+            if pending.level is ConsistencyLevel.ALL and not self._responses_consistent(pending):
+                self._start_blocking_repair(pending)
+                return
+            self._complete_read(pending, timed_out=False)
+
+    def _newest_response(self, pending: _PendingRead) -> Optional[Cell]:
+        newest: Optional[Cell] = None
+        for cell in pending.responses.values():
+            if cell is not None and cell.is_newer_than(newest):
+                newest = cell
+        return newest
+
+    def _complete_read(self, pending: _PendingRead, *, timed_out: bool) -> None:
+        pending.completed = True
+        if pending.timeout_handle is not None:
+            pending.timeout_handle.cancel()
+        newest = self._newest_response(pending)
+        result = OperationResult(
+            op_type="read",
+            key=pending.key,
+            cell=newest,
+            consistency_level=pending.level,
+            blocked_for=pending.required,
+            started_at=pending.started_at,
+            completed_at=self._engine.now + self.config.request_overhead,
+            timed_out=timed_out,
+            replicas=list(pending.replicas),
+            responded=list(pending.responses),
+        )
+        self._maybe_read_repair(pending)
+        if len(pending.responses) == len(pending.contacted):
+            self._pending_reads.pop(pending.request_id, None)
+        pending.callback(result)
+
+    def _read_timed_out(self, request_id: int) -> None:
+        pending = self._pending_reads.get(request_id)
+        if pending is None or pending.completed:
+            return
+        self._blocking_repairs.pop(request_id, None)
+        self._complete_read(pending, timed_out=True)
+        self._pending_reads.pop(request_id, None)
+
+    def _responses_consistent(self, pending: _PendingRead) -> bool:
+        """Whether every response received so far reports the same newest cell."""
+        newest = self._newest_response(pending)
+        if newest is None:
+            return True
+        for cell in pending.responses.values():
+            if cell is None or newest.is_newer_than(cell):
+                return False
+        return True
+
+    def _stale_responders(self, pending: _PendingRead) -> List[NodeAddress]:
+        """Contacted replicas whose response is older than the newest observed."""
+        newest = self._newest_response(pending)
+        if newest is None:
+            return []
+        return [
+            replica
+            for replica, cell in pending.responses.items()
+            if cell is None or newest.is_newer_than(cell)
+        ]
+
+    def _start_blocking_repair(self, pending: _PendingRead) -> None:
+        """Repair divergent replicas and answer the client only once they ack."""
+        newest = self._newest_response(pending)
+        stale = self._stale_responders(pending)
+        if newest is None or not stale:
+            self._complete_read(pending, timed_out=False)
+            return
+        pending.repairs_outstanding = len(stale)
+        self._blocking_repairs[pending.request_id] = pending
+        for replica in stale:
+            self._counters.read_repairs += 1
+            self._fabric.send(
+                self.address,
+                replica,
+                "repair_write",
+                {"request_id": pending.request_id, "cell": newest},
+                size_bytes=newest.size_bytes,
+            )
+
+    def _on_blocking_repair_ack(self, request_id: int) -> None:
+        pending = self._blocking_repairs.get(request_id)
+        if pending is None:
+            return
+        pending.repairs_outstanding -= 1
+        if pending.repairs_outstanding <= 0:
+            self._blocking_repairs.pop(request_id, None)
+            if not pending.completed:
+                self._complete_read(pending, timed_out=False)
+
+    def _maybe_read_repair(self, pending: _PendingRead) -> None:
+        """Send the newest observed cell to contacted replicas that are behind."""
+        newest = self._newest_response(pending)
+        if newest is None:
+            return
+        for replica in self._stale_responders(pending):
+            self._fabric.send(
+                self.address,
+                replica,
+                "repair_write",
+                {"request_id": pending.request_id, "cell": newest},
+                size_bytes=newest.size_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _order_by_proximity(self, replicas: Sequence[NodeAddress]) -> List[NodeAddress]:
+        """Replicas sorted by expected latency from this coordinator (snitch)."""
+        return sorted(replicas, key=lambda r: self._topology.mean_latency(self.address, r))
+
+    def _read_repair_roll(self) -> bool:
+        if self.config.read_repair_chance <= 0.0:
+            return False
+        if self.config.read_repair_chance >= 1.0:
+            return True
+        if self._read_repair_rng is None:
+            return False
+        return bool(self._read_repair_rng.random() < self.config.read_repair_chance)
+
+    @property
+    def in_flight(self) -> int:
+        """Number of operations currently awaiting replica responses."""
+        return len(self._pending_reads) + len(self._pending_writes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Coordinator({self.address}, in_flight={self.in_flight})"

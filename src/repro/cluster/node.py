@@ -1,0 +1,270 @@
+"""A storage node: request queue, worker pool and storage engine.
+
+Each simulated node owns:
+
+* a :class:`~repro.cluster.storage.StorageEngine` holding its replica data;
+* a bounded worker pool with a service-time distribution, so requests queue
+  when the node is saturated (this is what makes throughput flatten and then
+  degrade as the number of closed-loop client threads grows past the cluster
+  capacity -- the shape of the paper's Fig. 5(c)/(d));
+* a message handler wired into the :class:`~repro.network.fabric.NetworkFabric`
+  that serves replica-level read and write requests and replies to the
+  coordinator.
+
+Node-level failure injection (downtime and slow-down factors) is included so
+tests can exercise hinted handoff and read-repair convergence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.stats import NodeCounters
+from repro.cluster.storage import Cell, StorageEngine
+from repro.network.fabric import Message, NetworkFabric
+from repro.network.topology import NodeAddress
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+__all__ = ["NodeConfig", "StorageNode"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Performance envelope of a storage node.
+
+    Attributes
+    ----------
+    concurrency:
+        Number of requests the node can serve simultaneously (Cassandra's
+        ``concurrent_reads`` / ``concurrent_writes`` thread pools, folded
+        into one pool here).
+    read_service_time / write_service_time:
+        Mean local service time in seconds for a replica-level read / write
+        (CPU + storage engine + disk work, excluding network and queueing).
+        The defaults (a few milliseconds) reflect the disk-bound Cassandra
+        1.0 deployments of the paper's era, where p99 read latencies are in
+        the tens of milliseconds (paper Fig. 5).
+    digest_service_factor:
+        Relative cost of serving a *digest* read (Cassandra sends the full
+        data request to the closest replica only and digest requests to the
+        others; digests skip most of the row materialisation work).
+    service_time_cv:
+        Coefficient of variation of the service time (gamma-distributed).
+    queue_capacity:
+        Maximum number of queued requests before the node sheds load
+        (requests beyond this are dropped, surfacing as timeouts upstream).
+    memtable_flush_threshold / compaction_threshold:
+        Passed through to the storage engine.
+    """
+
+    concurrency: int = 16
+    read_service_time: float = 0.005
+    write_service_time: float = 0.0035
+    digest_service_factor: float = 0.6
+    service_time_cv: float = 0.45
+    queue_capacity: int = 8192
+    memtable_flush_threshold: int = 4096
+    compaction_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.read_service_time <= 0 or self.write_service_time <= 0:
+            raise ValueError("service times must be positive")
+        if not 0.0 < self.digest_service_factor <= 1.0:
+            raise ValueError("digest_service_factor must be in (0, 1]")
+        if self.service_time_cv <= 0:
+            raise ValueError("service_time_cv must be positive")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+
+
+class StorageNode:
+    """One replica server participating in the simulated cluster."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        fabric: NetworkFabric,
+        address: NodeAddress,
+        config: NodeConfig,
+        streams: RandomStreams,
+        counters: NodeCounters,
+    ) -> None:
+        self._engine = engine
+        self._fabric = fabric
+        self.address = address
+        self.config = config
+        self.counters = counters
+        self.storage = StorageEngine(
+            memtable_flush_threshold=config.memtable_flush_threshold,
+            compaction_threshold=config.compaction_threshold,
+        )
+        self._rng = streams.stream(f"node.{address}.service")
+        self._busy_workers = 0
+        self._queue: Deque[Tuple[Message, float]] = deque()
+        self._up = True
+        self._slowdown = 1.0
+        # Gamma service time parameters (shape, scale) per request kind.
+        cv2 = config.service_time_cv**2
+        self._gamma_shape = 1.0 / cv2
+        self._read_scale = config.read_service_time * cv2
+        self._write_scale = config.write_service_time * cv2
+        # NOTE: the node does not register itself with the fabric; the owning
+        # SimulatedCluster installs a per-address dispatcher that routes
+        # replica requests here and replica *responses* to the co-located
+        # coordinator.
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    @property
+    def is_up(self) -> bool:
+        """Whether the node is currently serving requests."""
+        return self._up
+
+    def go_down(self) -> None:
+        """Take the node offline: queued and future requests are dropped."""
+        self._up = False
+        dropped = len(self._queue)
+        self._queue.clear()
+        self.counters.dropped_mutations += dropped
+
+    def come_up(self) -> None:
+        """Bring the node back online (data written while down is missing
+        until hinted handoff or read repair fills it in)."""
+        self._up = True
+
+    @property
+    def slowdown(self) -> float:
+        """Multiplier applied to every service time (1.0 = nominal speed)."""
+        return self._slowdown
+
+    @slowdown.setter
+    def slowdown(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError(f"slowdown factor must be positive, got {value!r}")
+        self._slowdown = float(value)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of requests waiting for a worker."""
+        return len(self._queue)
+
+    @property
+    def busy_workers(self) -> int:
+        return self._busy_workers
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        """Entry point registered with the network fabric."""
+        if not self._up:
+            self.counters.dropped_mutations += 1
+            return
+        if message.kind in ("read_request", "write_request", "repair_write"):
+            self._enqueue(message)
+        elif message.kind == "hint_replay":
+            # Hint replays are applied directly (they are background work and
+            # modelled as not competing for the foreground worker pool).
+            self._apply_write(message.payload["cell"], is_repair=True)
+        else:  # pragma: no cover - defensive; unknown kinds indicate a bug
+            raise ValueError(f"node {self.address} received unknown message kind {message.kind!r}")
+
+    def _enqueue(self, message: Message) -> None:
+        if self._busy_workers >= self.config.concurrency:
+            if len(self._queue) >= self.config.queue_capacity:
+                self.counters.queue_rejections += 1
+                return
+            self._queue.append((message, self._engine.now))
+            return
+        self._start_service(message)
+
+    def _start_service(self, message: Message) -> None:
+        self._busy_workers += 1
+        service_time = self._sample_service_time(message)
+        self._engine.schedule(
+            service_time, self._finish_service, message, label=f"{self.address}.service"
+        )
+
+    def _sample_service_time(self, message: Message) -> float:
+        if message.kind == "read_request":
+            scale = self._read_scale
+            if isinstance(message.payload, dict) and message.payload.get("digest"):
+                scale *= self.config.digest_service_factor
+        else:
+            scale = self._write_scale
+        return float(self._rng.gamma(self._gamma_shape, scale)) * self._slowdown
+
+    def _finish_service(self, message: Message) -> None:
+        self._busy_workers -= 1
+        if self._up:
+            self._serve(message)
+        # Pull the next queued request, if any.
+        while self._queue and self._busy_workers < self.config.concurrency:
+            queued, _enqueued_at = self._queue.popleft()
+            self._start_service(queued)
+
+    # ------------------------------------------------------------------
+    # Replica-level operations
+    # ------------------------------------------------------------------
+    def _serve(self, message: Message) -> None:
+        payload = message.payload
+        if message.kind == "read_request":
+            cell = self.storage.read(payload["key"])
+            self.counters.reads_served += 1
+            self._reply(
+                message,
+                "read_response",
+                {
+                    "request_id": payload["request_id"],
+                    "key": payload["key"],
+                    "cell": cell,
+                    "replica": self.address,
+                },
+            )
+        elif message.kind in ("write_request", "repair_write"):
+            is_repair = message.kind == "repair_write"
+            self._apply_write(payload["cell"], is_repair=is_repair)
+            self._reply(
+                message,
+                "write_response",
+                {
+                    "request_id": payload["request_id"],
+                    "key": payload["cell"].key,
+                    "replica": self.address,
+                    "repair": is_repair,
+                },
+            )
+
+    def _apply_write(self, cell: Cell, *, is_repair: bool) -> None:
+        self.storage.apply(cell)
+        self.counters.writes_applied += 1
+        if is_repair:
+            self.counters.read_repairs += 1
+
+    def _reply(self, request: Message, kind: str, payload: dict) -> None:
+        self._fabric.send(
+            self.address,
+            request.src,
+            kind,
+            payload,
+            size_bytes=payload.get("cell").size_bytes if payload.get("cell") else 64,
+        )
+
+    # ------------------------------------------------------------------
+    # Local inspection (no simulated cost; used by auditors and tests)
+    # ------------------------------------------------------------------
+    def peek(self, key: str) -> Optional[Cell]:
+        """Current newest cell for ``key`` on this replica, without cost."""
+        return self.storage.peek(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self._up else "down"
+        return f"StorageNode({self.address}, {state}, busy={self._busy_workers})"

@@ -1,0 +1,117 @@
+"""Replica placement strategies.
+
+Given the clockwise node walk produced by the token ring, a replication
+strategy selects which nodes hold the ``RF`` replicas of a key.
+
+* :class:`SimpleStrategy` takes the first ``RF`` distinct nodes of the walk,
+  ignoring topology (Cassandra's ``SimpleStrategy``).
+* :class:`OldNetworkTopologyStrategy` mirrors the strategy the paper
+  configures ("this strategy ensures that data is replicated over all the
+  clusters and racks"): the first replica is the walk's first node, the
+  second replica is the first node found in a *different datacenter*, the
+  third is the first node in a *different rack* of the first datacenter, and
+  the remaining replicas follow the walk.  With a single datacenter the
+  cross-DC preference degrades gracefully to cross-rack placement.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+from repro.cluster.ring import TokenRing
+from repro.network.topology import NodeAddress, Topology
+
+__all__ = ["ReplicationStrategy", "SimpleStrategy", "OldNetworkTopologyStrategy"]
+
+
+class ReplicationStrategy(ABC):
+    """Chooses the replica set of a key from the ring walk."""
+
+    def __init__(self, replication_factor: int) -> None:
+        if replication_factor < 1:
+            raise ValueError(f"replication factor must be >= 1, got {replication_factor!r}")
+        self.replication_factor = int(replication_factor)
+
+    @abstractmethod
+    def replicas_for_walk(self, walk: Sequence[NodeAddress]) -> List[NodeAddress]:
+        """Select replicas (in preference order) from a clockwise node walk."""
+
+    def replicas(self, ring: TokenRing, key: str) -> List[NodeAddress]:
+        """Replica set for a key; the first element is the primary replica."""
+        walk = ring.walk_from_key(key)
+        if len(walk) < self.replication_factor:
+            raise ValueError(
+                f"replication factor {self.replication_factor} exceeds cluster size {len(walk)}"
+            )
+        selected = self.replicas_for_walk(walk)
+        if len(selected) != self.replication_factor:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"{type(self).__name__} selected {len(selected)} replicas, "
+                f"expected {self.replication_factor}"
+            )
+        return selected
+
+
+class SimpleStrategy(ReplicationStrategy):
+    """First ``RF`` distinct nodes of the walk, topology-agnostic."""
+
+    def replicas_for_walk(self, walk: Sequence[NodeAddress]) -> List[NodeAddress]:
+        return list(walk[: self.replication_factor])
+
+
+class OldNetworkTopologyStrategy(ReplicationStrategy):
+    """Rack- and datacenter-aware placement (Cassandra's OldNetworkTopologyStrategy).
+
+    Placement rules, applied to the clockwise walk starting at the key's
+    token:
+
+    1. the first node of the walk is always a replica (the primary);
+    2. the next replica is the first node in a *different datacenter* from
+       the primary, if any;
+    3. the next replica is the first node in the primary's datacenter but a
+       *different rack*, if any;
+    4. remaining replicas are filled from the walk in order, skipping nodes
+       already chosen.
+    """
+
+    def __init__(self, replication_factor: int, topology: Topology) -> None:
+        super().__init__(replication_factor)
+        self._topology = topology
+
+    def replicas_for_walk(self, walk: Sequence[NodeAddress]) -> List[NodeAddress]:
+        primary = walk[0]
+        chosen: List[NodeAddress] = [primary]
+        if self.replication_factor == 1:
+            return chosen
+        primary_dc = self._topology.datacenter_of(primary)
+        primary_rack = self._topology.rack_of(primary)
+
+        def first_matching(predicate) -> NodeAddress | None:
+            for node in walk:
+                if node in chosen:
+                    continue
+                if predicate(node):
+                    return node
+            return None
+
+        # Rule 2: a replica in another datacenter.
+        other_dc = first_matching(lambda n: self._topology.datacenter_of(n) != primary_dc)
+        if other_dc is not None and len(chosen) < self.replication_factor:
+            chosen.append(other_dc)
+
+        # Rule 3: a replica in the primary DC but another rack.
+        other_rack = first_matching(
+            lambda n: self._topology.datacenter_of(n) == primary_dc
+            and self._topology.rack_of(n) != primary_rack
+        )
+        if other_rack is not None and len(chosen) < self.replication_factor:
+            chosen.append(other_rack)
+
+        # Rule 4: fill the remainder from the walk.
+        for node in walk:
+            if len(chosen) == self.replication_factor:
+                break
+            if node not in chosen:
+                chosen.append(node)
+        return chosen

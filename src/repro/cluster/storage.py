@@ -1,0 +1,262 @@
+"""Per-node storage engine: commit log, memtable and sstables.
+
+Cassandra's write path appends to a commit log, applies the mutation to an
+in-memory memtable and periodically flushes memtables to immutable sstables
+on disk.  Reads merge the memtable with the sstables and resolve conflicts
+with last-write-wins on the cell timestamp.
+
+The simulated engine keeps the same structure (so flush/compaction behaviour,
+cell counts and storage statistics are observable and testable) while holding
+everything in memory.  Timestamps are the **client/coordinator-assigned write
+timestamps**, exactly like Cassandra: staleness is therefore defined as
+"returned cell timestamp < newest committed cell timestamp", which is also
+how the paper measures stale reads (double read + timestamp comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Cell", "Memtable", "SSTable", "CommitLog", "StorageEngine", "StorageStats"]
+
+
+@dataclass(frozen=True, order=True)
+class Cell:
+    """A timestamped value for a key (Cassandra column cell, simplified).
+
+    Ordering is by ``(timestamp, value_id)`` so conflict resolution
+    (last-write-wins with a deterministic tie-break) is simply ``max``.
+    """
+
+    timestamp: float
+    value_id: int
+    key: str = field(compare=False)
+    value: object = field(compare=False, default=None)
+    size_bytes: int = field(compare=False, default=0)
+
+    def is_newer_than(self, other: Optional["Cell"]) -> bool:
+        """Last-write-wins comparison; any cell beats ``None``."""
+        if other is None:
+            return True
+        return (self.timestamp, self.value_id) > (other.timestamp, other.value_id)
+
+
+@dataclass
+class StorageStats:
+    """Counters exposed by a node's storage engine (``nodetool cfstats``-like)."""
+
+    writes: int = 0
+    reads: int = 0
+    read_misses: int = 0
+    memtable_flushes: int = 0
+    compactions: int = 0
+    bytes_written: int = 0
+    live_cells: int = 0
+    sstable_count: int = 0
+
+
+class CommitLog:
+    """Append-only durability log (bounded in-memory representation).
+
+    Only the most recent ``max_entries`` appends are retained; the engine
+    never replays the log (there is no crash recovery in the simulation), but
+    the log length and byte counters make the write path observable to tests
+    and to storage-overhead ablations.
+    """
+
+    def __init__(self, max_entries: int = 10_000) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self._max_entries = int(max_entries)
+        self._entries: List[Tuple[float, str]] = []
+        self.appended = 0
+        self.bytes_appended = 0
+
+    def append(self, cell: Cell) -> None:
+        """Record one mutation."""
+        self.appended += 1
+        self.bytes_appended += cell.size_bytes
+        self._entries.append((cell.timestamp, cell.key))
+        if len(self._entries) > self._max_entries:
+            # Keep the newest half to avoid O(n) trimming on every append.
+            self._entries = self._entries[-self._max_entries // 2 :]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Memtable:
+    """In-memory write-back table holding the newest cell per key."""
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, Cell] = {}
+        self.size_bytes = 0
+
+    def put(self, cell: Cell) -> None:
+        """Insert or overwrite under last-write-wins."""
+        existing = self._cells.get(cell.key)
+        if existing is None or cell.is_newer_than(existing):
+            if existing is not None:
+                self.size_bytes -= existing.size_bytes
+            self._cells[cell.key] = cell
+            self.size_bytes += cell.size_bytes
+
+    def get(self, key: str) -> Optional[Cell]:
+        return self._cells.get(key)
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def items(self) -> Iterable[Tuple[str, Cell]]:
+        return self._cells.items()
+
+
+class SSTable:
+    """An immutable flushed table (a frozen snapshot of a memtable)."""
+
+    __slots__ = ("_cells", "generation", "size_bytes")
+
+    def __init__(self, generation: int, cells: Dict[str, Cell]) -> None:
+        self.generation = generation
+        self._cells = dict(cells)
+        self.size_bytes = sum(cell.size_bytes for cell in cells.values())
+
+    def get(self, key: str) -> Optional[Cell]:
+        return self._cells.get(key)
+
+    def keys(self) -> Iterable[str]:
+        return self._cells.keys()
+
+    def cells(self) -> Iterable[Cell]:
+        return self._cells.values()
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+
+class StorageEngine:
+    """Commit log + memtable + sstables with last-write-wins reads.
+
+    Parameters
+    ----------
+    memtable_flush_threshold:
+        Number of distinct keys in the memtable that triggers a flush to a
+        new sstable.
+    compaction_threshold:
+        Number of sstables that triggers a (size-tiered style) compaction of
+        all sstables into one.
+    """
+
+    def __init__(
+        self,
+        *,
+        memtable_flush_threshold: int = 4096,
+        compaction_threshold: int = 8,
+    ) -> None:
+        if memtable_flush_threshold < 1:
+            raise ValueError("memtable_flush_threshold must be >= 1")
+        if compaction_threshold < 2:
+            raise ValueError("compaction_threshold must be >= 2")
+        self._flush_threshold = int(memtable_flush_threshold)
+        self._compaction_threshold = int(compaction_threshold)
+        self.commit_log = CommitLog()
+        self.memtable = Memtable()
+        self.sstables: List[SSTable] = []
+        self._next_generation = 0
+        self.stats = StorageStats()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def apply(self, cell: Cell) -> None:
+        """Apply a mutation: commit log append + memtable insert (+ maybe flush)."""
+        self.commit_log.append(cell)
+        had_key = self.memtable.get(cell.key) is not None or any(
+            table.get(cell.key) is not None for table in self.sstables
+        )
+        self.memtable.put(cell)
+        self.stats.writes += 1
+        self.stats.bytes_written += cell.size_bytes
+        if not had_key:
+            self.stats.live_cells += 1
+        if len(self.memtable) >= self._flush_threshold:
+            self.flush()
+
+    def flush(self) -> Optional[SSTable]:
+        """Flush the memtable into a new sstable; returns it (or None if empty)."""
+        if len(self.memtable) == 0:
+            return None
+        cells = {key: cell for key, cell in self.memtable.items()}
+        sstable = SSTable(self._next_generation, cells)
+        self._next_generation += 1
+        self.sstables.append(sstable)
+        self.memtable = Memtable()
+        self.stats.memtable_flushes += 1
+        self.stats.sstable_count = len(self.sstables)
+        if len(self.sstables) >= self._compaction_threshold:
+            self.compact()
+        return sstable
+
+    def compact(self) -> None:
+        """Merge all sstables into one, keeping the newest cell per key."""
+        if len(self.sstables) < 2:
+            return
+        merged: Dict[str, Cell] = {}
+        for table in self.sstables:
+            for cell in table.cells():
+                existing = merged.get(cell.key)
+                if existing is None or cell.is_newer_than(existing):
+                    merged[cell.key] = cell
+        self.sstables = [SSTable(self._next_generation, merged)]
+        self._next_generation += 1
+        self.stats.compactions += 1
+        self.stats.sstable_count = len(self.sstables)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def read(self, key: str) -> Optional[Cell]:
+        """Return the newest cell for ``key`` across memtable and sstables."""
+        self.stats.reads += 1
+        best = self.memtable.get(key)
+        for table in reversed(self.sstables):
+            candidate = table.get(key)
+            if candidate is not None and candidate.is_newer_than(best):
+                best = candidate
+        if best is None:
+            self.stats.read_misses += 1
+        return best
+
+    def peek(self, key: str) -> Optional[Cell]:
+        """Like :meth:`read` but without touching the read counters.
+
+        Used by the staleness auditor and by read repair, which must not
+        inflate the request-rate statistics that Harmony's monitor samples.
+        """
+        best = self.memtable.get(key)
+        for table in reversed(self.sstables):
+            candidate = table.get(key)
+            if candidate is not None and candidate.is_newer_than(best):
+                best = candidate
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def key_count(self) -> int:
+        """Number of distinct keys currently stored."""
+        keys = set(key for key, _ in self.memtable.items())
+        for table in self.sstables:
+            keys.update(table.keys())
+        return len(keys)
+
+    def total_bytes(self) -> int:
+        """Approximate resident data size (memtable + sstables)."""
+        return self.memtable.size_bytes + sum(table.size_bytes for table in self.sstables)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StorageEngine(memtable={len(self.memtable)}, sstables={len(self.sstables)}, "
+            f"writes={self.stats.writes}, reads={self.stats.reads})"
+        )

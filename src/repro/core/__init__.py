@@ -1,0 +1,46 @@
+"""Harmony core: the paper's contribution.
+
+Three pieces, mirroring the implementation section of the paper (Fig. 3):
+
+* :mod:`repro.core.model` -- the closed-form probabilistic estimation of the
+  stale-read rate (paper Eq. 1-6) and of ``Xn``, the number of replicas a
+  read must involve to keep the stale-read rate under the application's
+  tolerance (Eq. 7-8);
+* :mod:`repro.core.monitor` -- the monitoring module: samples the cluster's
+  ``nodetool``-style counters and network latency on a fixed interval and
+  turns them into read/write arrival rates and a propagation-time estimate;
+* :mod:`repro.core.controller` -- the adaptive consistency module: combines
+  the monitor's measurements with the model and the application's tolerated
+  stale-read rate to pick the consistency level for upcoming reads.
+
+:mod:`repro.core.policy` wraps the controller (and the static baselines) in
+the uniform *consistency policy* interface the workload executor consumes.
+"""
+
+from repro.core.config import HarmonyConfig
+from repro.core.controller import HarmonyController
+from repro.core.model import StaleReadModel, propagation_time
+from repro.core.monitor import ClusterMonitor, MonitoringSample
+from repro.core.policy import (
+    ConsistencyPolicy,
+    HarmonyPolicy,
+    StaticEventualPolicy,
+    StaticQuorumPolicy,
+    StaticStrongPolicy,
+    ThresholdPolicy,
+)
+
+__all__ = [
+    "ClusterMonitor",
+    "ConsistencyPolicy",
+    "HarmonyConfig",
+    "HarmonyController",
+    "HarmonyPolicy",
+    "MonitoringSample",
+    "StaleReadModel",
+    "StaticEventualPolicy",
+    "StaticQuorumPolicy",
+    "StaticStrongPolicy",
+    "ThresholdPolicy",
+    "propagation_time",
+]

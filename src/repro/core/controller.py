@@ -1,0 +1,202 @@
+"""Adaptive consistency module (paper Fig. 3, right half, and Section III).
+
+The controller runs the decision scheme of the paper's Section III on every
+monitoring tick:
+
+1. sample the monitor (read rate, write rate, network latency -> ``Tp``);
+2. estimate the stale-read rate ``theta_stale`` under basic eventual
+   consistency (one replica per read) with the closed-form model;
+3. if the application tolerates at least that much staleness
+   (``app_stale_rate >= theta_stale``), choose eventual consistency
+   (consistency level ONE) for upcoming reads;
+4. otherwise compute ``Xn``, the number of replicas that must be involved in
+   reads to bring the estimate back under the tolerance, and choose the
+   consistency level accordingly.
+
+The chosen level is held until the next tick; the YCSB client (here the
+workload executor / client threads) asks the controller for the level of
+every read it issues, which is exactly how the modified Cassandra Java
+client consumes Harmony's decisions in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel, level_for_replicas
+from repro.core.config import HarmonyConfig
+from repro.core.model import StaleEstimate, StaleReadModel
+from repro.core.monitor import ClusterMonitor, MonitoringSample
+from repro.metrics.series import TimeSeries
+from repro.sim.engine import EventHandle
+
+__all__ = ["HarmonyController", "ControllerDecision"]
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """One decision taken by the adaptive module.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the decision.
+    estimate:
+        The model evaluation that produced it.
+    sample:
+        The monitoring sample used as input.
+    replicas:
+        Number of replicas the next reads should involve.
+    level:
+        The consistency level handed to the client.
+    """
+
+    time: float
+    estimate: StaleEstimate
+    sample: MonitoringSample
+    replicas: int
+    level: ConsistencyLevel
+
+
+class HarmonyController:
+    """Periodic estimation + consistency-level selection.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster being controlled.
+    config:
+        Harmony configuration (ASR, monitoring interval, ``Tp`` parameters).
+    monitor:
+        Optional pre-built monitor (a fresh one is created otherwise).
+
+    Usage
+    -----
+    ``start()`` schedules the periodic monitoring loop on the cluster's
+    engine; ``read_level`` / ``read_replicas`` expose the current decision;
+    ``stop()`` cancels the loop.  The controller can also be driven manually
+    with :meth:`tick` (the unit tests and some figures do this).
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: Optional[HarmonyConfig] = None,
+        monitor: Optional[ClusterMonitor] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or HarmonyConfig()
+        self.monitor = monitor or ClusterMonitor(cluster, self.config)
+        self.model = StaleReadModel(cluster.replication_factor)
+        self._current_level = ConsistencyLevel.ONE
+        self._current_replicas = 1
+        self.decisions: List[ControllerDecision] = []
+        self.estimate_series = TimeSeries("stale_estimate")
+        self.level_series = TimeSeries("read_replicas")
+        self._running = False
+        self._pending: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Prime the monitor and schedule the periodic decision loop."""
+        if self._running:
+            return
+        self._running = True
+        self.monitor.prime()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop the periodic loop (the last decision remains in effect)."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self._pending = self.cluster.engine.schedule(
+            self.config.monitoring_interval, self._on_tick, label="harmony.tick"
+        )
+
+    def _on_tick(self) -> None:
+        if not self._running:
+            return
+        self.tick()
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def tick(self) -> ControllerDecision:
+        """Take one monitoring sample and update the consistency decision."""
+        sample = self.monitor.sample()
+        return self.decide(sample)
+
+    def decide(self, sample: MonitoringSample) -> ControllerDecision:
+        """Run the paper's decision scheme on a monitoring sample."""
+        asr = self.config.tolerated_stale_rate
+        estimate = self.model.estimate(
+            read_rate=sample.read_rate,
+            write_rate=sample.write_rate,
+            propagation_time=sample.propagation_time,
+            tolerated_stale_rate=asr,
+        )
+        if asr >= estimate.probability:
+            # The tolerated rate covers the estimated staleness of basic
+            # eventual consistency: read from a single replica.
+            replicas = 1
+        else:
+            replicas = estimate.required_replicas
+        level = self._level_for(replicas)
+        decision = ControllerDecision(
+            time=self.cluster.engine.now,
+            estimate=estimate,
+            sample=sample,
+            replicas=replicas,
+            level=level,
+        )
+        self._current_replicas = replicas
+        self._current_level = level
+        self.decisions.append(decision)
+        self.estimate_series.append(decision.time, estimate.probability)
+        self.level_series.append(decision.time, float(replicas))
+        return decision
+
+    def _level_for(self, replicas: int) -> ConsistencyLevel:
+        if self.config.use_named_levels:
+            return level_for_replicas(replicas, self.cluster.replication_factor)
+        # Raw replica counts map onto the named levels that exist for small
+        # counts and ALL beyond THREE; the simulator honours blocked_for so
+        # this is equivalent for RF <= 5 except the 4-replica case.
+        return level_for_replicas(replicas, self.cluster.replication_factor)
+
+    # ------------------------------------------------------------------
+    # Read-side API (what the client asks for)
+    # ------------------------------------------------------------------
+    @property
+    def read_level(self) -> ConsistencyLevel:
+        """The consistency level currently chosen for reads."""
+        return self._current_level
+
+    @property
+    def read_replicas(self) -> int:
+        """The replica count behind the current level."""
+        return self._current_replicas
+
+    @property
+    def current_estimate(self) -> float:
+        """The latest stale-read probability estimate (0.0 before the first tick)."""
+        if not self.decisions:
+            return 0.0
+        return self.decisions[-1].estimate.probability
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HarmonyController(asr={self.config.tolerated_stale_rate}, "
+            f"level={self._current_level}, decisions={len(self.decisions)})"
+        )

@@ -1,0 +1,306 @@
+"""Probabilistic stale-read estimation (paper Section IV).
+
+The model estimates, from coarse run-time measurements only, the probability
+that the *next* read returns stale data when reads are served by a partial
+quorum.  Inputs:
+
+``N``
+    the replication factor;
+``X``
+    the number of replicas involved in a read (1 under basic eventual
+    consistency);
+``lambda_r``
+    the read arrival rate (reads per second), reads being modelled as a
+    Poisson process;
+``lambda_w``
+    the **mean time between writes** in seconds.  The paper parameterises the
+    write Poisson process by ``1/lambda_w`` precisely so that ``lambda_w`` is
+    the mean inter-write time; this module keeps that convention and the
+    public API additionally accepts a plain write *rate* for convenience;
+``Tp``
+    the propagation time of a write to all the replicas, a function of the
+    network latency and the average write size (paper's ``Tp(Ln, avg_w)``).
+
+Closed forms implemented here (after the paper's simplification steps, with
+the local-write time ``T`` taken as negligible):
+
+* the stale-read probability for a read involving ``X`` replicas,
+
+  ``Pr(stale) = (N - X) / N * (1 - exp(-lambda_r * Tp)) * (1 + lambda_r * lambda_w)
+                / (lambda_r * lambda_w)``
+
+  which for ``X = 1`` reduces to the paper's Eq. (6);
+
+* the minimum number of replicas ``Xn`` needed so the estimate does not
+  exceed the application-tolerated stale-read rate (ASR), the paper's
+  Eq. (8):
+
+  ``Xn >= N * (D - ASR * lambda_r * lambda_w) / D``   with
+  ``D = (1 - exp(-lambda_r * Tp)) * (1 + lambda_r * lambda_w)``.
+
+Both quantities are clamped to their physically meaningful ranges
+(probabilities to ``[0, 1]``, replica counts to ``[1, N]``); the raw
+uncapped values remain available for analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["StaleReadModel", "StaleEstimate", "propagation_time"]
+
+
+def propagation_time(
+    network_latency: float,
+    avg_write_size: float = 0.0,
+    bandwidth_bytes_per_s: float = 125_000_000.0,
+    overhead: float = 0.0,
+) -> float:
+    """The paper's ``Tp(Ln, avg_w)``: time to propagate a write to all replicas.
+
+    Parameters
+    ----------
+    network_latency:
+        One-way inter-replica network latency ``Ln`` in seconds.
+    avg_write_size:
+        Average write payload size in bytes (``avg_w``); its contribution is
+        the transfer time at ``bandwidth_bytes_per_s``.
+    bandwidth_bytes_per_s:
+        Replication-link bandwidth (default 1 Gbit/s, the paper's testbed).
+    overhead:
+        Fixed per-write processing overhead at the receiving replica.
+
+    Returns
+    -------
+    float
+        ``Tp`` in seconds (never negative).
+    """
+    if network_latency < 0:
+        raise ValueError(f"network latency must be non-negative, got {network_latency!r}")
+    if avg_write_size < 0:
+        raise ValueError(f"average write size must be non-negative, got {avg_write_size!r}")
+    if bandwidth_bytes_per_s <= 0:
+        raise ValueError("bandwidth must be positive")
+    if overhead < 0:
+        raise ValueError("overhead must be non-negative")
+    return network_latency + avg_write_size / bandwidth_bytes_per_s + overhead
+
+
+@dataclass(frozen=True)
+class StaleEstimate:
+    """Output of one model evaluation.
+
+    Attributes
+    ----------
+    probability:
+        Estimated stale-read probability, clamped to ``[0, 1]``.
+    raw_probability:
+        The uncapped closed-form value (can exceed 1 under extreme rates;
+        kept for analysis and tests).
+    required_replicas:
+        Minimal integer number of replicas whose involvement keeps the
+        estimate at or below the tolerated rate (1..N).
+    raw_required_replicas:
+        The real-valued right-hand side of Eq. (8) before ceiling/clamping.
+    read_rate / write_interarrival / propagation:
+        The inputs used, echoed for traceability.
+    """
+
+    probability: float
+    raw_probability: float
+    required_replicas: int
+    raw_required_replicas: float
+    read_rate: float
+    write_interarrival: float
+    propagation: float
+
+
+class StaleReadModel:
+    """Closed-form stale-read estimator for an ``N``-way replicated store.
+
+    Parameters
+    ----------
+    replication_factor:
+        ``N``, the number of replicas per key.
+
+    Examples
+    --------
+    >>> model = StaleReadModel(replication_factor=3)
+    >>> p = model.stale_read_probability(read_rate=200.0, write_rate=100.0,
+    ...                                  propagation_time=0.005)
+    >>> 0.0 <= p <= 1.0
+    True
+    >>> model.required_replicas(read_rate=200.0, write_rate=100.0,
+    ...                         propagation_time=0.005, tolerated_stale_rate=0.0)
+    3
+    """
+
+    #: Below this rate (ops/s) the workload is considered idle and the model
+    #: returns the trivial answers (no reads => nothing can be stale).
+    MIN_RATE = 1e-9
+
+    def __init__(self, replication_factor: int) -> None:
+        if replication_factor < 1:
+            raise ValueError(
+                f"replication factor must be >= 1, got {replication_factor!r}"
+            )
+        self.replication_factor = int(replication_factor)
+
+    # ------------------------------------------------------------------
+    # Probability of a stale read
+    # ------------------------------------------------------------------
+    def stale_read_probability(
+        self,
+        read_rate: float,
+        write_rate: Optional[float] = None,
+        propagation_time: float = 0.0,
+        *,
+        write_interarrival: Optional[float] = None,
+        read_replicas: int = 1,
+    ) -> float:
+        """Estimated probability that the next read is stale (clamped to [0, 1]).
+
+        Provide the write load either as ``write_rate`` (writes per second)
+        or as ``write_interarrival`` (the paper's ``lambda_w``, mean seconds
+        between writes); exactly one of the two must be given.
+        ``read_replicas`` is the number of replicas involved in the read
+        (``X`` in the paper; 1 for basic eventual consistency).
+        """
+        return self.estimate(
+            read_rate,
+            write_rate,
+            propagation_time,
+            write_interarrival=write_interarrival,
+            read_replicas=read_replicas,
+            tolerated_stale_rate=0.0,
+        ).probability
+
+    def required_replicas(
+        self,
+        read_rate: float,
+        write_rate: Optional[float] = None,
+        propagation_time: float = 0.0,
+        *,
+        tolerated_stale_rate: float,
+        write_interarrival: Optional[float] = None,
+    ) -> int:
+        """Minimal number of read replicas keeping the estimate <= the ASR."""
+        return self.estimate(
+            read_rate,
+            write_rate,
+            propagation_time,
+            write_interarrival=write_interarrival,
+            tolerated_stale_rate=tolerated_stale_rate,
+        ).required_replicas
+
+    # ------------------------------------------------------------------
+    # Full evaluation
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        read_rate: float,
+        write_rate: Optional[float] = None,
+        propagation_time: float = 0.0,
+        *,
+        write_interarrival: Optional[float] = None,
+        read_replicas: int = 1,
+        tolerated_stale_rate: float = 0.0,
+    ) -> StaleEstimate:
+        """Evaluate probability and ``Xn`` in one pass.
+
+        See :meth:`stale_read_probability` for the parameter conventions.
+        """
+        n = self.replication_factor
+        lambda_r = float(read_rate)
+        lambda_w = self._resolve_interarrival(write_rate, write_interarrival)
+        tp = float(propagation_time)
+        x = int(read_replicas)
+        asr = float(tolerated_stale_rate)
+        if lambda_r < 0:
+            raise ValueError(f"read rate must be non-negative, got {read_rate!r}")
+        if tp < 0:
+            raise ValueError(f"propagation time must be non-negative, got {tp!r}")
+        if not 1 <= x <= n:
+            raise ValueError(f"read_replicas must be in [1, {n}], got {read_replicas!r}")
+        if not 0.0 <= asr <= 1.0:
+            raise ValueError(f"tolerated stale rate must be in [0, 1], got {asr!r}")
+
+        # Degenerate workloads: with (practically) no reads or no writes the
+        # next read cannot be stale and a single replica suffices.
+        if lambda_r <= self.MIN_RATE or math.isinf(lambda_w):
+            return StaleEstimate(
+                probability=0.0,
+                raw_probability=0.0,
+                required_replicas=1,
+                raw_required_replicas=1.0,
+                read_rate=lambda_r,
+                write_interarrival=lambda_w,
+                propagation=tp,
+            )
+
+        product = lambda_r * lambda_w  # dimensionless: reads per write interval
+        window = 1.0 - math.exp(-lambda_r * tp)
+        d = window * (1.0 + product)
+
+        # Raw probability for a read involving x replicas: (N - x)/N * D / (lr*lw).
+        if product <= 0.0:
+            raw_probability = float("inf") if d > 0 else 0.0
+        else:
+            raw_probability = (n - x) / n * d / product
+        probability = min(1.0, max(0.0, raw_probability))
+
+        # Xn from Eq. (8); when D == 0 the window is empty and one replica is
+        # always enough.
+        if d <= 0.0:
+            raw_required = 1.0
+        else:
+            raw_required = n * (d - asr * product) / d
+        required = int(math.ceil(raw_required - 1e-12))
+        required = max(1, min(n, required))
+        # The paper's decision scheme short-circuits: when the tolerated rate
+        # already covers the (clamped) eventual-consistency estimate, a single
+        # replica suffices.  Applying the same rule here keeps required_replicas
+        # consistent with the probability even in the regime where the raw
+        # closed form exceeds 1.
+        if asr >= probability:
+            required = 1
+        return StaleEstimate(
+            probability=probability,
+            raw_probability=raw_probability,
+            required_replicas=required,
+            raw_required_replicas=raw_required,
+            read_rate=lambda_r,
+            write_interarrival=lambda_w,
+            propagation=tp,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_interarrival(
+        write_rate: Optional[float], write_interarrival: Optional[float]
+    ) -> float:
+        """Normalise the two accepted write-load parameterisations to lambda_w."""
+        if (write_rate is None) == (write_interarrival is None):
+            raise ValueError(
+                "provide exactly one of write_rate (writes/s) or "
+                "write_interarrival (seconds between writes)"
+            )
+        if write_interarrival is not None:
+            if write_interarrival <= 0:
+                raise ValueError(
+                    f"write inter-arrival time must be positive, got {write_interarrival!r}"
+                )
+            return float(write_interarrival)
+        assert write_rate is not None
+        if write_rate < 0:
+            raise ValueError(f"write rate must be non-negative, got {write_rate!r}")
+        if write_rate <= StaleReadModel.MIN_RATE:
+            return float("inf")
+        return 1.0 / float(write_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StaleReadModel(N={self.replication_factor})"

@@ -1,0 +1,177 @@
+"""Monitoring module (paper Fig. 3, left half).
+
+The paper's monitoring module collects two kinds of information, feeding the
+adaptive-consistency module:
+
+* read and write counts from Cassandra's ``nodetool``, sampled in a
+  multithreaded fashion across the nodes and aggregated; the elapsed
+  monitoring time is accounted for when converting counts to rates;
+* inter-node network latency from the ``ping`` tool.
+
+The simulated monitor mirrors this:
+
+* :meth:`ClusterMonitor.sample` snapshots the cluster-wide coordinator
+  counters (see :class:`repro.cluster.stats.ClusterStats`) and converts the
+  deltas against the previous snapshot into read/write arrival rates;
+* it probes a configurable number of replica pairs through the network
+  fabric's ``ping`` facility and aggregates the measured latency;
+* rates are optionally exponentially smoothed so a single quiet/busy window
+  does not whipsaw the consistency level.
+
+The monitor is passive: it never touches the simulated data path, exactly as
+the real monitoring module sits outside Cassandra's request path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.stats import CounterSnapshot
+from repro.core.config import HarmonyConfig
+from repro.core.model import propagation_time
+
+__all__ = ["MonitoringSample", "ClusterMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitoringSample:
+    """One aggregated observation of the cluster state.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the sample was taken.
+    read_rate / write_rate:
+        Client-operation arrival rates (ops per second) over the window,
+        after smoothing.
+    raw_read_rate / raw_write_rate:
+        Unsmoothed rates of the window itself.
+    network_latency:
+        Aggregated one-way inter-replica latency estimate (seconds).
+    propagation_time:
+        ``Tp`` derived from the latency, the average write size and the
+        bandwidth (what the estimation model consumes).
+    window:
+        Length of the measurement window in seconds.
+    """
+
+    time: float
+    read_rate: float
+    write_rate: float
+    raw_read_rate: float
+    raw_write_rate: float
+    network_latency: float
+    propagation_time: float
+    window: float
+
+
+class ClusterMonitor:
+    """Samples cluster counters and network latency on demand.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster being monitored.
+    config:
+        Harmony configuration (monitoring interval, smoothing, ``Tp`` terms).
+    """
+
+    def __init__(self, cluster: SimulatedCluster, config: Optional[HarmonyConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config or HarmonyConfig()
+        self._previous: Optional[CounterSnapshot] = None
+        self._smoothed_read_rate: Optional[float] = None
+        self._smoothed_write_rate: Optional[float] = None
+        self._ping_rng = cluster.streams.stream("harmony.monitor.ping")
+        self.samples: List[MonitoringSample] = []
+
+    # ------------------------------------------------------------------
+    def prime(self) -> None:
+        """Take the initial counter snapshot without producing a sample.
+
+        Call once before the measured run starts so the first real sample has
+        a well-defined window.
+        """
+        self._previous = self.cluster.stats.snapshot(self.cluster.engine.now)
+
+    def sample(self) -> MonitoringSample:
+        """Take one monitoring sample (counters + latency probes)."""
+        now = self.cluster.engine.now
+        if self._previous is None:
+            self.prime()
+        assert self._previous is not None
+        current = self.cluster.stats.snapshot(now)
+        rates = self.cluster.stats.window_rates(self._previous, current)
+        self._previous = current
+
+        raw_read = rates["read_rate"]
+        raw_write = rates["write_rate"]
+        alpha = self.config.rate_smoothing
+        if self._smoothed_read_rate is None:
+            self._smoothed_read_rate = raw_read
+            self._smoothed_write_rate = raw_write
+        else:
+            self._smoothed_read_rate = alpha * raw_read + (1 - alpha) * self._smoothed_read_rate
+            self._smoothed_write_rate = (
+                alpha * raw_write + (1 - alpha) * self._smoothed_write_rate
+            )
+
+        latency = self.measure_network_latency()
+        tp = propagation_time(
+            network_latency=latency,
+            avg_write_size=self.config.avg_write_size,
+            bandwidth_bytes_per_s=self.config.bandwidth_bytes_per_s,
+            overhead=self.config.propagation_overhead,
+        )
+        sample = MonitoringSample(
+            time=now,
+            read_rate=float(self._smoothed_read_rate),
+            write_rate=float(self._smoothed_write_rate),
+            raw_read_rate=float(raw_read),
+            raw_write_rate=float(raw_write),
+            network_latency=float(latency),
+            propagation_time=float(tp),
+            window=float(rates["elapsed"]),
+        )
+        self.samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    def measure_network_latency(self) -> float:
+        """Probe random node pairs and return the mean one-way latency.
+
+        The paper's monitor pings the storage nodes; here the fabric's
+        ``ping`` samples the same latency models the data path uses (scaled
+        by the fabric's current ``latency_scale``), halved to convert RTT to
+        a one-way figure.
+        """
+        nodes = self.cluster.addresses
+        if len(nodes) < 2:
+            return 0.0
+        probes = self.config.latency_probes_per_sample
+        rtts = np.empty(probes, dtype=float)
+        for i in range(probes):
+            a_idx, b_idx = self._ping_rng.choice(len(nodes), size=2, replace=False)
+            a, b = nodes[int(a_idx)], nodes[int(b_idx)]
+            rtts[i] = self.cluster.fabric.ping(a, b)
+        return float(np.mean(rtts) / 2.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def last_sample(self) -> Optional[MonitoringSample]:
+        """Most recent sample, or ``None`` before the first call."""
+        return self.samples[-1] if self.samples else None
+
+    def reset(self) -> None:
+        """Forget history (used when reusing a monitor across runs)."""
+        self._previous = None
+        self._smoothed_read_rate = None
+        self._smoothed_write_rate = None
+        self.samples.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterMonitor(samples={len(self.samples)})"

@@ -1,0 +1,247 @@
+"""Consistency policies: the uniform interface the workload executor drives.
+
+A *policy* answers two questions for every client operation -- which
+consistency level to read at, and which to write at -- and may attach
+run-time machinery to the cluster (Harmony attaches its controller).  Four
+policies cover the paper's comparison plus one related-work baseline:
+
+* :class:`HarmonyPolicy` -- the adaptive controller with a tolerated
+  stale-read rate (the paper's "Harmony-S% Tolerable SR" series);
+* :class:`StaticEventualPolicy` -- reads and writes at level ONE (the
+  paper's "eventual consistency" series);
+* :class:`StaticStrongPolicy` -- reads at level ALL (the paper's "strong
+  consistency" series, Fig. 1 left);
+* :class:`StaticQuorumPolicy` -- reads and writes at QUORUM (classic
+  R+W > N configuration, used in ablations);
+* :class:`ThresholdPolicy` -- a Wang et al.-style read/write-ratio threshold
+  rule switching between ONE and ALL, used as the related-work ablation
+  (DESIGN.md ablation A2).
+
+Writes default to level ONE for every policy except the quorum policy,
+matching the paper's experimental setup (the adaptation is applied to reads).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.core.config import HarmonyConfig
+from repro.core.controller import HarmonyController
+from repro.metrics.series import TimeSeries
+
+__all__ = [
+    "ConsistencyPolicy",
+    "StaticEventualPolicy",
+    "StaticStrongPolicy",
+    "StaticQuorumPolicy",
+    "HarmonyPolicy",
+    "ThresholdPolicy",
+]
+
+
+class ConsistencyPolicy:
+    """Base class: fixed read/write levels, no run-time machinery."""
+
+    #: Human-readable policy name used in reports and figure legends.
+    name = "base"
+
+    def __init__(
+        self,
+        read: ConsistencyLevel = ConsistencyLevel.ONE,
+        write: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> None:
+        self._read = read
+        self._write = write
+
+    # -- executor interface -------------------------------------------------
+    def attach(self, cluster: SimulatedCluster) -> None:
+        """Called by the executor before the run phase starts."""
+
+    def detach(self) -> None:
+        """Called by the executor after the run phase completes."""
+
+    def read_level(self) -> ConsistencyLevel:
+        """Consistency level for the next read."""
+        return self._read
+
+    def write_level(self) -> ConsistencyLevel:
+        """Consistency level for the next write."""
+        return self._write
+
+    def describe(self) -> str:
+        """One-line description used in experiment logs."""
+        return f"{self.name}(read={self._read}, write={self._write})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+class StaticEventualPolicy(ConsistencyPolicy):
+    """Cassandra's static eventual consistency: every operation at level ONE."""
+
+    name = "eventual"
+
+    def __init__(self) -> None:
+        super().__init__(read=ConsistencyLevel.ONE, write=ConsistencyLevel.ONE)
+
+
+class StaticStrongPolicy(ConsistencyPolicy):
+    """Strong consistency: reads wait for every replica (level ALL).
+
+    Writes stay at level ONE, as in the paper's strong-consistency series
+    (Fig. 1 left shows the read path blocking on all replicas).
+    """
+
+    name = "strong"
+
+    def __init__(self, write: ConsistencyLevel = ConsistencyLevel.ONE) -> None:
+        super().__init__(read=ConsistencyLevel.ALL, write=write)
+
+
+class StaticQuorumPolicy(ConsistencyPolicy):
+    """Reads and writes at QUORUM: the classic R + W > N configuration."""
+
+    name = "quorum"
+
+    def __init__(self) -> None:
+        super().__init__(read=ConsistencyLevel.QUORUM, write=ConsistencyLevel.QUORUM)
+
+
+class HarmonyPolicy(ConsistencyPolicy):
+    """The adaptive policy: wraps a :class:`HarmonyController`.
+
+    Parameters
+    ----------
+    tolerated_stale_rate:
+        The application's ASR; also accepted pre-packaged in ``config``.
+    config:
+        Full Harmony configuration; built from the ASR if omitted.
+    write:
+        Write consistency level (ONE, as in the paper).
+    """
+
+    def __init__(
+        self,
+        tolerated_stale_rate: Optional[float] = None,
+        config: Optional[HarmonyConfig] = None,
+        write: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> None:
+        if config is None:
+            if tolerated_stale_rate is None:
+                raise ValueError("provide tolerated_stale_rate or a full HarmonyConfig")
+            config = HarmonyConfig(tolerated_stale_rate=tolerated_stale_rate)
+        elif tolerated_stale_rate is not None and (
+            abs(config.tolerated_stale_rate - tolerated_stale_rate) > 1e-12
+        ):
+            raise ValueError(
+                "tolerated_stale_rate disagrees with config.tolerated_stale_rate; "
+                "pass only one of them"
+            )
+        super().__init__(read=ConsistencyLevel.ONE, write=write)
+        self.config = config
+        self.controller: Optional[HarmonyController] = None
+        self.name = f"harmony-{int(round(config.tolerated_stale_rate * 100))}%"
+
+    # -- executor interface -------------------------------------------------
+    def attach(self, cluster: SimulatedCluster) -> None:
+        self.controller = HarmonyController(cluster, self.config)
+        self.controller.start()
+
+    def detach(self) -> None:
+        if self.controller is not None:
+            self.controller.stop()
+
+    def read_level(self) -> ConsistencyLevel:
+        if self.controller is None:
+            return ConsistencyLevel.ONE
+        return self.controller.read_level
+
+    @property
+    def estimate_series(self) -> TimeSeries:
+        """The controller's stale-estimate trace (empty before attach)."""
+        if self.controller is None:
+            return TimeSeries("stale_estimate")
+        return self.controller.estimate_series
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(asr={self.config.tolerated_stale_rate}, "
+            f"interval={self.config.monitoring_interval}s)"
+        )
+
+
+class ThresholdPolicy(ConsistencyPolicy):
+    """Read/write-ratio threshold rule (Wang et al.-style related work).
+
+    Every ``monitoring_interval`` the policy compares the measured
+    write/read ratio against a static threshold: above it reads go to ALL,
+    below it they go to ONE.  The paper criticises exactly this kind of
+    arbitrary static threshold; the ablation benchmark quantifies the
+    difference against Harmony's model-driven decision.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.3,
+        monitoring_interval: float = 0.5,
+        write: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if monitoring_interval <= 0:
+            raise ValueError("monitoring_interval must be positive")
+        super().__init__(read=ConsistencyLevel.ONE, write=write)
+        self.threshold = float(threshold)
+        self.monitoring_interval = float(monitoring_interval)
+        self.name = f"threshold-{threshold:g}"
+        self._cluster: Optional[SimulatedCluster] = None
+        self._level = ConsistencyLevel.ONE
+        self._previous_snapshot = None
+        self._pending = None
+        self.level_series = TimeSeries("threshold_level")
+
+    def attach(self, cluster: SimulatedCluster) -> None:
+        self._cluster = cluster
+        self._previous_snapshot = cluster.stats.snapshot(cluster.engine.now)
+        self._schedule()
+
+    def detach(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._cluster = None
+
+    def _schedule(self) -> None:
+        if self._cluster is None:
+            return
+        self._pending = self._cluster.engine.schedule(
+            self.monitoring_interval, self._tick, label="threshold.tick"
+        )
+
+    def _tick(self) -> None:
+        if self._cluster is None:
+            return
+        current = self._cluster.stats.snapshot(self._cluster.engine.now)
+        rates = self._cluster.stats.window_rates(self._previous_snapshot, current)
+        self._previous_snapshot = current
+        read_rate = rates["read_rate"]
+        write_rate = rates["write_rate"]
+        if read_rate <= 0 and write_rate <= 0:
+            # Idle window: no information, keep the current level.
+            pass
+        elif read_rate <= 0:
+            self._level = ConsistencyLevel.ALL
+        else:
+            ratio = write_rate / read_rate
+            self._level = (
+                ConsistencyLevel.ALL if ratio > self.threshold else ConsistencyLevel.ONE
+            )
+        self.level_series.append(
+            self._cluster.engine.now, float(self._level.blocked_for(self._cluster.replication_factor))
+        )
+        self._schedule()
+
+    def read_level(self) -> ConsistencyLevel:
+        return self._level

@@ -1,0 +1,32 @@
+"""Experiment harness: scenarios, runner and per-figure regenerators.
+
+This package is what the ``benchmarks/`` directory calls into.  It mirrors
+the paper's evaluation (Section V):
+
+* :mod:`repro.experiments.scenarios` -- the two platforms: ``GRID5000``
+  (low-latency bare-metal LAN) and ``EC2`` (higher, more variable latency);
+* :mod:`repro.experiments.runner` -- :func:`run_experiment`, which builds a
+  fresh cluster for a (scenario, policy, workload, threads) combination,
+  runs the workload and returns the collected metrics;
+* :mod:`repro.experiments.figures` -- one function per figure of the paper
+  (4a, 4b, 5a-d, 6a-b) that sweeps the relevant parameter and returns the
+  rows/series the paper plots;
+* :mod:`repro.experiments.claims` -- the two headline claims (~80% fewer
+  stale reads than eventual consistency, ~45% more throughput than strong
+  consistency);
+* :mod:`repro.experiments.ablations` -- monitoring-interval and
+  policy-comparison ablations called out in DESIGN.md.
+"""
+
+from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
+from repro.experiments.scenarios import EC2, GRID5000, Scenario, ScenarioRegistry
+
+__all__ = [
+    "EC2",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GRID5000",
+    "Scenario",
+    "ScenarioRegistry",
+    "run_experiment",
+]

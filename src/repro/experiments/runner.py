@@ -1,0 +1,206 @@
+"""Experiment runner: one (scenario, policy, workload, threads) combination.
+
+:func:`run_experiment` is the single entry point every figure bench, example
+and integration test uses.  It builds a fresh simulated cluster for the
+platform, loads the dataset, runs the workload under the requested policy
+with the requested number of closed-loop client threads, and returns an
+:class:`ExperimentResult` bundling the run metrics with the scenario and
+policy identification.
+
+Every run gets its own cluster and its own seed-derived random streams, so
+runs are independent and reproducible; comparing policies on the *same*
+scenario and seed therefore differs only in the consistency decisions (plus
+the downstream scheduling effects they cause), which is the fair comparison
+the paper makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.policy import (
+    ConsistencyPolicy,
+    HarmonyPolicy,
+    StaticEventualPolicy,
+    StaticQuorumPolicy,
+    StaticStrongPolicy,
+)
+from repro.experiments.scenarios import Scenario
+from repro.staleness.auditor import StalenessAuditor
+from repro.workload.executor import RunMetrics, WorkloadExecutor
+from repro.workload.workloads import WorkloadConfig
+
+__all__ = ["ExperimentConfig", "ExperimentResult", "run_experiment", "make_policy"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Declarative description of one experiment run.
+
+    Attributes
+    ----------
+    scenario:
+        The platform (GRID5000 or EC2, or a custom scenario).
+    workload:
+        The workload definition (mix, record count, operation count).
+    policy_name:
+        One of ``"eventual"``, ``"strong"``, ``"quorum"``,
+        ``"harmony-<ASR>"`` (e.g. ``"harmony-0.2"``) or ``"threshold-<x>"``.
+    threads:
+        Number of closed-loop client threads.
+    seed:
+        Root random seed of the run.
+    n_nodes:
+        Optional cluster-size override.
+    monitoring_interval:
+        Optional override of Harmony's monitoring interval.
+    """
+
+    scenario: Scenario
+    workload: WorkloadConfig
+    policy_name: str
+    threads: int
+    seed: int = 0
+    n_nodes: Optional[int] = None
+    monitoring_interval: Optional[float] = None
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one run: metrics plus identification."""
+
+    config: ExperimentConfig
+    metrics: RunMetrics
+    auditor: StalenessAuditor
+
+    def summary(self) -> Dict[str, object]:
+        """One flat row: the columns every figure table shares."""
+        row = self.metrics.summary()
+        row["scenario"] = self.config.scenario.name
+        row["seed"] = self.config.seed
+        return row
+
+
+def make_policy(name: str, scenario: Scenario, *,
+                monitoring_interval: Optional[float] = None) -> ConsistencyPolicy:
+    """Build a policy object from its name.
+
+    Recognised names:
+
+    * ``eventual`` -- static eventual consistency (level ONE);
+    * ``strong`` -- static strong consistency (reads at ALL);
+    * ``quorum`` -- static QUORUM reads and writes;
+    * ``harmony-<asr>`` -- Harmony with the given tolerated stale rate, e.g.
+      ``harmony-0.2`` or ``harmony-20%``;
+    * ``threshold-<x>`` -- write/read-ratio threshold baseline.
+    """
+    from repro.core.config import HarmonyConfig
+    from repro.core.policy import ThresholdPolicy
+
+    lowered = name.lower()
+    if lowered == "eventual":
+        return StaticEventualPolicy()
+    if lowered == "strong":
+        return StaticStrongPolicy()
+    if lowered == "quorum":
+        return StaticQuorumPolicy()
+    if lowered.startswith("harmony-"):
+        spec = lowered.split("-", 1)[1].rstrip("%")
+        asr = float(spec)
+        if asr > 1.0:
+            asr /= 100.0
+        kwargs = {"tolerated_stale_rate": asr}
+        if monitoring_interval is not None:
+            return HarmonyPolicy(
+                config=HarmonyConfig(
+                    tolerated_stale_rate=asr, monitoring_interval=monitoring_interval
+                )
+            )
+        return HarmonyPolicy(**kwargs)
+    if lowered.startswith("threshold-"):
+        threshold = float(lowered.split("-", 1)[1])
+        if monitoring_interval is not None:
+            return ThresholdPolicy(threshold=threshold, monitoring_interval=monitoring_interval)
+        return ThresholdPolicy(threshold=threshold)
+    raise ValueError(f"unknown policy name {name!r}")
+
+
+def run_experiment(
+    scenario: Scenario,
+    workload: WorkloadConfig,
+    policy: ConsistencyPolicy | str,
+    threads: int,
+    *,
+    seed: int = 0,
+    n_nodes: Optional[int] = None,
+    monitoring_interval: Optional[float] = None,
+    cluster_hook: Optional[Callable[[SimulatedCluster], None]] = None,
+) -> ExperimentResult:
+    """Run one experiment and return its result.
+
+    Parameters
+    ----------
+    scenario, workload, policy, threads, seed, n_nodes, monitoring_interval:
+        See :class:`ExperimentConfig`.  ``policy`` may be a policy object or
+        a policy name (see :func:`make_policy`).
+    cluster_hook:
+        Optional callable invoked with the freshly built cluster before the
+        load phase -- used by the figure-4(b) latency sweep (to scale the
+        fabric latency) and by failure-injection tests.
+    """
+    if isinstance(policy, str):
+        policy_obj = make_policy(policy, scenario, monitoring_interval=monitoring_interval)
+    else:
+        policy_obj = policy
+    config = ExperimentConfig(
+        scenario=scenario,
+        workload=workload,
+        policy_name=getattr(policy_obj, "name", str(policy)),
+        threads=threads,
+        seed=seed,
+        n_nodes=n_nodes,
+        monitoring_interval=monitoring_interval,
+    )
+    cluster = SimulatedCluster(scenario.cluster_config(seed=seed, n_nodes=n_nodes))
+    if cluster_hook is not None:
+        cluster_hook(cluster)
+    auditor = StalenessAuditor()
+    executor = WorkloadExecutor(
+        cluster,
+        workload,
+        policy_obj,
+        threads=threads,
+        auditor=auditor,
+    )
+    metrics = executor.run()
+    return ExperimentResult(config=config, metrics=metrics, auditor=auditor)
+
+
+def run_thread_sweep(
+    scenario: Scenario,
+    workload: WorkloadConfig,
+    policy_names: Sequence[str],
+    thread_counts: Sequence[int],
+    *,
+    seed: int = 0,
+    n_nodes: Optional[int] = None,
+    monitoring_interval: Optional[float] = None,
+) -> List[ExperimentResult]:
+    """Run the cartesian product of policies x thread counts (Fig. 5/6 shape)."""
+    results: List[ExperimentResult] = []
+    for threads in thread_counts:
+        for policy_name in policy_names:
+            results.append(
+                run_experiment(
+                    scenario,
+                    workload,
+                    policy_name,
+                    threads,
+                    seed=seed,
+                    n_nodes=n_nodes,
+                    monitoring_interval=monitoring_interval,
+                )
+            )
+    return results

@@ -1,0 +1,189 @@
+"""Evaluation platform scenarios.
+
+The paper deploys Cassandra with a replication factor of 5 on two platforms:
+
+* **Grid'5000** (Sophia site): bare-metal nodes on Gigabit Ethernet -- low,
+  stable network latency.  The paper's Harmony settings there are 20% and
+  40% tolerated stale reads.
+* **Amazon EC2** (20 Large instances, one availability zone): network latency
+  roughly five times higher than Grid'5000 and much more variable.  Harmony
+  settings there are 40% and 60%.
+
+A :class:`Scenario` bundles the cluster configuration (topology, latency
+models, node performance envelope, replication factor) plus the Harmony
+tolerated-stale-rate pair used on that platform, so every figure bench asks
+for the same platform the same way.
+
+Simulation scale note: the paper's Grid'5000 deployment has 84 nodes and runs
+3-10 million operations; the default scenarios use 20 nodes and the figure
+benches use 10^4-10^5 operations so the full evaluation completes in minutes
+on a laptop.  Node counts and operation counts are parameters, not constants,
+so larger runs only cost time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.cluster import ClusterConfig
+from repro.cluster.coordinator import CoordinatorConfig
+from repro.cluster.node import NodeConfig
+from repro.network.latency import (
+    EC2LikeLatency,
+    Grid5000LikeLatency,
+    LatencyModel,
+    LogNormalLatency,
+)
+
+__all__ = ["Scenario", "GRID5000", "EC2", "ScenarioRegistry"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation platform.
+
+    Attributes
+    ----------
+    name:
+        Platform name used in reports.
+    n_nodes / replication_factor / racks_per_dc / datacenters:
+        Cluster shape (the paper uses RF=5 on both platforms).
+    intra_rack_latency / inter_rack_latency / inter_dc_latency:
+        Latency models of the platform's network.
+    node:
+        Node performance envelope (EC2 "Large" VMs are slower and noisier
+        than Grid'5000 bare metal).
+    coordinator:
+        Coordinator tunables.
+    harmony_stale_rates:
+        The pair of tolerated stale-read rates the paper evaluates on this
+        platform (lenient, restrictive).
+    description:
+        Free-text summary used in logs and EXPERIMENTS.md.
+    """
+
+    name: str
+    n_nodes: int = 20
+    replication_factor: int = 5
+    racks_per_dc: int = 2
+    datacenters: int = 2
+    intra_rack_latency: Optional[LatencyModel] = None
+    inter_rack_latency: Optional[LatencyModel] = None
+    inter_dc_latency: Optional[LatencyModel] = None
+    node: NodeConfig = field(default_factory=NodeConfig)
+    coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
+    harmony_stale_rates: Tuple[float, float] = (0.4, 0.2)
+    description: str = ""
+
+    def cluster_config(self, *, seed: int = 0, n_nodes: Optional[int] = None) -> ClusterConfig:
+        """Build the :class:`ClusterConfig` for this platform.
+
+        ``n_nodes`` may be overridden (smaller clusters for quick tests,
+        larger for fidelity runs); the replication factor and latency models
+        stay those of the platform.
+        """
+        nodes = n_nodes if n_nodes is not None else self.n_nodes
+        return ClusterConfig(
+            n_nodes=nodes,
+            replication_factor=self.replication_factor,
+            racks_per_dc=self.racks_per_dc,
+            datacenters=self.datacenters,
+            strategy="old_network_topology",
+            node=self.node,
+            coordinator=self.coordinator,
+            intra_rack_latency=self.intra_rack_latency,
+            inter_rack_latency=self.inter_rack_latency,
+            inter_dc_latency=self.inter_dc_latency,
+            seed=seed,
+        )
+
+    def with_overrides(self, **kwargs) -> "Scenario":
+        """A copy of the scenario with some fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Grid'5000-like platform: bare-metal LAN, low stable latency (paper Section V-C).
+GRID5000 = Scenario(
+    name="grid5000",
+    n_nodes=20,
+    replication_factor=5,
+    racks_per_dc=2,
+    datacenters=2,
+    intra_rack_latency=Grid5000LikeLatency(),
+    inter_rack_latency=Grid5000LikeLatency(
+        median=1.2 * Grid5000LikeLatency.DEFAULT_MEDIAN, sigma=0.2
+    ),
+    inter_dc_latency=LogNormalLatency(median=0.00006, sigma=0.25, floor=0.00003),
+    node=NodeConfig(
+        concurrency=24,
+        read_service_time=0.005,
+        write_service_time=0.0035,
+        service_time_cv=0.45,
+    ),
+    harmony_stale_rates=(0.4, 0.2),
+    description=(
+        "Bare-metal Gigabit-Ethernet clusters (two Grid'5000 clusters at the "
+        "Sophia site); low and stable network latency; Harmony evaluated at "
+        "40% and 20% tolerated stale reads."
+    ),
+)
+
+#: EC2-like platform: virtualised network, ~5x the latency, heavy jitter.
+EC2 = Scenario(
+    name="ec2",
+    n_nodes=20,
+    replication_factor=5,
+    racks_per_dc=2,
+    datacenters=2,
+    intra_rack_latency=EC2LikeLatency(),
+    inter_rack_latency=EC2LikeLatency(
+        median=1.2 * EC2LikeLatency.DEFAULT_MEDIAN, sigma=0.5
+    ),
+    inter_dc_latency=EC2LikeLatency(
+        median=1.5 * EC2LikeLatency.DEFAULT_MEDIAN,
+        sigma=0.55,
+        spike_probability=0.03,
+    ),
+    node=NodeConfig(
+        concurrency=12,
+        read_service_time=0.008,
+        write_service_time=0.006,
+        service_time_cv=0.6,
+    ),
+    harmony_stale_rates=(0.6, 0.4),
+    description=(
+        "20 virtualised 'Large' instances in one availability zone; network "
+        "latency roughly five times Grid'5000 with heavy-tailed jitter and "
+        "occasional spikes; Harmony evaluated at 60% and 40% tolerated stale "
+        "reads."
+    ),
+)
+
+
+class ScenarioRegistry:
+    """Name -> scenario lookup used by the CLI-ish helpers and benches."""
+
+    _scenarios: Dict[str, Scenario] = {
+        GRID5000.name: GRID5000,
+        EC2.name: EC2,
+    }
+
+    @classmethod
+    def get(cls, name: str) -> Scenario:
+        """Look up a scenario by name (case-insensitive)."""
+        key = name.lower()
+        if key not in cls._scenarios:
+            raise KeyError(
+                f"unknown scenario {name!r}; available: {sorted(cls._scenarios)}"
+            )
+        return cls._scenarios[key]
+
+    @classmethod
+    def register(cls, scenario: Scenario) -> None:
+        """Add a custom scenario (used by tests and user extensions)."""
+        cls._scenarios[scenario.name.lower()] = scenario
+
+    @classmethod
+    def names(cls) -> list[str]:
+        return sorted(cls._scenarios)

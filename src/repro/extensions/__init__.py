@@ -1,0 +1,43 @@
+"""Extensions implementing the paper's future-work directions.
+
+Section VII of the paper lists two follow-ups to Harmony:
+
+1. *"provide a mechanism allowing the system to automatically divide data
+   into different consistency categories without any human interaction by
+   applying clustering techniques.  Every category should be given the most
+   appropriate consistency level in regard to the data it encloses."* --
+   implemented by :mod:`repro.extensions.categories`: per-key access
+   statistics, a small k-means clustering over the access features, a
+   per-category tolerated stale-read rate, and
+   :class:`~repro.extensions.categories.CategorizedHarmonyPolicy`, which
+   applies Harmony's decision per category rather than globally.
+
+2. *"propose a mechanism that models the application and computes the stale
+   read rate that can be tolerated automatically"* -- implemented by
+   :mod:`repro.extensions.tolerance`: a simple utility model that derives the
+   ``app_stale_rate`` from the application's cost of serving one stale read
+   versus its valuation of latency/throughput, plus the paper's own naive
+   qualitative mapping.
+"""
+
+from repro.extensions.categories import (
+    CategorizedHarmonyPolicy,
+    ConsistencyCategorizer,
+    ConsistencyCategory,
+    KeyAccessTracker,
+)
+from repro.extensions.tolerance import (
+    ApplicationProfile,
+    naive_tolerance_for,
+    recommend_tolerance,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "CategorizedHarmonyPolicy",
+    "ConsistencyCategorizer",
+    "ConsistencyCategory",
+    "KeyAccessTracker",
+    "naive_tolerance_for",
+    "recommend_tolerance",
+]

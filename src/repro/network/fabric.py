@@ -1,0 +1,250 @@
+"""Message fabric: delivers simulated messages between cluster nodes.
+
+The fabric is the only component that couples the topology's latency models
+to the event engine.  A message sent from ``src`` to ``dst`` is delivered to
+the destination's handler after one sampled one-way latency plus an optional
+size-dependent transfer time (``payload_size / bandwidth``).  Messages can be
+dropped with a configurable probability to exercise the cluster's timeout,
+hinted-handoff and read-repair paths.
+
+The fabric also exposes the measurements the Harmony monitoring module needs:
+a ``ping``-style RTT probe and counters of delivered / dropped messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.network.topology import NodeAddress, Topology
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Message", "NetworkFabric", "NetworkStats"]
+
+
+@dataclass
+class Message:
+    """A simulated network message.
+
+    Attributes
+    ----------
+    msg_id:
+        Unique, monotonically increasing identifier (useful in traces).
+    src, dst:
+        Sender and receiver node addresses.
+    kind:
+        Free-form message type tag (e.g. ``"write_request"``).
+    payload:
+        Arbitrary Python object carried by the message.
+    size_bytes:
+        Logical payload size used for the bandwidth term of the delay.
+    sent_at, delivered_at:
+        Virtual timestamps filled in by the fabric.
+    """
+
+    msg_id: int
+    src: NodeAddress
+    dst: NodeAddress
+    kind: str
+    payload: Any
+    size_bytes: int = 0
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Counters maintained by the fabric (per whole cluster)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+    total_latency: float = 0.0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+    def mean_latency(self) -> float:
+        """Mean one-way delivery latency over all delivered messages."""
+        if self.delivered == 0:
+            return 0.0
+        return self.total_latency / self.delivered
+
+
+class NetworkFabric:
+    """Delivers messages between registered node handlers.
+
+    Parameters
+    ----------
+    engine:
+        Shared simulation engine.
+    topology:
+        Cluster topology; supplies the latency model per node pair.
+    streams:
+        Random streams; the fabric uses the ``"network.latency"`` and
+        ``"network.drops"`` streams.
+    bandwidth_bytes_per_s:
+        Link bandwidth used for the size-dependent component of the delay.
+        The default (1 Gbit/s) matches the paper's Gigabit Ethernet testbed.
+    drop_probability:
+        Probability that any given message is silently dropped.
+    """
+
+    DEFAULT_BANDWIDTH = 125_000_000.0  # 1 Gbit/s in bytes per second
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: Topology,
+        streams: RandomStreams,
+        *,
+        bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1), got {drop_probability!r}")
+        self._engine = engine
+        self._topology = topology
+        self._latency_rng = streams.stream("network.latency")
+        self._drop_rng = streams.stream("network.drops")
+        self._bandwidth = float(bandwidth_bytes_per_s)
+        self._drop_probability = float(drop_probability)
+        self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
+        self._msg_ids = itertools.count()
+        self.stats = NetworkStats()
+        # Latency multiplier applied to every sample; the figure-4(b) latency
+        # sweep and failure-injection tests adjust this at run time.
+        self._latency_scale = 1.0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, address: NodeAddress, handler: Callable[[Message], None]) -> None:
+        """Register the message handler of a node (one handler per address)."""
+        if address in self._handlers:
+            raise ValueError(f"a handler is already registered for {address}")
+        self._handlers[address] = handler
+
+    def unregister(self, address: NodeAddress) -> None:
+        """Remove a node's handler (simulates a crashed / removed node)."""
+        self._handlers.pop(address, None)
+
+    def is_registered(self, address: NodeAddress) -> bool:
+        return address in self._handlers
+
+    # ------------------------------------------------------------------
+    # Latency control (used by sweeps and failure injection)
+    # ------------------------------------------------------------------
+    @property
+    def latency_scale(self) -> float:
+        """Multiplier applied to every sampled latency (default 1.0)."""
+        return self._latency_scale
+
+    @latency_scale.setter
+    def latency_scale(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency scale must be non-negative, got {value!r}")
+        self._latency_scale = float(value)
+
+    @property
+    def drop_probability(self) -> float:
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, value: float) -> None:
+        if not 0.0 <= value < 1.0:
+            raise ValueError(f"drop_probability must be in [0, 1), got {value!r}")
+        self._drop_probability = float(value)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def one_way_delay(self, src: NodeAddress, dst: NodeAddress, size_bytes: int = 0) -> float:
+        """Sample the delivery delay for one message from ``src`` to ``dst``."""
+        model = self._topology.latency_model(src, dst)
+        latency = model.sample(self._latency_rng) * self._latency_scale
+        transfer = size_bytes / self._bandwidth
+        return latency + transfer
+
+    def expected_one_way_delay(
+        self, src: NodeAddress, dst: NodeAddress, size_bytes: int = 0
+    ) -> float:
+        """Expected delivery delay (no sampling); used by analytic baselines."""
+        model = self._topology.latency_model(src, dst)
+        return model.mean() * self._latency_scale + size_bytes / self._bandwidth
+
+    def send(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        kind: str,
+        payload: Any,
+        *,
+        size_bytes: int = 0,
+        on_delivered: Optional[Callable[[Message], None]] = None,
+    ) -> Message:
+        """Send a message; it is delivered to the destination handler later.
+
+        Returns the :class:`Message` immediately (with ``delivered_at`` still
+        unset); delivery happens through the event engine.  If the message is
+        dropped, the destination never sees it and ``on_delivered`` is not
+        called -- exactly like a lost datagram.
+        """
+        message = Message(
+            msg_id=next(self._msg_ids),
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            size_bytes=int(size_bytes),
+            sent_at=self._engine.now,
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes
+        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
+        if self._drop_probability and self._drop_rng.random() < self._drop_probability:
+            self.stats.dropped += 1
+            return message
+        delay = self.one_way_delay(src, dst, size_bytes=size_bytes)
+        self._engine.schedule(
+            delay, self._deliver, message, on_delivered, label=f"deliver:{kind}"
+        )
+        return message
+
+    def _deliver(self, message: Message, on_delivered: Optional[Callable[[Message], None]]) -> None:
+        handler = self._handlers.get(message.dst)
+        message.delivered_at = self._engine.now
+        self.stats.delivered += 1
+        self.stats.total_latency += message.delivered_at - message.sent_at
+        if handler is not None:
+            handler(message)
+        if on_delivered is not None:
+            on_delivered(message)
+
+    # ------------------------------------------------------------------
+    # Ping (monitoring support)
+    # ------------------------------------------------------------------
+    def ping(self, src: NodeAddress, dst: NodeAddress) -> float:
+        """Synchronously sample a round-trip time between two nodes.
+
+        The Harmony monitoring module in the paper measures latency with the
+        ``ping`` tool, outside the storage data path; we mirror that by
+        sampling the latency model directly rather than enqueueing messages,
+        so monitoring does not perturb the simulated data path.
+        """
+        return self.one_way_delay(src, dst) + self.one_way_delay(dst, src)
+
+    def ping_mean(self, src: NodeAddress, dst: NodeAddress) -> float:
+        """Expected RTT between two nodes."""
+        return 2.0 * self.expected_one_way_delay(src, dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkFabric(nodes={len(self._handlers)}, sent={self.stats.sent}, "
+            f"dropped={self.stats.dropped})"
+        )

@@ -1,0 +1,320 @@
+"""Cluster topology: datacenters, racks, nodes and the pairwise latency map.
+
+Cassandra's ``OldNetworkTopologyStrategy`` (the replication strategy used in
+the paper's experiments) places replicas across racks and datacenters, so the
+simulator needs an explicit notion of where each node lives.  The topology
+also decides which latency model applies to a pair of nodes:
+
+* same node          -> loopback (essentially zero),
+* same rack          -> intra-rack model,
+* same DC, other rack -> inter-rack model,
+* different DC       -> inter-DC model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.latency import ConstantLatency, LatencyModel
+
+__all__ = ["NodeAddress", "Rack", "Datacenter", "Topology", "TopologyBuilder"]
+
+
+@dataclass(frozen=True, order=True)
+class NodeAddress:
+    """Logical address of a storage node.
+
+    The address is what the ring, the coordinator and the monitoring module
+    use to refer to a node; it is hashable and ordering is lexicographic on
+    ``(datacenter, rack, node_id)`` so test output is stable.
+    """
+
+    datacenter: str
+    rack: str
+    node_id: int
+
+    def __str__(self) -> str:
+        return f"{self.datacenter}/{self.rack}/node{self.node_id}"
+
+
+@dataclass
+class Rack:
+    """A rack: a named group of nodes inside one datacenter."""
+
+    name: str
+    nodes: List[NodeAddress] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class Datacenter:
+    """A datacenter: a named group of racks."""
+
+    name: str
+    racks: List[Rack] = field(default_factory=list)
+
+    @property
+    def nodes(self) -> List[NodeAddress]:
+        """All node addresses in this datacenter, rack by rack."""
+        return [node for rack in self.racks for node in rack.nodes]
+
+    def __len__(self) -> int:
+        return sum(len(rack) for rack in self.racks)
+
+
+class Topology:
+    """Immutable description of the cluster layout plus latency classes.
+
+    Parameters
+    ----------
+    datacenters:
+        The datacenter/rack/node hierarchy.
+    loopback, intra_rack, inter_rack, inter_dc:
+        Latency models per distance class.  ``inter_dc`` may be ``None`` for
+        single-DC clusters (requesting it then is an error, which catches
+        mis-configured replication strategies early).
+    """
+
+    def __init__(
+        self,
+        datacenters: Sequence[Datacenter],
+        *,
+        loopback: Optional[LatencyModel] = None,
+        intra_rack: Optional[LatencyModel] = None,
+        inter_rack: Optional[LatencyModel] = None,
+        inter_dc: Optional[LatencyModel] = None,
+    ) -> None:
+        if not datacenters:
+            raise ValueError("a topology needs at least one datacenter")
+        self._datacenters = list(datacenters)
+        self._loopback = loopback or ConstantLatency(0.00001)
+        self._intra_rack = intra_rack or ConstantLatency(0.0002)
+        self._inter_rack = inter_rack or self._intra_rack
+        self._inter_dc = inter_dc
+        self._nodes: List[NodeAddress] = []
+        self._dc_of: Dict[NodeAddress, str] = {}
+        self._rack_of: Dict[NodeAddress, str] = {}
+        seen: set[NodeAddress] = set()
+        for dc in self._datacenters:
+            for rack in dc.racks:
+                for node in rack.nodes:
+                    if node in seen:
+                        raise ValueError(f"duplicate node address {node}")
+                    seen.add(node)
+                    self._nodes.append(node)
+                    self._dc_of[node] = dc.name
+                    self._rack_of[node] = rack.name
+        if not self._nodes:
+            raise ValueError("a topology needs at least one node")
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def datacenters(self) -> List[Datacenter]:
+        return list(self._datacenters)
+
+    @property
+    def nodes(self) -> List[NodeAddress]:
+        """Every node address in deterministic (construction) order."""
+        return list(self._nodes)
+
+    @property
+    def size(self) -> int:
+        return len(self._nodes)
+
+    def datacenter_of(self, node: NodeAddress) -> str:
+        return self._dc_of[node]
+
+    def rack_of(self, node: NodeAddress) -> str:
+        return self._rack_of[node]
+
+    def nodes_in_datacenter(self, dc_name: str) -> List[NodeAddress]:
+        return [node for node in self._nodes if self._dc_of[node] == dc_name]
+
+    def nodes_in_rack(self, dc_name: str, rack_name: str) -> List[NodeAddress]:
+        return [
+            node
+            for node in self._nodes
+            if self._dc_of[node] == dc_name and self._rack_of[node] == rack_name
+        ]
+
+    def racks_in_datacenter(self, dc_name: str) -> List[str]:
+        seen: list[str] = []
+        for node in self._nodes:
+            if self._dc_of[node] == dc_name and self._rack_of[node] not in seen:
+                seen.append(self._rack_of[node])
+        return seen
+
+    # ------------------------------------------------------------------
+    # Latency classes
+    # ------------------------------------------------------------------
+    def distance_class(self, a: NodeAddress, b: NodeAddress) -> str:
+        """One of ``{"loopback", "intra_rack", "inter_rack", "inter_dc"}``."""
+        if a == b:
+            return "loopback"
+        if self._dc_of[a] != self._dc_of[b]:
+            return "inter_dc"
+        if self._rack_of[a] != self._rack_of[b]:
+            return "inter_rack"
+        return "intra_rack"
+
+    def latency_model(self, a: NodeAddress, b: NodeAddress) -> LatencyModel:
+        """The latency model governing messages from ``a`` to ``b``."""
+        cls = self.distance_class(a, b)
+        if cls == "loopback":
+            return self._loopback
+        if cls == "intra_rack":
+            return self._intra_rack
+        if cls == "inter_rack":
+            return self._inter_rack
+        if self._inter_dc is None:
+            raise ValueError(
+                f"nodes {a} and {b} are in different datacenters but no inter-DC "
+                "latency model was configured"
+            )
+        return self._inter_dc
+
+    def mean_latency(self, a: NodeAddress, b: NodeAddress) -> float:
+        """Expected one-way latency between two nodes in seconds."""
+        return self.latency_model(a, b).mean()
+
+    def mean_inter_replica_latency(self, replicas: Iterable[NodeAddress]) -> float:
+        """Average of mean pairwise latencies across a replica set.
+
+        This is what the monitoring module reports as ``Ln`` when it probes a
+        replica group (the paper uses ``ping`` between storage nodes).
+        """
+        replica_list = list(replicas)
+        if len(replica_list) < 2:
+            return self._loopback.mean()
+        total = 0.0
+        pairs = 0
+        for i, a in enumerate(replica_list):
+            for b in replica_list[i + 1 :]:
+                total += self.mean_latency(a, b)
+                pairs += 1
+        return total / pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dcs = ", ".join(f"{dc.name}:{len(dc)}" for dc in self._datacenters)
+        return f"Topology({dcs})"
+
+
+class TopologyBuilder:
+    """Fluent builder for common topologies.
+
+    Examples
+    --------
+    >>> topo = (
+    ...     TopologyBuilder()
+    ...     .datacenter("dc1")
+    ...     .rack("r1", nodes=3)
+    ...     .rack("r2", nodes=3)
+    ...     .build()
+    ... )
+    >>> topo.size
+    6
+    """
+
+    def __init__(self) -> None:
+        self._datacenters: List[Datacenter] = []
+        self._current_dc: Optional[Datacenter] = None
+        self._next_node_id = 0
+        self._loopback: Optional[LatencyModel] = None
+        self._intra_rack: Optional[LatencyModel] = None
+        self._inter_rack: Optional[LatencyModel] = None
+        self._inter_dc: Optional[LatencyModel] = None
+
+    def datacenter(self, name: str) -> "TopologyBuilder":
+        """Start a new datacenter; subsequent racks are added to it."""
+        dc = Datacenter(name=name)
+        self._datacenters.append(dc)
+        self._current_dc = dc
+        return self
+
+    def rack(self, name: str, nodes: int) -> "TopologyBuilder":
+        """Add a rack with ``nodes`` nodes to the current datacenter."""
+        if self._current_dc is None:
+            raise ValueError("call datacenter() before rack()")
+        if nodes <= 0:
+            raise ValueError(f"a rack needs at least one node, got {nodes!r}")
+        rack = Rack(name=name)
+        for _ in range(nodes):
+            rack.nodes.append(
+                NodeAddress(
+                    datacenter=self._current_dc.name, rack=name, node_id=self._next_node_id
+                )
+            )
+            self._next_node_id += 1
+        self._current_dc.racks.append(rack)
+        return self
+
+    def latencies(
+        self,
+        *,
+        loopback: Optional[LatencyModel] = None,
+        intra_rack: Optional[LatencyModel] = None,
+        inter_rack: Optional[LatencyModel] = None,
+        inter_dc: Optional[LatencyModel] = None,
+    ) -> "TopologyBuilder":
+        """Configure the latency model of each distance class."""
+        if loopback is not None:
+            self._loopback = loopback
+        if intra_rack is not None:
+            self._intra_rack = intra_rack
+        if inter_rack is not None:
+            self._inter_rack = inter_rack
+        if inter_dc is not None:
+            self._inter_dc = inter_dc
+        return self
+
+    def build(self) -> Topology:
+        """Create the immutable :class:`Topology`."""
+        return Topology(
+            self._datacenters,
+            loopback=self._loopback,
+            intra_rack=self._intra_rack,
+            inter_rack=self._inter_rack,
+            inter_dc=self._inter_dc,
+        )
+
+
+def uniform_topology(
+    n_nodes: int,
+    *,
+    racks_per_dc: int = 2,
+    datacenters: int = 1,
+    intra_rack: Optional[LatencyModel] = None,
+    inter_rack: Optional[LatencyModel] = None,
+    inter_dc: Optional[LatencyModel] = None,
+) -> Topology:
+    """Spread ``n_nodes`` as evenly as possible over DCs and racks.
+
+    Convenience used by the experiment scenarios; nodes that do not divide
+    evenly are assigned round-robin so rack sizes differ by at most one.
+    """
+    if n_nodes <= 0:
+        raise ValueError(f"need at least one node, got {n_nodes!r}")
+    if racks_per_dc <= 0 or datacenters <= 0:
+        raise ValueError("racks_per_dc and datacenters must be positive")
+    builder = TopologyBuilder().latencies(
+        intra_rack=intra_rack, inter_rack=inter_rack, inter_dc=inter_dc
+    )
+    # Round-robin assignment of node counts to (dc, rack) slots.  Slots are
+    # ordered datacenter-first (dc1.rack1, dc2.rack1, dc1.rack2, ...) so both
+    # datacenter sizes and rack sizes stay within one node of each other.
+    slots = [(dc, rack) for rack in range(racks_per_dc) for dc in range(datacenters)]
+    counts = {slot: 0 for slot in slots}
+    for i in range(n_nodes):
+        counts[slots[i % len(slots)]] += 1
+    for dc_index in range(datacenters):
+        builder.datacenter(f"dc{dc_index + 1}")
+        for rack_index in range(racks_per_dc):
+            count = counts[(dc_index, rack_index)]
+            if count > 0:
+                builder.rack(f"rack{rack_index + 1}", nodes=count)
+    return builder.build()

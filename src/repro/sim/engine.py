@@ -1,0 +1,299 @@
+"""Core discrete-event simulation engine.
+
+The engine maintains a priority queue of timestamped events and a virtual
+clock.  It is intentionally minimal: components interact with it only
+through :meth:`SimulationEngine.schedule` / :meth:`SimulationEngine.at`
+(to enqueue callbacks) and :meth:`SimulationEngine.run` /
+:meth:`SimulationEngine.run_until` (to drive the loop).
+
+The engine is single threaded and deterministic.  Ties in event time are
+broken by a monotonically increasing sequence number, so two runs with the
+same seed and the same call ordering produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Event", "EventHandle", "SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used incorrectly.
+
+    Examples include scheduling an event in the past or running an engine
+    that has already been stopped with an unrecoverable callback error.
+    """
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Virtual time (seconds) at which the callback fires.
+    seq:
+        Tie-breaking sequence number; earlier-scheduled events with the same
+        timestamp run first.
+    callback:
+        Zero-argument callable invoked when the event fires.  Arguments are
+        bound at scheduling time (see :meth:`SimulationEngine.schedule`).
+    cancelled:
+        Set by :meth:`EventHandle.cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by the scheduling API.
+
+    A handle allows the caller to cancel a pending event (for example a
+    timeout that is no longer needed because the awaited response arrived).
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Virtual time at which the event will fire (if not cancelled)."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this handle."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired or was already cancelled is a
+        no-op; the engine simply skips cancelled entries when it pops them.
+        """
+        self._event.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._event.cancelled else "pending"
+        return f"EventHandle(t={self._event.time:.6f}, {state}, {self._event.label!r})"
+
+
+class SimulationEngine:
+    """Deterministic single-threaded discrete-event loop.
+
+    Parameters
+    ----------
+    start_time:
+        Initial virtual time.  Defaults to ``0.0`` seconds.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule(1.5, fired.append, "hello")
+    >>> engine.run()
+    >>> fired, engine.now
+    (['hello'], 1.5)
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay schedules the callback
+        for the current instant but it will only run once control returns to
+        the event loop (events never run re-entrantly).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay!r}s in the past")
+        return self.at(self._now + delay, callback, *args, label=label, **kwargs)
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute virtual time.
+
+        Scheduling at a time earlier than :attr:`now` raises
+        :class:`SimulationError` -- silent reordering of the past is a bug in
+        the caller, never something the engine should paper over.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, which is before the current time {self._now!r}"
+            )
+        if args or kwargs:
+            bound = lambda: callback(*args, **kwargs)  # noqa: E731 - tight closure
+        else:
+            bound = callback
+        event = Event(time=float(time), seq=next(self._seq), callback=bound, label=label)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any, **kwargs: Any) -> EventHandle:
+        """Schedule ``callback`` at the current virtual time (runs after the
+        currently executing event returns)."""
+        return self.schedule(0.0, callback, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue is
+        empty (cancelled events are discarded without counting as a step).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event queue yielded an event from the past")
+            self._now = event.time
+            event.callback()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event queue is exhausted.
+
+        Parameters
+        ----------
+        max_events:
+            Optional safety valve; if given, stop after executing this many
+            events even if the queue is not empty.
+
+        Returns
+        -------
+        int
+            The number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run events with timestamps ``<= time``; advance the clock to ``time``.
+
+        Events scheduled beyond ``time`` remain queued, so simulations can be
+        driven in successive windows (the Harmony monitoring loop and the
+        experiment harness both rely on this).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"run_until({time!r}) would move the clock backwards from {self._now!r}"
+            )
+        executed = 0
+        self._running = True
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._peek()
+                if event is None or event.time > time:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, float(time))
+        return executed
+
+    def stop(self) -> None:
+        """Request the running loop to stop after the current event."""
+        self._stopped = True
+
+    def reset_stop(self) -> None:
+        """Clear a previous :meth:`stop` request so the engine can run again."""
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without executing it."""
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return event
+        return None
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, or ``None`` if idle."""
+        event = self._peek()
+        return None if event is None else event.time
+
+    def drain(self) -> Iterable[Event]:
+        """Remove and yield all pending events (used by tests and teardown)."""
+        while self._queue:
+            yield heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationEngine(now={self._now:.6f}, pending={len(self._queue)}, "
+            f"processed={self._events_processed})"
+        )

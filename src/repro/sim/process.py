@@ -1,0 +1,190 @@
+"""Lightweight process / waiter helpers on top of the event engine.
+
+Most of the cluster code is written in callback style (a coordinator fires a
+message and registers a completion callback), but a few long-running
+activities -- client threads, the Harmony monitoring loop, anti-entropy
+repair -- read much more naturally as *processes*: generator functions that
+repeatedly ``yield`` a :class:`Timeout` or a :class:`Waiter` and are resumed
+by the engine when that condition is satisfied.
+
+This is a deliberately small subset of what a full co-routine simulation
+framework (e.g. SimPy) offers; it is all the repository needs and keeps the
+execution model easy to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Union
+
+from repro.sim.engine import EventHandle, SimulationEngine, SimulationError
+
+__all__ = ["Timeout", "Waiter", "Process"]
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"Timeout delay must be non-negative, got {delay!r}")
+        self.delay = float(delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Waiter:
+    """A one-shot completion signal that a process can yield on.
+
+    A ``Waiter`` is the bridge between callback-style code (the cluster) and
+    process-style code (clients).  The producer calls :meth:`succeed` exactly
+    once; any process yielding on the waiter resumes with the given value.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> w = Waiter(engine)
+    >>> results = []
+    >>> def proc():
+    ...     value = yield w
+    ...     results.append(value)
+    >>> _ = Process(engine, proc())
+    >>> _ = engine.schedule(2.0, w.succeed, "done")
+    >>> engine.run()
+    >>> results
+    ['done']
+    """
+
+    __slots__ = ("_engine", "_done", "_value", "_callbacks")
+
+    def __init__(self, engine: SimulationEngine) -> None:
+        self._engine = engine
+        self._done = False
+        self._value: Any = None
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`succeed` has been called."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The completion value (``None`` until :attr:`done`)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Complete the waiter and wake every registered callback/process."""
+        if self._done:
+            raise SimulationError("Waiter.succeed() called twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            # Wake-ups are scheduled rather than run inline so that the
+            # producer's stack does not nest arbitrarily deep.
+            self._engine.call_soon(callback, value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; runs immediately if already done."""
+        if self._done:
+            self._engine.call_soon(callback, self._value)
+        else:
+            self._callbacks.append(callback)
+
+
+YieldType = Union[Timeout, Waiter]
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator may yield:
+
+    * :class:`Timeout` -- resume after the given simulated delay;
+    * :class:`Waiter` -- resume (with the waiter's value) once it succeeds;
+    * ``None`` -- resume on the next engine tick (yield to other events).
+
+    The process finishes when the generator returns or raises
+    ``StopIteration``; its return value is stored in :attr:`result`.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        generator: Generator[YieldType, Any, Any],
+        name: str = "",
+    ) -> None:
+        self._engine = engine
+        self._generator = generator
+        self._name = name or getattr(generator, "__name__", "process")
+        self._finished = False
+        self._result: Any = None
+        self._pending: Optional[EventHandle] = None
+        self._stopped = False
+        # Kick off on the next tick so construction never runs user code
+        # re-entrantly inside the caller's stack frame.
+        engine.call_soon(self._resume, None)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether the underlying generator has completed (or was stopped)."""
+        return self._finished
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value, once :attr:`finished`."""
+        return self._result
+
+    @property
+    def name(self) -> str:
+        """Human-readable process name used in error messages."""
+        return self._name
+
+    def stop(self) -> None:
+        """Terminate the process without resuming it again.
+
+        The generator is closed so that ``finally`` blocks inside it run.
+        """
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if not self._finished:
+            self._generator.close()
+            self._finished = True
+
+    # ------------------------------------------------------------------
+    def _resume(self, value: Any) -> None:
+        if self._finished or self._stopped:
+            return
+        self._pending = None
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self._result = stop.value
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Optional[YieldType]) -> None:
+        if yielded is None:
+            self._pending = self._engine.call_soon(self._resume, None)
+        elif isinstance(yielded, Timeout):
+            self._pending = self._engine.schedule(
+                yielded.delay, self._resume, None, label=f"{self._name}.timeout"
+            )
+        elif isinstance(yielded, Waiter):
+            yielded.add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self._name!r} yielded unsupported value {yielded!r}; "
+                "expected Timeout, Waiter or None"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self._finished else "running"
+        return f"Process({self._name!r}, {state})"

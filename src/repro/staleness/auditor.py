@@ -1,0 +1,152 @@
+"""Ground-truth staleness auditor.
+
+Definition used (matching the paper's measurement): a read of key ``k`` is
+**stale** when the cell it returns is older than the newest write of ``k``
+that had already been acknowledged to a client *before the read was issued*.
+Writes acknowledged while the read is in flight do not make it stale --
+the read could not have been expected to observe them.
+
+Protocol with the workload executor:
+
+1. when a write completes, the executor calls :meth:`observe_write`; the
+   auditor appends ``(ack_time, cell_version)`` to the key's history;
+2. when a read completes, the executor calls :meth:`judge`, which looks up
+   the newest write acknowledged strictly before the read's ``started_at``
+   and compares it with the returned cell.  The verdict is ``True`` (stale),
+   ``False`` (fresh) or ``None`` (no acknowledged prior write, so freshness
+   is undefined and the read is excluded from the rate).
+
+Because the expected version is resolved from the read's own start time, the
+verdict is independent of the completion order of concurrent reads -- a
+property the tests rely on (a strongly consistent configuration must report
+exactly zero stale reads).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.coordinator import OperationResult
+
+__all__ = ["StalenessAuditor"]
+
+#: A cell version: (write timestamp, value id) -- the last-write-wins key.
+Version = Tuple[float, int]
+
+
+@dataclass
+class _KeyHistory:
+    """Acknowledged-write history of one key (both lists grow monotonically)."""
+
+    ack_times: List[float] = field(default_factory=list)
+    versions: List[Version] = field(default_factory=list)
+
+    def record(self, ack_time: float, version: Version) -> None:
+        """Append an acknowledgement; keeps the version sequence monotone."""
+        if self.versions and version <= self.versions[-1]:
+            # A slower write acknowledged after a newer one: it does not move
+            # the "newest acknowledged version" forward, so skip it.
+            return
+        if self.ack_times and ack_time < self.ack_times[-1]:
+            ack_time = self.ack_times[-1]
+        self.ack_times.append(ack_time)
+        self.versions.append(version)
+
+    def newest_before(self, time: float) -> Optional[Version]:
+        """Newest version acknowledged strictly before ``time`` (or None)."""
+        index = bisect.bisect_left(self.ack_times, time)
+        if index == 0:
+            return None
+        return self.versions[index - 1]
+
+    def newest(self) -> Optional[Version]:
+        return self.versions[-1] if self.versions else None
+
+
+class StalenessAuditor:
+    """Tracks acknowledged writes and judges read freshness.
+
+    The auditor is deliberately independent of the cluster internals: it only
+    consumes the :class:`OperationResult` objects the executor already has,
+    so it imposes zero simulated cost and does not perturb the run (unlike
+    the paper's dual-read methodology, which the authors note changes the
+    latency, the throughput and the monitoring inputs).
+    """
+
+    def __init__(self) -> None:
+        self._history: Dict[str, _KeyHistory] = {}
+        self.writes_observed = 0
+        self.reads_judged = 0
+        self.stale_reads = 0
+        self.fresh_reads = 0
+        self.unknown_reads = 0
+
+    # ------------------------------------------------------------------
+    # Write side
+    # ------------------------------------------------------------------
+    def observe_write(self, result: OperationResult) -> None:
+        """Record a client-acknowledged write (or read-modify-write)."""
+        if result.cell is None:
+            return
+        self.writes_observed += 1
+        history = self._history.setdefault(result.key, _KeyHistory())
+        history.record(result.completed_at, (result.cell.timestamp, result.cell.value_id))
+
+    # ------------------------------------------------------------------
+    # Read side
+    # ------------------------------------------------------------------
+    def snapshot(self, key: str) -> None:
+        """Retained for API compatibility; the auditor no longer needs
+        issue-time snapshots because :meth:`judge` resolves the expected
+        version from the read's own ``started_at``."""
+
+    def judge(self, key: str, result: OperationResult) -> Optional[bool]:
+        """Return the staleness verdict for a completed read.
+
+        ``True``  -- stale (an acknowledged newer write existed at issue time),
+        ``False`` -- fresh,
+        ``None``  -- no acknowledged write existed before the read was issued.
+        """
+        history = self._history.get(key)
+        expected = history.newest_before(result.started_at) if history else None
+        self.reads_judged += 1
+        if expected is None:
+            self.unknown_reads += 1
+            return None
+        cell = result.cell
+        if cell is None:
+            # The key had an acknowledged write but the read saw nothing at
+            # all: that is the most stale a read can be.
+            self.stale_reads += 1
+            return True
+        stale = (cell.timestamp, cell.value_id) < expected
+        if stale:
+            self.stale_reads += 1
+        else:
+            self.fresh_reads += 1
+        return stale
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    @property
+    def judged(self) -> int:
+        """Number of reads that received a definite verdict."""
+        return self.stale_reads + self.fresh_reads
+
+    def stale_rate(self) -> float:
+        """Fraction of judged reads that were stale."""
+        return self.stale_reads / self.judged if self.judged else 0.0
+
+    def newest_acknowledged(self, key: str) -> Optional[Version]:
+        """The newest acknowledged (timestamp, value_id) for ``key``, if any."""
+        history = self._history.get(key)
+        return history.newest() if history else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StalenessAuditor(judged={self.judged}, stale={self.stale_reads}, "
+            f"rate={self.stale_rate():.3f})"
+        )

@@ -1,0 +1,94 @@
+"""Dual-read staleness probe (the paper's measurement methodology).
+
+For every workload read, a second read with consistency level ALL is issued
+and the returned timestamps are compared; a mismatch marks the first read as
+stale.  The paper notes this methodology is intrusive: it changes read
+latency and throughput, perturbs the monitoring data, and gives subsequent
+writes more time to propagate (making the next read more likely to be fresh).
+
+The probe is provided so the intrusiveness can be demonstrated and compared
+against the zero-cost ground-truth auditor (see
+``examples/staleness_probe.py`` and ``tests/staleness/test_probe.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.coordinator import OperationResult
+
+__all__ = ["DualReadProbe"]
+
+
+class DualReadProbe:
+    """Issues a verification read at level ALL after each probed read.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster under test; the verification read goes through the normal
+        data path and therefore consumes cluster capacity (by design -- that
+        is the methodological point being reproduced).
+    """
+
+    def __init__(self, cluster: SimulatedCluster) -> None:
+        self._cluster = cluster
+        self.probes_issued = 0
+        self.stale_detected = 0
+        self.fresh_detected = 0
+
+    def probe(
+        self,
+        original: OperationResult,
+        callback: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Verify ``original`` (a completed read) with a strong read.
+
+        ``callback(stale)`` is invoked when the verification read completes.
+        """
+        if original.op_type != "read":
+            raise ValueError("DualReadProbe can only verify read results")
+        self.probes_issued += 1
+
+        def on_strong_read(strong: OperationResult) -> None:
+            stale = _is_older(original, strong)
+            if stale:
+                self.stale_detected += 1
+            else:
+                self.fresh_detected += 1
+            if callback is not None:
+                callback(stale)
+
+        # The verification read consumes cluster capacity (by design) but is
+        # hidden from the operation observers so that a probe wired as an
+        # observer does not recursively verify its own verification reads.
+        self._cluster.read(
+            original.key, ConsistencyLevel.ALL, on_strong_read, notify_observers=False
+        )
+
+    @property
+    def judged(self) -> int:
+        return self.stale_detected + self.fresh_detected
+
+    def stale_rate(self) -> float:
+        """Fraction of probed reads flagged stale."""
+        return self.stale_detected / self.judged if self.judged else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DualReadProbe(probes={self.probes_issued}, stale={self.stale_detected})"
+
+
+def _is_older(original: OperationResult, strong: OperationResult) -> bool:
+    """Timestamp comparison between the workload read and the strong read."""
+    strong_cell = strong.cell
+    original_cell = original.cell
+    if strong_cell is None:
+        return False
+    if original_cell is None:
+        return True
+    return (original_cell.timestamp, original_cell.value_id) < (
+        strong_cell.timestamp,
+        strong_cell.value_id,
+    )

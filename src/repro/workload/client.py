@@ -1,0 +1,193 @@
+"""Closed-loop client threads.
+
+YCSB drives the store with a fixed number of client threads; each thread
+issues its next operation as soon as the previous one completes (optionally
+after a think/target-rate delay).  Throughput therefore rises with the thread
+count until the cluster saturates -- the behaviour behind the paper's
+Fig. 5(c)/(d).
+
+A :class:`ClientThread` is a simulated process (see
+:mod:`repro.sim.process`): it draws operations from the shared
+:class:`~repro.workload.workloads.CoreWorkload`, asks the *consistency
+policy* which read level to use, issues the operation against the cluster and
+reports the result to the executor's collector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.coordinator import OperationResult
+from repro.sim.process import Process, Timeout, Waiter
+from repro.workload.workloads import CoreWorkload, Operation, OperationType
+
+__all__ = ["ClientThread"]
+
+
+class ClientThread:
+    """One closed-loop client issuing operations until a shared budget runs out.
+
+    Parameters
+    ----------
+    thread_id:
+        Identifier used in traces.
+    cluster:
+        The cluster under test.
+    workload:
+        Shared operation generator.
+    read_level_provider:
+        Callable returning the consistency level for the *next read*
+        (Harmony's adaptive module, or a static level).
+    write_level_provider:
+        Same for writes (the paper keeps writes at level ONE and adapts only
+        reads; the provider makes that explicit and testable).
+    take_budget:
+        Callable returning ``True`` while operations remain in the shared
+        budget; each call consumes one unit.
+    on_result:
+        Callback invoked with ``(Operation, OperationResult)`` on completion.
+    on_issue:
+        Optional callback invoked with ``(Operation,)`` right before the
+        operation is sent (the staleness auditor snapshots ground truth
+        here).
+    think_time:
+        Fixed delay between an operation completing and the next being
+        issued (0 for a tight closed loop, as in YCSB without a target rate).
+    """
+
+    def __init__(
+        self,
+        thread_id: int,
+        cluster: SimulatedCluster,
+        workload: CoreWorkload,
+        *,
+        read_level_provider: Callable[[], ConsistencyLevel],
+        write_level_provider: Callable[[], ConsistencyLevel],
+        take_budget: Callable[[], bool],
+        on_result: Callable[[Operation, OperationResult], None],
+        on_issue: Optional[Callable[[Operation], None]] = None,
+        think_time: float = 0.0,
+    ) -> None:
+        if think_time < 0:
+            raise ValueError("think_time must be non-negative")
+        self.thread_id = thread_id
+        self._cluster = cluster
+        self._workload = workload
+        self._read_level_provider = read_level_provider
+        self._write_level_provider = write_level_provider
+        self._take_budget = take_budget
+        self._on_result = on_result
+        self._on_issue = on_issue
+        self._think_time = think_time
+        self.operations_completed = 0
+        self._process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        """Start the client loop as a simulated process."""
+        self._process = Process(
+            self._cluster.engine, self._run(), name=f"client-{self.thread_id}"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        """Stop the client immediately (no further operations are issued)."""
+        if self._process is not None:
+            self._process.stop()
+
+    @property
+    def finished(self) -> bool:
+        return self._process is not None and self._process.finished
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        """Generator body of the closed loop."""
+        while self._take_budget():
+            operation = self._workload.next_operation()
+            result = yield from self._execute(operation)
+            self.operations_completed += 1
+            self._on_result(operation, result)
+            if self._think_time > 0:
+                yield Timeout(self._think_time)
+        return self.operations_completed
+
+    def _execute(self, operation: Operation):
+        """Issue one operation and wait for its completion."""
+        if self._on_issue is not None:
+            self._on_issue(operation)
+        if operation.op_type is OperationType.READ_MODIFY_WRITE:
+            # Read then write of the same key, as YCSB does: the reported
+            # latency covers both halves.
+            read_result = yield from self._issue_read(operation.key)
+            write_result = yield from self._issue_write(operation)
+            combined = OperationResult(
+                op_type="read_modify_write",
+                key=operation.key,
+                cell=write_result.cell,
+                consistency_level=write_result.consistency_level,
+                blocked_for=write_result.blocked_for,
+                started_at=read_result.started_at,
+                completed_at=write_result.completed_at,
+                timed_out=read_result.timed_out or write_result.timed_out,
+                replicas=write_result.replicas,
+                responded=write_result.responded,
+            )
+            return combined
+        if operation.op_type is OperationType.SCAN:
+            # A scan touches ``scan_length`` consecutive records; the simulator
+            # models it as that many point reads whose latencies accumulate.
+            first: Optional[OperationResult] = None
+            last: Optional[OperationResult] = None
+            for _ in range(operation.scan_length):
+                result = yield from self._issue_read(operation.key)
+                if first is None:
+                    first = result
+                last = result
+            assert first is not None and last is not None
+            return OperationResult(
+                op_type="scan",
+                key=operation.key,
+                cell=last.cell,
+                consistency_level=last.consistency_level,
+                blocked_for=last.blocked_for,
+                started_at=first.started_at,
+                completed_at=last.completed_at,
+                timed_out=first.timed_out or last.timed_out,
+                replicas=last.replicas,
+                responded=last.responded,
+            )
+        if operation.op_type.is_write:
+            result = yield from self._issue_write(operation)
+            return result
+        result = yield from self._issue_read(operation.key)
+        return result
+
+    def _issue_read(self, key: str):
+        waiter = Waiter(self._cluster.engine)
+        level = self._read_level_provider()
+        self._cluster.read(key, level, waiter.succeed)
+        result = yield waiter
+        return result
+
+    def _issue_write(self, operation: Operation):
+        waiter = Waiter(self._cluster.engine)
+        level = self._write_level_provider()
+        self._cluster.write(
+            operation.key,
+            _payload_for(operation),
+            level,
+            waiter.succeed,
+            size_bytes=operation.value_size or None,
+        )
+        result = yield waiter
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClientThread(id={self.thread_id}, completed={self.operations_completed})"
+
+
+def _payload_for(operation: Operation) -> str:
+    """Synthetic record payload; content is irrelevant, size is what matters."""
+    return f"value:{operation.key}"

@@ -1,0 +1,298 @@
+"""Workload executor: load phase, run phase, metric collection.
+
+The executor is the simulation-side equivalent of running the YCSB client
+against a Cassandra cluster: it loads the initial records, starts ``threads``
+closed-loop client threads that draw operations from a shared budget, and
+collects the metrics the paper's figures report (latency histograms split by
+operation type, overall throughput, staleness counts via the auditor).
+
+Consistency decisions are delegated to a *policy* object (see
+:mod:`repro.core.policy`); the executor itself is policy-agnostic so the same
+code path produces the eventual-consistency, strong-consistency and Harmony
+series of every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.coordinator import OperationResult
+from repro.metrics.counters import OperationCounters, StalenessSummary, ThroughputMeter
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.series import TimeSeries
+from repro.workload.client import ClientThread
+from repro.workload.workloads import CoreWorkload, Operation, OperationType, WorkloadConfig
+
+__all__ = ["RunMetrics", "WorkloadExecutor", "ConsistencyPolicyProtocol"]
+
+
+class ConsistencyPolicyProtocol(Protocol):
+    """What the executor needs from a consistency policy.
+
+    Implementations live in :mod:`repro.core.policy`; the protocol keeps the
+    workload package free of a dependency on the Harmony core.
+    """
+
+    name: str
+
+    def read_level(self) -> ConsistencyLevel:  # pragma: no cover - protocol
+        ...
+
+    def write_level(self) -> ConsistencyLevel:  # pragma: no cover - protocol
+        ...
+
+    def attach(self, cluster: SimulatedCluster) -> None:  # pragma: no cover - protocol
+        ...
+
+    def detach(self) -> None:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured during one workload run.
+
+    Attributes
+    ----------
+    policy_name / workload_name / threads:
+        Identification of the run.
+    read_latency / write_latency / overall_latency:
+        Latency histograms in seconds.
+    counters:
+        Operation counts by type and outcome.
+    throughput:
+        Overall operations per second over the run phase.
+    staleness:
+        Stale/fresh verdict counts (filled in when an auditor is attached).
+    consistency_level_usage:
+        How many reads were issued at each consistency level -- shows the
+        adaptive controller actually switching levels.
+    estimate_series:
+        Time series of the controller's stale-read estimates (Harmony only).
+    duration:
+        Virtual duration of the run phase in seconds.
+    """
+
+    policy_name: str
+    workload_name: str
+    threads: int
+    read_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    write_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    overall_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    counters: OperationCounters = field(default_factory=OperationCounters)
+    throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
+    staleness: StalenessSummary = field(default_factory=StalenessSummary)
+    consistency_level_usage: Dict[str, int] = field(default_factory=dict)
+    estimate_series: TimeSeries = field(default_factory=lambda: TimeSeries("stale_estimate"))
+    duration: float = 0.0
+
+    def ops_per_second(self) -> float:
+        """Overall throughput of the run phase."""
+        return self.throughput.ops_per_second()
+
+    def summary(self) -> Dict[str, object]:
+        """One flat row summarising the run (used by figure tables)."""
+        return {
+            "policy": self.policy_name,
+            "workload": self.workload_name,
+            "threads": self.threads,
+            "ops": self.counters.total,
+            "throughput_ops_s": round(self.ops_per_second(), 1),
+            "read_p99_ms": round(self.read_latency.p99() * 1e3, 3),
+            "read_mean_ms": round(self.read_latency.mean() * 1e3, 3),
+            "write_p99_ms": round(self.write_latency.p99() * 1e3, 3),
+            "stale_reads": self.staleness.stale_reads,
+            "stale_rate": round(self.staleness.stale_rate(), 4),
+            "duration_s": round(self.duration, 3),
+        }
+
+
+class WorkloadExecutor:
+    """Loads data and runs a YCSB-style workload against a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster under test (owns the simulation engine).
+    workload_config:
+        The workload definition (mix, record count, operation count).
+    policy:
+        Consistency policy consulted for every read/write level.
+    threads:
+        Number of closed-loop client threads.
+    auditor:
+        Optional staleness auditor; when given, every read gets a
+        fresh/stale verdict recorded into the metrics.
+    think_time:
+        Per-thread delay between operations (default 0, a tight closed loop).
+    max_virtual_time:
+        Safety bound on the virtual duration of the run phase.
+    """
+
+    #: Write payloads use the workload's record size; the load phase uses
+    #: consistency level ONE exactly like the paper (the initial load is not
+    #: part of the measured run).
+    LOAD_CONSISTENCY = ConsistencyLevel.ONE
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        workload_config: WorkloadConfig,
+        policy: ConsistencyPolicyProtocol,
+        threads: int = 1,
+        *,
+        auditor: Optional[object] = None,
+        think_time: float = 0.0,
+        max_virtual_time: float = 3600.0,
+    ) -> None:
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.cluster = cluster
+        self.workload_config = workload_config
+        self.policy = policy
+        self.threads = int(threads)
+        self.auditor = auditor
+        self.think_time = float(think_time)
+        self.max_virtual_time = float(max_virtual_time)
+        self.workload = CoreWorkload(
+            workload_config, cluster.streams.stream(f"workload.{workload_config.name}")
+        )
+        self._remaining = workload_config.operation_count
+        self.metrics = RunMetrics(
+            policy_name=getattr(policy, "name", type(policy).__name__),
+            workload_name=workload_config.name,
+            threads=self.threads,
+        )
+        self._loaded = False
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+    def load(self) -> int:
+        """Insert the initial ``record_count`` records (not measured).
+
+        Returns the number of records loaded.  The engine is run after the
+        inserts so all replicas converge before the run phase starts, which
+        matches the paper's setup of loading the dataset before running the
+        measured workloads.
+        """
+        keys = self.workload.load_keys()
+        completed: List[OperationResult] = []
+        for key in keys:
+            self.cluster.write(
+                key,
+                f"initial:{key}",
+                self.LOAD_CONSISTENCY,
+                completed.append,
+                size_bytes=self.workload.value_size(),
+            )
+        # Drain everything (writes + background propagation) so the run phase
+        # starts from a consistent store.
+        self.cluster.settle()
+        if self.auditor is not None:
+            for result in completed:
+                self.auditor.observe_write(result)
+        self._loaded = True
+        return len(completed)
+
+    # ------------------------------------------------------------------
+    # Run phase
+    # ------------------------------------------------------------------
+    def run(self) -> RunMetrics:
+        """Execute the run phase and return the collected metrics."""
+        if not self._loaded:
+            self.load()
+        self.policy.attach(self.cluster)
+        engine = self.cluster.engine
+        start_time = engine.now
+        self.metrics.throughput.start(start_time)
+
+        clients = [
+            ClientThread(
+                thread_id=i,
+                cluster=self.cluster,
+                workload=self.workload,
+                read_level_provider=self._read_level,
+                write_level_provider=self._write_level,
+                take_budget=self._take_budget,
+                on_result=self._on_result,
+                on_issue=self._on_issue,
+                think_time=self.think_time,
+            )
+            for i in range(self.threads)
+        ]
+        for client in clients:
+            client.start()
+
+        deadline = start_time + self.max_virtual_time
+        while not all(client.finished for client in clients):
+            if engine.now > deadline:
+                for client in clients:
+                    client.stop()
+                break
+            if not engine.step():
+                break
+
+        end_time = engine.now
+        self.metrics.throughput.stop(end_time)
+        self.metrics.duration = end_time - start_time
+        # Capture the controller's estimate trace, if the policy kept one.
+        series = getattr(self.policy, "estimate_series", None)
+        if series is not None:
+            self.metrics.estimate_series = series
+        self.policy.detach()
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Client callbacks
+    # ------------------------------------------------------------------
+    def _take_budget(self) -> bool:
+        if self._remaining <= 0:
+            return False
+        self._remaining -= 1
+        return True
+
+    def _read_level(self) -> ConsistencyLevel:
+        return self.policy.read_level()
+
+    def _write_level(self) -> ConsistencyLevel:
+        return self.policy.write_level()
+
+    def _on_issue(self, operation: Operation) -> None:
+        if self.auditor is not None and not operation.op_type.is_write:
+            self.auditor.snapshot(operation.key)
+
+    def _on_result(self, operation: Operation, result: OperationResult) -> None:
+        latency = result.latency
+        self.metrics.overall_latency.record(latency)
+        self.metrics.throughput.record()
+        if result.op_type == "read":
+            self.metrics.counters.reads += 1
+            self.metrics.read_latency.record(latency)
+            if result.timed_out:
+                self.metrics.counters.read_timeouts += 1
+            if result.cell is None:
+                self.metrics.counters.read_misses += 1
+            level_name = result.consistency_level.value
+            self.metrics.consistency_level_usage[level_name] = (
+                self.metrics.consistency_level_usage.get(level_name, 0) + 1
+            )
+            if self.auditor is not None:
+                stale = self.auditor.judge(operation.key, result)
+                self.metrics.staleness.record(level_name, stale)
+        else:
+            self.metrics.counters.writes += 1
+            self.metrics.write_latency.record(latency)
+            if result.timed_out:
+                self.metrics.counters.write_timeouts += 1
+            if self.auditor is not None:
+                self.auditor.observe_write(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkloadExecutor({self.workload_config.name!r}, threads={self.threads}, "
+            f"policy={self.metrics.policy_name!r})"
+        )

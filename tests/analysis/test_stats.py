@@ -1,0 +1,79 @@
+"""Unit tests for the analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    crossover_point,
+    improvement_factor,
+    reduction_factor,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats["count"] == 4
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_empty_input(self):
+        stats = summarize([])
+        assert stats["count"] == 0
+        assert stats["mean"] == 0.0
+
+    def test_single_value_has_zero_std(self):
+        assert summarize([5.0])["std"] == 0.0
+
+
+class TestFactors:
+    def test_improvement_factor(self):
+        assert improvement_factor(100.0, 145.0) == pytest.approx(0.45)
+        assert improvement_factor(100.0, 80.0) == pytest.approx(-0.2)
+        assert improvement_factor(0.0, 50.0) == 0.0
+
+    def test_reduction_factor(self):
+        assert reduction_factor(100.0, 20.0) == pytest.approx(0.8)
+        assert reduction_factor(100.0, 100.0) == pytest.approx(0.0)
+        assert reduction_factor(0.0, 5.0) == 0.0
+
+
+class TestBootstrap:
+    def test_interval_contains_the_mean_for_well_behaved_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10.0, 1.0, size=200)
+        low, high = bootstrap_ci(data, confidence=0.95, seed=1)
+        assert low < 10.0 < high
+        assert high - low < 1.0
+
+    def test_degenerate_inputs(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+        assert bootstrap_ci([3.0]) == (3.0, 3.0)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestCrossover:
+    def test_finds_interpolated_crossing(self):
+        x = [0, 1, 2, 3]
+        a = [0, 1, 2, 3]
+        b = [2, 2, 2, 2]
+        assert crossover_point(x, a, b) == pytest.approx(2.0)
+
+    def test_none_when_series_never_cross(self):
+        assert crossover_point([0, 1], [0, 1], [5, 6]) is None
+
+    def test_exact_equality_counts_as_crossing(self):
+        assert crossover_point([0, 1, 2], [1, 2, 3], [1, 5, 6]) == pytest.approx(0.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            crossover_point([0, 1], [1], [1, 2])

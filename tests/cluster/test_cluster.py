@@ -1,0 +1,128 @@
+"""Unit tests for the SimulatedCluster facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.network.latency import ConstantLatency
+from repro.network.topology import uniform_topology
+
+
+class TestClusterConfig:
+    def test_defaults_are_valid(self):
+        config = ClusterConfig()
+        assert config.replication_factor <= config.n_nodes
+
+    def test_rf_larger_than_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_nodes=2, replication_factor=3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(strategy="bogus")
+
+    def test_explicit_topology_overrides_n_nodes(self):
+        topology = uniform_topology(8, racks_per_dc=2, datacenters=2)
+        cluster = SimulatedCluster(ClusterConfig(n_nodes=3, topology=topology))
+        assert cluster.topology.size == 8
+
+    def test_topology_smaller_than_rf_rejected(self):
+        topology = uniform_topology(2)
+        with pytest.raises(ValueError):
+            SimulatedCluster(ClusterConfig(topology=topology, replication_factor=3))
+
+
+class TestClusterBasics:
+    def test_every_node_gets_a_coordinator_and_storage(self, small_cluster):
+        assert len(small_cluster.nodes) == small_cluster.topology.size
+        assert len(small_cluster.coordinators) == small_cluster.topology.size
+
+    def test_replicas_for_returns_rf_distinct_nodes(self, small_cluster):
+        for i in range(30):
+            replicas = small_cluster.replicas_for(f"user{i}")
+            assert len(replicas) == small_cluster.replication_factor
+            assert len(set(replicas)) == small_cluster.replication_factor
+
+    def test_replicas_for_is_cached_and_stable(self, small_cluster):
+        first = small_cluster.replicas_for("user1")
+        second = small_cluster.replicas_for("user1")
+        assert first == second
+        assert first is not second  # a defensive copy is returned
+
+    def test_write_then_read_round_trip(self, small_cluster):
+        small_cluster.write_sync("k", "value-1", ConsistencyLevel.QUORUM)
+        result = small_cluster.read_sync("k", ConsistencyLevel.QUORUM)
+        assert result.cell.value == "value-1"
+
+    def test_round_robin_spreads_coordinators(self, small_cluster):
+        seen = set()
+        for i in range(small_cluster.topology.size * 2):
+            small_cluster.write_sync(f"key{i}", "v", ConsistencyLevel.ONE)
+        for counters in (small_cluster.stats.counters(a) for a in small_cluster.addresses):
+            if counters.coordinator_writes:
+                seen.add(counters.coordinator_writes)
+        total = sum(
+            small_cluster.stats.counters(a).coordinator_writes
+            for a in small_cluster.addresses
+        )
+        assert total == small_cluster.topology.size * 2
+        # Every node coordinated at least one write.
+        assert all(
+            small_cluster.stats.counters(a).coordinator_writes > 0
+            for a in small_cluster.addresses
+        )
+
+    def test_explicit_coordinator_choice(self, small_cluster):
+        target = small_cluster.addresses[2]
+        small_cluster.write_sync("k", "v", ConsistencyLevel.ONE, coordinator=target)
+        assert small_cluster.stats.counters(target).coordinator_writes == 1
+
+    def test_operation_observer_sees_all_operations(self, small_cluster):
+        seen = []
+        small_cluster.add_operation_observer(seen.append)
+        small_cluster.write_sync("k", "v", ConsistencyLevel.ONE)
+        small_cluster.read_sync("k", ConsistencyLevel.ONE)
+        assert [r.op_type for r in seen] == ["write", "read"]
+
+    def test_newest_cell_and_consistency_check(self, small_cluster):
+        small_cluster.write_sync("k", "v1", ConsistencyLevel.ALL)
+        small_cluster.settle()
+        assert small_cluster.newest_cell("k").value == "v1"
+        assert small_cluster.is_consistent("k")
+
+    def test_down_nodes_are_skipped_as_coordinators(self, small_cluster):
+        down = small_cluster.addresses[0]
+        small_cluster.take_down(down)
+        for i in range(6):
+            small_cluster.write_sync(f"k{i}", "v", ConsistencyLevel.ONE)
+        assert small_cluster.stats.counters(down).coordinator_writes == 0
+
+    def test_no_live_coordinator_raises(self, small_cluster):
+        for address in small_cluster.addresses:
+            small_cluster.take_down(address)
+        with pytest.raises(RuntimeError):
+            small_cluster.write_sync("k", "v", ConsistencyLevel.ONE)
+
+    def test_mean_inter_replica_latency_positive_and_scales(self):
+        config = ClusterConfig(
+            n_nodes=6,
+            replication_factor=3,
+            intra_rack_latency=ConstantLatency(0.001),
+            inter_rack_latency=ConstantLatency(0.002),
+            seed=3,
+        )
+        cluster = SimulatedCluster(config)
+        base = cluster.mean_inter_replica_latency()
+        assert base > 0
+        cluster.fabric.latency_scale = 3.0
+        assert cluster.mean_inter_replica_latency() == pytest.approx(3 * base)
+        per_key = cluster.mean_inter_replica_latency("user1")
+        assert per_key > 0
+
+    def test_settle_drains_background_work(self, small_cluster):
+        for i in range(20):
+            small_cluster.write_sync(f"k{i}", "v", ConsistencyLevel.ONE)
+        small_cluster.settle()
+        assert small_cluster.engine.pending_events == 0

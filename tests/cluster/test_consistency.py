@@ -1,0 +1,109 @@
+"""Unit tests for consistency levels and quorum arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    is_strongly_consistent,
+    level_for_replicas,
+    quorum_size,
+)
+
+
+@pytest.mark.parametrize(
+    "rf,expected",
+    [(1, 1), (2, 2), (3, 2), (4, 3), (5, 3), (6, 4), (7, 4)],
+)
+def test_quorum_size_formula(rf, expected):
+    assert quorum_size(rf) == expected
+
+
+def test_quorum_size_rejects_non_positive_rf():
+    with pytest.raises(ValueError):
+        quorum_size(0)
+
+
+@pytest.mark.parametrize(
+    "level,rf,expected",
+    [
+        (ConsistencyLevel.ONE, 5, 1),
+        (ConsistencyLevel.TWO, 5, 2),
+        (ConsistencyLevel.THREE, 5, 3),
+        (ConsistencyLevel.QUORUM, 5, 3),
+        (ConsistencyLevel.ALL, 5, 5),
+        (ConsistencyLevel.ANY, 5, 1),
+        (ConsistencyLevel.QUORUM, 3, 2),
+        (ConsistencyLevel.ALL, 1, 1),
+    ],
+)
+def test_blocked_for(level, rf, expected):
+    assert level.blocked_for(rf) == expected
+
+
+def test_blocked_for_rejects_levels_above_replication_factor():
+    with pytest.raises(ValueError):
+        ConsistencyLevel.THREE.blocked_for(2)
+
+
+def test_blocked_for_rejects_bad_rf():
+    with pytest.raises(ValueError):
+        ConsistencyLevel.ONE.blocked_for(0)
+
+
+def test_any_is_write_only():
+    assert ConsistencyLevel.ANY.is_write_only
+    assert not ConsistencyLevel.ONE.is_write_only
+
+
+@pytest.mark.parametrize(
+    "replicas,rf,expected",
+    [
+        (1, 5, ConsistencyLevel.ONE),
+        (2, 5, ConsistencyLevel.TWO),
+        (3, 5, ConsistencyLevel.THREE),
+        (4, 5, ConsistencyLevel.ALL),
+        (5, 5, ConsistencyLevel.ALL),
+        (0, 5, ConsistencyLevel.ONE),     # clamped up to one replica
+        (9, 5, ConsistencyLevel.ALL),     # clamped down to the RF
+        (2, 3, ConsistencyLevel.TWO),
+        (3, 3, ConsistencyLevel.ALL),
+        (1, 1, ConsistencyLevel.ALL),
+        (2.3, 5, ConsistencyLevel.THREE),  # real-valued Xn is ceiled
+    ],
+)
+def test_level_for_replicas(replicas, rf, expected):
+    assert level_for_replicas(replicas, rf) == expected
+
+
+def test_level_for_replicas_always_covers_the_request():
+    for rf in range(1, 8):
+        for replicas in range(1, rf + 1):
+            level = level_for_replicas(replicas, rf)
+            assert level.blocked_for(rf) >= replicas
+
+
+def test_level_for_replicas_rejects_bad_rf():
+    with pytest.raises(ValueError):
+        level_for_replicas(1, 0)
+
+
+@pytest.mark.parametrize(
+    "read,write,rf,expected",
+    [
+        (ConsistencyLevel.ONE, ConsistencyLevel.ONE, 3, False),
+        (ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM, 3, True),
+        (ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM, 5, True),
+        (ConsistencyLevel.ALL, ConsistencyLevel.ONE, 5, True),
+        (ConsistencyLevel.ONE, ConsistencyLevel.ALL, 5, True),
+        (ConsistencyLevel.THREE, ConsistencyLevel.ONE, 5, False),
+        (ConsistencyLevel.TWO, ConsistencyLevel.TWO, 3, True),
+    ],
+)
+def test_is_strongly_consistent(read, write, rf, expected):
+    assert is_strongly_consistent(read, write, rf) is expected
+
+
+def test_str_representation():
+    assert str(ConsistencyLevel.QUORUM) == "QUORUM"

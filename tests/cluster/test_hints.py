@@ -1,0 +1,59 @@
+"""Unit tests for hinted handoff storage."""
+
+from __future__ import annotations
+
+from repro.cluster.hints import Hint, HintStore
+from repro.cluster.storage import Cell
+from repro.network.topology import NodeAddress
+
+
+def make_hint(node_id: int = 0, ts: float = 1.0) -> Hint:
+    return Hint(
+        target=NodeAddress("dc1", "r1", node_id),
+        cell=Cell(timestamp=ts, value_id=0, key="k", value="v", size_bytes=8),
+        created_at=ts,
+    )
+
+
+def test_add_and_pending_counts():
+    store = HintStore()
+    store.add(make_hint(0))
+    store.add(make_hint(0))
+    store.add(make_hint(1))
+    assert store.stored == 3
+    assert store.pending_for(NodeAddress("dc1", "r1", 0)) == 2
+    assert store.pending_for(NodeAddress("dc1", "r1", 1)) == 1
+    assert store.pending_for(NodeAddress("dc1", "r1", 9)) == 0
+    assert store.total_pending() == 3
+    assert len(store.targets()) == 2
+
+
+def test_replay_delivers_in_order_and_clears():
+    store = HintStore()
+    target = NodeAddress("dc1", "r1", 0)
+    for ts in (1.0, 2.0, 3.0):
+        store.add(make_hint(0, ts))
+    delivered = []
+    count = store.replay(target, delivered.append)
+    assert count == 3
+    assert [h.cell.timestamp for h in delivered] == [1.0, 2.0, 3.0]
+    assert store.pending_for(target) == 0
+    assert store.replayed == 3
+
+
+def test_replay_unknown_target_is_noop():
+    store = HintStore()
+    assert store.replay(NodeAddress("dc1", "r1", 5), lambda h: None) == 0
+
+
+def test_overflow_discards_oldest():
+    store = HintStore(max_hints_per_target=3)
+    for ts in range(6):
+        store.add(make_hint(0, float(ts)))
+    target = NodeAddress("dc1", "r1", 0)
+    assert store.pending_for(target) == 3
+    assert store.discarded == 3
+    delivered = []
+    store.replay(target, delivered.append)
+    # The newest three hints survive.
+    assert [h.cell.timestamp for h in delivered] == [3.0, 4.0, 5.0]

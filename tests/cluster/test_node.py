@@ -1,0 +1,217 @@
+"""Unit tests for the storage node (queueing, service, failure injection)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import NodeConfig, StorageNode
+from repro.cluster.stats import NodeCounters
+from repro.cluster.storage import Cell
+from repro.network.fabric import Message, NetworkFabric
+from repro.network.latency import ConstantLatency
+from repro.network.topology import TopologyBuilder
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+
+def build_node(config: NodeConfig | None = None):
+    engine = SimulationEngine()
+    topo = (
+        TopologyBuilder()
+        .latencies(intra_rack=ConstantLatency(0.0001), loopback=ConstantLatency(0.00001))
+        .datacenter("dc1")
+        .rack("r1", nodes=2)
+        .build()
+    )
+    fabric = NetworkFabric(engine, topo, RandomStreams(seed=2))
+    counters = NodeCounters()
+    node_address, coordinator_address = topo.nodes
+    node = StorageNode(
+        engine=engine,
+        fabric=fabric,
+        address=node_address,
+        config=config or NodeConfig(
+            concurrency=2,
+            read_service_time=0.001,
+            write_service_time=0.001,
+            service_time_cv=0.2,
+            queue_capacity=4,
+        ),
+        streams=RandomStreams(seed=3),
+        counters=counters,
+    )
+    fabric.register(node_address, node.handle_message)
+    responses = []
+    fabric.register(coordinator_address, responses.append)
+    return engine, fabric, node, coordinator_address, responses, counters
+
+
+def write_message(src, dst, key="k", ts=1.0, request_id=0) -> Message:
+    cell = Cell(timestamp=ts, value_id=0, key=key, value="v", size_bytes=16)
+    return Message(
+        msg_id=0,
+        src=src,
+        dst=dst,
+        kind="write_request",
+        payload={"request_id": request_id, "cell": cell},
+    )
+
+
+def read_message(src, dst, key="k", request_id=1) -> Message:
+    return Message(
+        msg_id=1,
+        src=src,
+        dst=dst,
+        kind="read_request",
+        payload={"request_id": request_id, "key": key},
+    )
+
+
+def test_write_is_applied_and_acknowledged():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    node.handle_message(write_message(coordinator, node.address))
+    engine.run()
+    assert node.peek("k") is not None
+    assert counters.writes_applied == 1
+    assert len(responses) == 1
+    assert responses[0].kind == "write_response"
+
+
+def test_read_returns_stored_cell():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    node.handle_message(write_message(coordinator, node.address, ts=3.0))
+    engine.run()
+    responses.clear()
+    node.handle_message(read_message(coordinator, node.address))
+    engine.run()
+    assert len(responses) == 1
+    assert responses[0].kind == "read_response"
+    assert responses[0].payload["cell"].timestamp == 3.0
+    assert counters.reads_served == 1
+
+
+def test_read_miss_returns_none_cell():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    node.handle_message(read_message(coordinator, node.address, key="missing"))
+    engine.run()
+    assert responses[0].payload["cell"] is None
+
+
+def test_concurrency_limit_queues_requests():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    for i in range(4):
+        node.handle_message(write_message(coordinator, node.address, key=f"k{i}", request_id=i))
+    # Two workers busy, two queued.
+    assert node.busy_workers == 2
+    assert node.queue_depth == 2
+    engine.run()
+    assert counters.writes_applied == 4
+    assert node.queue_depth == 0
+
+
+def test_queue_capacity_rejects_overflow():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    for i in range(20):
+        node.handle_message(write_message(coordinator, node.address, key=f"k{i}", request_id=i))
+    assert counters.queue_rejections > 0
+    engine.run()
+    assert counters.writes_applied == 20 - counters.queue_rejections
+
+
+def test_down_node_drops_requests():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    node.go_down()
+    assert not node.is_up
+    node.handle_message(write_message(coordinator, node.address))
+    engine.run()
+    assert node.peek("k") is None
+    assert counters.dropped_mutations >= 1
+    node.come_up()
+    assert node.is_up
+
+
+def test_repair_write_counts_as_read_repair():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    message = write_message(coordinator, node.address)
+    message.kind = "repair_write"
+    node.handle_message(message)
+    engine.run()
+    assert counters.read_repairs == 1
+    assert node.peek("k") is not None
+
+
+def test_hint_replay_applies_without_worker_slot():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    message = write_message(coordinator, node.address)
+    message.kind = "hint_replay"
+    node.handle_message(message)
+    assert node.peek("k") is not None  # applied synchronously
+    assert node.busy_workers == 0
+
+
+def test_unknown_message_kind_raises():
+    engine, fabric, node, coordinator, responses, counters = build_node()
+    bogus = write_message(coordinator, node.address)
+    bogus.kind = "bogus_kind"
+    with pytest.raises(ValueError):
+        node.handle_message(bogus)
+
+
+def test_slowdown_increases_service_time():
+    config = NodeConfig(
+        concurrency=1,
+        read_service_time=0.001,
+        write_service_time=0.001,
+        service_time_cv=0.05,
+    )
+    engine, fabric, node, coordinator, responses, counters = build_node(config)
+    node.handle_message(write_message(coordinator, node.address, key="fast"))
+    engine.run()
+    fast_time = engine.now
+
+    engine2, fabric2, node2, coordinator2, responses2, counters2 = build_node(config)
+    node2.slowdown = 10.0
+    node2.handle_message(write_message(coordinator2, node2.address, key="slow"))
+    engine2.run()
+    assert engine2.now > fast_time * 3
+
+
+def test_slowdown_validation():
+    engine, fabric, node, *_ = build_node()
+    with pytest.raises(ValueError):
+        node.slowdown = 0.0
+
+
+def test_digest_reads_are_cheaper_on_average():
+    config = NodeConfig(
+        concurrency=1,
+        read_service_time=0.002,
+        write_service_time=0.001,
+        digest_service_factor=0.25,
+        service_time_cv=0.05,
+    )
+    engine, fabric, node, coordinator, responses, counters = build_node(config)
+    # Full data read.
+    node.handle_message(read_message(coordinator, node.address, key="a", request_id=1))
+    engine.run()
+    full_read_time = engine.now
+    # Digest read on a fresh node (new engine) for a clean comparison.
+    engine2, fabric2, node2, coordinator2, responses2, counters2 = build_node(config)
+    message = read_message(coordinator2, node2.address, key="a", request_id=2)
+    message.payload["digest"] = True
+    node2.handle_message(message)
+    engine2.run()
+    assert engine2.now < full_read_time
+
+
+def test_node_config_validation():
+    with pytest.raises(ValueError):
+        NodeConfig(concurrency=0)
+    with pytest.raises(ValueError):
+        NodeConfig(read_service_time=0)
+    with pytest.raises(ValueError):
+        NodeConfig(service_time_cv=0)
+    with pytest.raises(ValueError):
+        NodeConfig(queue_capacity=0)
+    with pytest.raises(ValueError):
+        NodeConfig(digest_service_factor=0.0)

@@ -1,0 +1,96 @@
+"""Unit tests for the token ring and partitioners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import Murmur3Partitioner, RandomPartitioner, TokenRing
+from repro.network.topology import NodeAddress
+
+
+def make_nodes(n: int):
+    return [NodeAddress("dc1", f"r{i % 2 + 1}", i) for i in range(n)]
+
+
+class TestPartitioners:
+    def test_tokens_are_deterministic(self):
+        p = Murmur3Partitioner()
+        assert p.token("user42") == p.token("user42")
+
+    def test_tokens_differ_across_keys(self):
+        p = Murmur3Partitioner()
+        tokens = {p.token(f"user{i}") for i in range(1000)}
+        assert len(tokens) == 1000
+
+    def test_tokens_within_space(self):
+        for partitioner in (Murmur3Partitioner(), RandomPartitioner()):
+            for i in range(100):
+                token = partitioner.token(f"key{i}")
+                assert 0 <= token < partitioner.TOKEN_SPACE
+
+    def test_random_partitioner_matches_md5_prefix(self):
+        import hashlib
+
+        p = RandomPartitioner()
+        expected = int.from_bytes(hashlib.md5(b"abc").digest()[:8], "big")
+        assert p.token("abc") == expected
+
+    def test_node_tokens_differ_per_vnode_index(self):
+        p = Murmur3Partitioner()
+        node = NodeAddress("dc1", "r1", 0)
+        assert p.node_token(node, 0) != p.node_token(node, 1)
+
+
+class TestTokenRing:
+    def test_primary_replica_is_stable(self):
+        ring = TokenRing(make_nodes(5))
+        assert ring.primary_replica("user1") == ring.primary_replica("user1")
+
+    def test_walk_visits_every_node_once(self):
+        nodes = make_nodes(6)
+        ring = TokenRing(nodes)
+        walk = ring.walk_from_key("some-key")
+        assert len(walk) == 6
+        assert set(walk) == set(nodes)
+
+    def test_walk_starts_at_the_owner(self):
+        ring = TokenRing(make_nodes(4))
+        key = "user123"
+        assert ring.walk_from_key(key)[0] == ring.primary_replica(key)
+
+    def test_ownership_spreads_over_nodes(self):
+        nodes = make_nodes(8)
+        ring = TokenRing(nodes, vnodes=16)
+        keys = [f"user{i}" for i in range(4000)]
+        ownership = ring.ownership(keys)
+        assert set(ownership) == set(nodes)
+        counts = list(ownership.values())
+        # With 16 vnodes the spread should be reasonably even: no node owns
+        # more than 3x the fair share, and every node owns something.
+        fair = len(keys) / len(nodes)
+        assert min(counts) > 0
+        assert max(counts) < 3 * fair
+
+    def test_single_node_ring_owns_everything(self):
+        node = NodeAddress("dc1", "r1", 0)
+        ring = TokenRing([node])
+        assert ring.primary_replica("anything") == node
+
+    def test_duplicate_nodes_rejected(self):
+        node = NodeAddress("dc1", "r1", 0)
+        with pytest.raises(ValueError):
+            TokenRing([node, node])
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ValueError):
+            TokenRing([])
+
+    def test_invalid_vnodes_rejected(self):
+        with pytest.raises(ValueError):
+            TokenRing(make_nodes(2), vnodes=0)
+
+    def test_different_vnode_counts_change_spread_not_membership(self):
+        nodes = make_nodes(5)
+        few = TokenRing(nodes, vnodes=1)
+        many = TokenRing(nodes, vnodes=32)
+        assert set(few.walk_from_key("k")) == set(many.walk_from_key("k"))

@@ -1,0 +1,104 @@
+"""Shared pytest fixtures: small, fast cluster and workload configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.node import NodeConfig
+from repro.experiments.figures import FigureDefaults
+from repro.experiments.scenarios import GRID5000, EC2
+from repro.network.latency import ConstantLatency
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+from repro.workload.workloads import WORKLOAD_A, WORKLOAD_B
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams."""
+    return RandomStreams(seed=1234)
+
+
+@pytest.fixture
+def small_cluster_config() -> ClusterConfig:
+    """A 6-node, RF=3 cluster with fast nodes for quick unit tests."""
+    return ClusterConfig(
+        n_nodes=6,
+        replication_factor=3,
+        seed=42,
+        node=NodeConfig(
+            concurrency=8,
+            read_service_time=0.001,
+            write_service_time=0.0008,
+            service_time_cv=0.3,
+        ),
+    )
+
+
+@pytest.fixture
+def small_cluster(small_cluster_config) -> SimulatedCluster:
+    """A ready-to-use small cluster."""
+    return SimulatedCluster(small_cluster_config)
+
+
+@pytest.fixture
+def deterministic_cluster() -> SimulatedCluster:
+    """A cluster whose network latency is constant (analytic checks)."""
+    config = ClusterConfig(
+        n_nodes=5,
+        replication_factor=3,
+        seed=7,
+        intra_rack_latency=ConstantLatency(0.0002),
+        inter_rack_latency=ConstantLatency(0.0004),
+        node=NodeConfig(
+            concurrency=8,
+            read_service_time=0.001,
+            write_service_time=0.0008,
+            service_time_cv=0.2,
+        ),
+    )
+    return SimulatedCluster(config)
+
+
+@pytest.fixture
+def tiny_workload_a():
+    """Workload A scaled to a size unit tests can run in well under a second."""
+    return WORKLOAD_A.scaled(record_count=50, operation_count=300)
+
+
+@pytest.fixture
+def tiny_workload_b():
+    """Workload B scaled down the same way."""
+    return WORKLOAD_B.scaled(record_count=50, operation_count=300)
+
+
+@pytest.fixture
+def quick_figure_defaults() -> FigureDefaults:
+    """Figure defaults shrunk so experiment-harness tests stay fast."""
+    return FigureDefaults(
+        record_count=120,
+        operation_count=600,
+        thread_steps=(2, 10),
+        n_nodes=6,
+        seed=3,
+        monitoring_interval=0.05,
+    )
+
+
+@pytest.fixture
+def grid5000_scenario():
+    """The Grid'5000 scenario (shared, immutable)."""
+    return GRID5000
+
+
+@pytest.fixture
+def ec2_scenario():
+    """The EC2 scenario (shared, immutable)."""
+    return EC2

@@ -1,0 +1,141 @@
+"""Unit tests for the Harmony adaptive consistency controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.core.config import HarmonyConfig
+from repro.core.controller import HarmonyController
+from repro.core.monitor import MonitoringSample
+from repro.network.latency import ConstantLatency
+
+
+def make_cluster(rf=3, n_nodes=6) -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            n_nodes=n_nodes,
+            replication_factor=rf,
+            seed=17,
+            intra_rack_latency=ConstantLatency(0.0003),
+            inter_rack_latency=ConstantLatency(0.0005),
+        )
+    )
+
+
+def sample(read_rate: float, write_rate: float, tp: float, time: float = 1.0) -> MonitoringSample:
+    return MonitoringSample(
+        time=time,
+        read_rate=read_rate,
+        write_rate=write_rate,
+        raw_read_rate=read_rate,
+        raw_write_rate=write_rate,
+        network_latency=tp,
+        propagation_time=tp,
+        window=1.0,
+    )
+
+
+class TestDecisionScheme:
+    def test_idle_cluster_chooses_eventual_consistency(self):
+        controller = HarmonyController(make_cluster(), HarmonyConfig(tolerated_stale_rate=0.2))
+        decision = controller.decide(sample(0.0, 0.0, 0.001))
+        assert decision.level is ConsistencyLevel.ONE
+        assert decision.replicas == 1
+
+    def test_tolerant_application_keeps_level_one(self):
+        controller = HarmonyController(make_cluster(), HarmonyConfig(tolerated_stale_rate=1.0))
+        decision = controller.decide(sample(5000.0, 5000.0, 0.01))
+        assert decision.level is ConsistencyLevel.ONE
+
+    def test_zero_tolerance_under_load_reads_all_replicas(self):
+        cluster = make_cluster(rf=3)
+        controller = HarmonyController(cluster, HarmonyConfig(tolerated_stale_rate=0.0))
+        decision = controller.decide(sample(2000.0, 2000.0, 0.01))
+        assert decision.replicas == 3
+        assert decision.level is ConsistencyLevel.ALL
+
+    def test_moderate_tolerance_picks_intermediate_level(self):
+        cluster = make_cluster(rf=5, n_nodes=6)
+        controller = HarmonyController(cluster, HarmonyConfig(tolerated_stale_rate=0.3))
+        decision = controller.decide(sample(2000.0, 1500.0, 0.0003))
+        assert 1 < decision.replicas < 5
+
+    def test_estimate_above_tolerance_raises_the_level(self):
+        cluster = make_cluster(rf=5, n_nodes=6)
+        controller = HarmonyController(cluster, HarmonyConfig(tolerated_stale_rate=0.2))
+        light = controller.decide(sample(50.0, 10.0, 0.0002))
+        heavy = controller.decide(sample(8000.0, 8000.0, 0.002))
+        assert light.replicas <= heavy.replicas
+        assert heavy.replicas > 1
+
+    def test_decision_matches_model_xn(self):
+        cluster = make_cluster(rf=5, n_nodes=6)
+        config = HarmonyConfig(tolerated_stale_rate=0.25)
+        controller = HarmonyController(cluster, config)
+        s = sample(3000.0, 2000.0, 0.0004)
+        decision = controller.decide(s)
+        expected = controller.model.estimate(
+            read_rate=s.read_rate,
+            write_rate=s.write_rate,
+            propagation_time=s.propagation_time,
+            tolerated_stale_rate=0.25,
+        )
+        if 0.25 >= expected.probability:
+            assert decision.replicas == 1
+        else:
+            assert decision.replicas == expected.required_replicas
+
+    def test_decisions_and_series_are_recorded(self):
+        controller = HarmonyController(make_cluster(), HarmonyConfig(tolerated_stale_rate=0.5))
+        controller.decide(sample(100.0, 50.0, 0.001, time=1.0))
+        controller.decide(sample(200.0, 100.0, 0.001, time=2.0))
+        assert len(controller.decisions) == 2
+        assert len(controller.estimate_series) == 2
+        assert len(controller.level_series) == 2
+        assert controller.current_estimate == controller.decisions[-1].estimate.probability
+
+    def test_current_estimate_defaults_to_zero(self):
+        controller = HarmonyController(make_cluster())
+        assert controller.current_estimate == 0.0
+        assert controller.read_level is ConsistencyLevel.ONE
+        assert controller.read_replicas == 1
+
+
+class TestPeriodicLoop:
+    def test_start_schedules_periodic_ticks(self):
+        cluster = make_cluster()
+        config = HarmonyConfig(tolerated_stale_rate=0.2, monitoring_interval=0.1)
+        controller = HarmonyController(cluster, config)
+        controller.start()
+        cluster.engine.run_until(cluster.engine.now + 0.55)
+        assert len(controller.decisions) == 5
+        controller.stop()
+        decisions_after_stop = len(controller.decisions)
+        cluster.engine.run_until(cluster.engine.now + 0.5)
+        assert len(controller.decisions) == decisions_after_stop
+
+    def test_start_twice_does_not_double_schedule(self):
+        cluster = make_cluster()
+        config = HarmonyConfig(tolerated_stale_rate=0.2, monitoring_interval=0.1)
+        controller = HarmonyController(cluster, config)
+        controller.start()
+        controller.start()
+        cluster.engine.run_until(cluster.engine.now + 0.35)
+        assert len(controller.decisions) == 3
+        controller.stop()
+
+    def test_ticks_react_to_live_traffic(self):
+        cluster = make_cluster(rf=3)
+        config = HarmonyConfig(tolerated_stale_rate=0.05, monitoring_interval=0.05)
+        controller = HarmonyController(cluster, config)
+        controller.start()
+        # Generate heavy traffic so the measured rates are non-trivial.
+        for i in range(300):
+            cluster.write(f"k{i % 20}", "v", ConsistencyLevel.ONE)
+            cluster.read(f"k{i % 20}", ConsistencyLevel.ONE)
+        cluster.engine.run_until(cluster.engine.now + 0.2)
+        controller.stop()
+        assert len(controller.decisions) >= 2
+        assert controller.decisions[-1].estimate.read_rate > 0

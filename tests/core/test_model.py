@@ -1,0 +1,200 @@
+"""Unit tests for the closed-form stale-read estimation model (paper Eq. 1-8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.model import StaleReadModel, propagation_time
+
+
+class TestPropagationTime:
+    def test_pure_latency(self):
+        assert propagation_time(0.001) == pytest.approx(0.001)
+
+    def test_write_size_adds_transfer_time(self):
+        # 125000 bytes at 1 Gbit/s is one millisecond.
+        assert propagation_time(0.001, avg_write_size=125_000) == pytest.approx(0.002)
+
+    def test_overhead_is_added(self):
+        assert propagation_time(0.001, overhead=0.0005) == pytest.approx(0.0015)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            propagation_time(-0.001)
+        with pytest.raises(ValueError):
+            propagation_time(0.001, avg_write_size=-1)
+        with pytest.raises(ValueError):
+            propagation_time(0.001, bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            propagation_time(0.001, overhead=-1)
+
+
+class TestStaleReadProbability:
+    def test_matches_closed_form_equation_6(self):
+        """Direct check against the paper's Eq. (6)."""
+        n, lambda_r, write_rate, tp = 5, 200.0, 100.0, 0.005
+        lambda_w = 1.0 / write_rate
+        expected = ((n - 1) * (1 - math.exp(-lambda_r * tp)) * (1 + lambda_r * lambda_w)) / (
+            n * lambda_r * lambda_w
+        )
+        model = StaleReadModel(n)
+        assert model.stale_read_probability(lambda_r, write_rate, tp) == pytest.approx(
+            min(1.0, expected)
+        )
+
+    def test_probability_is_clamped_to_one(self):
+        model = StaleReadModel(5)
+        p = model.stale_read_probability(read_rate=100_000, write_rate=100_000,
+                                         propagation_time=0.5)
+        assert p == 1.0
+        raw = model.estimate(100_000, 100_000, 0.5).raw_probability
+        assert raw > 1.0
+
+    def test_no_reads_means_no_stale_reads(self):
+        model = StaleReadModel(3)
+        assert model.stale_read_probability(0.0, 100.0, 0.01) == 0.0
+
+    def test_no_writes_means_no_stale_reads(self):
+        model = StaleReadModel(3)
+        assert model.stale_read_probability(100.0, 0.0, 0.01) == 0.0
+
+    def test_zero_propagation_time_means_no_stale_reads(self):
+        model = StaleReadModel(3)
+        assert model.stale_read_probability(100.0, 100.0, 0.0) == 0.0
+
+    def test_single_replica_never_stale(self):
+        model = StaleReadModel(1)
+        assert model.stale_read_probability(1000.0, 1000.0, 0.1) == 0.0
+
+    def test_reading_all_replicas_never_stale(self):
+        model = StaleReadModel(5)
+        p = model.stale_read_probability(
+            1000.0, 1000.0, 0.1, read_replicas=5
+        )
+        assert p == 0.0
+
+    def test_probability_increases_with_propagation_time(self):
+        model = StaleReadModel(5)
+        probabilities = [
+            model.stale_read_probability(200.0, 100.0, tp)
+            for tp in (0.0001, 0.001, 0.01, 0.05)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_probability_increases_with_write_rate(self):
+        model = StaleReadModel(5)
+        probabilities = [
+            model.stale_read_probability(200.0, wr, 0.002) for wr in (10, 50, 200, 1000)
+        ]
+        assert probabilities == sorted(probabilities)
+
+    def test_probability_decreases_with_read_replicas(self):
+        model = StaleReadModel(5)
+        probabilities = [
+            model.stale_read_probability(500.0, 500.0, 0.002, read_replicas=x)
+            for x in (1, 2, 3, 4, 5)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert probabilities[-1] == 0.0
+
+    def test_write_interarrival_parameterisation_is_equivalent(self):
+        model = StaleReadModel(5)
+        via_rate = model.stale_read_probability(300.0, 150.0, 0.003)
+        via_interarrival = model.stale_read_probability(
+            300.0, propagation_time=0.003, write_interarrival=1 / 150.0
+        )
+        assert via_rate == pytest.approx(via_interarrival)
+
+    def test_high_read_rate_limit_approaches_n_minus_1_over_n(self):
+        model = StaleReadModel(5)
+        p = model.stale_read_probability(
+            read_rate=1e6, propagation_time=0.01, write_interarrival=10.0
+        )
+        assert p == pytest.approx(4 / 5, rel=0.01)
+
+    def test_parameter_validation(self):
+        model = StaleReadModel(3)
+        with pytest.raises(ValueError):
+            model.stale_read_probability(-1.0, 10.0, 0.01)
+        with pytest.raises(ValueError):
+            model.stale_read_probability(1.0, 10.0, -0.01)
+        with pytest.raises(ValueError):
+            model.stale_read_probability(1.0, 10.0, 0.01, read_replicas=0)
+        with pytest.raises(ValueError):
+            model.stale_read_probability(1.0, 10.0, 0.01, read_replicas=4)
+        with pytest.raises(ValueError):
+            model.stale_read_probability(1.0, propagation_time=0.01)  # no write load given
+        with pytest.raises(ValueError):
+            model.stale_read_probability(
+                1.0, 10.0, 0.01, write_interarrival=0.1
+            )  # both given
+        with pytest.raises(ValueError):
+            StaleReadModel(0)
+
+
+class TestRequiredReplicas:
+    def test_zero_tolerance_requires_all_replicas(self):
+        model = StaleReadModel(5)
+        assert model.required_replicas(
+            200.0, 100.0, 0.01, tolerated_stale_rate=0.0
+        ) == 5
+
+    def test_full_tolerance_requires_one_replica(self):
+        model = StaleReadModel(5)
+        assert model.required_replicas(
+            200.0, 100.0, 0.01, tolerated_stale_rate=1.0
+        ) == 1
+
+    def test_idle_workload_requires_one_replica(self):
+        model = StaleReadModel(5)
+        assert model.required_replicas(0.0, 0.0, 0.01, tolerated_stale_rate=0.0) == 1
+
+    def test_required_replicas_monotone_in_tolerance(self):
+        model = StaleReadModel(5)
+        values = [
+            model.required_replicas(500.0, 400.0, 0.005, tolerated_stale_rate=asr)
+            for asr in (0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_required_replicas_bounded_by_replication_factor(self):
+        for n in (1, 3, 5, 7):
+            model = StaleReadModel(n)
+            for asr in (0.0, 0.3, 0.9):
+                xn = model.required_replicas(1000.0, 1000.0, 0.05, tolerated_stale_rate=asr)
+                assert 1 <= xn <= n
+
+    def test_consistency_between_xn_and_probability(self):
+        """Setting the tolerance exactly at the X=1 estimate yields Xn == 1."""
+        model = StaleReadModel(5)
+        p1 = model.stale_read_probability(300.0, 200.0, 0.004)
+        xn = model.required_replicas(300.0, 200.0, 0.004, tolerated_stale_rate=p1 + 1e-9)
+        assert xn == 1
+
+    def test_matches_closed_form_equation_8(self):
+        n, lambda_r, write_rate, tp, asr = 5, 400.0, 250.0, 0.003, 0.25
+        lambda_w = 1.0 / write_rate
+        d = (1 - math.exp(-lambda_r * tp)) * (1 + lambda_r * lambda_w)
+        expected_raw = n * (d - asr * lambda_r * lambda_w) / d
+        model = StaleReadModel(n)
+        estimate = model.estimate(lambda_r, write_rate, tp, tolerated_stale_rate=asr)
+        assert estimate.raw_required_replicas == pytest.approx(expected_raw)
+        assert estimate.required_replicas == max(1, min(n, math.ceil(expected_raw - 1e-12)))
+
+    def test_invalid_tolerance_rejected(self):
+        model = StaleReadModel(3)
+        with pytest.raises(ValueError):
+            model.required_replicas(1.0, 1.0, 0.1, tolerated_stale_rate=1.5)
+
+
+class TestEstimateObject:
+    def test_estimate_echoes_inputs(self):
+        model = StaleReadModel(3)
+        estimate = model.estimate(100.0, 50.0, 0.002, tolerated_stale_rate=0.3)
+        assert estimate.read_rate == 100.0
+        assert estimate.write_interarrival == pytest.approx(1 / 50.0)
+        assert estimate.propagation == 0.002
+        assert 0.0 <= estimate.probability <= 1.0
+        assert 1 <= estimate.required_replicas <= 3

@@ -1,0 +1,133 @@
+"""Unit tests for the consistency policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.core.config import HarmonyConfig
+from repro.core.policy import (
+    ConsistencyPolicy,
+    HarmonyPolicy,
+    StaticEventualPolicy,
+    StaticQuorumPolicy,
+    StaticStrongPolicy,
+    ThresholdPolicy,
+)
+
+
+@pytest.fixture
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(n_nodes=6, replication_factor=3, seed=23))
+
+
+class TestStaticPolicies:
+    def test_eventual_uses_level_one_for_everything(self):
+        policy = StaticEventualPolicy()
+        assert policy.read_level() is ConsistencyLevel.ONE
+        assert policy.write_level() is ConsistencyLevel.ONE
+        assert policy.name == "eventual"
+
+    def test_strong_reads_all_writes_one(self):
+        policy = StaticStrongPolicy()
+        assert policy.read_level() is ConsistencyLevel.ALL
+        assert policy.write_level() is ConsistencyLevel.ONE
+        assert policy.name == "strong"
+
+    def test_quorum_policy(self):
+        policy = StaticQuorumPolicy()
+        assert policy.read_level() is ConsistencyLevel.QUORUM
+        assert policy.write_level() is ConsistencyLevel.QUORUM
+
+    def test_attach_detach_are_noops(self, cluster):
+        policy = StaticEventualPolicy()
+        policy.attach(cluster)
+        policy.detach()
+
+    def test_describe_mentions_levels(self):
+        text = ConsistencyPolicy(ConsistencyLevel.TWO, ConsistencyLevel.ONE).describe()
+        assert "TWO" in text and "ONE" in text
+
+
+class TestHarmonyPolicy:
+    def test_requires_an_asr_or_config(self):
+        with pytest.raises(ValueError):
+            HarmonyPolicy()
+
+    def test_conflicting_asr_and_config_rejected(self):
+        with pytest.raises(ValueError):
+            HarmonyPolicy(tolerated_stale_rate=0.3, config=HarmonyConfig(tolerated_stale_rate=0.5))
+
+    def test_name_reflects_the_asr(self):
+        assert HarmonyPolicy(tolerated_stale_rate=0.2).name == "harmony-20%"
+        assert HarmonyPolicy(tolerated_stale_rate=0.6).name == "harmony-60%"
+
+    def test_read_level_before_attach_is_one(self):
+        policy = HarmonyPolicy(tolerated_stale_rate=0.4)
+        assert policy.read_level() is ConsistencyLevel.ONE
+        assert len(policy.estimate_series) == 0
+
+    def test_attach_starts_a_controller_and_detach_stops_it(self, cluster):
+        policy = HarmonyPolicy(
+            config=HarmonyConfig(tolerated_stale_rate=0.4, monitoring_interval=0.05)
+        )
+        policy.attach(cluster)
+        assert policy.controller is not None
+        cluster.engine.run_until(cluster.engine.now + 0.3)
+        decisions = len(policy.controller.decisions)
+        assert decisions >= 5
+        policy.detach()
+        cluster.engine.run_until(cluster.engine.now + 0.3)
+        assert len(policy.controller.decisions) == decisions
+
+    def test_estimate_series_is_exposed_after_attach(self, cluster):
+        policy = HarmonyPolicy(
+            config=HarmonyConfig(tolerated_stale_rate=0.4, monitoring_interval=0.05)
+        )
+        policy.attach(cluster)
+        cluster.engine.run_until(cluster.engine.now + 0.2)
+        policy.detach()
+        assert len(policy.estimate_series) >= 1
+
+    def test_describe_includes_asr_and_interval(self):
+        text = HarmonyPolicy(tolerated_stale_rate=0.25).describe()
+        assert "0.25" in text
+
+
+class TestThresholdPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(threshold=-1)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(monitoring_interval=0)
+
+    def test_heavy_write_ratio_switches_to_all(self, cluster):
+        policy = ThresholdPolicy(threshold=0.3, monitoring_interval=0.05)
+        policy.attach(cluster)
+        # Generate a write-heavy window.
+        for i in range(200):
+            cluster.write(f"k{i}", "v", ConsistencyLevel.ONE)
+        for i in range(20):
+            cluster.read(f"k{i}", ConsistencyLevel.ONE)
+        cluster.engine.run_until(cluster.engine.now + 0.2)
+        assert policy.read_level() is ConsistencyLevel.ALL
+        policy.detach()
+
+    def test_read_heavy_ratio_switches_back_to_one(self, cluster):
+        policy = ThresholdPolicy(threshold=0.3, monitoring_interval=0.05)
+        policy.attach(cluster)
+        for i in range(300):
+            cluster.read(f"k{i % 10}", ConsistencyLevel.ONE)
+        for i in range(5):
+            cluster.write(f"k{i}", "v", ConsistencyLevel.ONE)
+        cluster.engine.run_until(cluster.engine.now + 0.2)
+        assert policy.read_level() is ConsistencyLevel.ONE
+        policy.detach()
+
+    def test_level_series_records_decisions(self, cluster):
+        policy = ThresholdPolicy(threshold=0.3, monitoring_interval=0.05)
+        policy.attach(cluster)
+        cluster.engine.run_until(cluster.engine.now + 0.25)
+        policy.detach()
+        assert len(policy.level_series) >= 4

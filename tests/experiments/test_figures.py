@@ -1,0 +1,119 @@
+"""Tests for the per-figure regenerators (scaled down for speed).
+
+These are functional tests of the harness, not fidelity checks -- the
+figure-shape assertions (who wins, by roughly how much) live in
+``tests/integration/test_paper_shapes.py`` and in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.claims import headline_claims
+from repro.experiments.ablations import monitoring_interval_ablation, policy_comparison_ablation
+from repro.experiments.scenarios import GRID5000
+from repro.metrics.report import MetricsReport
+from repro.workload.workloads import WORKLOAD_A
+
+
+@pytest.fixture
+def defaults(quick_figure_defaults):
+    return quick_figure_defaults
+
+
+def test_figure_4a_produces_traces_for_both_workloads(defaults):
+    report = figures.figure_4a_estimation_over_time(defaults, scenario=GRID5000)
+    assert isinstance(report, MetricsReport)
+    assert "estimate trace: workload-a" in report.sections
+    assert "estimate trace: workload-b" in report.sections
+    summary = report.sections["per-step summary"]
+    assert len(summary) == 2 * len(defaults.thread_steps)
+    for row in summary:
+        assert 0.0 <= row["mean_estimate"] <= 1.0
+
+
+def test_figure_4b_produces_analytic_and_simulated_sections(defaults):
+    report = figures.figure_4b_latency_impact(
+        latencies_ms=(1, 10), defaults=defaults, threads=4
+    )
+    analytic = report.sections["analytic model sweep"]
+    assert [row["network_latency_ms"] for row in analytic] == [1, 10]
+    # The analytic estimate must not decrease with latency.
+    assert analytic[0]["estimated_stale_probability"] <= analytic[1][
+        "estimated_stale_probability"
+    ]
+    simulated = report.sections["simulated sweep (fabric latency scaled)"]
+    assert len(simulated) == 2
+
+
+def test_figure_5_has_latency_and_throughput_sections(defaults):
+    report = figures.figure_5_latency_throughput(
+        scenario=GRID5000,
+        defaults=defaults,
+        workload=WORKLOAD_A,
+        policies=("eventual", "strong"),
+    )
+    latency_rows = report.sections["99th percentile read latency (Fig. 5a/5b)"]
+    throughput_rows = report.sections["overall throughput (Fig. 5c/5d)"]
+    assert len(latency_rows) == len(defaults.thread_steps) * 2
+    assert len(throughput_rows) == len(defaults.thread_steps) * 2
+    assert all(row["read_p99_ms"] >= 0 for row in latency_rows)
+    assert all(row["throughput_ops_s"] > 0 for row in throughput_rows)
+
+
+def test_figure_6_reports_stale_read_counts(defaults):
+    report = figures.figure_6_staleness(
+        scenario=GRID5000,
+        defaults=defaults,
+        workload=WORKLOAD_A,
+        policies=("eventual", "strong"),
+    )
+    rows = report.sections["stale reads (Fig. 6a/6b)"]
+    assert len(rows) == len(defaults.thread_steps) * 2
+    strong_rows = [row for row in rows if row["policy"] == "strong"]
+    assert all(row["stale_reads"] == 0 for row in strong_rows)
+
+
+def test_headline_claims_report_and_outcomes(defaults):
+    report, outcomes = headline_claims(
+        scenario=GRID5000, defaults=defaults, threads=8
+    )
+    assert len(outcomes) == 2
+    assert "policy comparison" in report.sections
+    assert "claims" in report.sections
+    names = {o.claim for o in outcomes}
+    assert any("stale-read reduction" in n for n in names)
+    assert any("throughput improvement" in n for n in names)
+
+
+def test_monitoring_interval_ablation_runs(defaults):
+    report = monitoring_interval_ablation(
+        intervals=(0.05, 0.2), defaults=defaults, threads=6
+    )
+    rows = report.sections["interval sweep"]
+    assert [row["monitoring_interval_s"] for row in rows] == [0.05, 0.2]
+    assert rows[0]["decisions"] >= rows[1]["decisions"]
+
+
+def test_policy_comparison_ablation_runs(defaults):
+    report = policy_comparison_ablation(
+        defaults=defaults, threads=6, thresholds=(0.3,)
+    )
+    rows = report.sections["policy comparison"]
+    policies = {row["policy"] for row in rows}
+    assert {"eventual", "quorum", "strong"} <= policies
+    assert any(p.startswith("harmony") for p in policies)
+    assert any(p.startswith("threshold") for p in policies)
+
+
+def test_reports_render_to_text(defaults):
+    report = figures.figure_5_latency_throughput(
+        scenario=GRID5000,
+        defaults=defaults,
+        workload=WORKLOAD_A,
+        policies=("eventual",),
+    )
+    text = report.render()
+    assert "Figure 5" in text
+    assert "threads" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policy import HarmonyPolicy, StaticEventualPolicy, ThresholdPolicy
+from repro.experiments.runner import make_policy, run_experiment, run_thread_sweep
+from repro.experiments.scenarios import GRID5000
+from repro.workload.workloads import WORKLOAD_A
+
+SMALL = WORKLOAD_A.scaled(record_count=80, operation_count=400)
+
+
+class TestMakePolicy:
+    def test_builds_static_policies(self):
+        assert make_policy("eventual", GRID5000).name == "eventual"
+        assert make_policy("strong", GRID5000).name == "strong"
+        assert make_policy("quorum", GRID5000).name == "quorum"
+
+    def test_builds_harmony_with_fraction_or_percent(self):
+        a = make_policy("harmony-0.2", GRID5000)
+        b = make_policy("harmony-20%", GRID5000)
+        c = make_policy("harmony-20", GRID5000)
+        assert isinstance(a, HarmonyPolicy)
+        assert a.config.tolerated_stale_rate == pytest.approx(0.2)
+        assert b.config.tolerated_stale_rate == pytest.approx(0.2)
+        assert c.config.tolerated_stale_rate == pytest.approx(0.2)
+
+    def test_harmony_monitoring_interval_override(self):
+        policy = make_policy("harmony-0.3", GRID5000, monitoring_interval=0.123)
+        assert policy.config.monitoring_interval == pytest.approx(0.123)
+
+    def test_builds_threshold_policy(self):
+        policy = make_policy("threshold-0.5", GRID5000)
+        assert isinstance(policy, ThresholdPolicy)
+        assert policy.threshold == pytest.approx(0.5)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("chaos", GRID5000)
+
+
+class TestRunExperiment:
+    def test_returns_metrics_and_config(self):
+        result = run_experiment(GRID5000, SMALL, "eventual", threads=4, seed=1, n_nodes=6)
+        assert result.config.policy_name == "eventual"
+        assert result.config.threads == 4
+        assert result.metrics.counters.total == SMALL.operation_count
+        assert result.metrics.duration > 0
+        row = result.summary()
+        assert row["scenario"] == "grid5000"
+        assert row["seed"] == 1
+
+    def test_accepts_policy_objects(self):
+        result = run_experiment(
+            GRID5000, SMALL, StaticEventualPolicy(), threads=2, seed=1, n_nodes=6
+        )
+        assert result.metrics.policy_name == "eventual"
+
+    def test_same_seed_same_policy_is_reproducible(self):
+        a = run_experiment(GRID5000, SMALL, "eventual", threads=4, seed=9, n_nodes=6)
+        b = run_experiment(GRID5000, SMALL, "eventual", threads=4, seed=9, n_nodes=6)
+        assert a.metrics.ops_per_second() == pytest.approx(b.metrics.ops_per_second())
+        assert a.metrics.read_latency.p99() == pytest.approx(b.metrics.read_latency.p99())
+        assert a.metrics.staleness.stale_reads == b.metrics.staleness.stale_reads
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(GRID5000, SMALL, "eventual", threads=4, seed=1, n_nodes=6)
+        b = run_experiment(GRID5000, SMALL, "eventual", threads=4, seed=2, n_nodes=6)
+        assert a.metrics.duration != b.metrics.duration
+
+    def test_cluster_hook_runs_before_load(self):
+        seen = []
+
+        def hook(cluster):
+            seen.append(cluster.topology.size)
+            cluster.fabric.latency_scale = 2.0
+
+        result = run_experiment(
+            GRID5000, SMALL, "eventual", threads=2, seed=1, n_nodes=6, cluster_hook=hook
+        )
+        assert seen == [6]
+        assert result.metrics.counters.total == SMALL.operation_count
+
+    def test_harmony_run_records_estimates(self):
+        result = run_experiment(
+            GRID5000,
+            SMALL,
+            "harmony-0.3",
+            threads=6,
+            seed=1,
+            n_nodes=6,
+            monitoring_interval=0.02,
+        )
+        assert len(result.metrics.estimate_series) >= 1
+
+
+class TestThreadSweep:
+    def test_sweep_covers_the_cartesian_product(self):
+        results = run_thread_sweep(
+            GRID5000,
+            WORKLOAD_A.scaled(record_count=50, operation_count=150),
+            policy_names=("eventual", "strong"),
+            thread_counts=(1, 4),
+            seed=2,
+            n_nodes=6,
+        )
+        assert len(results) == 4
+        combos = {(r.config.threads, r.config.policy_name) for r in results}
+        assert combos == {(1, "eventual"), (1, "strong"), (4, "eventual"), (4, "strong")}

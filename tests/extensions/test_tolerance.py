@@ -1,0 +1,93 @@
+"""Unit tests for the tolerance-recommendation extension (paper future work #2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions.tolerance import (
+    ApplicationProfile,
+    naive_tolerance_for,
+    recommend_tolerance,
+)
+
+
+class TestNaiveMapping:
+    def test_paper_values(self):
+        assert naive_tolerance_for("critical") == 0.0
+        assert naive_tolerance_for("high") == 0.25
+        assert naive_tolerance_for("average") == 0.5
+        assert naive_tolerance_for("low") == 0.75
+        assert naive_tolerance_for("none") == 1.0
+
+    def test_case_insensitive(self):
+        assert naive_tolerance_for("AVERAGE") == 0.5
+
+    def test_unknown_need_rejected(self):
+        with pytest.raises(ValueError):
+            naive_tolerance_for("whatever")
+
+
+def profile(stale_cost: float, latency_value: float) -> ApplicationProfile:
+    return ApplicationProfile(
+        stale_read_cost=stale_cost,
+        latency_value_per_ms=latency_value,
+        expected_read_rate=2000.0,
+        expected_write_rate=2000.0,
+        network_latency=0.0002,
+        replication_factor=5,
+    )
+
+
+class TestRecommendTolerance:
+    def test_expensive_staleness_yields_a_strict_tolerance(self):
+        strict = recommend_tolerance(profile(stale_cost=100.0, latency_value=0.001))
+        assert strict <= 0.1
+
+    def test_cheap_staleness_yields_a_relaxed_tolerance(self):
+        relaxed = recommend_tolerance(profile(stale_cost=0.0001, latency_value=10.0))
+        assert relaxed >= 0.5
+
+    def test_recommendation_is_monotone_in_the_stale_cost(self):
+        costs = (0.001, 0.1, 1.0, 10.0, 1000.0)
+        recommendations = [
+            recommend_tolerance(profile(stale_cost=c, latency_value=0.5)) for c in costs
+        ]
+        assert recommendations == sorted(recommendations, reverse=True)
+
+    def test_idle_application_gets_the_most_relaxed_candidate(self):
+        idle = ApplicationProfile(
+            stale_read_cost=10.0,
+            latency_value_per_ms=0.1,
+            expected_read_rate=0.0,
+            expected_write_rate=0.0,
+            network_latency=0.0002,
+        )
+        assert recommend_tolerance(idle, candidates=(0.0, 0.5, 1.0)) == 1.0
+
+    def test_recommendation_comes_from_the_candidate_set(self):
+        candidates = (0.1, 0.33, 0.7)
+        choice = recommend_tolerance(profile(1.0, 0.1), candidates=candidates)
+        assert choice in candidates
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            recommend_tolerance(profile(1.0, 1.0), candidates=())
+        with pytest.raises(ValueError):
+            recommend_tolerance(profile(1.0, 1.0), candidates=(0.5, 1.5))
+        with pytest.raises(ValueError):
+            ApplicationProfile(
+                stale_read_cost=-1,
+                latency_value_per_ms=0,
+                expected_read_rate=1,
+                expected_write_rate=1,
+                network_latency=0.001,
+            )
+        with pytest.raises(ValueError):
+            ApplicationProfile(
+                stale_read_cost=1,
+                latency_value_per_ms=0,
+                expected_read_rate=1,
+                expected_write_rate=1,
+                network_latency=0.001,
+                replication_factor=0,
+            )

@@ -1,0 +1,148 @@
+"""Integration tests: node failures, slowdowns, message drops.
+
+These exercise the recovery machinery (hinted handoff, read repair,
+coordinator timeouts) and check that Harmony keeps functioning when the
+cluster degrades.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.coordinator import CoordinatorConfig
+from repro.cluster.node import NodeConfig
+from repro.core.config import HarmonyConfig
+from repro.core.policy import HarmonyPolicy, StaticEventualPolicy
+from repro.staleness.auditor import StalenessAuditor
+from repro.workload.executor import WorkloadExecutor
+from repro.workload.workloads import WORKLOAD_A
+
+
+def build_cluster(seed: int = 0, drop_probability: float = 0.0) -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            n_nodes=6,
+            replication_factor=3,
+            seed=seed,
+            drop_probability=drop_probability,
+            coordinator=CoordinatorConfig(write_timeout=0.2, read_timeout=0.2),
+            node=NodeConfig(
+                concurrency=6,
+                read_service_time=0.0015,
+                write_service_time=0.001,
+                service_time_cv=0.4,
+            ),
+        )
+    )
+
+
+class TestNodeFailure:
+    def test_writes_succeed_with_one_replica_down(self):
+        cluster = build_cluster(seed=1)
+        key = "failover"
+        replicas = cluster.replicas_for(key)
+        cluster.take_down(replicas[0])
+        result = cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
+        assert not result.timed_out
+        read = cluster.read_sync(key, ConsistencyLevel.QUORUM)
+        assert read.cell is not None
+
+    def test_recovered_node_catches_up_through_hints(self):
+        cluster = build_cluster(seed=2)
+        keys = [f"hinted{i}" for i in range(40)]
+        # Take one node down; every key whose replica set includes it will miss
+        # its copy until the hints recorded by the coordinators are replayed.
+        victim = cluster.addresses[0]
+        affected = [key for key in keys if victim in cluster.replicas_for(key)]
+        assert affected, "seed choice should give the victim at least one key"
+        cluster.take_down(victim)
+        for key in keys:
+            cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
+        # Allow the write timeouts to expire so hints are recorded.
+        cluster.engine.run_until(cluster.engine.now + 1.0)
+        assert all(cluster.node(victim).peek(key) is None for key in affected)
+        cluster.bring_up(victim, replay_hints=True)
+        cluster.settle()
+        for key in affected:
+            assert cluster.node(victim).peek(key) is not None, (
+                f"{victim} missing {key} after hint replay"
+            )
+
+    def test_quorum_writes_time_out_when_too_many_replicas_are_down(self):
+        cluster = build_cluster(seed=3)
+        key = "doomed"
+        replicas = cluster.replicas_for(key)
+        for node in replicas[:2]:
+            cluster.take_down(node)
+        result = cluster.write_sync(key, "v1", ConsistencyLevel.ALL)
+        assert result.timed_out
+
+    def test_workload_completes_with_a_node_down(self):
+        cluster = build_cluster(seed=4)
+        cluster.take_down(cluster.addresses[0])
+        auditor = StalenessAuditor()
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_A.scaled(record_count=60, operation_count=300),
+            StaticEventualPolicy(),
+            threads=4,
+            auditor=auditor,
+        )
+        metrics = executor.run()
+        assert metrics.counters.total == 300
+
+
+class TestSlowNode:
+    def test_slow_replica_increases_strong_read_latency_only(self):
+        fast = build_cluster(seed=5)
+        slow = build_cluster(seed=5)
+        slow_node = slow.replicas_for("victim")[-1]
+        slow.node(slow_node).slowdown = 20.0
+
+        fast.write_sync("victim", "v", ConsistencyLevel.ALL)
+        slow.write_sync("victim", "v", ConsistencyLevel.ALL)
+        fast.settle()
+        slow.settle()
+
+        fast_one = fast.read_sync("victim", ConsistencyLevel.ONE)
+        slow_one = slow.read_sync("victim", ConsistencyLevel.ONE)
+        fast_all = fast.read_sync("victim", ConsistencyLevel.ALL)
+        slow_all = slow.read_sync("victim", ConsistencyLevel.ALL)
+
+        # ALL reads must wait for the slow replica; ONE reads usually dodge it.
+        assert slow_all.latency > fast_all.latency * 2
+        assert slow_one.latency < slow_all.latency
+
+
+class TestMessageLoss:
+    def test_lossy_network_still_completes_the_workload(self):
+        cluster = build_cluster(seed=6, drop_probability=0.02)
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_A.scaled(record_count=50, operation_count=300),
+            StaticEventualPolicy(),
+            threads=4,
+        )
+        metrics = executor.run()
+        assert metrics.counters.total == 300
+        assert cluster.fabric.stats.dropped > 0
+
+    def test_harmony_still_meets_its_target_under_message_loss(self):
+        cluster = build_cluster(seed=7, drop_probability=0.01)
+        auditor = StalenessAuditor()
+        policy = HarmonyPolicy(
+            config=HarmonyConfig(tolerated_stale_rate=0.3, monitoring_interval=0.05)
+        )
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_A.scaled(record_count=80, operation_count=600),
+            policy,
+            threads=8,
+            auditor=auditor,
+        )
+        metrics = executor.run()
+        assert metrics.counters.total == 600
+        # Allow a modest noise margin on top of the tolerated rate.
+        assert metrics.staleness.stale_rate() <= 0.3 + 0.1

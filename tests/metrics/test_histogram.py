@@ -1,0 +1,104 @@
+"""Unit tests for the latency histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.histogram import LatencyHistogram
+
+
+def test_empty_histogram_reports_zeros():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean() == 0.0
+    assert hist.p99() == 0.0
+    assert hist.min() == 0.0
+    assert hist.max() == 0.0
+    assert hist.stddev() == 0.0
+
+
+def test_basic_statistics():
+    hist = LatencyHistogram()
+    hist.record_many([0.001, 0.002, 0.003, 0.004])
+    assert hist.count == 4
+    assert hist.mean() == pytest.approx(0.0025)
+    assert hist.min() == pytest.approx(0.001)
+    assert hist.max() == pytest.approx(0.004)
+    assert hist.total == pytest.approx(0.01)
+
+
+def test_percentiles_match_numpy():
+    values = list(np.linspace(0.001, 0.1, 500))
+    hist = LatencyHistogram()
+    hist.record_many(values)
+    assert hist.percentile(50) == pytest.approx(float(np.percentile(values, 50)))
+    assert hist.p99() == pytest.approx(float(np.percentile(values, 99)))
+    assert hist.p95() == pytest.approx(float(np.percentile(values, 95)))
+
+
+def test_percentile_bounds_validation():
+    hist = LatencyHistogram()
+    hist.record(0.001)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+
+
+def test_negative_latency_rejected():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.record(-0.001)
+
+
+def test_summary_and_summary_ms():
+    hist = LatencyHistogram()
+    hist.record_many([0.010, 0.020])
+    summary = hist.summary()
+    assert summary["count"] == 2
+    assert summary["mean"] == pytest.approx(0.015)
+    summary_ms = hist.summary_ms()
+    assert summary_ms["mean"] == pytest.approx(15.0)
+    assert summary_ms["count"] == 2  # counts are not scaled
+
+
+def test_merge_combines_samples():
+    a = LatencyHistogram()
+    a.record_many([0.001, 0.002])
+    b = LatencyHistogram()
+    b.record_many([0.003, 0.004])
+    a.merge(b)
+    assert a.count == 4
+    assert a.max() == pytest.approx(0.004)
+    assert a.mean() == pytest.approx(0.0025)
+
+
+def test_reservoir_mode_bounds_memory_but_keeps_statistics_reasonable():
+    rng = np.random.default_rng(0)
+    hist = LatencyHistogram(reservoir_size=500, rng=rng)
+    values = rng.gamma(2.0, 0.005, size=20_000)
+    hist.record_many(values)
+    assert hist.count == 20_000
+    assert len(hist._samples) == 500
+    # Mean/min/max are exact; percentiles are approximate.
+    assert hist.mean() == pytest.approx(float(values.mean()), rel=1e-9)
+    assert hist.max() == pytest.approx(float(values.max()))
+    assert hist.p50() == pytest.approx(float(np.percentile(values, 50)), rel=0.2)
+
+
+def test_reservoir_size_validation():
+    with pytest.raises(ValueError):
+        LatencyHistogram(reservoir_size=0)
+
+
+def test_stddev_of_constant_samples_is_zero():
+    hist = LatencyHistogram()
+    hist.record_many([0.005] * 10)
+    assert hist.stddev() == pytest.approx(0.0)
+
+
+def test_len_matches_count():
+    hist = LatencyHistogram()
+    hist.record_many([0.001] * 7)
+    assert len(hist) == 7

@@ -1,0 +1,60 @@
+"""Unit tests for report formatting."""
+
+from __future__ import annotations
+
+from repro.metrics.report import MetricsReport, format_table
+
+
+def test_format_table_renders_columns_and_rows():
+    rows = [
+        {"threads": 1, "p99": 1.234567, "policy": "eventual"},
+        {"threads": 90, "p99": 20.5, "policy": "strong"},
+    ]
+    text = format_table(rows, precision=2)
+    assert "threads" in text
+    assert "eventual" in text
+    assert "1.23" in text
+    assert "20.50" in text
+    # Header, separator, two data rows.
+    assert len(text.splitlines()) == 4
+
+
+def test_format_table_handles_missing_cells_and_column_order():
+    rows = [{"a": 1}, {"a": 2, "b": 3}]
+    text = format_table(rows, columns=["b", "a"])
+    lines = text.splitlines()
+    assert lines[0].split()[0] == "b"
+    assert "3" in text
+
+
+def test_format_table_empty_rows():
+    assert "(no rows)" in format_table([])
+    assert "title" in format_table([], title="title")
+
+
+def test_format_table_with_title_and_booleans():
+    text = format_table([{"ok": True, "value": 0.00000123}], title="check")
+    assert text.startswith("check")
+    assert "yes" in text
+    assert "e-06" in text  # tiny floats switch to scientific notation
+
+
+def test_metrics_report_renders_sections_and_notes():
+    report = MetricsReport(title="Figure X")
+    report.add_section("latency", [{"threads": 1, "p99_ms": 10.0}])
+    report.add_section("throughput", [{"threads": 1, "ops": 100}])
+    report.add_note("shapes only")
+    text = report.render()
+    assert "== Figure X ==" in text
+    assert "-- latency --" in text
+    assert "-- throughput --" in text
+    assert "note: shapes only" in text
+    assert str(report) == text
+
+
+def test_metrics_report_replaces_section_with_same_name():
+    report = MetricsReport(title="t")
+    report.add_section("s", [{"a": 1}])
+    report.add_section("s", [{"a": 2}])
+    assert len(report.sections) == 1
+    assert report.sections["s"][0]["a"] == 2

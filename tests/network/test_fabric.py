@@ -1,0 +1,158 @@
+"""Unit tests for the message fabric."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.fabric import NetworkFabric
+from repro.network.latency import ConstantLatency
+from repro.network.topology import TopologyBuilder
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomStreams
+
+
+def make_fabric(drop_probability: float = 0.0):
+    engine = SimulationEngine()
+    topo = (
+        TopologyBuilder()
+        .latencies(
+            loopback=ConstantLatency(0.00001),
+            intra_rack=ConstantLatency(0.001),
+            inter_rack=ConstantLatency(0.002),
+        )
+        .datacenter("dc1")
+        .rack("r1", nodes=2)
+        .rack("r2", nodes=1)
+        .build()
+    )
+    fabric = NetworkFabric(
+        engine, topo, RandomStreams(seed=5), drop_probability=drop_probability
+    )
+    return engine, topo, fabric
+
+
+def test_message_delivery_to_registered_handler():
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    fabric.send(a, b, "hello", {"x": 1})
+    engine.run()
+    assert len(received) == 1
+    message = received[0]
+    assert message.kind == "hello"
+    assert message.payload == {"x": 1}
+    assert message.delivered_at == pytest.approx(0.001)
+
+
+def test_bandwidth_term_adds_transfer_time():
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    size = 125_000  # 1 ms at 1 Gbit/s
+    fabric.send(a, b, "data", None, size_bytes=size)
+    engine.run()
+    assert received[0].delivered_at == pytest.approx(0.001 + 0.001)
+
+
+def test_inter_rack_latency_applies():
+    engine, topo, fabric = make_fabric()
+    a, _, c = topo.nodes  # c is in the other rack
+    received = []
+    fabric.register(c, received.append)
+    fabric.send(a, c, "x", None)
+    engine.run()
+    assert received[0].delivered_at == pytest.approx(0.002)
+
+
+def test_unregistered_destination_still_counts_as_delivered():
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    fabric.send(a, b, "niente", None)
+    engine.run()
+    assert fabric.stats.delivered == 1
+
+
+def test_on_delivered_callback_runs():
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    fabric.register(b, lambda m: None)
+    seen = []
+    fabric.send(a, b, "cb", None, on_delivered=seen.append)
+    engine.run()
+    assert len(seen) == 1
+
+
+def test_duplicate_registration_rejected():
+    _, topo, fabric = make_fabric()
+    a = topo.nodes[0]
+    fabric.register(a, lambda m: None)
+    with pytest.raises(ValueError):
+        fabric.register(a, lambda m: None)
+    fabric.unregister(a)
+    fabric.register(a, lambda m: None)  # fine after unregister
+
+
+def test_drop_probability_drops_messages():
+    engine, topo, fabric = make_fabric(drop_probability=0.5)
+    a, b, _ = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    for _ in range(500):
+        fabric.send(a, b, "maybe", None)
+    engine.run()
+    assert fabric.stats.sent == 500
+    assert fabric.stats.dropped > 100
+    assert fabric.stats.delivered == 500 - fabric.stats.dropped
+    assert len(received) == fabric.stats.delivered
+
+
+def test_latency_scale_multiplies_delay():
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    fabric.latency_scale = 10.0
+    fabric.send(a, b, "slow", None)
+    engine.run()
+    assert received[0].delivered_at == pytest.approx(0.01)
+    assert fabric.expected_one_way_delay(a, b) == pytest.approx(0.01)
+
+
+def test_latency_scale_validation():
+    _, _, fabric = make_fabric()
+    with pytest.raises(ValueError):
+        fabric.latency_scale = -1.0
+    with pytest.raises(ValueError):
+        fabric.drop_probability = 1.5
+
+
+def test_ping_is_a_round_trip():
+    _, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    assert fabric.ping(a, b) == pytest.approx(0.002)
+    assert fabric.ping_mean(a, b) == pytest.approx(0.002)
+
+
+def test_stats_track_kinds_and_bytes():
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    fabric.register(b, lambda m: None)
+    fabric.send(a, b, "write_request", None, size_bytes=100)
+    fabric.send(a, b, "write_request", None, size_bytes=50)
+    fabric.send(a, b, "read_request", None)
+    engine.run()
+    assert fabric.stats.per_kind["write_request"] == 2
+    assert fabric.stats.per_kind["read_request"] == 1
+    assert fabric.stats.bytes_sent == 150
+    assert fabric.stats.mean_latency() > 0
+
+
+def test_invalid_construction_parameters():
+    engine = SimulationEngine()
+    topo = TopologyBuilder().datacenter("d").rack("r", nodes=1).build()
+    with pytest.raises(ValueError):
+        NetworkFabric(engine, topo, RandomStreams(0), bandwidth_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        NetworkFabric(engine, topo, RandomStreams(0), drop_probability=1.0)

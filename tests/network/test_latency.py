@@ -1,0 +1,124 @@
+"""Unit tests for the latency models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.latency import (
+    CompositeLatencyModel,
+    ConstantLatency,
+    EC2LikeLatency,
+    GammaLatency,
+    Grid5000LikeLatency,
+    LogNormalLatency,
+    SpikyLatency,
+    UniformLatency,
+    scaled,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+def test_constant_latency_always_returns_the_same_value(rng):
+    model = ConstantLatency(0.005)
+    assert model.sample(rng) == 0.005
+    assert model.mean() == 0.005
+    assert np.all(model.sample_many(rng, 10) == 0.005)
+
+
+def test_constant_latency_rejects_negative_values():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_latency_within_bounds(rng):
+    model = UniformLatency(0.001, 0.002)
+    samples = model.sample_many(rng, 1000)
+    assert np.all(samples >= 0.001)
+    assert np.all(samples <= 0.002)
+    assert model.mean() == pytest.approx(0.0015)
+
+
+def test_uniform_latency_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(0.002, 0.001)
+
+
+def test_lognormal_latency_positive_and_floor_respected(rng):
+    model = LogNormalLatency(median=0.001, sigma=0.5, floor=0.0005)
+    samples = model.sample_many(rng, 2000)
+    assert np.all(samples >= 0.0005)
+    # The sample mean should be in the vicinity of the analytic mean.
+    assert np.mean(samples) == pytest.approx(model.mean(), rel=0.15)
+
+
+def test_lognormal_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0.0)
+    with pytest.raises(ValueError):
+        LogNormalLatency(median=0.001, sigma=-1)
+
+
+def test_gamma_latency_mean_matches_configuration(rng):
+    model = GammaLatency(mean=0.004, cv=0.3)
+    samples = model.sample_many(rng, 5000)
+    assert np.mean(samples) == pytest.approx(0.004, rel=0.1)
+    assert model.mean() == pytest.approx(0.004)
+
+
+def test_spiky_latency_mean_accounts_for_spikes(rng):
+    base = ConstantLatency(0.001)
+    model = SpikyLatency(base, spike_probability=0.5, spike_factor=3.0)
+    assert model.mean() == pytest.approx(0.001 * (0.5 + 0.5 * 3.0))
+    samples = [model.sample(rng) for _ in range(2000)]
+    spikes = sum(1 for s in samples if s > 0.002)
+    assert 800 < spikes < 1200  # roughly half
+
+
+def test_spiky_latency_validates_parameters():
+    base = ConstantLatency(0.001)
+    with pytest.raises(ValueError):
+        SpikyLatency(base, spike_probability=1.5)
+    with pytest.raises(ValueError):
+        SpikyLatency(base, spike_factor=0.5)
+
+
+def test_composite_latency_sums_components(rng):
+    model = CompositeLatencyModel([ConstantLatency(0.001), ConstantLatency(0.002)])
+    assert model.sample(rng) == pytest.approx(0.003)
+    assert model.mean() == pytest.approx(0.003)
+
+
+def test_composite_latency_requires_components():
+    with pytest.raises(ValueError):
+        CompositeLatencyModel([])
+
+
+def test_ec2_preset_is_roughly_five_times_grid5000():
+    ratio = EC2LikeLatency.DEFAULT_MEDIAN / Grid5000LikeLatency.DEFAULT_MEDIAN
+    assert ratio == pytest.approx(5.0)
+
+
+def test_ec2_preset_has_higher_mean_than_grid5000():
+    assert EC2LikeLatency().mean() > Grid5000LikeLatency().mean()
+
+
+def test_scaled_model_multiplies_samples(rng):
+    base = ConstantLatency(0.002)
+    doubled = scaled(base, 2.0)
+    assert doubled.sample(rng) == pytest.approx(0.004)
+    assert doubled.mean() == pytest.approx(0.004)
+
+
+def test_scaled_rejects_negative_factor():
+    with pytest.raises(ValueError):
+        scaled(ConstantLatency(0.001), -1.0)
+
+
+def test_describe_mentions_mean():
+    text = ConstantLatency(0.004).describe()
+    assert "4.000ms" in text

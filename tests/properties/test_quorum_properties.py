@@ -1,0 +1,58 @@
+"""Property-based tests for quorum arithmetic and the level mapping."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    is_strongly_consistent,
+    level_for_replicas,
+    quorum_size,
+)
+
+rfs = st.integers(min_value=1, max_value=12)
+
+
+@given(rf=rfs)
+@settings(max_examples=100, deadline=None)
+def test_quorum_majority_property(rf):
+    q = quorum_size(rf)
+    # A quorum is a strict majority: two quorums always intersect.
+    assert 2 * q > rf
+    # And it is minimal: one less is not a majority.
+    assert 2 * (q - 1) <= rf
+
+
+@given(rf=rfs)
+@settings(max_examples=100, deadline=None)
+def test_quorum_reads_and_writes_intersect(rf):
+    assert is_strongly_consistent(ConsistencyLevel.QUORUM, ConsistencyLevel.QUORUM, rf)
+    assert is_strongly_consistent(ConsistencyLevel.ALL, ConsistencyLevel.ONE, rf)
+    assert is_strongly_consistent(ConsistencyLevel.ONE, ConsistencyLevel.ALL, rf)
+
+
+@given(rf=st.integers(min_value=2, max_value=12))
+@settings(max_examples=100, deadline=None)
+def test_one_plus_one_is_never_strong_for_rf_at_least_two(rf):
+    assert not is_strongly_consistent(ConsistencyLevel.ONE, ConsistencyLevel.ONE, rf)
+
+
+@given(rf=rfs, replicas=st.floats(min_value=-3, max_value=20, allow_nan=False))
+@settings(max_examples=300, deadline=None)
+def test_level_mapping_always_covers_the_requested_replicas(rf, replicas):
+    level = level_for_replicas(replicas, rf)
+    blocked = level.blocked_for(rf)
+    clamped = max(1, min(rf, int(-(-replicas // 1)) if replicas > 0 else 1))
+    assert blocked >= min(clamped, rf)
+    assert 1 <= blocked <= rf
+
+
+@given(rf=rfs, x1=st.integers(min_value=1, max_value=12), x2=st.integers(min_value=1, max_value=12))
+@settings(max_examples=200, deadline=None)
+def test_level_mapping_is_monotone(rf, x1, x2):
+    low, high = sorted((x1, x2))
+    level_low = level_for_replicas(low, rf)
+    level_high = level_for_replicas(high, rf)
+    assert level_low.blocked_for(rf) <= level_high.blocked_for(rf)

@@ -1,0 +1,185 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+
+
+def test_clock_starts_at_zero_by_default():
+    assert SimulationEngine().now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    assert SimulationEngine(start_time=5.0).now == 5.0
+
+
+def test_schedule_and_run_single_event():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.5, fired.append, "hello")
+    executed = engine.run()
+    assert executed == 1
+    assert fired == ["hello"]
+    assert engine.now == 1.5
+
+
+def test_events_run_in_time_order():
+    engine = SimulationEngine()
+    order = []
+    engine.schedule(3.0, order.append, 3)
+    engine.schedule(1.0, order.append, 1)
+    engine.schedule(2.0, order.append, 2)
+    engine.run()
+    assert order == [1, 2, 3]
+
+
+def test_ties_break_in_fifo_scheduling_order():
+    engine = SimulationEngine()
+    order = []
+    for i in range(5):
+        engine.schedule(1.0, order.append, i)
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_is_rejected():
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_scheduling_in_the_past_is_rejected():
+    engine = SimulationEngine()
+    engine.schedule(2.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.at(1.0, lambda: None)
+
+
+def test_run_until_leaves_future_events_queued():
+    engine = SimulationEngine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(5.0, fired.append, "b")
+    engine.run_until(2.0)
+    assert fired == ["a"]
+    assert engine.now == 2.0
+    assert engine.pending_events == 1
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    engine = SimulationEngine()
+    engine.run_until(7.5)
+    assert engine.now == 7.5
+
+
+def test_run_until_backwards_is_rejected():
+    engine = SimulationEngine()
+    engine.run_until(3.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(1.0)
+
+
+def test_cancelled_events_do_not_fire():
+    engine = SimulationEngine()
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    assert handle.cancelled
+    engine.run()
+    assert fired == []
+    assert engine.events_processed == 0
+
+
+def test_events_scheduled_during_execution_run_in_order():
+    engine = SimulationEngine()
+    trace = []
+
+    def first():
+        trace.append(("first", engine.now))
+        engine.schedule(2.0, second)
+
+    def second():
+        trace.append(("second", engine.now))
+
+    engine.schedule(1.0, first)
+    engine.run()
+    assert trace == [("first", 1.0), ("second", 3.0)]
+
+
+def test_call_soon_runs_at_current_time_but_not_reentrantly():
+    engine = SimulationEngine()
+    trace = []
+
+    def outer():
+        engine.call_soon(trace.append, "inner")
+        trace.append("outer")
+
+    engine.schedule(1.0, outer)
+    engine.run()
+    assert trace == ["outer", "inner"]
+    assert engine.now == 1.0
+
+
+def test_run_max_events_limit():
+    engine = SimulationEngine()
+    for i in range(10):
+        engine.schedule(float(i), lambda: None)
+    executed = engine.run(max_events=4)
+    assert executed == 4
+    assert engine.pending_events == 6
+
+
+def test_stop_halts_the_loop():
+    engine = SimulationEngine()
+    fired = []
+
+    def stopping():
+        fired.append("stop")
+        engine.stop()
+
+    engine.schedule(1.0, stopping)
+    engine.schedule(2.0, fired.append, "late")
+    engine.run()
+    assert fired == ["stop"]
+    engine.reset_stop()
+    engine.run()
+    assert fired == ["stop", "late"]
+
+
+def test_next_event_time_skips_cancelled():
+    engine = SimulationEngine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    handle.cancel()
+    assert engine.next_event_time() == 2.0
+
+
+def test_step_returns_false_when_queue_is_empty():
+    engine = SimulationEngine()
+    assert engine.step() is False
+
+
+def test_kwargs_are_bound_at_scheduling_time():
+    engine = SimulationEngine()
+    seen = {}
+
+    def callback(a, b=None):
+        seen["a"] = a
+        seen["b"] = b
+
+    engine.schedule(0.5, callback, 1, b="two")
+    engine.run()
+    assert seen == {"a": 1, "b": "two"}
+
+
+def test_events_processed_counter():
+    engine = SimulationEngine()
+    for i in range(7):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_processed == 7

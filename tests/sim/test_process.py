@@ -1,0 +1,143 @@
+"""Unit tests for the process/waiter helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine, SimulationError
+from repro.sim.process import Process, Timeout, Waiter
+
+
+def test_timeout_sleeps_for_the_given_virtual_delay():
+    engine = SimulationEngine()
+    wake_times = []
+
+    def proc():
+        yield Timeout(2.5)
+        wake_times.append(engine.now)
+        yield Timeout(1.0)
+        wake_times.append(engine.now)
+
+    Process(engine, proc())
+    engine.run()
+    assert wake_times == [2.5, 3.5]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_waiter_resumes_process_with_value():
+    engine = SimulationEngine()
+    waiter = Waiter(engine)
+    received = []
+
+    def proc():
+        value = yield waiter
+        received.append(value)
+
+    Process(engine, proc())
+    engine.schedule(3.0, waiter.succeed, "payload")
+    engine.run()
+    assert received == ["payload"]
+    assert waiter.done
+    assert waiter.value == "payload"
+
+
+def test_waiter_succeed_twice_is_an_error():
+    engine = SimulationEngine()
+    waiter = Waiter(engine)
+    waiter.succeed(1)
+    with pytest.raises(SimulationError):
+        waiter.succeed(2)
+
+
+def test_waiter_callback_after_completion_fires_immediately():
+    engine = SimulationEngine()
+    waiter = Waiter(engine)
+    waiter.succeed("done")
+    seen = []
+    waiter.add_callback(seen.append)
+    engine.run()
+    assert seen == ["done"]
+
+
+def test_process_result_is_the_generator_return_value():
+    engine = SimulationEngine()
+
+    def proc():
+        yield Timeout(1.0)
+        return 42
+
+    process = Process(engine, proc())
+    engine.run()
+    assert process.finished
+    assert process.result == 42
+
+
+def test_yield_none_defers_to_other_events():
+    engine = SimulationEngine()
+    trace = []
+
+    def proc():
+        trace.append("before")
+        yield None
+        trace.append("after")
+
+    Process(engine, proc())
+    engine.call_soon(trace.append, "other")
+    engine.run()
+    # The process starts first (scheduled first), yields, the other event
+    # runs, then the process resumes.
+    assert trace == ["before", "other", "after"]
+
+
+def test_stop_terminates_a_running_process():
+    engine = SimulationEngine()
+    iterations = []
+
+    def proc():
+        while True:
+            iterations.append(engine.now)
+            yield Timeout(1.0)
+
+    process = Process(engine, proc())
+    engine.run_until(3.5)
+    process.stop()
+    engine.run_until(10.0)
+    assert process.finished
+    assert all(t <= 3.5 for t in iterations)
+
+
+def test_unsupported_yield_type_raises():
+    engine = SimulationEngine()
+
+    def proc():
+        yield 12345  # not a Timeout/Waiter/None
+
+    Process(engine, proc())
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_two_processes_interleave():
+    engine = SimulationEngine()
+    trace = []
+
+    def proc(name, delay):
+        for _ in range(3):
+            yield Timeout(delay)
+            trace.append((name, engine.now))
+
+    Process(engine, proc("fast", 1.0))
+    Process(engine, proc("slow", 2.0))
+    engine.run()
+    assert trace == [
+        ("fast", 1.0),
+        ("slow", 2.0),
+        ("fast", 2.0),
+        ("fast", 3.0),
+        ("slow", 4.0),
+        ("slow", 6.0),
+    ]

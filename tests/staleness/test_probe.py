@@ -1,0 +1,105 @@
+"""Unit tests for the dual-read staleness probe (the paper's methodology)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.node import NodeConfig
+from repro.staleness.probe import DualReadProbe
+
+
+def make_cluster(seed: int = 9) -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            n_nodes=5,
+            replication_factor=3,
+            seed=seed,
+            node=NodeConfig(
+                concurrency=4,
+                read_service_time=0.001,
+                write_service_time=0.0008,
+                service_time_cv=0.2,
+            ),
+        )
+    )
+
+
+def test_probe_confirms_fresh_read():
+    cluster = make_cluster()
+    cluster.write_sync("k", "v1", ConsistencyLevel.ALL)
+    cluster.settle()
+    read = cluster.read_sync("k", ConsistencyLevel.ONE)
+    probe = DualReadProbe(cluster)
+    outcomes = []
+    probe.probe(read, outcomes.append)
+    cluster.settle()
+    assert outcomes == [False]
+    assert probe.judged == 1
+    assert probe.stale_rate() == 0.0
+
+
+def test_probe_detects_a_stale_read():
+    cluster = make_cluster()
+    key = "k"
+    replicas = cluster.replicas_for(key)
+    cluster.write_sync(key, "v1", ConsistencyLevel.ALL)
+    cluster.settle()
+    # Make one replica miss the second write, then force the read onto it by
+    # faking the original read result: simpler and fully deterministic --
+    # construct an OperationResult carrying the old cell.
+    old_read = cluster.read_sync(key, ConsistencyLevel.ONE)
+    cluster.write_sync(key, "v2", ConsistencyLevel.ALL)
+    cluster.settle()
+    probe = DualReadProbe(cluster)
+    outcomes = []
+    probe.probe(old_read, outcomes.append)
+    cluster.settle()
+    assert outcomes == [True]
+    assert probe.stale_detected == 1
+
+
+def test_probe_counts_missing_original_value_as_stale_when_data_exists():
+    cluster = make_cluster()
+    cluster.write_sync("k", "v1", ConsistencyLevel.ALL)
+    cluster.settle()
+    miss = cluster.read_sync("absent", ConsistencyLevel.ONE)
+    # Pretend the miss was for key "k" by probing key "k" via a fabricated result.
+    fabricated = type(miss)(
+        op_type="read",
+        key="k",
+        cell=None,
+        consistency_level=ConsistencyLevel.ONE,
+        blocked_for=1,
+        started_at=0.0,
+        completed_at=0.0,
+    )
+    probe = DualReadProbe(cluster)
+    outcomes = []
+    probe.probe(fabricated, outcomes.append)
+    cluster.settle()
+    assert outcomes == [True]
+
+
+def test_probe_rejects_non_read_results():
+    cluster = make_cluster()
+    write = cluster.write_sync("k", "v", ConsistencyLevel.ONE)
+    probe = DualReadProbe(cluster)
+    with pytest.raises(ValueError):
+        probe.probe(write)
+
+
+def test_probe_consumes_cluster_capacity():
+    """The dual-read methodology perturbs the system: verification reads go
+    through the normal data path (this is the point the paper makes)."""
+    cluster = make_cluster()
+    cluster.write_sync("k", "v", ConsistencyLevel.ALL)
+    cluster.settle()
+    reads_before = cluster.stats.total("coordinator_reads")
+    read = cluster.read_sync("k", ConsistencyLevel.ONE)
+    probe = DualReadProbe(cluster)
+    probe.probe(read)
+    cluster.settle()
+    reads_after = cluster.stats.total("coordinator_reads")
+    assert reads_after == reads_before + 2  # the workload read plus the probe

@@ -1,0 +1,156 @@
+"""Unit tests for the workload executor and client threads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.node import NodeConfig
+from repro.core.policy import StaticEventualPolicy, StaticQuorumPolicy, StaticStrongPolicy
+from repro.staleness.auditor import StalenessAuditor
+from repro.workload.executor import WorkloadExecutor
+from repro.workload.workloads import WORKLOAD_A, WORKLOAD_F, WorkloadConfig
+
+
+def make_cluster(seed: int = 4) -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            n_nodes=6,
+            replication_factor=3,
+            seed=seed,
+            node=NodeConfig(
+                concurrency=8,
+                read_service_time=0.001,
+                write_service_time=0.0008,
+                service_time_cv=0.3,
+            ),
+        )
+    )
+
+
+def run_workload(policy, workload=None, threads=4, seed=4, auditor=None):
+    cluster = make_cluster(seed)
+    executor = WorkloadExecutor(
+        cluster,
+        workload or WORKLOAD_A.scaled(record_count=60, operation_count=400),
+        policy,
+        threads=threads,
+        auditor=auditor,
+    )
+    return executor.run()
+
+
+class TestLoadPhase:
+    def test_load_inserts_every_record(self):
+        cluster = make_cluster()
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_A.scaled(record_count=40, operation_count=10),
+            StaticEventualPolicy(),
+            threads=1,
+        )
+        loaded = executor.load()
+        assert loaded == 40
+        # All records are present and consistent after the load settles.
+        for i in range(40):
+            assert cluster.newest_cell(f"user{i}") is not None
+
+    def test_run_loads_automatically_if_needed(self):
+        metrics = run_workload(StaticEventualPolicy())
+        assert metrics.counters.total == 400
+
+
+class TestRunPhase:
+    def test_operation_budget_is_respected(self):
+        metrics = run_workload(StaticEventualPolicy(), threads=7)
+        assert metrics.counters.total == 400
+
+    def test_metrics_split_reads_and_writes(self):
+        metrics = run_workload(StaticEventualPolicy())
+        assert metrics.counters.reads > 0
+        assert metrics.counters.writes > 0
+        assert metrics.counters.reads + metrics.counters.writes == 400
+        assert metrics.read_latency.count == metrics.counters.reads
+        assert metrics.write_latency.count == metrics.counters.writes
+
+    def test_throughput_and_duration_are_positive(self):
+        metrics = run_workload(StaticEventualPolicy())
+        assert metrics.duration > 0
+        assert metrics.ops_per_second() > 0
+
+    def test_policy_levels_are_used(self):
+        eventual = run_workload(StaticEventualPolicy())
+        assert set(eventual.consistency_level_usage) == {"ONE"}
+        strong = run_workload(StaticStrongPolicy())
+        assert set(strong.consistency_level_usage) == {"ALL"}
+        quorum = run_workload(StaticQuorumPolicy())
+        assert set(quorum.consistency_level_usage) == {"QUORUM"}
+
+    def test_more_threads_do_not_lose_operations(self):
+        for threads in (1, 3, 9):
+            metrics = run_workload(StaticEventualPolicy(), threads=threads)
+            assert metrics.counters.total == 400
+
+    def test_auditor_populates_staleness_summary(self):
+        auditor = StalenessAuditor()
+        metrics = run_workload(StaticEventualPolicy(), auditor=auditor)
+        assert metrics.staleness.total_reads == metrics.counters.reads
+        assert metrics.staleness.stale_reads == auditor.stale_reads
+
+    def test_strong_reads_are_never_stale(self):
+        auditor = StalenessAuditor()
+        metrics = run_workload(StaticStrongPolicy(), auditor=auditor, threads=8)
+        assert metrics.staleness.stale_reads == 0
+
+    def test_summary_row_has_expected_columns(self):
+        metrics = run_workload(StaticEventualPolicy())
+        row = metrics.summary()
+        for column in ("policy", "threads", "throughput_ops_s", "read_p99_ms", "stale_reads"):
+            assert column in row
+
+    def test_read_modify_write_workload_runs(self):
+        metrics = run_workload(
+            StaticEventualPolicy(),
+            workload=WORKLOAD_F.scaled(record_count=40, operation_count=200),
+        )
+        assert metrics.counters.total == 200
+        # Read-modify-writes are counted as writes (they always mutate).
+        assert metrics.counters.writes > 0
+
+    def test_scan_workload_runs(self):
+        scan_config = WorkloadConfig(
+            name="scan-test",
+            record_count=30,
+            operation_count=60,
+            read_proportion=0.5,
+            update_proportion=0.0,
+            insert_proportion=0.0,
+            scan_proportion=0.5,
+            max_scan_length=5,
+        )
+        metrics = run_workload(StaticEventualPolicy(), workload=scan_config)
+        assert metrics.counters.total == 60
+
+    def test_invalid_thread_count_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            WorkloadExecutor(
+                cluster,
+                WORKLOAD_A.scaled(record_count=10, operation_count=10),
+                StaticEventualPolicy(),
+                threads=0,
+            )
+
+    def test_think_time_slows_the_run_down(self):
+        fast = run_workload(StaticEventualPolicy(), threads=2)
+        cluster = make_cluster()
+        slow_executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_A.scaled(record_count=60, operation_count=400),
+            StaticEventualPolicy(),
+            threads=2,
+            think_time=0.01,
+        )
+        slow = slow_executor.run()
+        assert slow.duration > fast.duration
