@@ -1,0 +1,109 @@
+"""Geo-replication: LOCAL_QUORUM vs QUORUM vs EACH_QUORUM on Grid'5000 sites.
+
+The paper's platforms are multi-site testbeds, but its evaluation keeps the
+global ONE/QUORUM/ALL levels.  This bench opens the geo axis: the
+``GRID5000_3SITES`` scenario places replicas in Rennes (3), Sophia (2) and
+Nancy (2) under ``NetworkTopologyStrategy``, pins one client fleet to each
+site, and compares
+
+* ``LOCAL_QUORUM`` -- block on a quorum of the client's own site only;
+* ``QUORUM`` -- a global majority (4 of 7), which must cross the WAN;
+* ``EACH_QUORUM`` -- a quorum in every site (the strongest geo level; real
+  Cassandra only allows it for writes -- reads at EACH_QUORUM are a
+  documented simulator extension, see :mod:`repro.cluster.consistency`);
+* ``geo-harmony`` -- the per-datacenter adaptive controller, each site
+  enforcing its own tolerated stale rate (Rennes 20%, remote sites 40%).
+
+Expected shape: LOCAL_QUORUM reads complete at LAN latency, EACH_QUORUM
+pays at least one WAN round trip (5.5-8.5 ms one-way links), QUORUM sits in
+between, and geo-harmony keeps every site's measured stale rate under that
+site's tolerance while staying well below EACH_QUORUM latency.
+"""
+
+from __future__ import annotations
+
+from benchmarks._shared import FIGURE_DEFAULTS, cached_report, emit_report
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import GRID5000_3SITES
+from repro.metrics.report import MetricsReport
+from repro.workload.workloads import WORKLOAD_A
+
+POLICIES = ("local_quorum", "quorum", "each_quorum", "geo-harmony")
+THREADS = 12  # four client threads per site
+
+
+def build_geo_report() -> MetricsReport:
+    scenario = GRID5000_3SITES
+    workload = WORKLOAD_A.scaled(
+        record_count=FIGURE_DEFAULTS.record_count // 3,
+        operation_count=FIGURE_DEFAULTS.operation_count // 2,
+    )
+    report = MetricsReport("geo replication: DC-aware levels on Grid'5000 3 sites")
+    rows = []
+    dc_rows = []
+    for policy in POLICIES:
+        result = run_experiment(
+            scenario,
+            workload,
+            policy,
+            THREADS,
+            seed=FIGURE_DEFAULTS.seed,
+            monitoring_interval=FIGURE_DEFAULTS.monitoring_interval,
+            datacenters=scenario.datacenter_names,
+        )
+        rows.append(result.summary())
+        for dc in scenario.datacenter_names:
+            staleness = result.metrics.staleness_by_dc.get(dc)
+            latency = result.metrics.read_latency_by_dc.get(dc)
+            dc_rows.append(
+                {
+                    "policy": result.config.policy_name,
+                    "datacenter": dc,
+                    "reads": staleness.total_reads if staleness else 0,
+                    "read_p99_ms": round(latency.p99() * 1e3, 3) if latency else 0.0,
+                    "read_mean_ms": round(latency.mean() * 1e3, 3) if latency else 0.0,
+                    "stale_rate": round(staleness.stale_rate(), 4) if staleness else 0.0,
+                    "asr": (scenario.harmony_stale_rates_by_dc or {}).get(dc, ""),
+                }
+            )
+    report.add_section("geo level comparison (workload A)", rows)
+    report.add_section("per-datacenter breakdown", dc_rows)
+    report.add_note(
+        "LOCAL_QUORUM completes at LAN latency; EACH_QUORUM pays the WAN; "
+        "geo-harmony holds each site's stale rate under its own ASR."
+    )
+    return report
+
+
+def test_geo_replication_levels(benchmark):
+    report = benchmark.pedantic(
+        lambda: cached_report("geo_replication", build_geo_report),
+        rounds=1,
+        iterations=1,
+    )
+    emit_report("geo_replication", report)
+
+    rows = {row["policy"]: row for row in report.sections["geo level comparison (workload A)"]}
+    local = rows["static-geo(LOCAL_QUORUM/LOCAL_ONE)"]
+    each = rows["static-geo(EACH_QUORUM/LOCAL_ONE)"]
+    quorum = rows["quorum"]
+
+    # A local quorum never waits on the WAN: strictly faster than EACH_QUORUM
+    # at both the mean and the tail.
+    assert local["read_mean_ms"] < each["read_mean_ms"]
+    assert local["read_p99_ms"] < each["read_p99_ms"]
+    # The global QUORUM (4 of 7) must leave the coordinator's site, so it
+    # also cannot beat the purely local level.
+    assert local["read_mean_ms"] < quorum["read_mean_ms"]
+
+    # Per-DC adaptive control respects each site's own tolerance (with the
+    # usual sampling-noise margin the single-DC figures also allow).
+    harmony_name = next(name for name in rows if name.startswith("geo-harmony"))
+    for row in report.sections["per-datacenter breakdown"]:
+        if row["policy"] != harmony_name:
+            continue
+        asr = float(row["asr"])
+        assert row["stale_rate"] <= asr + 0.1, (
+            f"{row['datacenter']}: stale rate {row['stale_rate']} exceeds "
+            f"tolerance {asr} + margin"
+        )

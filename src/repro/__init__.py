@@ -27,24 +27,45 @@ True
 Package layout
 --------------
 ``repro.core``
-    the Harmony contribution: stale-read estimation model, monitoring module,
-    adaptive consistency controller and the policy interface;
+    the Harmony contribution: stale-read estimation model, monitoring module
+    (cluster-wide and per-datacenter), adaptive consistency controller and
+    the policy interface;
+``repro.geo``
+    the geo-replication subsystem: the per-datacenter
+    :class:`~repro.geo.GeoHarmonyController` (one stale-read model instance
+    per site, each independently mapping its ``Xn`` onto the DC-aware
+    levels) and the geo-aware workload policies;
 ``repro.cluster``
-    the simulated quorum-replicated store (ring, replication strategies,
-    storage engines, coordinator read/write paths, read repair, hints);
+    the simulated quorum-replicated store (ring, replication strategies
+    including the per-DC ``NetworkTopologyStrategy``, storage engines,
+    coordinator read/write paths with the DC-aware levels ``LOCAL_ONE`` /
+    ``LOCAL_QUORUM`` / ``EACH_QUORUM``, read repair, hints);
 ``repro.network``
-    latency models (Grid'5000-like, EC2-like), topology and message fabric;
+    latency models (Grid'5000-like, EC2-like), topology with per-DC-pair
+    WAN links, and the message fabric;
 ``repro.workload``
-    YCSB-style workloads A-F, key distributions and closed-loop clients;
+    YCSB-style workloads A-F, key distributions and closed-loop clients
+    (optionally pinned to datacenters);
 ``repro.staleness``
     ground-truth staleness auditing and the paper's dual-read probe;
 ``repro.metrics``
     latency histograms, throughput meters, time series and reports;
 ``repro.experiments``
-    scenarios (GRID5000, EC2), the experiment runner and per-figure
-    regenerators used by the benchmark harness;
+    scenarios (GRID5000, EC2, and the geo-distributed GRID5000_3SITES and
+    EC2_MULTIREGION), the experiment runner and per-figure regenerators
+    used by the benchmark harness;
 ``repro.sim``
     the discrete-event simulation engine everything runs on.
+
+Geo quick start
+---------------
+>>> from repro import ConsistencyLevel, SimulatedCluster
+>>> from repro.experiments.scenarios import GRID5000_3SITES
+>>> cluster = SimulatedCluster(GRID5000_3SITES.cluster_config(seed=1))
+>>> w = cluster.write_sync("k", "v", ConsistencyLevel.LOCAL_QUORUM,
+...                        datacenter="rennes")
+>>> {cluster.topology.datacenter_of(r) for r in w.responded} == {"rennes"}
+True
 """
 
 from repro.cluster import (
@@ -67,11 +88,14 @@ from repro.core import (
 )
 from repro.experiments import (
     EC2,
+    EC2_MULTIREGION,
     GRID5000,
+    GRID5000_3SITES,
     ExperimentConfig,
     ExperimentResult,
     run_experiment,
 )
+from repro.geo import GeoHarmonyController, GeoHarmonyPolicy, StaticGeoPolicy
 from repro.metrics import LatencyHistogram, MetricsReport, TimeSeries, format_table
 from repro.staleness import DualReadProbe, StalenessAuditor
 from repro.workload import (
@@ -95,9 +119,13 @@ __all__ = [
     "CoreWorkload",
     "DualReadProbe",
     "EC2",
+    "EC2_MULTIREGION",
     "ExperimentConfig",
     "ExperimentResult",
     "GRID5000",
+    "GRID5000_3SITES",
+    "GeoHarmonyController",
+    "GeoHarmonyPolicy",
     "HarmonyConfig",
     "HarmonyController",
     "HarmonyPolicy",
@@ -107,6 +135,7 @@ __all__ = [
     "StaleReadModel",
     "StalenessAuditor",
     "StaticEventualPolicy",
+    "StaticGeoPolicy",
     "StaticQuorumPolicy",
     "StaticStrongPolicy",
     "ThresholdPolicy",

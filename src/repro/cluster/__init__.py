@@ -24,10 +24,16 @@ yet reached returns stale data.
 """
 
 from repro.cluster.cluster import ClusterConfig, SimulatedCluster
-from repro.cluster.consistency import ConsistencyLevel, quorum_size
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    blocked_for_datacenters,
+    local_level_for_replicas,
+    quorum_size,
+)
 from repro.cluster.coordinator import Coordinator, OperationResult
 from repro.cluster.node import NodeConfig, StorageNode
 from repro.cluster.replication import (
+    NetworkTopologyStrategy,
     OldNetworkTopologyStrategy,
     ReplicationStrategy,
     SimpleStrategy,
@@ -43,6 +49,7 @@ __all__ = [
     "ConsistencyLevel",
     "Coordinator",
     "Murmur3Partitioner",
+    "NetworkTopologyStrategy",
     "NodeConfig",
     "NodeCounters",
     "OldNetworkTopologyStrategy",
@@ -54,5 +61,7 @@ __all__ = [
     "StorageEngine",
     "StorageNode",
     "TokenRing",
+    "blocked_for_datacenters",
+    "local_level_for_replicas",
     "quorum_size",
 ]

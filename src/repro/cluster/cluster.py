@@ -25,6 +25,7 @@ from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.coordinator import Coordinator, CoordinatorConfig, OperationResult
 from repro.cluster.node import NodeConfig, StorageNode
 from repro.cluster.replication import (
+    NetworkTopologyStrategy,
     OldNetworkTopologyStrategy,
     ReplicationStrategy,
     SimpleStrategy,
@@ -56,7 +57,13 @@ class ClusterConfig:
     topology:
         Explicit topology; overrides the three fields above.
     strategy:
-        ``"old_network_topology"`` (paper default) or ``"simple"``.
+        ``"old_network_topology"`` (paper default), ``"simple"`` or
+        ``"network_topology"`` (geo-replication with per-DC factors).
+    replication_factors:
+        Per-datacenter replication factors for ``"network_topology"``
+        (e.g. ``{"dc1": 3, "dc2": 2}``).  Supplying this selects the
+        ``"network_topology"`` strategy automatically and overrides
+        ``replication_factor`` with the sum of the per-DC factors.
     node:
         Per-node performance envelope.
     coordinator:
@@ -78,6 +85,7 @@ class ClusterConfig:
     datacenters: int = 1
     topology: Optional[Topology] = None
     strategy: str = "old_network_topology"
+    replication_factors: Optional[Dict[str, int]] = None
     node: NodeConfig = field(default_factory=NodeConfig)
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
     intra_rack_latency: Optional[LatencyModel] = None
@@ -90,6 +98,13 @@ class ClusterConfig:
     partitioner: Optional[Partitioner] = None
 
     def __post_init__(self) -> None:
+        if self.replication_factors is not None:
+            if not self.replication_factors:
+                raise ValueError("replication_factors must not be empty")
+            if any(rf < 0 for rf in self.replication_factors.values()):
+                raise ValueError("per-DC replication factors must be non-negative")
+            self.strategy = "network_topology"
+            self.replication_factor = sum(self.replication_factors.values())
         if self.replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")
         if self.topology is None and self.n_nodes < self.replication_factor:
@@ -97,8 +112,13 @@ class ClusterConfig:
                 f"n_nodes ({self.n_nodes}) must be >= replication_factor "
                 f"({self.replication_factor})"
             )
-        if self.strategy not in ("old_network_topology", "simple"):
+        if self.strategy not in ("old_network_topology", "simple", "network_topology"):
             raise ValueError(f"unknown replication strategy {self.strategy!r}")
+        if self.strategy == "network_topology" and self.replication_factors is None:
+            raise ValueError(
+                "strategy 'network_topology' needs per-DC replication_factors, "
+                "e.g. {'dc1': 3, 'dc2': 2}"
+            )
         if self.write_size_bytes <= 0:
             raise ValueError("write_size_bytes must be positive")
 
@@ -161,6 +181,9 @@ class SimulatedCluster:
         self.strategy: ReplicationStrategy
         if config.strategy == "old_network_topology":
             self.strategy = OldNetworkTopologyStrategy(config.replication_factor, self.topology)
+        elif config.strategy == "network_topology":
+            assert config.replication_factors is not None  # enforced by the config
+            self.strategy = NetworkTopologyStrategy(config.replication_factors, self.topology)
         else:
             self.strategy = SimpleStrategy(config.replication_factor)
         self.stats = ClusterStats()
@@ -193,6 +216,7 @@ class SimulatedCluster:
             self.coordinators[address] = coordinator
             self.fabric.register(address, self._make_dispatcher(node, coordinator))
         self._round_robin = itertools.cycle(self.topology.nodes)
+        self._round_robin_by_dc: Dict[str, tuple] = {}
         self._operation_observers: List[Callable[[OperationResult], None]] = []
 
     # ------------------------------------------------------------------
@@ -226,9 +250,39 @@ class SimulatedCluster:
         return self.config.replication_factor
 
     @property
+    def replication_factors(self) -> Optional[Dict[str, int]]:
+        """Per-datacenter replication factors, or ``None`` for non-geo strategies."""
+        if isinstance(self.strategy, NetworkTopologyStrategy):
+            return self.strategy.replication_factors
+        return None
+
+    def local_replication_factor(self, datacenter: str) -> int:
+        """Replicas a datacenter holds of every key.
+
+        For :class:`NetworkTopologyStrategy` this is the configured per-DC
+        factor; for the other strategies the placement is key-dependent, so
+        the question has no static answer and a ``ValueError`` is raised.
+        """
+        factors = self.replication_factors
+        if factors is None:
+            raise ValueError(
+                f"strategy {self.config.strategy!r} has no static per-DC replication factor"
+            )
+        return factors.get(datacenter, 0)
+
+    @property
     def addresses(self) -> List[NodeAddress]:
         """All node addresses in deterministic order."""
         return self.topology.nodes
+
+    @property
+    def datacenter_names(self) -> List[str]:
+        """Datacenter names in topology order."""
+        return self.topology.datacenter_names
+
+    def addresses_in(self, datacenter: str) -> List[NodeAddress]:
+        """Node addresses of one datacenter (deterministic order)."""
+        return self.topology.nodes_in_datacenter(datacenter)
 
     def node(self, address: NodeAddress) -> StorageNode:
         return self.nodes[address]
@@ -252,16 +306,35 @@ class SimulatedCluster:
         for observer in self._operation_observers:
             observer(result)
 
-    def _pick_coordinator(self, coordinator: Optional[NodeAddress]) -> Coordinator:
+    def _pick_coordinator(
+        self, coordinator: Optional[NodeAddress], datacenter: Optional[str] = None
+    ) -> Coordinator:
         if coordinator is not None:
             return self.coordinators[coordinator]
         # Round-robin over *live* nodes, mirroring a client driver with a
-        # host list that skips unreachable contact points.
-        for _ in range(len(self.coordinators)):
-            address = next(self._round_robin)
+        # host list that skips unreachable contact points.  A geo client pins
+        # its contact points to one datacenter (a DC-aware load balancing
+        # policy), so LOCAL_* levels resolve "local" to the client's site.
+        if datacenter is not None:
+            pool = self._round_robin_by_dc.get(datacenter)
+            if pool is None:
+                members = self.addresses_in(datacenter)
+                if not members:
+                    raise ValueError(f"unknown datacenter {datacenter!r}")
+                pool = (itertools.cycle(members), len(members))
+                self._round_robin_by_dc[datacenter] = pool
+            cycle, pool_size = pool
+        else:
+            cycle = self._round_robin
+            pool_size = len(self.coordinators)
+        for _ in range(pool_size):
+            address = next(cycle)
             if self.nodes[address].is_up:
                 return self.coordinators[address]
-        raise RuntimeError("no live coordinator available")
+        raise RuntimeError(
+            "no live coordinator available"
+            + (f" in datacenter {datacenter!r}" if datacenter is not None else "")
+        )
 
     def write(
         self,
@@ -271,6 +344,7 @@ class SimulatedCluster:
         callback: Optional[Callable[[OperationResult], None]] = None,
         *,
         coordinator: Optional[NodeAddress] = None,
+        datacenter: Optional[str] = None,
         size_bytes: Optional[int] = None,
         notify_observers: bool = True,
     ) -> int:
@@ -278,8 +352,10 @@ class SimulatedCluster:
 
         The write completes (and ``callback`` fires) once ``CL`` replicas have
         acknowledged; remaining replicas converge in the background.
-        ``notify_observers=False`` skips the registered operation observers --
-        used by measurement probes that must not re-trigger themselves.
+        ``datacenter`` pins the coordinator to one site (what "local" means
+        for the DC-aware levels).  ``notify_observers=False`` skips the
+        registered operation observers -- used by measurement probes that
+        must not re-trigger themselves.
         """
 
         def on_complete(result: OperationResult) -> None:
@@ -288,7 +364,7 @@ class SimulatedCluster:
             if callback is not None:
                 callback(result)
 
-        return self._pick_coordinator(coordinator).write(
+        return self._pick_coordinator(coordinator, datacenter).write(
             key,
             value,
             consistency_level,
@@ -303,12 +379,13 @@ class SimulatedCluster:
         callback: Optional[Callable[[OperationResult], None]] = None,
         *,
         coordinator: Optional[NodeAddress] = None,
+        datacenter: Optional[str] = None,
         notify_observers: bool = True,
     ) -> int:
         """Issue an asynchronous read through a coordinator.
 
-        ``notify_observers=False`` skips the registered operation observers
-        (see :meth:`write`).
+        ``datacenter`` pins the coordinator to one site (see :meth:`write`);
+        ``notify_observers=False`` skips the registered operation observers.
         """
 
         def on_complete(result: OperationResult) -> None:
@@ -317,7 +394,9 @@ class SimulatedCluster:
             if callback is not None:
                 callback(result)
 
-        return self._pick_coordinator(coordinator).read(key, consistency_level, on_complete)
+        return self._pick_coordinator(coordinator, datacenter).read(
+            key, consistency_level, on_complete
+        )
 
     # ------------------------------------------------------------------
     # Synchronous convenience wrappers (drive the engine until completion)

@@ -10,17 +10,38 @@ and maps it onto the closest level, so this module supports both views:
 * :func:`level_for_replicas` converts a replica count into a level;
 * :meth:`ConsistencyLevel.blocked_for` converts a level back into the number
   of replicas the coordinator must block for, given the replication factor.
+
+Geo-replication adds the *datacenter-aware* levels of modern Cassandra:
+
+* ``LOCAL_ONE`` / ``LOCAL_QUORUM`` block only on replicas in the
+  coordinator's own datacenter (remote datacenters converge asynchronously
+  over the WAN);
+* ``EACH_QUORUM`` blocks on a quorum in *every* datacenter.  Real Cassandra
+  restricts ``EACH_QUORUM`` to writes (reads with it raise
+  ``InvalidRequest``); the simulator additionally supports ``EACH_QUORUM``
+  *reads* as a deliberate extension, so the geo evaluation can bracket the
+  latency/staleness spectrum with a strongest-possible partial-quorum read.
+
+These levels have no single blocked-for count -- the requirement is a map
+from datacenter to acknowledgement count, computed by
+:func:`blocked_for_datacenters` from the per-DC replica counts of the key.
+:func:`local_level_for_replicas` is the geo analogue of
+:func:`level_for_replicas`: it maps a per-DC replica count chosen by the
+Harmony model onto the cheapest DC-aware level that covers it.
 """
 
 from __future__ import annotations
 
 import enum
 import math
+from typing import Dict, Mapping
 
 __all__ = [
     "ConsistencyLevel",
     "quorum_size",
     "level_for_replicas",
+    "local_level_for_replicas",
+    "blocked_for_datacenters",
     "is_strongly_consistent",
 ]
 
@@ -41,7 +62,11 @@ class ConsistencyLevel(enum.Enum):
 
     ``ANY`` is accepted for writes only (a hint on any node satisfies it);
     it is included for interface completeness but the Harmony controller
-    never selects it.
+    never selects it.  ``LOCAL_ONE``, ``LOCAL_QUORUM`` and ``EACH_QUORUM``
+    are datacenter-aware: their blocked-for requirement depends on how the
+    key's replicas are spread over datacenters, so :meth:`blocked_for`
+    rejects them -- coordinators resolve them through
+    :func:`blocked_for_datacenters` instead.
     """
 
     ANY = "ANY"
@@ -50,6 +75,9 @@ class ConsistencyLevel(enum.Enum):
     THREE = "THREE"
     QUORUM = "QUORUM"
     ALL = "ALL"
+    LOCAL_ONE = "LOCAL_ONE"
+    LOCAL_QUORUM = "LOCAL_QUORUM"
+    EACH_QUORUM = "EACH_QUORUM"
 
     # ------------------------------------------------------------------
     def blocked_for(self, replication_factor: int) -> int:
@@ -65,6 +93,12 @@ class ConsistencyLevel(enum.Enum):
         rf = int(replication_factor)
         if rf < 1:
             raise ValueError(f"replication factor must be >= 1, got {replication_factor!r}")
+        if self.is_datacenter_aware:
+            raise ValueError(
+                f"consistency level {self.value} is datacenter-aware; its blocked-for "
+                "requirement depends on the per-DC replica layout -- use "
+                "blocked_for_datacenters()"
+            )
         if self is ConsistencyLevel.ANY:
             required = 1
         elif self is ConsistencyLevel.ONE:
@@ -90,6 +124,15 @@ class ConsistencyLevel(enum.Enum):
     def is_write_only(self) -> bool:
         """``ANY`` can only be used for writes."""
         return self is ConsistencyLevel.ANY
+
+    @property
+    def is_datacenter_aware(self) -> bool:
+        """Whether the blocked-for requirement depends on the DC layout."""
+        return self in (
+            ConsistencyLevel.LOCAL_ONE,
+            ConsistencyLevel.LOCAL_QUORUM,
+            ConsistencyLevel.EACH_QUORUM,
+        )
 
     def __str__(self) -> str:
         return self.value
@@ -131,6 +174,84 @@ def level_for_replicas(replicas: int, replication_factor: int) -> ConsistencyLev
     if best is None:  # pragma: no cover - ALL always satisfies count <= rf
         best = ConsistencyLevel.ALL
     return best
+
+
+def blocked_for_datacenters(
+    level: ConsistencyLevel, replicas_by_dc: Mapping[str, int], local_dc: str
+) -> Dict[str, int]:
+    """Per-datacenter acknowledgement requirement of a DC-aware level.
+
+    Parameters
+    ----------
+    level:
+        One of ``LOCAL_ONE``, ``LOCAL_QUORUM`` or ``EACH_QUORUM``.
+    replicas_by_dc:
+        How many replicas of the key live in each datacenter (datacenters
+        holding no replica may be present with count 0 or absent).
+    local_dc:
+        The coordinator's datacenter (what "local" resolves against).
+
+    Returns
+    -------
+    Dict[str, int]
+        Datacenter -> number of acknowledgements the coordinator must block
+        for.  Only datacenters with a requirement appear.
+
+    Raises
+    ------
+    ValueError
+        For non-DC-aware levels, and when the requirement is unsatisfiable
+        (no local replicas for a LOCAL level), matching Cassandra's
+        ``UnavailableException`` semantics at request time.
+    """
+    if not level.is_datacenter_aware:
+        raise ValueError(
+            f"consistency level {level.value} is not datacenter-aware; use blocked_for()"
+        )
+    counts = {dc: int(n) for dc, n in replicas_by_dc.items() if int(n) > 0}
+    if any(n < 0 for n in replicas_by_dc.values()):
+        raise ValueError(f"replica counts must be non-negative, got {dict(replicas_by_dc)!r}")
+    if not counts:
+        raise ValueError("the key has no replicas in any datacenter")
+    if level is ConsistencyLevel.EACH_QUORUM:
+        return {dc: quorum_size(n) for dc, n in counts.items()}
+    local = counts.get(local_dc, 0)
+    if local < 1:
+        raise ValueError(
+            f"consistency level {level.value} requires replicas in the coordinator's "
+            f"datacenter {local_dc!r} but the key has none there"
+        )
+    if level is ConsistencyLevel.LOCAL_ONE:
+        return {local_dc: 1}
+    return {local_dc: quorum_size(local)}
+
+
+def local_level_for_replicas(replicas: int, local_replication_factor: int) -> ConsistencyLevel:
+    """Map a per-DC replica count onto the cheapest level covering it.
+
+    This is the geo analogue of :func:`level_for_replicas`: the per-DC
+    Harmony controller computes ``Xn`` against the *local* replication
+    factor and needs a level the coordinator can execute.  One replica is
+    ``LOCAL_ONE``; anything up to the local quorum is ``LOCAL_QUORUM``.
+    Beyond the local quorum no named level blocks on more local replicas
+    without blocking on every replica -- ``EACH_QUORUM`` only waits for a
+    local *quorum*, fewer local replicas than the model demanded -- so the
+    mapping escalates to ``ALL``, whose blocked-for set contains all
+    ``Xn`` local replicas (plus every remote one) and therefore dominates
+    the requirement.
+    """
+    rf = int(local_replication_factor)
+    if rf < 1:
+        raise ValueError(
+            f"local replication factor must be >= 1, got {local_replication_factor!r}"
+        )
+    count = int(math.ceil(replicas))
+    count = max(1, min(count, rf))
+    if count <= 1:
+        return ConsistencyLevel.LOCAL_ONE
+    if count <= quorum_size(rf):
+        return ConsistencyLevel.LOCAL_QUORUM
+    return ConsistencyLevel.ALL
 
 
 def is_strongly_consistent(

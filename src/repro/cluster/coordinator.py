@@ -18,6 +18,16 @@ returns the newest cell among the first ``blocked_for`` responses, and
 asynchronously repairs any contacted replica that returned an older cell
 (read repair), mirroring the QUORUM flow of the paper's Fig. 1.
 
+**Datacenter-aware levels** -- ``LOCAL_ONE`` and ``LOCAL_QUORUM`` block only
+on replicas in the coordinator's own datacenter: writes still go to every
+replica (the WAN copies converge asynchronously), but the client is
+acknowledged as soon as the local requirement is met, and reads contact only
+local replicas (plus the occasional read-repair round that touches every
+replica and so doubles as cross-DC anti-entropy).  ``EACH_QUORUM`` holds the
+operation until a quorum has answered in *every* datacenter that stores the
+key.  The per-DC requirement is resolved per key via
+:func:`repro.cluster.consistency.blocked_for_datacenters`.
+
 The coordinator never blocks the simulated world: every operation is a
 little state machine driven by response messages and timeout events.
 """
@@ -28,7 +38,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.cluster.consistency import ConsistencyLevel
+from repro.cluster.consistency import ConsistencyLevel, blocked_for_datacenters
 from repro.cluster.hints import Hint, HintStore
 from repro.cluster.node import StorageNode
 from repro.cluster.stats import NodeCounters
@@ -99,6 +109,12 @@ class OperationResult:
         The full replica set of the key (preference order).
     responded:
         Replicas that acknowledged before completion.
+    coordinator:
+        Address of the coordinator that executed the operation (``None`` for
+        synthetic results assembled by the client, e.g. read-modify-write).
+    datacenter:
+        The coordinator's datacenter -- what "local" meant for DC-aware
+        levels; used by the geo metrics to bucket results per site.
     """
 
     op_type: str
@@ -111,6 +127,8 @@ class OperationResult:
     timed_out: bool = False
     replicas: List[NodeAddress] = field(default_factory=list)
     responded: List[NodeAddress] = field(default_factory=list)
+    coordinator: Optional[NodeAddress] = None
+    datacenter: Optional[str] = None
 
     @property
     def latency(self) -> float:
@@ -126,6 +144,7 @@ class _PendingWrite:
         "cell",
         "replicas",
         "required",
+        "required_by_dc",
         "acks",
         "callback",
         "started_at",
@@ -143,11 +162,13 @@ class _PendingWrite:
         level: ConsistencyLevel,
         callback: Callable[[OperationResult], None],
         started_at: float,
+        required_by_dc: Optional[Dict[str, int]] = None,
     ) -> None:
         self.request_id = request_id
         self.cell = cell
         self.replicas = replicas
         self.required = required
+        self.required_by_dc = required_by_dc
         self.level = level
         self.acks: List[NodeAddress] = []
         self.callback = callback
@@ -165,6 +186,7 @@ class _PendingRead:
         "replicas",
         "contacted",
         "required",
+        "required_by_dc",
         "responses",
         "callback",
         "started_at",
@@ -184,12 +206,14 @@ class _PendingRead:
         level: ConsistencyLevel,
         callback: Callable[[OperationResult], None],
         started_at: float,
+        required_by_dc: Optional[Dict[str, int]] = None,
     ) -> None:
         self.request_id = request_id
         self.key = key
         self.replicas = replicas
         self.contacted = contacted
         self.required = required
+        self.required_by_dc = required_by_dc
         self.level = level
         self.responses: Dict[NodeAddress, Optional[Cell]] = {}
         self.callback = callback
@@ -225,6 +249,8 @@ class Coordinator:
         self._fabric = fabric
         self._topology = topology
         self.address = address
+        #: The coordinator's own datacenter: what LOCAL_* levels block on.
+        self.datacenter = topology.datacenter_of(address)
         self._nodes = nodes
         self._replicas_for = replicas_for
         self._counters = counters
@@ -261,7 +287,7 @@ class Coordinator:
         Returns the request id (useful for tracing in tests).
         """
         replicas = self._replicas_for(key)
-        required = consistency_level.blocked_for(len(replicas))
+        required, required_by_dc = self._requirement(consistency_level, replicas)
         request_id = next(self._request_ids)
         cell = Cell(
             timestamp=timestamp if timestamp is not None else self._engine.now,
@@ -275,6 +301,7 @@ class Coordinator:
             cell=cell,
             replicas=list(replicas),
             required=required,
+            required_by_dc=required_by_dc,
             level=consistency_level,
             callback=callback,
             started_at=self._engine.now,
@@ -305,20 +332,34 @@ class Coordinator:
         if consistency_level.is_write_only:
             raise ValueError("consistency level ANY cannot be used for reads")
         replicas = self._replicas_for(key)
-        required = consistency_level.blocked_for(len(replicas))
+        required, required_by_dc = self._requirement(consistency_level, replicas)
         request_id = next(self._request_ids)
-        ordered = self._order_by_proximity(replicas)
-        contacted = list(ordered[:required])
+        if required_by_dc is None:
+            ordered = self._order_by_proximity(replicas)
+            contacted = list(ordered[:required])
+        else:
+            # DC-aware level: contact exactly the required count in every
+            # datacenter with a requirement (LOCAL_* touch only the local DC).
+            # The union is re-sorted by proximity so the closest contacted
+            # replica receives the full data request (index 0 below) and the
+            # rest get digests, as in the classic path.
+            contacted = []
+            for dc, need in required_by_dc.items():
+                in_dc = [r for r in replicas if self._topology.datacenter_of(r) == dc]
+                contacted.extend(self._order_by_proximity(in_dc)[:need])
+            contacted = self._order_by_proximity(contacted)
         # Global read repair: occasionally contact every replica so the
-        # background repair can fix stale ones even under CL=ONE.
-        if required < len(replicas) and self._read_repair_roll():
-            contacted = list(ordered)
+        # background repair can fix stale ones even under CL=ONE (for LOCAL_*
+        # levels this round is also the cross-DC anti-entropy path).
+        if len(contacted) < len(replicas) and self._read_repair_roll():
+            contacted = list(self._order_by_proximity(replicas))
         pending = _PendingRead(
             request_id=request_id,
             key=key,
             replicas=list(replicas),
             contacted=contacted,
             required=required,
+            required_by_dc=required_by_dc,
             level=consistency_level,
             callback=callback,
             started_at=self._engine.now,
@@ -367,7 +408,7 @@ class Coordinator:
             if len(pending.acks) == len(pending.replicas):
                 self._pending_writes.pop(request_id, None)
             return
-        if len(pending.acks) >= pending.required:
+        if self._satisfied(pending.acks, pending.required, pending.required_by_dc):
             self._complete_write(pending, timed_out=False)
 
     def _complete_write(self, pending: _PendingWrite, *, timed_out: bool) -> None:
@@ -396,6 +437,8 @@ class Coordinator:
             timed_out=timed_out,
             replicas=list(pending.replicas),
             responded=list(pending.acks),
+            coordinator=self.address,
+            datacenter=self.datacenter,
         )
         pending.callback(result)
 
@@ -450,12 +493,14 @@ class Coordinator:
             # repair, then clean up once everyone contacted has answered.
             self._maybe_read_repair(pending)
             if len(pending.responses) == len(pending.contacted):
+                if pending.timeout_handle is not None:
+                    pending.timeout_handle.cancel()
                 self._pending_reads.pop(request_id, None)
             return
         if pending.repairs_outstanding > 0:
             # Already waiting on a blocking repair triggered earlier.
             return
-        if len(pending.responses) >= pending.required:
+        if self._satisfied(list(pending.responses), pending.required, pending.required_by_dc):
             # Level ALL demands that the replicas agree before the client is
             # answered: if they diverge, repair the stale ones first and only
             # then complete (paper Fig. 1, strong-consistency flow).
@@ -487,19 +532,38 @@ class Coordinator:
             timed_out=timed_out,
             replicas=list(pending.replicas),
             responded=list(pending.responses),
+            coordinator=self.address,
+            datacenter=self.datacenter,
         )
         self._maybe_read_repair(pending)
         if len(pending.responses) == len(pending.contacted):
             self._pending_reads.pop(pending.request_id, None)
+        else:
+            # Mirror the write path's cleanup: contacted replicas that never
+            # answer (down node, dropped message) must not pin the pending
+            # read forever -- evict after one more timeout window, giving
+            # stragglers a grace period to trigger read repair.
+            pending.timeout_handle = self._engine.schedule(
+                self.config.read_timeout,
+                self._evict_read,
+                pending.request_id,
+                label="read.evict",
+            )
         pending.callback(result)
+
+    def _evict_read(self, request_id: int) -> None:
+        self._pending_reads.pop(request_id, None)
 
     def _read_timed_out(self, request_id: int) -> None:
         pending = self._pending_reads.get(request_id)
         if pending is None or pending.completed:
             return
         self._blocking_repairs.pop(request_id, None)
+        # _complete_read either pops the entry (everyone answered) or arms
+        # the eviction grace timer; popping here as well would defeat that
+        # window and drop straggler responses that should trigger read
+        # repair.
         self._complete_read(pending, timed_out=True)
-        self._pending_reads.pop(request_id, None)
 
     def _responses_consistent(self, pending: _PendingRead) -> bool:
         """Whether every response received so far reports the same newest cell."""
@@ -568,6 +632,39 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _requirement(
+        self, level: ConsistencyLevel, replicas: Sequence[NodeAddress]
+    ) -> tuple[int, Optional[Dict[str, int]]]:
+        """Resolve a level against a replica set.
+
+        Returns ``(total, per_dc)`` where ``per_dc`` is ``None`` for the
+        classic count-based levels and a datacenter -> count map for the
+        DC-aware ones (``total`` is then the sum over datacenters).
+        """
+        if not level.is_datacenter_aware:
+            return level.blocked_for(len(replicas)), None
+        counts: Dict[str, int] = {}
+        for replica in replicas:
+            dc = self._topology.datacenter_of(replica)
+            counts[dc] = counts.get(dc, 0) + 1
+        by_dc = blocked_for_datacenters(level, counts, self.datacenter)
+        return sum(by_dc.values()), by_dc
+
+    def _satisfied(
+        self,
+        responded: Sequence[NodeAddress],
+        required: int,
+        required_by_dc: Optional[Dict[str, int]],
+    ) -> bool:
+        """Whether the gathered acknowledgements meet the level's requirement."""
+        if required_by_dc is None:
+            return len(responded) >= required
+        for dc, need in required_by_dc.items():
+            have = sum(1 for node in responded if self._topology.datacenter_of(node) == dc)
+            if have < need:
+                return False
+        return True
+
     def _order_by_proximity(self, replicas: Sequence[NodeAddress]) -> List[NodeAddress]:
         """Replicas sorted by expected latency from this coordinator (snitch)."""
         return sorted(replicas, key=lambda r: self._topology.mean_latency(self.address, r))

@@ -12,17 +12,28 @@ strategy selects which nodes hold the ``RF`` replicas of a key.
   third is the first node in a *different rack* of the first datacenter, and
   the remaining replicas follow the walk.  With a single datacenter the
   cross-DC preference degrades gracefully to cross-rack placement.
+* :class:`NetworkTopologyStrategy` is the modern geo-replication strategy:
+  an explicit **per-datacenter replication factor** (e.g.
+  ``{"dc1": 3, "dc2": 2}``).  Each datacenter independently takes its
+  configured number of replicas from the walk, spreading them over distinct
+  racks first -- exactly the placement contract the DC-aware consistency
+  levels (``LOCAL_QUORUM``, ``EACH_QUORUM``) rely on.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 from repro.cluster.ring import TokenRing
 from repro.network.topology import NodeAddress, Topology
 
-__all__ = ["ReplicationStrategy", "SimpleStrategy", "OldNetworkTopologyStrategy"]
+__all__ = [
+    "ReplicationStrategy",
+    "SimpleStrategy",
+    "OldNetworkTopologyStrategy",
+    "NetworkTopologyStrategy",
+]
 
 
 class ReplicationStrategy(ABC):
@@ -115,3 +126,90 @@ class OldNetworkTopologyStrategy(ReplicationStrategy):
             if node not in chosen:
                 chosen.append(node)
         return chosen
+
+
+class NetworkTopologyStrategy(ReplicationStrategy):
+    """Per-datacenter replica placement (Cassandra's ``NetworkTopologyStrategy``).
+
+    Parameters
+    ----------
+    replication_factors:
+        Datacenter name -> number of replicas that datacenter must hold.
+        Every named datacenter must exist in the topology and contain at
+        least that many nodes; zero entries are dropped.
+    topology:
+        The cluster layout the placement consults for DC/rack membership.
+
+    Placement contract (checked by the property tests):
+
+    * each datacenter receives **exactly** its configured replica count;
+    * no node holds more than one replica of a key;
+    * within a datacenter, replicas prefer distinct racks -- a rack is only
+      reused once every rack of the datacenter already holds a replica;
+    * replicas are returned in ring-walk order, so the walk's first selected
+      node remains the primary and proximity ordering stays meaningful.
+    """
+
+    def __init__(self, replication_factors: Mapping[str, int], topology: Topology) -> None:
+        factors = {dc: int(rf) for dc, rf in replication_factors.items() if int(rf) != 0}
+        if not factors:
+            raise ValueError("NetworkTopologyStrategy needs at least one non-zero DC factor")
+        if any(rf < 0 for rf in factors.values()):
+            raise ValueError(f"replication factors must be non-negative, got {dict(replication_factors)!r}")
+        known = set(topology.datacenter_names)
+        unknown = set(factors) - known
+        if unknown:
+            raise ValueError(
+                f"replication factors reference unknown datacenter(s) {sorted(unknown)}; "
+                f"topology has {sorted(known)}"
+            )
+        for dc, rf in factors.items():
+            available = len(topology.nodes_in_datacenter(dc))
+            if rf > available:
+                raise ValueError(
+                    f"datacenter {dc!r} has {available} nodes, fewer than its "
+                    f"replication factor {rf}"
+                )
+        super().__init__(sum(factors.values()))
+        self._topology = topology
+        self._factors = dict(factors)
+
+    @property
+    def replication_factors(self) -> Dict[str, int]:
+        """Per-datacenter replication factors (a copy)."""
+        return dict(self._factors)
+
+    def replication_factor_for(self, datacenter: str) -> int:
+        """Replicas held by one datacenter (0 for datacenters not configured)."""
+        return self._factors.get(datacenter, 0)
+
+    def replicas_for_walk(self, walk: Sequence[NodeAddress]) -> List[NodeAddress]:
+        chosen: set[NodeAddress] = set()
+        for dc, rf in self._factors.items():
+            taken = 0
+            racks_used: set[str] = set()
+            # First pass: one replica per distinct rack, in walk order.
+            for node in walk:
+                if taken == rf:
+                    break
+                if self._topology.datacenter_of(node) != dc or node in chosen:
+                    continue
+                if self._topology.rack_of(node) in racks_used:
+                    continue
+                chosen.add(node)
+                racks_used.add(self._topology.rack_of(node))
+                taken += 1
+            # Second pass: racks exhausted before the factor -- reuse racks.
+            if taken < rf:
+                for node in walk:
+                    if taken == rf:
+                        break
+                    if self._topology.datacenter_of(node) != dc or node in chosen:
+                        continue
+                    chosen.add(node)
+                    taken += 1
+            if taken < rf:  # pragma: no cover - construction validates sizes
+                raise RuntimeError(
+                    f"walk exhausted before placing {rf} replicas in datacenter {dc!r}"
+                )
+        return [node for node in walk if node in chosen]

@@ -9,7 +9,7 @@ provides the *windowed deltas* that turn cumulative counters into rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.network.topology import NodeAddress
 
@@ -83,6 +83,14 @@ class ClusterStats:
         """Sum of one counter across all nodes."""
         return sum(getattr(counters, field_name) for counters in self._counters.values())
 
+    def total_for(self, field_name: str, addresses: Iterable[NodeAddress]) -> int:
+        """Sum of one counter over a subset of nodes (e.g. one datacenter)."""
+        return sum(
+            getattr(self._counters[address], field_name)
+            for address in addresses
+            if address in self._counters
+        )
+
     def snapshot(self, time: float) -> CounterSnapshot:
         """Take a cluster-wide snapshot at virtual time ``time``."""
         snap = CounterSnapshot(
@@ -94,6 +102,22 @@ class ClusterStats:
         )
         self._snapshots.append(snap)
         return snap
+
+    def snapshot_for(self, time: float, addresses: Iterable[NodeAddress]) -> CounterSnapshot:
+        """A snapshot restricted to a node subset (per-datacenter monitoring).
+
+        Subset snapshots are not appended to the cluster-wide snapshot
+        history: they belong to whoever is tracking that subset (the geo
+        monitor keeps one per datacenter).
+        """
+        members = list(addresses)
+        return CounterSnapshot(
+            time=time,
+            coordinator_reads=self.total_for("coordinator_reads", members),
+            coordinator_writes=self.total_for("coordinator_writes", members),
+            reads_served=self.total_for("reads_served", members),
+            writes_applied=self.total_for("writes_applied", members),
+        )
 
     def last_snapshot(self) -> Optional[CounterSnapshot]:
         return self._snapshots[-1] if self._snapshots else None

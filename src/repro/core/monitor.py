@@ -20,12 +20,28 @@ The simulated monitor mirrors this:
 
 The monitor is passive: it never touches the simulated data path, exactly as
 the real monitoring module sits outside Cassandra's request path.
+
+Geo-replication extends the monitor with a **per-datacenter view**:
+
+* the *read* rate comes from the counter deltas of the datacenter's own
+  coordinators -- it is that site's read intensity that decides how many
+  reads race a propagating write;
+* the *write* rate stays **cluster-wide**: under ``NetworkTopologyStrategy``
+  every write, wherever it is coordinated, replicates into every datacenter,
+  so the inter-write time that drives staleness at a site is a property of
+  the data, not of the site's own coordinators (a read-only site next to a
+  write-heavy site is exactly as exposed as the writer);
+* latency probes aim at that site's nodes, so the ``Tp`` each site sees
+  reflects the WAN links inbound writes must cross to reach its replicas.
+
+Each datacenter keeps its own previous-snapshot and smoothing state, so
+per-DC sampling composes with the cluster-wide view without interference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -57,6 +73,9 @@ class MonitoringSample:
         bandwidth (what the estimation model consumes).
     window:
         Length of the measurement window in seconds.
+    datacenter:
+        ``None`` for the cluster-wide aggregate; the datacenter name for a
+        per-DC sample (geo monitoring).
     """
 
     time: float
@@ -67,6 +86,7 @@ class MonitoringSample:
     network_latency: float
     propagation_time: float
     window: float
+    datacenter: Optional[str] = None
 
 
 class ClusterMonitor:
@@ -84,19 +104,34 @@ class ClusterMonitor:
         self.cluster = cluster
         self.config = config or HarmonyConfig()
         self._previous: Optional[CounterSnapshot] = None
-        self._smoothed_read_rate: Optional[float] = None
-        self._smoothed_write_rate: Optional[float] = None
+        self._previous_by_dc: Dict[str, CounterSnapshot] = {}
+        # Cluster-wide snapshots tracked per datacenter window (the write
+        # rate each site's model consumes is cluster-wide; see module doc).
+        self._previous_global_by_dc: Dict[str, CounterSnapshot] = {}
+        #: Smoothing state per scope: ``None`` for the cluster-wide view,
+        #: the datacenter name for per-DC views; value is [read, write].
+        self._smoothed: Dict[Optional[str], List[float]] = {}
         self._ping_rng = cluster.streams.stream("harmony.monitor.ping")
         self.samples: List[MonitoringSample] = []
+        self.samples_by_dc: Dict[str, List[MonitoringSample]] = {}
 
     # ------------------------------------------------------------------
     def prime(self) -> None:
         """Take the initial counter snapshot without producing a sample.
 
         Call once before the measured run starts so the first real sample has
-        a well-defined window.
+        a well-defined window.  Per-datacenter windows are primed at the same
+        instant so both views cover identical time spans.
         """
-        self._previous = self.cluster.stats.snapshot(self.cluster.engine.now)
+        now = self.cluster.engine.now
+        self._previous = self.cluster.stats.snapshot(now)
+        for dc in self.cluster.topology.datacenter_names:
+            self._previous_by_dc[dc] = self.cluster.stats.snapshot_for(
+                now, self.cluster.topology.nodes_in_datacenter(dc)
+            )
+            # The cluster-wide snapshot just taken doubles as every site's
+            # initial global-write window.
+            self._previous_global_by_dc[dc] = self._previous
 
     def sample(self) -> MonitoringSample:
         """Take one monitoring sample (counters + latency probes)."""
@@ -107,20 +142,86 @@ class ClusterMonitor:
         current = self.cluster.stats.snapshot(now)
         rates = self.cluster.stats.window_rates(self._previous, current)
         self._previous = current
+        return self._assemble_sample(
+            now,
+            raw_read=rates["read_rate"],
+            raw_write=rates["write_rate"],
+            window=rates["elapsed"],
+            datacenter=None,
+        )
 
-        raw_read = rates["read_rate"]
-        raw_write = rates["write_rate"]
+    # ------------------------------------------------------------------
+    # Per-datacenter view (geo monitoring)
+    # ------------------------------------------------------------------
+    def sample_datacenter(
+        self, datacenter: str, *, global_snapshot: Optional[CounterSnapshot] = None
+    ) -> MonitoringSample:
+        """Take one monitoring sample for one datacenter.
+
+        ``global_snapshot`` lets :meth:`sample_per_datacenter` scan the
+        cluster-wide counters once per tick instead of once per site; it
+        must have been taken at the current virtual time.
+
+        The read rate comes from the counter deltas of the datacenter's own
+        coordinators (the reads its clients issued).  The write rate is
+        **cluster-wide**: every write replicates into this datacenter
+        regardless of where it was coordinated, so the site's staleness is
+        driven by the global inter-write time.  The latency probe targets
+        the datacenter's nodes from anywhere in the cluster, so the
+        resulting ``Tp`` reflects how long a write takes to reach this
+        site's replicas across the WAN.
+        """
+        members = self.cluster.topology.nodes_in_datacenter(datacenter)
+        if not members:
+            raise ValueError(f"unknown datacenter {datacenter!r}")
+        now = self.cluster.engine.now
+        local_current = self.cluster.stats.snapshot_for(now, members)
+        local_previous = self._previous_by_dc.get(datacenter, local_current)
+        read_rates = self.cluster.stats.window_rates(local_previous, local_current)
+        self._previous_by_dc[datacenter] = local_current
+
+        global_current = (
+            global_snapshot
+            if global_snapshot is not None
+            else self.cluster.stats.snapshot_for(now, self.cluster.addresses)
+        )
+        global_previous = self._previous_global_by_dc.get(datacenter, global_current)
+        write_rates = self.cluster.stats.window_rates(global_previous, global_current)
+        self._previous_global_by_dc[datacenter] = global_current
+
+        return self._assemble_sample(
+            now,
+            raw_read=read_rates["read_rate"],
+            raw_write=write_rates["write_rate"],
+            window=read_rates["elapsed"],
+            datacenter=datacenter,
+        )
+
+    def _assemble_sample(
+        self,
+        now: float,
+        *,
+        raw_read: float,
+        raw_write: float,
+        window: float,
+        datacenter: Optional[str],
+    ) -> MonitoringSample:
+        """Smooth the raw rates, probe latency, derive ``Tp``, record the sample."""
         alpha = self.config.rate_smoothing
-        if self._smoothed_read_rate is None:
-            self._smoothed_read_rate = raw_read
-            self._smoothed_write_rate = raw_write
+        smoothed = self._smoothed.get(datacenter)
+        if window <= 0:
+            # A zero-length window (cold call at the priming instant) carries
+            # no rate information: report the raw zeros but leave the EWMA
+            # state untouched so later, real windows are not dragged down.
+            smoothed = smoothed if smoothed is not None else [raw_read, raw_write]
+        elif smoothed is None:
+            smoothed = [raw_read, raw_write]
+            self._smoothed[datacenter] = smoothed
         else:
-            self._smoothed_read_rate = alpha * raw_read + (1 - alpha) * self._smoothed_read_rate
-            self._smoothed_write_rate = (
-                alpha * raw_write + (1 - alpha) * self._smoothed_write_rate
-            )
+            smoothed[0] = alpha * raw_read + (1 - alpha) * smoothed[0]
+            smoothed[1] = alpha * raw_write + (1 - alpha) * smoothed[1]
 
-        latency = self.measure_network_latency()
+        latency = self.measure_network_latency(datacenter=datacenter)
         tp = propagation_time(
             network_latency=latency,
             avg_write_size=self.config.avg_write_size,
@@ -129,34 +230,61 @@ class ClusterMonitor:
         )
         sample = MonitoringSample(
             time=now,
-            read_rate=float(self._smoothed_read_rate),
-            write_rate=float(self._smoothed_write_rate),
+            read_rate=float(smoothed[0]),
+            write_rate=float(smoothed[1]),
             raw_read_rate=float(raw_read),
             raw_write_rate=float(raw_write),
             network_latency=float(latency),
             propagation_time=float(tp),
-            window=float(rates["elapsed"]),
+            window=float(window),
+            datacenter=datacenter,
         )
-        self.samples.append(sample)
+        if datacenter is None:
+            self.samples.append(sample)
+        else:
+            self.samples_by_dc.setdefault(datacenter, []).append(sample)
         return sample
 
+    def sample_per_datacenter(self) -> Dict[str, MonitoringSample]:
+        """One sample per datacenter, in topology order."""
+        whole = self.cluster.stats.snapshot_for(
+            self.cluster.engine.now, self.cluster.addresses
+        )
+        return {
+            dc: self.sample_datacenter(dc, global_snapshot=whole)
+            for dc in self.cluster.topology.datacenter_names
+        }
+
     # ------------------------------------------------------------------
-    def measure_network_latency(self) -> float:
+    def measure_network_latency(self, datacenter: Optional[str] = None) -> float:
         """Probe random node pairs and return the mean one-way latency.
 
         The paper's monitor pings the storage nodes; here the fabric's
         ``ping`` samples the same latency models the data path uses (scaled
         by the fabric's current ``latency_scale``), halved to convert RTT to
-        a one-way figure.
+        a one-way figure.  With ``datacenter`` given, every probe's *target*
+        lies in that datacenter while the source is drawn from the whole
+        cluster -- the inbound-propagation latency that site's replicas see.
         """
         nodes = self.cluster.addresses
         if len(nodes) < 2:
             return 0.0
         probes = self.config.latency_probes_per_sample
         rtts = np.empty(probes, dtype=float)
+        if datacenter is None:
+            for i in range(probes):
+                a_idx, b_idx = self._ping_rng.choice(len(nodes), size=2, replace=False)
+                a, b = nodes[int(a_idx)], nodes[int(b_idx)]
+                rtts[i] = self.cluster.fabric.ping(a, b)
+            return float(np.mean(rtts) / 2.0)
+        targets = self.cluster.topology.nodes_in_datacenter(datacenter)
+        if not targets:
+            raise ValueError(f"unknown datacenter {datacenter!r}")
         for i in range(probes):
-            a_idx, b_idx = self._ping_rng.choice(len(nodes), size=2, replace=False)
-            a, b = nodes[int(a_idx)], nodes[int(b_idx)]
+            b = targets[int(self._ping_rng.integers(len(targets)))]
+            a = b
+            while a == b:
+                a = nodes[int(self._ping_rng.integers(len(nodes)))]
             rtts[i] = self.cluster.fabric.ping(a, b)
         return float(np.mean(rtts) / 2.0)
 
@@ -169,9 +297,11 @@ class ClusterMonitor:
     def reset(self) -> None:
         """Forget history (used when reusing a monitor across runs)."""
         self._previous = None
-        self._smoothed_read_rate = None
-        self._smoothed_write_rate = None
+        self._previous_by_dc.clear()
+        self._previous_global_by_dc.clear()
+        self._smoothed.clear()
         self.samples.clear()
+        self.samples_by_dc.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClusterMonitor(samples={len(self.samples)})"

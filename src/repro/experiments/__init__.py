@@ -19,13 +19,22 @@ the paper's evaluation (Section V):
 """
 
 from repro.experiments.runner import ExperimentConfig, ExperimentResult, run_experiment
-from repro.experiments.scenarios import EC2, GRID5000, Scenario, ScenarioRegistry
+from repro.experiments.scenarios import (
+    EC2,
+    EC2_MULTIREGION,
+    GRID5000,
+    GRID5000_3SITES,
+    Scenario,
+    ScenarioRegistry,
+)
 
 __all__ = [
     "EC2",
+    "EC2_MULTIREGION",
     "ExperimentConfig",
     "ExperimentResult",
     "GRID5000",
+    "GRID5000_3SITES",
     "Scenario",
     "ScenarioRegistry",
     "run_experiment",

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
 from repro.core.policy import (
     ConsistencyPolicy,
     HarmonyPolicy,
@@ -94,10 +95,15 @@ def make_policy(name: str, scenario: Scenario, *,
     * ``quorum`` -- static QUORUM reads and writes;
     * ``harmony-<asr>`` -- Harmony with the given tolerated stale rate, e.g.
       ``harmony-0.2`` or ``harmony-20%``;
-    * ``threshold-<x>`` -- write/read-ratio threshold baseline.
+    * ``threshold-<x>`` -- write/read-ratio threshold baseline;
+    * ``local_one`` / ``local_quorum`` / ``each_quorum`` -- static DC-aware
+      levels (geo scenarios; writes at LOCAL_ONE);
+    * ``geo-harmony`` -- the per-datacenter adaptive controller, using the
+      scenario's ``harmony_stale_rates_by_dc``.
     """
     from repro.core.config import HarmonyConfig
     from repro.core.policy import ThresholdPolicy
+    from repro.geo.policy import GeoHarmonyPolicy, StaticGeoPolicy
 
     lowered = name.lower()
     if lowered == "eventual":
@@ -106,6 +112,17 @@ def make_policy(name: str, scenario: Scenario, *,
         return StaticStrongPolicy()
     if lowered == "quorum":
         return StaticQuorumPolicy()
+    if lowered in ("local_one", "local_quorum", "each_quorum"):
+        return StaticGeoPolicy(read=ConsistencyLevel(lowered.upper()))
+    if lowered == "geo-harmony":
+        config = (
+            HarmonyConfig(monitoring_interval=monitoring_interval)
+            if monitoring_interval is not None
+            else None
+        )
+        return GeoHarmonyPolicy(
+            tolerated_stale_rates=scenario.harmony_stale_rates_by_dc, config=config
+        )
     if lowered.startswith("harmony-"):
         spec = lowered.split("-", 1)[1].rstrip("%")
         asr = float(spec)
@@ -137,6 +154,7 @@ def run_experiment(
     n_nodes: Optional[int] = None,
     monitoring_interval: Optional[float] = None,
     cluster_hook: Optional[Callable[[SimulatedCluster], None]] = None,
+    datacenters: Optional[Sequence[str]] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -149,6 +167,9 @@ def run_experiment(
         Optional callable invoked with the freshly built cluster before the
         load phase -- used by the figure-4(b) latency sweep (to scale the
         fabric latency) and by failure-injection tests.
+    datacenters:
+        Pin client threads to these datacenters round-robin (geo runs);
+        pass ``scenario.datacenter_names`` for one client fleet per site.
     """
     if isinstance(policy, str):
         policy_obj = make_policy(policy, scenario, monitoring_interval=monitoring_interval)
@@ -173,6 +194,7 @@ def run_experiment(
         policy_obj,
         threads=threads,
         auditor=auditor,
+        datacenters=list(datacenters) if datacenters is not None else None,
     )
     metrics = executor.run()
     return ExperimentResult(config=config, metrics=metrics, auditor=auditor)

@@ -14,6 +14,16 @@ models, node performance envelope, replication factor) plus the Harmony
 tolerated-stale-rate pair used on that platform, so every figure bench asks
 for the same platform the same way.
 
+Both platforms are *geo-distributed* in reality -- Grid'5000 is a federation
+of sites across France, EC2 spans regions -- so two additional scenarios
+model true multi-datacenter deployments with per-site replica placement
+(``NetworkTopologyStrategy``) and measured-scale WAN latencies:
+
+* ``GRID5000_3SITES`` -- Rennes, Sophia and Nancy with the ~10-18 ms
+  inter-site RTTs of the Grid'5000 backbone;
+* ``EC2_MULTIREGION`` -- us-east-1, eu-west-1 and ap-southeast-1 with
+  transatlantic/transpacific one-way latencies in the 40-90 ms range.
+
 Simulation scale note: the paper's Grid'5000 deployment has 84 nodes and runs
 3-10 million operations; the default scenarios use 20 nodes and the figure
 benches use 10^4-10^5 operations so the full evaluation completes in minutes
@@ -35,8 +45,16 @@ from repro.network.latency import (
     LatencyModel,
     LogNormalLatency,
 )
+from repro.network.topology import Topology, TopologyBuilder
 
-__all__ = ["Scenario", "GRID5000", "EC2", "ScenarioRegistry"]
+__all__ = [
+    "Scenario",
+    "GRID5000",
+    "EC2",
+    "GRID5000_3SITES",
+    "EC2_MULTIREGION",
+    "ScenarioRegistry",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +77,16 @@ class Scenario:
     harmony_stale_rates:
         The pair of tolerated stale-read rates the paper evaluates on this
         platform (lenient, restrictive).
+    topology:
+        Explicit topology for geo scenarios (per-site racks and WAN links);
+        overrides ``n_nodes`` / ``racks_per_dc`` / ``datacenters``.
+    replication_factors:
+        Per-datacenter replication factors; selects
+        ``NetworkTopologyStrategy`` (geo scenarios only).
+    harmony_stale_rates_by_dc:
+        Per-datacenter ASR map for the per-DC Harmony controller (geo
+        scenarios only; sites missing from the map use the controller's
+        default).
     description:
         Free-text summary used in logs and EXPERIMENTS.md.
     """
@@ -74,14 +102,25 @@ class Scenario:
     node: NodeConfig = field(default_factory=NodeConfig)
     coordinator: CoordinatorConfig = field(default_factory=CoordinatorConfig)
     harmony_stale_rates: Tuple[float, float] = (0.4, 0.2)
+    topology: Optional[Topology] = None
+    replication_factors: Optional[Dict[str, int]] = None
+    harmony_stale_rates_by_dc: Optional[Dict[str, float]] = None
     description: str = ""
+
+    @property
+    def datacenter_names(self) -> list[str]:
+        """Datacenter names of the scenario's topology (geo scenarios)."""
+        if self.topology is not None:
+            return self.topology.datacenter_names
+        return [f"dc{i + 1}" for i in range(self.datacenters)]
 
     def cluster_config(self, *, seed: int = 0, n_nodes: Optional[int] = None) -> ClusterConfig:
         """Build the :class:`ClusterConfig` for this platform.
 
         ``n_nodes`` may be overridden (smaller clusters for quick tests,
         larger for fidelity runs); the replication factor and latency models
-        stay those of the platform.
+        stay those of the platform.  Scenarios with an explicit ``topology``
+        ignore the override -- their node layout is part of the platform.
         """
         nodes = n_nodes if n_nodes is not None else self.n_nodes
         return ClusterConfig(
@@ -89,7 +128,11 @@ class Scenario:
             replication_factor=self.replication_factor,
             racks_per_dc=self.racks_per_dc,
             datacenters=self.datacenters,
+            topology=self.topology,
+            # ClusterConfig auto-selects "network_topology" whenever
+            # replication_factors is given; keep that rule in one place.
             strategy="old_network_topology",
+            replication_factors=self.replication_factors,
             node=self.node,
             coordinator=self.coordinator,
             intra_rack_latency=self.intra_rack_latency,
@@ -161,12 +204,139 @@ EC2 = Scenario(
 )
 
 
+def _grid5000_3sites_topology(nodes_per_rack: int = 2) -> Topology:
+    """Rennes / Sophia / Nancy: two racks per site, measured-scale WAN links.
+
+    One-way inter-site latencies follow the Grid'5000 Renater backbone
+    (RTTs of roughly 11 ms Rennes-Nancy, 17 ms Rennes-Sophia and 13 ms
+    Nancy-Sophia), with narrow log-normal jitter -- dedicated academic
+    fibre, not the public internet.
+    """
+    builder = (
+        TopologyBuilder()
+        .datacenter("rennes")
+        .rack("r1", nodes=nodes_per_rack)
+        .rack("r2", nodes=nodes_per_rack)
+        .datacenter("sophia")
+        .rack("r1", nodes=nodes_per_rack)
+        .rack("r2", nodes=nodes_per_rack)
+        .datacenter("nancy")
+        .rack("r1", nodes=nodes_per_rack)
+        .rack("r2", nodes=nodes_per_rack)
+        .latencies(
+            intra_rack=Grid5000LikeLatency(),
+            inter_rack=Grid5000LikeLatency(
+                median=1.2 * Grid5000LikeLatency.DEFAULT_MEDIAN, sigma=0.2
+            ),
+        )
+        .inter_dc_link("rennes", "nancy", LogNormalLatency(median=0.0055, sigma=0.12, floor=0.004))
+        .inter_dc_link("rennes", "sophia", LogNormalLatency(median=0.0085, sigma=0.12, floor=0.006))
+        .inter_dc_link("nancy", "sophia", LogNormalLatency(median=0.0065, sigma=0.12, floor=0.005))
+    )
+    return builder.build()
+
+
+_GRID5000_3SITES_TOPOLOGY = _grid5000_3sites_topology()
+_GRID5000_3SITES_FACTORS = {"rennes": 3, "sophia": 2, "nancy": 2}
+
+#: Geo-distributed Grid'5000: three sites, per-site replicas, WAN in the ms range.
+GRID5000_3SITES = Scenario(
+    name="grid5000_3sites",
+    # Derived, not hand-maintained: the topology and the per-site factors
+    # are the single source of truth.
+    n_nodes=_GRID5000_3SITES_TOPOLOGY.size,
+    replication_factor=sum(_GRID5000_3SITES_FACTORS.values()),
+    topology=_GRID5000_3SITES_TOPOLOGY,
+    replication_factors=_GRID5000_3SITES_FACTORS,
+    harmony_stale_rates=(0.4, 0.2),
+    harmony_stale_rates_by_dc={"rennes": 0.2, "sophia": 0.4, "nancy": 0.4},
+    node=NodeConfig(
+        concurrency=24,
+        read_service_time=0.005,
+        write_service_time=0.0035,
+        service_time_cv=0.45,
+    ),
+    description=(
+        "Three Grid'5000 sites (Rennes, Sophia, Nancy) with per-site replica "
+        "counts {3, 2, 2} under NetworkTopologyStrategy and measured-scale "
+        "inter-site latency (5.5-8.5 ms one-way); Rennes runs the restrictive "
+        "20% tolerance, the remote sites 40%."
+    ),
+)
+
+
+def _ec2_multiregion_topology(nodes_per_rack: int = 2) -> Topology:
+    """us-east-1 / eu-west-1 / ap-southeast-1: two AZ-racks per region.
+
+    One-way inter-region latencies at public-internet scale (~40 ms
+    transatlantic, ~85-90 ms to Singapore) with the heavy-tailed jitter and
+    spikes of the EC2 preset.
+    """
+
+    def wan(median: float) -> LatencyModel:
+        return EC2LikeLatency(
+            median=median, sigma=0.25, floor=0.8 * median, spike_probability=0.01
+        )
+
+    builder = (
+        TopologyBuilder()
+        .datacenter("us-east-1")
+        .rack("az-a", nodes=nodes_per_rack)
+        .rack("az-b", nodes=nodes_per_rack)
+        .datacenter("eu-west-1")
+        .rack("az-a", nodes=nodes_per_rack)
+        .rack("az-b", nodes=nodes_per_rack)
+        .datacenter("ap-southeast-1")
+        .rack("az-a", nodes=nodes_per_rack)
+        .rack("az-b", nodes=nodes_per_rack)
+        .latencies(
+            intra_rack=EC2LikeLatency(),
+            inter_rack=EC2LikeLatency(
+                median=1.2 * EC2LikeLatency.DEFAULT_MEDIAN, sigma=0.5
+            ),
+        )
+        .inter_dc_link("us-east-1", "eu-west-1", wan(0.040))
+        .inter_dc_link("us-east-1", "ap-southeast-1", wan(0.090))
+        .inter_dc_link("eu-west-1", "ap-southeast-1", wan(0.085))
+    )
+    return builder.build()
+
+
+_EC2_MULTIREGION_TOPOLOGY = _ec2_multiregion_topology()
+_EC2_MULTIREGION_FACTORS = {"us-east-1": 3, "eu-west-1": 2, "ap-southeast-1": 2}
+
+#: Geo-distributed EC2: three regions, per-region replicas, WAN in the tens of ms.
+EC2_MULTIREGION = Scenario(
+    name="ec2_multiregion",
+    n_nodes=_EC2_MULTIREGION_TOPOLOGY.size,
+    replication_factor=sum(_EC2_MULTIREGION_FACTORS.values()),
+    topology=_EC2_MULTIREGION_TOPOLOGY,
+    replication_factors=_EC2_MULTIREGION_FACTORS,
+    harmony_stale_rates=(0.6, 0.4),
+    harmony_stale_rates_by_dc={"us-east-1": 0.4, "eu-west-1": 0.6, "ap-southeast-1": 0.6},
+    node=NodeConfig(
+        concurrency=12,
+        read_service_time=0.008,
+        write_service_time=0.006,
+        service_time_cv=0.6,
+    ),
+    description=(
+        "Three EC2 regions (us-east-1, eu-west-1, ap-southeast-1) with "
+        "per-region replica counts {3, 2, 2}, 40-90 ms one-way inter-region "
+        "latency with spikes; the home region runs the 40% tolerance, the "
+        "remote regions 60%."
+    ),
+)
+
+
 class ScenarioRegistry:
     """Name -> scenario lookup used by the CLI-ish helpers and benches."""
 
     _scenarios: Dict[str, Scenario] = {
         GRID5000.name: GRID5000,
         EC2.name: EC2,
+        GRID5000_3SITES.name: GRID5000_3SITES,
+        EC2_MULTIREGION.name: EC2_MULTIREGION,
     }
 
     @classmethod

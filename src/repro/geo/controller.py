@@ -1,0 +1,238 @@
+"""Per-datacenter adaptive consistency control.
+
+The single-site :class:`~repro.core.controller.HarmonyController` runs one
+stale-read model against cluster-wide rates and picks one global level.  In a
+geo-replicated deployment that conflates very different regimes: a
+write-heavy site next to a read-mostly site, propagation dominated by WAN
+links on one side and by the LAN on the other.  The
+:class:`GeoHarmonyController` therefore runs the paper's decision scheme
+*once per datacenter*:
+
+1. sample the monitor per datacenter (the site's own read rate, the
+   cluster-wide write rate -- every write replicates into every site --
+   and inbound network latency -> local ``Tp``);
+2. estimate the stale-read rate of basic eventual consistency against the
+   datacenter's **local replication factor** (reads at LOCAL levels only
+   involve local replicas, so the relevant ``N`` is the per-DC factor of the
+   :class:`~repro.cluster.replication.NetworkTopologyStrategy`);
+3. if the site's tolerated stale rate covers the estimate, read at
+   ``LOCAL_ONE``; otherwise compute ``Xn`` and map it onto ``LOCAL_QUORUM``
+   or -- when even a local quorum cannot satisfy it -- ``ALL`` (the only
+   level whose blocked-for set contains every local replica).
+
+Each site holds its decision until the next tick, exactly like the global
+controller; the workload's clients consult the controller with *their own*
+datacenter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel, local_level_for_replicas
+from repro.core.config import HarmonyConfig
+from repro.core.model import StaleEstimate, StaleReadModel
+from repro.core.monitor import ClusterMonitor, MonitoringSample
+from repro.metrics.series import TimeSeries
+from repro.sim.engine import EventHandle
+
+__all__ = ["GeoHarmonyController", "GeoControllerDecision"]
+
+
+@dataclass(frozen=True)
+class GeoControllerDecision:
+    """One decision taken for one datacenter.
+
+    Attributes
+    ----------
+    datacenter:
+        The site the decision applies to.
+    time:
+        Virtual time of the decision.
+    estimate:
+        The model evaluation that produced it (against the local RF).
+    sample:
+        The per-DC monitoring sample used as input.
+    replicas:
+        Number of local replicas the site's next reads should involve.
+    level:
+        The DC-aware consistency level handed to the site's clients.
+    """
+
+    datacenter: str
+    time: float
+    estimate: StaleEstimate
+    sample: MonitoringSample
+    replicas: int
+    level: ConsistencyLevel
+
+
+class GeoHarmonyController:
+    """Periodic per-datacenter estimation + consistency-level selection.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster being controlled.  Must use
+        :class:`~repro.cluster.replication.NetworkTopologyStrategy` (the
+        per-DC replication factors are the models' ``N``).
+    config:
+        Shared Harmony tunables (monitoring interval, smoothing, ``Tp``
+        terms).  ``config.tolerated_stale_rate`` is the default ASR for
+        datacenters without an explicit entry.
+    tolerated_stale_rates:
+        Optional per-datacenter ASR overrides, e.g. ``{"rennes": 0.2,
+        "sophia": 0.4}`` -- each site enforces its own tolerance.
+    monitor:
+        Optional pre-built monitor (a fresh one is created otherwise).
+    """
+
+    def __init__(
+        self,
+        cluster: SimulatedCluster,
+        config: Optional[HarmonyConfig] = None,
+        tolerated_stale_rates: Optional[Mapping[str, float]] = None,
+        monitor: Optional[ClusterMonitor] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or HarmonyConfig()
+        self.monitor = monitor or ClusterMonitor(cluster, self.config)
+        factors = cluster.replication_factors
+        if factors is None:
+            raise ValueError(
+                "GeoHarmonyController needs a cluster using NetworkTopologyStrategy "
+                "(per-DC replication factors); got strategy "
+                f"{cluster.config.strategy!r}"
+            )
+        overrides = dict(tolerated_stale_rates or {})
+        unknown = set(overrides) - set(cluster.datacenter_names)
+        if unknown:
+            raise ValueError(f"tolerated_stale_rates references unknown datacenter(s) {sorted(unknown)}")
+        for dc, asr in overrides.items():
+            if not 0.0 <= asr <= 1.0:
+                raise ValueError(f"tolerated stale rate for {dc!r} must be in [0, 1], got {asr!r}")
+        #: Datacenter -> ASR actually enforced (defaults filled in).
+        self.tolerated_stale_rates: Dict[str, float] = {
+            dc: overrides.get(dc, self.config.tolerated_stale_rate)
+            for dc in cluster.datacenter_names
+        }
+        # One model instance per replica-holding datacenter; sites without
+        # replicas cannot serve local reads, so they fall back to level ONE
+        # (the closest replica, wherever it lives).
+        self.models: Dict[str, StaleReadModel] = {
+            dc: StaleReadModel(rf) for dc, rf in factors.items() if rf >= 1
+        }
+        self._factors = dict(factors)
+        self._current_level: Dict[str, ConsistencyLevel] = {
+            dc: (ConsistencyLevel.LOCAL_ONE if dc in self.models else ConsistencyLevel.ONE)
+            for dc in cluster.datacenter_names
+        }
+        self._current_replicas: Dict[str, int] = {dc: 1 for dc in cluster.datacenter_names}
+        self.decisions: List[GeoControllerDecision] = []
+        self.estimate_series: Dict[str, TimeSeries] = {
+            dc: TimeSeries(f"stale_estimate[{dc}]") for dc in self.models
+        }
+        self.level_series: Dict[str, TimeSeries] = {
+            dc: TimeSeries(f"read_replicas[{dc}]") for dc in self.models
+        }
+        self._running = False
+        self._pending: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Prime the monitor and schedule the periodic decision loop."""
+        if self._running:
+            return
+        self._running = True
+        self.monitor.prime()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Stop the periodic loop (the last decisions remain in effect)."""
+        self._running = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        self._pending = self.cluster.engine.schedule(
+            self.config.monitoring_interval, self._on_tick, label="geo_harmony.tick"
+        )
+
+    def _on_tick(self) -> None:
+        if not self._running:
+            return
+        self.tick()
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def tick(self) -> Dict[str, GeoControllerDecision]:
+        """Sample every datacenter and update its consistency decision."""
+        samples = self.monitor.sample_per_datacenter()
+        return {dc: self.decide(dc, samples[dc]) for dc in self.models}
+
+    def decide(self, datacenter: str, sample: MonitoringSample) -> GeoControllerDecision:
+        """Run the paper's decision scheme for one datacenter."""
+        model = self.models.get(datacenter)
+        if model is None:
+            raise ValueError(f"datacenter {datacenter!r} holds no replicas")
+        asr = self.tolerated_stale_rates[datacenter]
+        estimate = model.estimate(
+            read_rate=sample.read_rate,
+            write_rate=sample.write_rate,
+            propagation_time=sample.propagation_time,
+            tolerated_stale_rate=asr,
+        )
+        if asr >= estimate.probability:
+            replicas = 1
+        else:
+            replicas = estimate.required_replicas
+        level = local_level_for_replicas(replicas, self._factors[datacenter])
+        decision = GeoControllerDecision(
+            datacenter=datacenter,
+            time=self.cluster.engine.now,
+            estimate=estimate,
+            sample=sample,
+            replicas=replicas,
+            level=level,
+        )
+        self._current_replicas[datacenter] = replicas
+        self._current_level[datacenter] = level
+        self.decisions.append(decision)
+        self.estimate_series[datacenter].append(decision.time, estimate.probability)
+        self.level_series[datacenter].append(decision.time, float(replicas))
+        return decision
+
+    # ------------------------------------------------------------------
+    # Read-side API (what the per-DC clients ask for)
+    # ------------------------------------------------------------------
+    def read_level(self, datacenter: str) -> ConsistencyLevel:
+        """The consistency level currently chosen for reads in a datacenter."""
+        return self._current_level[datacenter]
+
+    def read_replicas(self, datacenter: str) -> int:
+        """The local replica count behind a datacenter's current level."""
+        return self._current_replicas[datacenter]
+
+    def current_estimate(self, datacenter: str) -> float:
+        """Latest stale-read estimate of one site (0.0 before the first tick)."""
+        series = self.estimate_series.get(datacenter)
+        if series is None or len(series) == 0:
+            return 0.0
+        return float(series.values[-1])
+
+    def decisions_for(self, datacenter: str) -> List[GeoControllerDecision]:
+        """All decisions taken for one datacenter, in order."""
+        return [d for d in self.decisions if d.datacenter == datacenter]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        levels = ", ".join(f"{dc}={level.value}" for dc, level in self._current_level.items())
+        return f"GeoHarmonyController({levels})"

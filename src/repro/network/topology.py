@@ -8,7 +8,13 @@ also decides which latency model applies to a pair of nodes:
 * same node          -> loopback (essentially zero),
 * same rack          -> intra-rack model,
 * same DC, other rack -> inter-rack model,
-* different DC       -> inter-DC model.
+* different DC       -> inter-DC model, optionally overridden per DC pair.
+
+Geo-distributed deployments (Grid'5000 multi-site, EC2 multi-region) have
+*asymmetric* site distances -- Rennes<->Sophia is not Nancy<->Sophia -- so a
+single inter-DC model is not enough.  ``inter_dc_links`` maps unordered DC
+pairs to dedicated latency models; pairs without an entry fall back to the
+default ``inter_dc`` model.
 """
 
 from __future__ import annotations
@@ -76,6 +82,10 @@ class Topology:
         Latency models per distance class.  ``inter_dc`` may be ``None`` for
         single-DC clusters (requesting it then is an error, which catches
         mis-configured replication strategies early).
+    inter_dc_links:
+        Optional per-pair overrides of the inter-DC model, keyed by an
+        unordered pair of datacenter names (any two-element iterable; stored
+        as a frozenset).  Pairs without an override use ``inter_dc``.
     """
 
     def __init__(
@@ -86,6 +96,7 @@ class Topology:
         intra_rack: Optional[LatencyModel] = None,
         inter_rack: Optional[LatencyModel] = None,
         inter_dc: Optional[LatencyModel] = None,
+        inter_dc_links: Optional[Dict[Tuple[str, str], LatencyModel]] = None,
     ) -> None:
         if not datacenters:
             raise ValueError("a topology needs at least one datacenter")
@@ -94,6 +105,21 @@ class Topology:
         self._intra_rack = intra_rack or ConstantLatency(0.0002)
         self._inter_rack = inter_rack or self._intra_rack
         self._inter_dc = inter_dc
+        self._inter_dc_links: Dict[frozenset, LatencyModel] = {}
+        dc_names = {dc.name for dc in self._datacenters}
+        for pair, model in (inter_dc_links or {}).items():
+            key = frozenset(pair)
+            if len(key) != 2:
+                raise ValueError(f"inter-DC link needs two distinct datacenters, got {pair!r}")
+            unknown = key - dc_names
+            if unknown:
+                raise ValueError(f"inter-DC link references unknown datacenter(s) {sorted(unknown)}")
+            if key in self._inter_dc_links:
+                # Links are unordered: ("a", "b") and ("b", "a") name the same
+                # link, and silently keeping one of two models would hide a
+                # misconfiguration (asymmetric links are not supported).
+                raise ValueError(f"duplicate inter-DC link for pair {sorted(key)}")
+            self._inter_dc_links[key] = model
         self._nodes: List[NodeAddress] = []
         self._dc_of: Dict[NodeAddress, str] = {}
         self._rack_of: Dict[NodeAddress, str] = {}
@@ -116,6 +142,11 @@ class Topology:
     @property
     def datacenters(self) -> List[Datacenter]:
         return list(self._datacenters)
+
+    @property
+    def datacenter_names(self) -> List[str]:
+        """Datacenter names in construction order."""
+        return [dc.name for dc in self._datacenters]
 
     @property
     def nodes(self) -> List[NodeAddress]:
@@ -171,6 +202,9 @@ class Topology:
             return self._intra_rack
         if cls == "inter_rack":
             return self._inter_rack
+        link = self._inter_dc_links.get(frozenset((self._dc_of[a], self._dc_of[b])))
+        if link is not None:
+            return link
         if self._inter_dc is None:
             raise ValueError(
                 f"nodes {a} and {b} are in different datacenters but no inter-DC "
@@ -228,6 +262,7 @@ class TopologyBuilder:
         self._intra_rack: Optional[LatencyModel] = None
         self._inter_rack: Optional[LatencyModel] = None
         self._inter_dc: Optional[LatencyModel] = None
+        self._inter_dc_links: Dict[frozenset, LatencyModel] = {}
 
     def datacenter(self, name: str) -> "TopologyBuilder":
         """Start a new datacenter; subsequent racks are added to it."""
@@ -272,6 +307,16 @@ class TopologyBuilder:
             self._inter_dc = inter_dc
         return self
 
+    def inter_dc_link(self, dc_a: str, dc_b: str, model: LatencyModel) -> "TopologyBuilder":
+        """Set a dedicated latency model for the (unordered) DC pair."""
+        if dc_a == dc_b:
+            raise ValueError(f"an inter-DC link needs two distinct datacenters, got {dc_a!r}")
+        key = frozenset((dc_a, dc_b))
+        if key in self._inter_dc_links:
+            raise ValueError(f"duplicate inter-DC link for pair {sorted(key)}")
+        self._inter_dc_links[key] = model
+        return self
+
     def build(self) -> Topology:
         """Create the immutable :class:`Topology`."""
         return Topology(
@@ -280,6 +325,7 @@ class TopologyBuilder:
             intra_rack=self._intra_rack,
             inter_rack=self._inter_rack,
             inter_dc=self._inter_dc,
+            inter_dc_links=self._inter_dc_links or None,
         )
 
 

@@ -55,6 +55,10 @@ class ClientThread:
     think_time:
         Fixed delay between an operation completing and the next being
         issued (0 for a tight closed loop, as in YCSB without a target rate).
+    datacenter:
+        When given, the client only contacts coordinators in that
+        datacenter (a geo client next to one site); DC-aware consistency
+        levels then resolve "local" to this datacenter.
     """
 
     def __init__(
@@ -69,10 +73,12 @@ class ClientThread:
         on_result: Callable[[Operation, OperationResult], None],
         on_issue: Optional[Callable[[Operation], None]] = None,
         think_time: float = 0.0,
+        datacenter: Optional[str] = None,
     ) -> None:
         if think_time < 0:
             raise ValueError("think_time must be non-negative")
         self.thread_id = thread_id
+        self.datacenter = datacenter
         self._cluster = cluster
         self._workload = workload
         self._read_level_provider = read_level_provider
@@ -167,7 +173,7 @@ class ClientThread:
     def _issue_read(self, key: str):
         waiter = Waiter(self._cluster.engine)
         level = self._read_level_provider()
-        self._cluster.read(key, level, waiter.succeed)
+        self._cluster.read(key, level, waiter.succeed, datacenter=self.datacenter)
         result = yield waiter
         return result
 
@@ -179,6 +185,7 @@ class ClientThread:
             _payload_for(operation),
             level,
             waiter.succeed,
+            datacenter=self.datacenter,
             size_bytes=operation.value_size or None,
         )
         result = yield waiter

@@ -72,6 +72,11 @@ class RunMetrics:
         adaptive controller actually switching levels.
     estimate_series:
         Time series of the controller's stale-read estimates (Harmony only).
+    read_latency_by_dc / staleness_by_dc:
+        Per-datacenter splits of the read latency and staleness metrics,
+        keyed by the datacenter of the coordinator that served the read.
+        Populated whenever the cluster reports coordinator datacenters
+        (always, in practice); what the geo benchmark compares per site.
     duration:
         Virtual duration of the run phase in seconds.
     """
@@ -87,6 +92,8 @@ class RunMetrics:
     staleness: StalenessSummary = field(default_factory=StalenessSummary)
     consistency_level_usage: Dict[str, int] = field(default_factory=dict)
     estimate_series: TimeSeries = field(default_factory=lambda: TimeSeries("stale_estimate"))
+    read_latency_by_dc: Dict[str, LatencyHistogram] = field(default_factory=dict)
+    staleness_by_dc: Dict[str, StalenessSummary] = field(default_factory=dict)
     duration: float = 0.0
 
     def ops_per_second(self) -> float:
@@ -130,6 +137,13 @@ class WorkloadExecutor:
         Per-thread delay between operations (default 0, a tight closed loop).
     max_virtual_time:
         Safety bound on the virtual duration of the run phase.
+    datacenters:
+        Optional list of datacenter names to pin client threads to
+        (round-robin): thread ``i`` contacts only coordinators of
+        ``datacenters[i % len(datacenters)]``, modelling one client fleet
+        per site.  Pinned threads consult ``policy.read_level_for(dc)`` /
+        ``policy.write_level_for(dc)`` when the policy provides them (geo
+        policies do), falling back to the site-agnostic levels otherwise.
     """
 
     #: Write payloads use the workload's record size; the load phase uses
@@ -147,6 +161,7 @@ class WorkloadExecutor:
         auditor: Optional[object] = None,
         think_time: float = 0.0,
         max_virtual_time: float = 3600.0,
+        datacenters: Optional[List[str]] = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be >= 1")
@@ -157,6 +172,14 @@ class WorkloadExecutor:
         self.auditor = auditor
         self.think_time = float(think_time)
         self.max_virtual_time = float(max_virtual_time)
+        if datacenters is not None:
+            known = set(cluster.datacenter_names)
+            unknown = [dc for dc in datacenters if dc not in known]
+            if unknown:
+                raise ValueError(f"unknown datacenter(s) {unknown}; cluster has {sorted(known)}")
+            if not datacenters:
+                raise ValueError("datacenters must not be empty when given")
+        self.datacenters = list(datacenters) if datacenters is not None else None
         self.workload = CoreWorkload(
             workload_config, cluster.streams.stream(f"workload.{workload_config.name}")
         )
@@ -215,12 +238,13 @@ class WorkloadExecutor:
                 thread_id=i,
                 cluster=self.cluster,
                 workload=self.workload,
-                read_level_provider=self._read_level,
-                write_level_provider=self._write_level,
+                read_level_provider=self._read_level_provider(self._thread_datacenter(i)),
+                write_level_provider=self._write_level_provider(self._thread_datacenter(i)),
                 take_budget=self._take_budget,
                 on_result=self._on_result,
                 on_issue=self._on_issue,
                 think_time=self.think_time,
+                datacenter=self._thread_datacenter(i),
             )
             for i in range(self.threads)
         ]
@@ -255,6 +279,23 @@ class WorkloadExecutor:
         self._remaining -= 1
         return True
 
+    def _thread_datacenter(self, thread_id: int) -> Optional[str]:
+        if self.datacenters is None:
+            return None
+        return self.datacenters[thread_id % len(self.datacenters)]
+
+    def _read_level_provider(self, datacenter: Optional[str]) -> Callable[[], ConsistencyLevel]:
+        per_dc = getattr(self.policy, "read_level_for", None)
+        if datacenter is not None and callable(per_dc):
+            return lambda: per_dc(datacenter)
+        return self._read_level
+
+    def _write_level_provider(self, datacenter: Optional[str]) -> Callable[[], ConsistencyLevel]:
+        per_dc = getattr(self.policy, "write_level_for", None)
+        if datacenter is not None and callable(per_dc):
+            return lambda: per_dc(datacenter)
+        return self._write_level
+
     def _read_level(self) -> ConsistencyLevel:
         return self.policy.read_level()
 
@@ -280,9 +321,17 @@ class WorkloadExecutor:
             self.metrics.consistency_level_usage[level_name] = (
                 self.metrics.consistency_level_usage.get(level_name, 0) + 1
             )
+            if result.datacenter is not None:
+                self.metrics.read_latency_by_dc.setdefault(
+                    result.datacenter, LatencyHistogram()
+                ).record(latency)
             if self.auditor is not None:
                 stale = self.auditor.judge(operation.key, result)
                 self.metrics.staleness.record(level_name, stale)
+                if result.datacenter is not None:
+                    self.metrics.staleness_by_dc.setdefault(
+                        result.datacenter, StalenessSummary()
+                    ).record(level_name, stale)
         else:
             self.metrics.counters.writes += 1
             self.metrics.write_latency.record(latency)

@@ -1,0 +1,135 @@
+"""DC-aware consistency levels and their quorum arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    blocked_for_datacenters,
+    local_level_for_replicas,
+    quorum_size,
+)
+
+DC_AWARE = [
+    ConsistencyLevel.LOCAL_ONE,
+    ConsistencyLevel.LOCAL_QUORUM,
+    ConsistencyLevel.EACH_QUORUM,
+]
+
+
+class TestLevelProperties:
+    @pytest.mark.parametrize("level", DC_AWARE)
+    def test_dc_aware_levels_flagged(self, level):
+        assert level.is_datacenter_aware
+
+    @pytest.mark.parametrize(
+        "level",
+        [l for l in ConsistencyLevel if l not in DC_AWARE],
+    )
+    def test_classic_levels_not_flagged(self, level):
+        assert not level.is_datacenter_aware
+
+    @pytest.mark.parametrize("level", DC_AWARE)
+    def test_blocked_for_rejects_dc_aware(self, level):
+        with pytest.raises(ValueError, match="datacenter-aware"):
+            level.blocked_for(5)
+
+
+class TestBlockedForDatacenters:
+    LAYOUT = {"dc1": 3, "dc2": 2, "dc3": 2}
+
+    def test_local_one(self):
+        assert blocked_for_datacenters(
+            ConsistencyLevel.LOCAL_ONE, self.LAYOUT, "dc2"
+        ) == {"dc2": 1}
+
+    def test_local_quorum_uses_local_factor(self):
+        assert blocked_for_datacenters(
+            ConsistencyLevel.LOCAL_QUORUM, self.LAYOUT, "dc1"
+        ) == {"dc1": 2}
+        assert blocked_for_datacenters(
+            ConsistencyLevel.LOCAL_QUORUM, self.LAYOUT, "dc3"
+        ) == {"dc3": 2}
+
+    def test_each_quorum_covers_every_dc(self):
+        assert blocked_for_datacenters(
+            ConsistencyLevel.EACH_QUORUM, self.LAYOUT, "dc1"
+        ) == {"dc1": 2, "dc2": 2, "dc3": 2}
+
+    def test_each_quorum_skips_empty_dcs(self):
+        layout = {"dc1": 3, "dc2": 0}
+        assert blocked_for_datacenters(
+            ConsistencyLevel.EACH_QUORUM, layout, "dc1"
+        ) == {"dc1": 2}
+
+    def test_local_level_without_local_replicas_is_unavailable(self):
+        with pytest.raises(ValueError, match="has none there"):
+            blocked_for_datacenters(
+                ConsistencyLevel.LOCAL_QUORUM, {"dc1": 3}, "dc2"
+            )
+
+    def test_classic_level_rejected(self):
+        with pytest.raises(ValueError, match="not datacenter-aware"):
+            blocked_for_datacenters(ConsistencyLevel.QUORUM, self.LAYOUT, "dc1")
+
+    def test_no_replicas_anywhere_rejected(self):
+        with pytest.raises(ValueError, match="no replicas"):
+            blocked_for_datacenters(ConsistencyLevel.EACH_QUORUM, {"dc1": 0}, "dc1")
+
+    @given(
+        counts=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.integers(min_value=1, max_value=9),
+            min_size=1,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_each_quorum_majority_in_every_dc(self, counts):
+        requirement = blocked_for_datacenters(
+            ConsistencyLevel.EACH_QUORUM, counts, next(iter(counts))
+        )
+        assert set(requirement) == set(counts)
+        for dc, need in requirement.items():
+            assert 2 * need > counts[dc]
+            assert need <= counts[dc]
+
+
+class TestLocalLevelForReplicas:
+    def test_one_replica_is_local_one(self):
+        assert local_level_for_replicas(1, 3) is ConsistencyLevel.LOCAL_ONE
+
+    def test_up_to_local_quorum(self):
+        assert local_level_for_replicas(2, 3) is ConsistencyLevel.LOCAL_QUORUM
+        assert local_level_for_replicas(2, 4) is ConsistencyLevel.LOCAL_QUORUM
+        assert local_level_for_replicas(3, 5) is ConsistencyLevel.LOCAL_QUORUM
+
+    def test_beyond_local_quorum_escalates_to_all(self):
+        # EACH_QUORUM would only wait for a local *quorum* -- fewer local
+        # replicas than requested -- so the escalation must be ALL.
+        assert local_level_for_replicas(3, 3) is ConsistencyLevel.ALL
+        assert local_level_for_replicas(4, 5) is ConsistencyLevel.ALL
+
+    def test_clamps_to_local_factor(self):
+        assert local_level_for_replicas(99, 1) is ConsistencyLevel.LOCAL_ONE
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            local_level_for_replicas(1, 0)
+
+    @given(
+        replicas=st.integers(min_value=1, max_value=12),
+        rf=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_level_never_blocks_on_fewer_local_replicas_than_requested(self, replicas, rf):
+        level = local_level_for_replicas(replicas, rf)
+        requested = max(1, min(replicas, rf))
+        if level is ConsistencyLevel.ALL:
+            # ALL blocks on every replica, local ones included: dominates.
+            assert level.blocked_for(2 * rf) == 2 * rf >= requested
+        else:
+            requirement = blocked_for_datacenters(level, {"local": rf, "remote": rf}, "local")
+            assert requirement["local"] >= requested

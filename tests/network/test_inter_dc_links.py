@@ -1,0 +1,72 @@
+"""Per-DC-pair WAN links on the topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.latency import ConstantLatency
+from repro.network.topology import TopologyBuilder
+
+
+def builder():
+    return (
+        TopologyBuilder()
+        .datacenter("a")
+        .rack("r1", nodes=1)
+        .datacenter("b")
+        .rack("r1", nodes=1)
+        .datacenter("c")
+        .rack("r1", nodes=1)
+    )
+
+
+def test_pair_override_wins_over_default():
+    topo = (
+        builder()
+        .latencies(inter_dc=ConstantLatency(0.1))
+        .inter_dc_link("a", "b", ConstantLatency(0.005))
+        .build()
+    )
+    a, b, c = topo.nodes
+    assert topo.mean_latency(a, b) == 0.005
+    # Pairs without an override fall back to the default inter-DC model.
+    assert topo.mean_latency(a, c) == 0.1
+    # Links are unordered.
+    assert topo.mean_latency(b, a) == 0.005
+
+
+def test_missing_default_and_no_link_is_an_error():
+    topo = builder().inter_dc_link("a", "b", ConstantLatency(0.005)).build()
+    a, b, c = topo.nodes
+    assert topo.mean_latency(a, b) == 0.005
+    with pytest.raises(ValueError, match="no inter-DC"):
+        topo.mean_latency(a, c)
+
+
+def test_reversed_duplicate_pair_rejected():
+    with pytest.raises(ValueError, match="duplicate inter-DC link"):
+        (
+            builder()
+            .inter_dc_link("a", "b", ConstantLatency(0.005))
+            .inter_dc_link("b", "a", ConstantLatency(0.05))
+            .build()
+        )
+
+
+def test_same_order_duplicate_pair_rejected():
+    with pytest.raises(ValueError, match="duplicate inter-DC link"):
+        (
+            builder()
+            .inter_dc_link("a", "b", ConstantLatency(0.005))
+            .inter_dc_link("a", "b", ConstantLatency(0.05))
+        )
+
+
+def test_same_datacenter_link_rejected():
+    with pytest.raises(ValueError, match="distinct"):
+        builder().inter_dc_link("a", "a", ConstantLatency(0.005))
+
+
+def test_unknown_datacenter_link_rejected():
+    with pytest.raises(ValueError, match="unknown datacenter"):
+        builder().inter_dc_link("a", "nowhere", ConstantLatency(0.005)).build()
