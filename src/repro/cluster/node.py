@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.cluster.stats import NodeCounters
 from repro.cluster.storage import Cell, StorageEngine
-from repro.network.fabric import Message, NetworkFabric
+from repro.network.fabric import Message, MessageKind, NetworkFabric
 from repro.network.topology import NodeAddress
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
@@ -115,6 +115,14 @@ class StorageNode:
         self._gamma_shape = 1.0 / cv2
         self._read_scale = config.read_service_time * cv2
         self._write_scale = config.write_service_time * cv2
+        # Pre-drawn standard-gamma variates (scaled at use time).  NumPy's
+        # gamma(shape, scale) is standard_gamma(shape) * scale bit-for-bit,
+        # and batched draws consume the bit stream exactly like sequential
+        # single draws, so pooling keeps per-node service times identical to
+        # per-request sampling while costing a list index instead of a NumPy
+        # call on the hot path.
+        self._service_pool: list = []
+        self._service_index = 0
         # NOTE: the node does not register itself with the fabric; the owning
         # SimulatedCluster installs a per-address dispatcher that routes
         # replica requests here and replica *responses* to the co-located
@@ -163,14 +171,18 @@ class StorageNode:
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
+    _WORKER_KINDS = frozenset(
+        {MessageKind.READ_REQUEST, MessageKind.WRITE_REQUEST, MessageKind.REPAIR_WRITE}
+    )
+
     def handle_message(self, message: Message) -> None:
         """Entry point registered with the network fabric."""
         if not self._up:
             self.counters.dropped_mutations += 1
             return
-        if message.kind in ("read_request", "write_request", "repair_write"):
+        if message.kind in self._WORKER_KINDS:
             self._enqueue(message)
-        elif message.kind == "hint_replay":
+        elif message.kind == MessageKind.HINT_REPLAY:
             # Hint replays are applied directly (they are background work and
             # modelled as not competing for the foreground worker pool).
             self._apply_write(message.payload["cell"], is_repair=True)
@@ -189,18 +201,32 @@ class StorageNode:
     def _start_service(self, message: Message) -> None:
         self._busy_workers += 1
         service_time = self._sample_service_time(message)
-        self._engine.schedule(
-            service_time, self._finish_service, message, label=f"{self.address}.service"
+        # handle=False: service completions are never cancelled (a node going
+        # down is checked inside _finish_service), so skip the handle.
+        self._engine.schedule_after(
+            service_time, self._finish_service, message, handle=False
         )
 
+    _SERVICE_POOL_SIZE = 512
+
     def _sample_service_time(self, message: Message) -> float:
-        if message.kind == "read_request":
+        if message.kind == MessageKind.READ_REQUEST:
             scale = self._read_scale
-            if isinstance(message.payload, dict) and message.payload.get("digest"):
+            payload = message.payload
+            if isinstance(payload, dict) and payload.get("digest"):
                 scale *= self.config.digest_service_factor
         else:
             scale = self._write_scale
-        return float(self._rng.gamma(self._gamma_shape, scale)) * self._slowdown
+        index = self._service_index
+        pool = self._service_pool
+        if index >= len(pool):
+            pool = self._rng.standard_gamma(
+                self._gamma_shape, size=self._SERVICE_POOL_SIZE
+            ).tolist()
+            self._service_pool = pool
+            index = 0
+        self._service_index = index + 1
+        return pool[index] * scale * self._slowdown
 
     def _finish_service(self, message: Message) -> None:
         self._busy_workers -= 1
@@ -216,31 +242,34 @@ class StorageNode:
     # ------------------------------------------------------------------
     def _serve(self, message: Message) -> None:
         payload = message.payload
-        if message.kind == "read_request":
+        if message.kind == MessageKind.READ_REQUEST:
             cell = self.storage.read(payload["key"])
             self.counters.reads_served += 1
             self._reply(
                 message,
-                "read_response",
+                MessageKind.READ_RESPONSE,
                 {
                     "request_id": payload["request_id"],
                     "key": payload["key"],
                     "cell": cell,
                     "replica": self.address,
                 },
+                cell,
             )
-        elif message.kind in ("write_request", "repair_write"):
-            is_repair = message.kind == "repair_write"
-            self._apply_write(payload["cell"], is_repair=is_repair)
+        elif message.kind == MessageKind.WRITE_REQUEST or message.kind == MessageKind.REPAIR_WRITE:
+            is_repair = message.kind == MessageKind.REPAIR_WRITE
+            cell = payload["cell"]
+            self._apply_write(cell, is_repair=is_repair)
             self._reply(
                 message,
-                "write_response",
+                MessageKind.WRITE_RESPONSE,
                 {
                     "request_id": payload["request_id"],
-                    "key": payload["cell"].key,
+                    "key": cell.key,
                     "replica": self.address,
                     "repair": is_repair,
                 },
+                None,
             )
 
     def _apply_write(self, cell: Cell, *, is_repair: bool) -> None:
@@ -249,13 +278,15 @@ class StorageNode:
         if is_repair:
             self.counters.read_repairs += 1
 
-    def _reply(self, request: Message, kind: str, payload: dict) -> None:
+    def _reply(
+        self, request: Message, kind: str, payload: dict, cell: Optional[Cell] = None
+    ) -> None:
         self._fabric.send(
             self.address,
             request.src,
             kind,
             payload,
-            size_bytes=payload.get("cell").size_bytes if payload.get("cell") else 64,
+            size_bytes=cell.size_bytes if cell is not None else 64,
         )
 
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ strategy selects which nodes hold the ``RF`` replicas of a key.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cluster.ring import TokenRing
 from repro.network.topology import NodeAddress, Topology
@@ -48,9 +48,19 @@ class ReplicationStrategy(ABC):
     def replicas_for_walk(self, walk: Sequence[NodeAddress]) -> List[NodeAddress]:
         """Select replicas (in preference order) from a clockwise node walk."""
 
+    def walk_limit(self) -> Optional[int]:
+        """How many distinct nodes of the clockwise walk this strategy needs.
+
+        ``None`` means the full walk (topology-aware strategies may have to
+        scan past the first RF nodes to find another datacenter or rack);
+        topology-agnostic strategies return their replication factor so the
+        ring can stop walking early.
+        """
+        return None
+
     def replicas(self, ring: TokenRing, key: str) -> List[NodeAddress]:
         """Replica set for a key; the first element is the primary replica."""
-        walk = ring.walk_from_key(key)
+        walk = ring.walk_from_key(key, limit=self.walk_limit())
         if len(walk) < self.replication_factor:
             raise ValueError(
                 f"replication factor {self.replication_factor} exceeds cluster size {len(walk)}"
@@ -66,6 +76,9 @@ class ReplicationStrategy(ABC):
 
 class SimpleStrategy(ReplicationStrategy):
     """First ``RF`` distinct nodes of the walk, topology-agnostic."""
+
+    def walk_limit(self) -> Optional[int]:
+        return self.replication_factor
 
     def replicas_for_walk(self, walk: Sequence[NodeAddress]) -> List[NodeAddress]:
         return list(walk[: self.replication_factor])

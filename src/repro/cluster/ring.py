@@ -103,6 +103,7 @@ class TokenRing:
         self.vnodes = int(vnodes)
         self._nodes: List[NodeAddress] = list(nodes)
         self._token_map: Dict[int, NodeAddress] = {}
+        node_index: Dict[NodeAddress, int] = {node: i for i, node in enumerate(self._nodes)}
         for node in self._nodes:
             for index in range(self.vnodes):
                 token = self.partitioner.node_token(node, index)
@@ -111,6 +112,12 @@ class TokenRing:
                     token = (token + 1) % Partitioner.TOKEN_SPACE
                 self._token_map[token] = node
         self._sorted_tokens: List[int] = sorted(self._token_map)
+        # Walk acceleration: the owner of sorted token i as an *index* into
+        # self._nodes, so the clockwise walk deduplicates physical nodes with
+        # a bytearray instead of hashing NodeAddress objects per vnode.
+        self._owner_index: List[int] = [
+            node_index[self._token_map[token]] for token in self._sorted_tokens
+        ]
 
     # ------------------------------------------------------------------
     @property
@@ -130,29 +137,42 @@ class TokenRing:
         """The node owning the key's token (first clockwise from the token)."""
         return self.walk_from_token(self.token_of(key))[0]
 
-    def walk_from_token(self, token: int) -> List[NodeAddress]:
+    def walk_from_token(self, token: int, limit: Optional[int] = None) -> List[NodeAddress]:
         """Distinct physical nodes in clockwise order starting at ``token``.
 
-        The walk visits every physical node exactly once; replication
-        strategies consume a prefix of it.
+        The walk visits every physical node at most once; replication
+        strategies consume a prefix of it.  ``limit`` bounds the walk: once
+        that many distinct nodes have been collected the walk stops early,
+        which spares topology-agnostic strategies (``SimpleStrategy`` needs
+        only the first RF nodes) a full O(nodes x vnodes) ring scan.
         """
-        start = bisect.bisect_left(self._sorted_tokens, token % Partitioner.TOKEN_SPACE)
+        tokens = self._sorted_tokens
+        owners = self._owner_index
+        nodes = self._nodes
+        n_phys = len(nodes)
+        target = n_phys if limit is None else min(int(limit), n_phys)
+        start = bisect.bisect_left(tokens, token % Partitioner.TOKEN_SPACE)
+        count = len(tokens)
+        seen = bytearray(n_phys)
         ordered: List[NodeAddress] = []
-        seen: set[NodeAddress] = set()
-        count = len(self._sorted_tokens)
+        append = ordered.append
+        found = 0
         for offset in range(count):
-            ring_token = self._sorted_tokens[(start + offset) % count]
-            node = self._token_map[ring_token]
-            if node not in seen:
-                seen.add(node)
-                ordered.append(node)
-            if len(ordered) == len(self._nodes):
-                break
+            position = start + offset
+            if position >= count:
+                position -= count
+            index = owners[position]
+            if not seen[index]:
+                seen[index] = 1
+                append(nodes[index])
+                found += 1
+                if found == target:
+                    break
         return ordered
 
-    def walk_from_key(self, key: str) -> List[NodeAddress]:
+    def walk_from_key(self, key: str, limit: Optional[int] = None) -> List[NodeAddress]:
         """Clockwise node walk starting at the key's token."""
-        return self.walk_from_token(self.token_of(key))
+        return self.walk_from_token(self.token_of(key), limit=limit)
 
     def ownership(self, sample_keys: Sequence[str]) -> Dict[NodeAddress, int]:
         """Count how many of ``sample_keys`` each node primarily owns.

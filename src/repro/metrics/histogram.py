@@ -38,7 +38,10 @@ class LatencyHistogram:
         if reservoir_size is not None and reservoir_size < 1:
             raise ValueError("reservoir_size must be >= 1 when given")
         self._reservoir_size = reservoir_size
-        self._rng = rng or np.random.default_rng(0)
+        # Constructed lazily: a Generator costs tens of microseconds to build
+        # and is only needed in reservoir mode, while histograms are created
+        # in bulk (one per datacenter per run, plus ad-hoc ones in tests).
+        self._rng = rng
         self._samples: List[float] = []
         self._count = 0
         self._total = 0.0
@@ -60,7 +63,10 @@ class LatencyHistogram:
             self._samples.append(latency)
         else:
             # Vitter's algorithm R: replace a random slot with prob k/n.
-            slot = int(self._rng.integers(0, self._count))
+            rng = self._rng
+            if rng is None:
+                rng = self._rng = np.random.default_rng(0)
+            slot = int(rng.integers(0, self._count))
             if slot < self._reservoir_size:
                 self._samples[slot] = latency
 

@@ -9,24 +9,81 @@ hinted-handoff and read-repair paths.
 
 The fabric also exposes the measurements the Harmony monitoring module needs:
 a ``ping``-style RTT probe and counters of delivered / dropped messages.
+
+Hot-path design notes
+---------------------
+Three things keep the per-message cost low on 100+ node rings:
+
+* **Pre-drawn latency pools.**  Instead of one ``np.random`` call per
+  message, latencies are drawn in vectorised blocks of
+  :data:`LATENCY_POOL_SIZE` -- one pool per latency *class* (loopback,
+  intra-rack, inter-rack, each inter-DC link), each fed by its own named
+  :class:`~repro.sim.rng.RandomStreams` stream, so runs stay deterministic
+  for a given seed and pool draws never perturb other streams.
+* **Per-link delivery queues.**  In the default ``"coalesced"`` mode each
+  (src, dst) link keeps its own small heap of in-flight messages and holds at
+  most a few engine events (one per "earliest pending delivery"), so the
+  global event queue stays small.  The ``"fifo"`` mode additionally clamps
+  per-link delivery times to be monotonic -- messages on a link never
+  overtake each other, like a TCP connection -- which needs no reordering
+  heap at all and is the fastest mode.  ``"per_message"`` schedules one
+  engine event per message (the pre-refactor behaviour).
+* **Interned message kinds.**  :class:`MessageKind` is a ``str`` enum, so
+  kind dispatch compares interned singletons while remaining ``==``- and
+  ``hash``-compatible with the plain strings used by tests and user code.
 """
 
 from __future__ import annotations
 
-import itertools
+import functools
+import heapq
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.network.latency import LatencyModel
 from repro.network.topology import NodeAddress, Topology
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
 
-__all__ = ["Message", "NetworkFabric", "NetworkStats"]
+__all__ = ["Message", "MessageKind", "NetworkFabric", "NetworkStats", "LATENCY_POOL_SIZE"]
+
+#: Number of latencies pre-drawn per vectorised pool refill.
+LATENCY_POOL_SIZE = 4096
 
 
-@dataclass
+class MessageKind(str, Enum):
+    """Interned message type tags.
+
+    Members are ``str`` subclasses, so ``message.kind == "read_request"``
+    keeps working for user code and tests, while the cluster's dispatch
+    tables compare interned enum members.  Unknown (user-defined) kinds pass
+    through :meth:`intern` unchanged.
+    """
+
+    READ_REQUEST = "read_request"
+    WRITE_REQUEST = "write_request"
+    REPAIR_WRITE = "repair_write"
+    HINT_REPLAY = "hint_replay"
+    READ_RESPONSE = "read_response"
+    WRITE_RESPONSE = "write_response"
+
+    def __str__(self) -> str:  # keep str(kind) == the wire name
+        return self.value
+
+    @classmethod
+    def intern(cls, kind: str) -> "str":
+        """Map a known kind string to its enum member (unknown kinds pass through)."""
+        return _KIND_INTERN.get(kind, kind)
+
+
+_KIND_INTERN: Dict[str, MessageKind] = {member.value: member for member in MessageKind}
+
+
+@dataclass(slots=True)
 class Message:
     """A simulated network message.
 
@@ -37,7 +94,8 @@ class Message:
     src, dst:
         Sender and receiver node addresses.
     kind:
-        Free-form message type tag (e.g. ``"write_request"``).
+        Message type tag; a :class:`MessageKind` member for the built-in
+        kinds, or a free-form string for user-defined ones.
     payload:
         Arbitrary Python object carried by the message.
     size_bytes:
@@ -58,20 +116,86 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Counters maintained by the fabric (per whole cluster)."""
+    """Counters maintained by the fabric (per whole cluster).
+
+    ``per_kind`` is a :class:`collections.Counter`, so missing kinds read as
+    zero and the per-send increment is a single dict operation.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
     bytes_sent: int = 0
     total_latency: float = 0.0
-    per_kind: Dict[str, int] = field(default_factory=dict)
+    per_kind: Counter = field(default_factory=Counter)
 
     def mean_latency(self) -> float:
         """Mean one-way delivery latency over all delivered messages."""
         if self.delivered == 0:
             return 0.0
         return self.total_latency / self.delivered
+
+
+class _LatencyPool:
+    """A block of pre-drawn latencies for one latency class.
+
+    ``values`` is a plain Python list (``ndarray.tolist()``), so the
+    per-message pop is a C-level list index instead of a NumPy scalar
+    extraction.  Refills draw :data:`LATENCY_POOL_SIZE` samples at once from
+    the pool's dedicated stream.
+    """
+
+    __slots__ = ("model", "rng", "values", "index")
+
+    def __init__(self, model: LatencyModel, rng: np.random.Generator) -> None:
+        self.model = model
+        self.rng = rng
+        self.values: List[float] = []
+        self.index = 0
+
+    def next(self) -> float:
+        index = self.index
+        values = self.values
+        if index >= len(values):
+            values = self.model.sample_many(self.rng, LATENCY_POOL_SIZE).tolist()
+            self.values = values
+            index = 0
+        self.index = index + 1
+        return values[index]
+
+
+class _Link:
+    """Delivery state of one directed (src, dst) node pair.
+
+    A link with no message in flight delivers directly through one engine
+    event (the fast path).  Once messages overlap in flight on the link, the
+    overflow goes through the per-link queue -- a heap in "coalesced" mode,
+    a monotonically-timed deque in "fifo" mode -- woken by at most a few
+    engine events, which is what keeps the global event heap small under
+    per-link bursts.
+    """
+
+    __slots__ = ("pool", "pending", "fifo_queue", "next_fire", "last_time", "in_flight", "fire")
+
+    def __init__(self, pool: _LatencyPool) -> None:
+        self.pool = pool
+        # "coalesced" mode: heap of (deliver_at, seq, message, on_delivered).
+        self.pending: List[Tuple[float, int, Message, Optional[Callable]]] = []
+        # "fifo" mode: monotonically timed deque of the same tuples.
+        self.fifo_queue: deque = deque()
+        #: Earliest fire time of any engine event scheduled for this link
+        #: (None when nothing is scheduled).
+        self.next_fire: Optional[float] = None
+        #: Last delivery time handed out in "fifo" mode (clamp floor).
+        self.last_time = 0.0
+        #: Messages currently in flight on this link (fast path + queued).
+        self.in_flight = 0
+        #: Pre-bound engine callback (set by the fabric at link creation).
+        self.fire: Callable[[], None] = _noop
+
+
+def _noop() -> None:  # pragma: no cover - placeholder, replaced at link creation
+    return None
 
 
 class NetworkFabric:
@@ -84,16 +208,28 @@ class NetworkFabric:
     topology:
         Cluster topology; supplies the latency model per node pair.
     streams:
-        Random streams; the fabric uses the ``"network.latency"`` and
-        ``"network.drops"`` streams.
+        Random streams; the fabric uses one ``"network.latency.<class>"``
+        stream per latency class (pooled sampling), ``"network.latency"``
+        (per-message sampling) and ``"network.drops"``.
     bandwidth_bytes_per_s:
         Link bandwidth used for the size-dependent component of the delay.
         The default (1 Gbit/s) matches the paper's Gigabit Ethernet testbed.
     drop_probability:
         Probability that any given message is silently dropped.
+    delivery:
+        ``"coalesced"`` (default) batches deliveries per link, ``"fifo"``
+        additionally forces in-order per-link delivery, ``"per_message"``
+        schedules one engine event per message (pre-refactor behaviour).
+    latency_sampling:
+        ``"pooled"`` (default) pre-draws vectorised latency pools per latency
+        class; ``"per_message"`` samples one value per message from the
+        shared ``"network.latency"`` stream (pre-refactor behaviour).
     """
 
     DEFAULT_BANDWIDTH = 125_000_000.0  # 1 Gbit/s in bytes per second
+
+    DELIVERY_MODES = ("coalesced", "fifo", "per_message")
+    SAMPLING_MODES = ("pooled", "per_message")
 
     def __init__(
         self,
@@ -103,23 +239,42 @@ class NetworkFabric:
         *,
         bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH,
         drop_probability: float = 0.0,
+        delivery: str = "coalesced",
+        latency_sampling: str = "pooled",
     ) -> None:
         if bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
         if not 0.0 <= drop_probability < 1.0:
             raise ValueError(f"drop_probability must be in [0, 1), got {drop_probability!r}")
+        if delivery not in self.DELIVERY_MODES:
+            raise ValueError(f"delivery must be one of {self.DELIVERY_MODES}, got {delivery!r}")
+        if latency_sampling not in self.SAMPLING_MODES:
+            raise ValueError(
+                f"latency_sampling must be one of {self.SAMPLING_MODES}, got {latency_sampling!r}"
+            )
         self._engine = engine
         self._topology = topology
+        self._streams = streams
         self._latency_rng = streams.stream("network.latency")
         self._drop_rng = streams.stream("network.drops")
         self._bandwidth = float(bandwidth_bytes_per_s)
         self._drop_probability = float(drop_probability)
+        self._delivery = delivery
+        self._latency_sampling = latency_sampling
         self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
-        self._msg_ids = itertools.count()
+        self._next_msg_id = 0
         self.stats = NetworkStats()
         # Latency multiplier applied to every sample; the figure-4(b) latency
         # sweep and failure-injection tests adjust this at run time.
         self._latency_scale = 1.0
+        # One pool per latency *class* (see _class_key); links of the same
+        # class share a pool, so pool count stays tiny even on big rings.
+        self._pools: Dict[str, _LatencyPool] = {}
+        # One _Link per directed (src, dst) pair seen so far, as a two-level
+        # dict so the per-send lookup needs no key-tuple allocation.
+        self._links: Dict[NodeAddress, Dict[NodeAddress, _Link]] = {}
+        # Monotonic tie-break for per-link heaps.
+        self._link_seq = 0
 
     # ------------------------------------------------------------------
     # Registration
@@ -161,15 +316,72 @@ class NetworkFabric:
             raise ValueError(f"drop_probability must be in [0, 1), got {value!r}")
         self._drop_probability = float(value)
 
+    @property
+    def delivery_mode(self) -> str:
+        """The configured delivery mode (``coalesced``, ``fifo`` or ``per_message``)."""
+        return self._delivery
+
+    @property
+    def latency_sampling(self) -> str:
+        """The configured sampling mode (``pooled`` or ``per_message``)."""
+        return self._latency_sampling
+
+    # ------------------------------------------------------------------
+    # Latency pools
+    # ------------------------------------------------------------------
+    def _class_key(self, src: NodeAddress, dst: NodeAddress) -> str:
+        """Stable name of the latency class governing a node pair.
+
+        Used both as the pool cache key and as the suffix of the pool's
+        random stream name, so a given seed always produces the same pool
+        draws regardless of which pair touched the class first.
+        """
+        cls = self._topology.distance_class(src, dst)
+        if cls != "inter_dc":
+            return cls
+        a = self._topology.datacenter_of(src)
+        b = self._topology.datacenter_of(dst)
+        return f"inter_dc.{min(a, b)}|{max(a, b)}"
+
+    def _pool_for(self, src: NodeAddress, dst: NodeAddress) -> _LatencyPool:
+        key = self._class_key(src, dst)
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = _LatencyPool(
+                self._topology.latency_model(src, dst),
+                self._streams.stream(f"network.latency.{key}"),
+            )
+            self._pools[key] = pool
+        return pool
+
+    def _link_for(self, src: NodeAddress, dst: NodeAddress) -> _Link:
+        by_dst = self._links.get(src)
+        if by_dst is None:
+            by_dst = self._links[src] = {}
+        link = by_dst.get(dst)
+        if link is None:
+            link = _Link(self._pool_for(src, dst))
+            # functools.partial: called without an interpreter frame of its
+            # own, unlike a bridging lambda.
+            link.fire = functools.partial(self._fire_link, link)
+            by_dst[dst] = link
+        return link
+
+    def _sample_latency(self, src: NodeAddress, dst: NodeAddress) -> float:
+        if self._latency_sampling == "pooled":
+            return self._pool_for(src, dst).next()
+        model = self._topology.latency_model(src, dst)
+        return model.sample(self._latency_rng)
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def one_way_delay(self, src: NodeAddress, dst: NodeAddress, size_bytes: int = 0) -> float:
         """Sample the delivery delay for one message from ``src`` to ``dst``."""
-        model = self._topology.latency_model(src, dst)
-        latency = model.sample(self._latency_rng) * self._latency_scale
-        transfer = size_bytes / self._bandwidth
-        return latency + transfer
+        latency = self._sample_latency(src, dst) * self._latency_scale
+        if size_bytes:
+            return latency + size_bytes / self._bandwidth
+        return latency
 
     def expected_one_way_delay(
         self, src: NodeAddress, dst: NodeAddress, size_bytes: int = 0
@@ -195,32 +407,120 @@ class NetworkFabric:
         dropped, the destination never sees it and ``on_delivered`` is not
         called -- exactly like a lost datagram.
         """
-        message = Message(
-            msg_id=next(self._msg_ids),
-            src=src,
-            dst=dst,
-            kind=kind,
-            payload=payload,
-            size_bytes=int(size_bytes),
-            sent_at=self._engine.now,
-        )
-        self.stats.sent += 1
-        self.stats.bytes_sent += message.size_bytes
-        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
+        if type(kind) is str:
+            kind = _KIND_INTERN.get(kind, kind)
+        engine = self._engine
+        now = engine._now
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + 1
+        if type(size_bytes) is not int:
+            size_bytes = int(size_bytes)
+        message = Message(msg_id, src, dst, kind, payload, size_bytes, now, 0.0)
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+        stats.per_kind[kind] += 1
         if self._drop_probability and self._drop_rng.random() < self._drop_probability:
-            self.stats.dropped += 1
+            stats.dropped += 1
             return message
-        delay = self.one_way_delay(src, dst, size_bytes=size_bytes)
-        self._engine.schedule(
-            delay, self._deliver, message, on_delivered, label=f"deliver:{kind}"
-        )
+
+        if self._delivery == "per_message":
+            delay = self.one_way_delay(src, dst, size_bytes=size_bytes)
+            engine.schedule(
+                delay, self._deliver, message, on_delivered, label=f"deliver:{kind}"
+            )
+            return message
+
+        by_dst = self._links.get(src)
+        link = by_dst.get(dst) if by_dst is not None else None
+        if link is None:
+            link = self._link_for(src, dst)
+        if self._latency_sampling == "pooled":
+            # Inlined _LatencyPool.next() fast path (one list index).
+            pool = link.pool
+            index = pool.index
+            values = pool.values
+            if index < len(values):
+                pool.index = index + 1
+                latency = values[index]
+            else:
+                latency = pool.next()
+        else:
+            latency = self._topology.latency_model(src, dst).sample(self._latency_rng)
+        delay = latency * self._latency_scale
+        if size_bytes:
+            delay += size_bytes / self._bandwidth
+        deliver_at = now + delay
+        if self._delivery == "fifo":
+            # In-order links: a message never overtakes the one before it.
+            if deliver_at < link.last_time:
+                deliver_at = link.last_time
+            link.last_time = deliver_at
+        in_flight = link.in_flight
+        link.in_flight = in_flight + 1
+        if in_flight == 0:
+            # Fast path: nothing else in flight on this link -- one direct
+            # engine event, no queue, no closure (args ride on the event).
+            engine._new_event(deliver_at, self._deliver_from_link, "", (link, message, on_delivered))
+            return message
+        seq = self._link_seq
+        self._link_seq = seq + 1
+        if self._delivery == "fifo":
+            link.fifo_queue.append((deliver_at, seq, message, on_delivered))
+            if link.next_fire is None:
+                link.next_fire = deliver_at
+                engine._schedule_unhandled_at(deliver_at, link.fire)
+        else:  # coalesced
+            heapq.heappush(link.pending, (deliver_at, seq, message, on_delivered))
+            # Schedule an engine event only when this message became the new
+            # head; a previously scheduled (later) event is left in place and
+            # fires harmlessly -- cheaper than cancelling it.
+            if link.next_fire is None or deliver_at < link.next_fire:
+                link.next_fire = deliver_at
+                engine._schedule_unhandled_at(deliver_at, link.fire)
         return message
+
+    def _deliver_from_link(
+        self, link: _Link, message: Message, on_delivered: Optional[Callable[[Message], None]]
+    ) -> None:
+        """Direct (fast-path) delivery of a message that skipped the queue."""
+        link.in_flight -= 1
+        self._deliver(message, on_delivered)
+
+    def _fire_link(self, link: _Link) -> None:
+        """Deliver every queued message on ``link`` whose time has come."""
+        now = self._engine._now
+        if link.next_fire is not None and link.next_fire <= now:
+            link.next_fire = None
+        if self._delivery == "fifo":
+            queue = link.fifo_queue
+            while queue and queue[0][0] <= now:
+                _t, _seq, message, on_delivered = queue.popleft()
+                link.in_flight -= 1
+                self._deliver(message, on_delivered)
+            if queue and link.next_fire is None:
+                head = queue[0][0]
+                link.next_fire = head
+                self._engine._schedule_unhandled_at(head, link.fire)
+            return
+        pending = link.pending
+        while pending and pending[0][0] <= now:
+            _t, _seq, message, on_delivered = heapq.heappop(pending)
+            link.in_flight -= 1
+            self._deliver(message, on_delivered)
+        if pending:
+            head = pending[0][0]
+            if link.next_fire is None or head < link.next_fire:
+                link.next_fire = head
+                self._engine._schedule_unhandled_at(head, link.fire)
 
     def _deliver(self, message: Message, on_delivered: Optional[Callable[[Message], None]]) -> None:
         handler = self._handlers.get(message.dst)
-        message.delivered_at = self._engine.now
-        self.stats.delivered += 1
-        self.stats.total_latency += message.delivered_at - message.sent_at
+        now = self._engine._now
+        message.delivered_at = now
+        stats = self.stats
+        stats.delivered += 1
+        stats.total_latency += now - message.sent_at
         if handler is not None:
             handler(message)
         if on_delivered is not None:

@@ -56,7 +56,14 @@ class LatencyModel(ABC):
         """Expected one-way latency in seconds."""
 
     def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
-        """Draw ``n`` latencies as a NumPy array (vectorised where possible)."""
+        """Draw ``n`` latencies as a NumPy array.
+
+        This base implementation is a per-element Python loop kept only as a
+        fallback for third-party subclasses; every distribution shipped in
+        this module overrides it with a true vectorised path (the network
+        fabric pre-draws latency pools through this method, so the override
+        is what makes the per-message hot path cheap).
+        """
         return np.array([self.sample(rng) for _ in range(n)], dtype=float)
 
     def describe(self) -> str:
@@ -208,6 +215,13 @@ class SpikyLatency(LatencyModel):
         p = self.spike_probability
         return self.base.mean() * (1.0 - p + p * self.spike_factor)
 
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        values = np.asarray(self.base.sample_many(rng, n), dtype=float)
+        if self.spike_probability:
+            spikes = rng.random(n) < self.spike_probability
+            values = np.where(spikes, values * self.spike_factor, values)
+        return values
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SpikyLatency({self.base!r}, p={self.spike_probability!r}, "
@@ -232,6 +246,12 @@ class CompositeLatencyModel(LatencyModel):
 
     def mean(self) -> float:
         return float(sum(component.mean() for component in self.components))
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        total = np.asarray(self.components[0].sample_many(rng, n), dtype=float)
+        for component in self.components[1:]:
+            total = total + component.sample_many(rng, n)
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompositeLatencyModel({self.components!r})"
@@ -300,6 +320,9 @@ def scaled(model: LatencyModel, factor: float) -> LatencyModel:
 
         def mean(self) -> float:
             return factor * model.mean()
+
+        def sample_many(self, rng: np.random.Generator, n: int) -> np.ndarray:
+            return factor * np.asarray(model.sample_many(rng, n), dtype=float)
 
         def __repr__(self) -> str:  # pragma: no cover - debugging aid
             return f"Scaled({factor!r} * {model!r})"

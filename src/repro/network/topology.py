@@ -34,11 +34,21 @@ class NodeAddress:
     The address is what the ring, the coordinator and the monitoring module
     use to refer to a node; it is hashable and ordering is lexicographic on
     ``(datacenter, rack, node_id)`` so test output is stable.
+
+    Addresses are dictionary keys on every hot path (fabric handler routing,
+    topology lookups, replica bookkeeping), so the hash is computed once at
+    construction instead of re-hashing the field tuple on each lookup.
     """
 
     datacenter: str
     rack: str
     node_id: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.datacenter, self.rack, self.node_id)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.datacenter}/{self.rack}/node{self.node_id}"

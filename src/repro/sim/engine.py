@@ -9,16 +9,34 @@ through :meth:`SimulationEngine.schedule` / :meth:`SimulationEngine.at`
 The engine is single threaded and deterministic.  Ties in event time are
 broken by a monotonically increasing sequence number, so two runs with the
 same seed and the same call ordering produce identical traces.
+
+Hot-path design notes
+---------------------
+The queue stores plain ``(time, seq, event)`` tuples so heap sifting
+compares C-level floats/ints instead of calling a Python ``__lt__`` (the
+unique ``seq`` guarantees the :class:`Event` object itself is never
+compared).  Fired events are recycled through a bounded free-list; a
+``generation`` counter on each event keeps stale :class:`EventHandle`\\ s
+from cancelling a recycled slot.  Cancelled events are compacted out of the
+queue once they outnumber half of it (the strategy asyncio uses for timer
+handles), so workloads that cancel most of their timeouts -- every
+completed read/write cancels one -- do not pay heap costs for dead entries.
 """
 
 from __future__ import annotations
 
+import functools
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 __all__ = ["Event", "EventHandle", "SimulationEngine", "SimulationError"]
+
+#: Cancelled events are purged from the queue once they exceed both this
+#: floor and half the queue length (mirrors asyncio's timer compaction).
+_COMPACTION_FLOOR = 64
+
+#: Maximum number of fired Event objects kept for reuse.
+_FREE_LIST_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -29,7 +47,6 @@ class SimulationError(RuntimeError):
     """
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -40,18 +57,44 @@ class Event:
     seq:
         Tie-breaking sequence number; earlier-scheduled events with the same
         timestamp run first.
-    callback:
-        Zero-argument callable invoked when the event fires.  Arguments are
-        bound at scheduling time (see :meth:`SimulationEngine.schedule`).
+    callback / args:
+        Callable invoked as ``callback(*args)`` when the event fires.
+        Positional arguments are stored on the event itself, so the common
+        ``schedule(delay, fn, arg)`` case needs no binding closure (keyword
+        arguments still close over a ``functools.partial``).
     cancelled:
         Set by :meth:`EventHandle.cancel`; cancelled events are skipped.
+    generation:
+        Incremented every time the object is recycled through the engine's
+        free-list; handles remember the generation they were issued for so a
+        stale handle can never cancel a reused slot.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "label", "generation")
+
+    def __init__(
+        self,
+        time: float = 0.0,
+        seq: int = 0,
+        callback: Optional[Callable[..., None]] = None,
+        cancelled: bool = False,
+        label: str = "",
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self.label = label
+        self.generation = 0
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state}, {self.label!r})"
 
 
 class EventHandle:
@@ -61,10 +104,12 @@ class EventHandle:
     timeout that is no longer needed because the awaited response arrived).
     """
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_generation", "_engine")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, engine: Optional["SimulationEngine"] = None) -> None:
         self._event = event
+        self._generation = event.generation
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -74,6 +119,10 @@ class EventHandle:
     @property
     def cancelled(self) -> bool:
         """Whether :meth:`cancel` has been called on this handle."""
+        if self._event.generation != self._generation:
+            # The event fired and its slot was recycled; this handle's event
+            # is gone, which can only happen after it ran un-cancelled.
+            return False
         return self._event.cancelled
 
     def cancel(self) -> None:
@@ -82,10 +131,17 @@ class EventHandle:
         Cancelling an event that already fired or was already cancelled is a
         no-op; the engine simply skips cancelled entries when it pops them.
         """
-        self._event.cancelled = True
+        event = self._event
+        if event.generation != self._generation or event.cancelled:
+            return
+        event.cancelled = True
+        event.callback = None  # release the closure right away
+        event.args = ()
+        if self._engine is not None:
+            self._engine._event_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self._event.cancelled else "pending"
+        state = "cancelled" if self.cancelled else "pending"
         return f"EventHandle(t={self._event.time:.6f}, {state}, {self._event.label!r})"
 
 
@@ -109,11 +165,14 @@ class SimulationEngine:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
+        self._free: List[Event] = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -133,9 +192,76 @@ class SimulationEngine:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying queue slots (awaiting compaction)."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """Times the queue was compacted to purge cancelled events."""
+        return self._compactions
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _new_event(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        label: str,
+        args: Tuple[Any, ...] = (),
+    ) -> Event:
+        """Take an event from the free-list (or allocate) and enqueue it."""
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.label = label
+        else:
+            event = Event(time=time, callback=callback, label=label, args=args)
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired/purged event to the free-list."""
+        event.generation += 1
+        event.callback = None
+        event.args = ()
+        if len(self._free) < _FREE_LIST_MAX:
+            self._free.append(event)
+
+    def _event_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel`; triggers compaction when the
+        queue is mostly dead weight."""
+        self._cancelled_pending += 1
+        if (
+            self._cancelled_pending > _COMPACTION_FLOOR
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the queue without cancelled entries (one O(n) pass)."""
+        queue = self._queue
+        live = []
+        for entry in queue:
+            event = entry[2]
+            if event.cancelled:
+                self._recycle(event)
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_pending = 0
+        self._compactions += 1
+
     def schedule(
         self,
         delay: float,
@@ -152,7 +278,43 @@ class SimulationEngine:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay!r}s in the past")
-        return self.at(self._now + delay, callback, *args, label=label, **kwargs)
+        if kwargs:
+            callback = functools.partial(callback, *args, **kwargs)
+            args = ()
+        event = self._new_event(self._now + delay, callback, label, args)
+        return EventHandle(event, self)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+        handle: bool = True,
+    ) -> Optional[EventHandle]:
+        """Fast-path :meth:`schedule`: positional args only, optional handle.
+
+        The hot paths (message delivery, replica service completion, waiter
+        wake-ups) use this so each simulated event costs one free-list pop
+        and one heap push; with ``handle=False`` no :class:`EventHandle` is
+        allocated and the event cannot be cancelled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay!r}s in the past")
+        event = self._new_event(self._now + delay, callback, label, args)
+        if handle:
+            return EventHandle(event, self)
+        return None
+
+    def _schedule_unhandled_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Cheapest scheduling path: no handle is created, so the event cannot
+        be cancelled.  Reserved for internal fire-and-forget work (the network
+        fabric's link wake-ups).  Takes an *absolute* time: the fabric
+        compares queued delivery times against the clock with ``<=``, so the
+        wake-up must fire at exactly the stored float (re-deriving it from a
+        delay would round and can undershoot by one ulp, leaving the queue
+        head marooned just beyond the clock)."""
+        self._new_event(time, callback, "")
 
     def at(
         self,
@@ -172,13 +334,11 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, which is before the current time {self._now!r}"
             )
-        if args or kwargs:
-            bound = lambda: callback(*args, **kwargs)  # noqa: E731 - tight closure
-        else:
-            bound = callback
-        event = Event(time=float(time), seq=next(self._seq), callback=bound, label=label)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        if kwargs:
+            callback = functools.partial(callback, *args, **kwargs)
+            args = ()
+        event = self._new_event(float(time), callback, label, args)
+        return EventHandle(event, self)
 
     def call_soon(self, callback: Callable[..., None], *args: Any, **kwargs: Any) -> EventHandle:
         """Schedule ``callback`` at the current virtual time (runs after the
@@ -194,14 +354,36 @@ class SimulationEngine:
         Returns ``True`` if an event was executed, ``False`` if the queue is
         empty (cancelled events are discarded without counting as a step).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        # This is the single hottest function of the simulator; the free-list
+        # recycling is inlined rather than calling _recycle() per event.
+        queue = self._queue
+        free = self._free
+        heappop = heapq.heappop
+        while queue:
+            entry = heappop(queue)
+            event = entry[2]
             if event.cancelled:
+                self._cancelled_pending -= 1
+                event.generation += 1
+                event.args = ()
+                if len(free) < _FREE_LIST_MAX:
+                    free.append(event)
                 continue
-            if event.time < self._now:  # pragma: no cover - defensive
+            time = entry[0]
+            if time < self._now:  # pragma: no cover - defensive
                 raise SimulationError("event queue yielded an event from the past")
-            self._now = event.time
-            event.callback()
+            self._now = time
+            callback = event.callback
+            args = event.args
+            event.generation += 1
+            event.callback = None
+            event.args = ()
+            if len(free) < _FREE_LIST_MAX:
+                free.append(event)
+            if args:
+                callback(*args)
+            else:
+                callback()
             self._events_processed += 1
             return True
         return False
@@ -274,10 +456,13 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     def _peek(self) -> Optional[Event]:
         """Return the next non-cancelled event without executing it."""
-        while self._queue:
-            event = self._queue[0]
+        queue = self._queue
+        while queue:
+            event = queue[0][2]
             if event.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
+                self._cancelled_pending -= 1
+                self._recycle(event)
                 continue
             return event
         return None
@@ -289,8 +474,9 @@ class SimulationEngine:
 
     def drain(self) -> Iterable[Event]:
         """Remove and yield all pending events (used by tests and teardown)."""
+        self._cancelled_pending = 0
         while self._queue:
-            yield heapq.heappop(self._queue)
+            yield heapq.heappop(self._queue)[2]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -84,13 +84,14 @@ class Waiter:
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             # Wake-ups are scheduled rather than run inline so that the
-            # producer's stack does not nest arbitrarily deep.
-            self._engine.call_soon(callback, value)
+            # producer's stack does not nest arbitrarily deep.  handle=False:
+            # a completion wake-up is never cancelled.
+            self._engine.schedule_after(0.0, callback, value, handle=False)
 
     def add_callback(self, callback: Callable[[Any], None]) -> None:
         """Register ``callback(value)``; runs immediately if already done."""
         if self._done:
-            self._engine.call_soon(callback, self._value)
+            self._engine.schedule_after(0.0, callback, self._value, handle=False)
         else:
             self._callbacks.append(callback)
 
@@ -116,6 +117,7 @@ class Process:
         engine: SimulationEngine,
         generator: Generator[YieldType, Any, Any],
         name: str = "",
+        on_finish: Optional[Callable[["Process"], None]] = None,
     ) -> None:
         self._engine = engine
         self._generator = generator
@@ -124,6 +126,10 @@ class Process:
         self._result: Any = None
         self._pending: Optional[EventHandle] = None
         self._stopped = False
+        #: Called exactly once with the process when it finishes (returns,
+        #: raises StopIteration or is stopped); lets drivers count completions
+        #: instead of polling every process each engine step.
+        self._on_finish = on_finish
         # Kick off on the next tick so construction never runs user code
         # re-entrantly inside the caller's stack frame.
         engine.call_soon(self._resume, None)
@@ -156,6 +162,8 @@ class Process:
         if not self._finished:
             self._generator.close()
             self._finished = True
+            if self._on_finish is not None:
+                self._on_finish(self)
 
     # ------------------------------------------------------------------
     def _resume(self, value: Any) -> None:
@@ -167,6 +175,8 @@ class Process:
         except StopIteration as stop:
             self._finished = True
             self._result = stop.value
+            if self._on_finish is not None:
+                self._on_finish(self)
             return
         self._wait_on(yielded)
 

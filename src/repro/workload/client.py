@@ -91,10 +91,18 @@ class ClientThread:
         self._process: Optional[Process] = None
 
     # ------------------------------------------------------------------
-    def start(self) -> Process:
-        """Start the client loop as a simulated process."""
+    def start(self, on_finish: Optional[Callable[[], None]] = None) -> Process:
+        """Start the client loop as a simulated process.
+
+        ``on_finish`` is invoked once when the loop completes (or is
+        stopped); the executor uses it to count finished clients instead of
+        scanning every client after each engine step.
+        """
         self._process = Process(
-            self._cluster.engine, self._run(), name=f"client-{self.thread_id}"
+            self._cluster.engine,
+            self._run(),
+            name=f"client-{self.thread_id}",
+            on_finish=None if on_finish is None else (lambda _process: on_finish()),
         )
         return self._process
 

@@ -248,16 +248,23 @@ class WorkloadExecutor:
             )
             for i in range(self.threads)
         ]
+        finished = [0]
+
+        def one_finished() -> None:
+            finished[0] += 1
+
         for client in clients:
-            client.start()
+            client.start(one_finished)
 
         deadline = start_time + self.max_virtual_time
-        while not all(client.finished for client in clients):
+        n_clients = len(clients)
+        engine_step = engine.step
+        while finished[0] < n_clients:
             if engine.now > deadline:
                 for client in clients:
                     client.stop()
                 break
-            if not engine.step():
+            if not engine_step():
                 break
 
         end_time = engine.now
@@ -322,16 +329,20 @@ class WorkloadExecutor:
                 self.metrics.consistency_level_usage.get(level_name, 0) + 1
             )
             if result.datacenter is not None:
-                self.metrics.read_latency_by_dc.setdefault(
-                    result.datacenter, LatencyHistogram()
-                ).record(latency)
+                # Not setdefault(): that would build (and usually discard) a
+                # fresh histogram on every read.
+                by_dc = self.metrics.read_latency_by_dc.get(result.datacenter)
+                if by_dc is None:
+                    by_dc = self.metrics.read_latency_by_dc[result.datacenter] = LatencyHistogram()
+                by_dc.record(latency)
             if self.auditor is not None:
                 stale = self.auditor.judge(operation.key, result)
                 self.metrics.staleness.record(level_name, stale)
                 if result.datacenter is not None:
-                    self.metrics.staleness_by_dc.setdefault(
-                        result.datacenter, StalenessSummary()
-                    ).record(level_name, stale)
+                    stale_dc = self.metrics.staleness_by_dc.get(result.datacenter)
+                    if stale_dc is None:
+                        stale_dc = self.metrics.staleness_by_dc[result.datacenter] = StalenessSummary()
+                    stale_dc.record(level_name, stale)
         else:
             self.metrics.counters.writes += 1
             self.metrics.write_latency.record(latency)

@@ -15,6 +15,10 @@ from repro.experiments.runner import run_experiment
 from repro.experiments.scenarios import EC2, GRID5000
 from repro.workload.workloads import WORKLOAD_A, WORKLOAD_B
 
+#: Full experiment runs per policy make this the slowest module in the
+#: suite; `-m "not slow"` skips it for quick local iterations.
+pytestmark = pytest.mark.slow
+
 WORKLOAD = WORKLOAD_A.scaled(record_count=400, operation_count=2500)
 THREADS = 40
 SEED = 11

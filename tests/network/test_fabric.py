@@ -156,3 +156,119 @@ def test_invalid_construction_parameters():
         NetworkFabric(engine, topo, RandomStreams(0), bandwidth_bytes_per_s=0)
     with pytest.raises(ValueError):
         NetworkFabric(engine, topo, RandomStreams(0), drop_probability=1.0)
+    with pytest.raises(ValueError):
+        NetworkFabric(engine, topo, RandomStreams(0), delivery="bogus")
+    with pytest.raises(ValueError):
+        NetworkFabric(engine, topo, RandomStreams(0), latency_sampling="bogus")
+
+
+# ----------------------------------------------------------------------
+# Delivery modes and message kinds (runtime hot-path features)
+# ----------------------------------------------------------------------
+
+
+def make_jittery_fabric(delivery: str):
+    """A fabric whose latency is genuinely random, to exercise reordering."""
+    from repro.network.latency import LogNormalLatency
+
+    engine = SimulationEngine()
+    topo = (
+        TopologyBuilder()
+        .latencies(
+            loopback=ConstantLatency(0.00001),
+            intra_rack=LogNormalLatency(median=0.001, sigma=0.8),
+        )
+        .datacenter("dc1")
+        .rack("r1", nodes=2)
+        .build()
+    )
+    fabric = NetworkFabric(engine, topo, RandomStreams(seed=7), delivery=delivery)
+    return engine, topo, fabric
+
+
+@pytest.mark.parametrize("delivery", ["per_message", "coalesced", "fifo"])
+def test_every_delivery_mode_delivers_everything(delivery):
+    engine, topo, fabric = make_jittery_fabric(delivery)
+    a, b = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    for i in range(200):
+        fabric.send(a, b, "x", i)
+    engine.run()
+    assert len(received) == 200
+    assert fabric.stats.delivered == 200
+    # Delivery timestamps never decrease as seen by the engine.
+    times = [m.delivered_at for m in received]
+    assert times == sorted(times)
+
+
+def test_fifo_mode_preserves_send_order():
+    engine, topo, fabric = make_jittery_fabric("fifo")
+    a, b = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    for i in range(300):
+        fabric.send(a, b, "x", i)
+    engine.run()
+    assert [m.payload for m in received] == list(range(300))
+
+
+def test_coalesced_mode_delivers_in_sampled_time_order():
+    engine, topo, fabric = make_jittery_fabric("coalesced")
+    a, b = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    for i in range(300):
+        fabric.send(a, b, "x", i)
+    engine.run()
+    # With heavy jitter, faithful (non-FIFO) delivery reorders messages.
+    assert [m.payload for m in received] != list(range(300))
+    assert sorted(m.payload for m in received) == list(range(300))
+
+
+def test_interleaved_sends_and_deliveries_on_one_link():
+    engine, topo, fabric = make_jittery_fabric("coalesced")
+    a, b = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+
+    def send_more(n):
+        if n > 0:
+            fabric.send(a, b, "x", n)
+            engine.schedule(0.0004, send_more, n - 1)
+
+    send_more(50)
+    engine.run()
+    assert len(received) == 50
+
+
+def test_message_kinds_are_interned():
+    from repro.network.fabric import MessageKind
+
+    engine, topo, fabric = make_fabric()
+    a, b, _ = topo.nodes
+    received = []
+    fabric.register(b, received.append)
+    fabric.send(a, b, "write_request", None)
+    fabric.send(a, b, "custom_kind", None)
+    engine.run()
+    assert received[0].kind is MessageKind.WRITE_REQUEST
+    assert received[0].kind == "write_request"
+    assert str(received[0].kind) == "write_request"
+    assert received[1].kind == "custom_kind"
+    assert fabric.stats.per_kind["write_request"] == 1
+    assert fabric.stats.per_kind["missing_kind"] == 0  # Counter semantics
+
+
+def test_pooled_sampling_is_deterministic_per_seed():
+    results = []
+    for _ in range(2):
+        engine, topo, fabric = make_jittery_fabric("coalesced")
+        a, b = topo.nodes
+        delivered = []
+        fabric.register(b, delivered.append)
+        for i in range(100):
+            fabric.send(a, b, "x", i)
+        engine.run()
+        results.append([(m.payload, round(m.delivered_at, 12)) for m in delivered])
+    assert results[0] == results[1]

@@ -122,3 +122,70 @@ def test_scaled_rejects_negative_factor():
 def test_describe_mentions_mean():
     text = ConstantLatency(0.004).describe()
     assert "4.000ms" in text
+
+
+class TestSampleManyIsVectorised:
+    """Every shipped distribution must implement a true vectorised
+    ``sample_many`` -- the fabric's latency pools call it in blocks, and a
+    per-element fallback through ``sample`` would put one Python/NumPy call
+    per message back on the hot path."""
+
+    @staticmethod
+    def _shipped_models():
+        return [
+            ConstantLatency(0.005),
+            UniformLatency(0.001, 0.002),
+            LogNormalLatency(median=0.001, sigma=0.3),
+            GammaLatency(mean=0.002, cv=0.25),
+            SpikyLatency(LogNormalLatency(median=0.001), spike_probability=0.05),
+            CompositeLatencyModel([ConstantLatency(0.001), GammaLatency(mean=0.002)]),
+            Grid5000LikeLatency(),
+            EC2LikeLatency(),
+            scaled(LogNormalLatency(median=0.001), 3.0),
+        ]
+
+    def test_no_per_element_sample_calls(self, rng, monkeypatch):
+        models = self._shipped_models()
+        # Poison every shipped class's scalar path: if any sample_many
+        # implementation falls back to the base per-element loop, it raises.
+        def poisoned(self, rng):  # pragma: no cover - the assertion itself
+            raise AssertionError(
+                f"{type(self).__name__}.sample_many fell back to per-element sample()"
+            )
+
+        seen = set()
+        for model in models:
+            stack = [type(model)]
+            while stack:
+                cls = stack.pop()
+                if cls in seen or cls is object:
+                    continue
+                seen.add(cls)
+                if "sample" in cls.__dict__:
+                    monkeypatch.setattr(cls, "sample", poisoned)
+                stack.extend(cls.__mro__[1:2])
+        for model in models:
+            values = model.sample_many(rng, 257)
+            assert values.shape == (257,)
+            assert np.all(values >= 0.0)
+
+    def test_sample_many_matches_scalar_distribution(self):
+        for model in self._shipped_models():
+            r1 = np.random.default_rng(9)
+            r2 = np.random.default_rng(9)
+            loop = np.array([model.sample(r1) for _ in range(4000)])
+            vec = model.sample_many(r2, 4000)
+            assert vec.mean() == pytest.approx(loop.mean(), rel=0.15)
+
+    def test_base_class_fallback_still_works_for_third_party_models(self, rng):
+        from repro.network.latency import LatencyModel
+
+        class Custom(LatencyModel):
+            def sample(self, rng):
+                return 0.007
+
+            def mean(self):
+                return 0.007
+
+        values = Custom().sample_many(rng, 5)
+        assert np.all(values == 0.007)

@@ -183,3 +183,103 @@ def test_events_processed_counter():
         engine.schedule(float(i), lambda: None)
     engine.run()
     assert engine.events_processed == 7
+
+
+class TestCancellationCompaction:
+    def test_mass_cancellation_compacts_the_queue(self):
+        engine = SimulationEngine()
+        handles = [engine.schedule(float(i + 1), lambda: None) for i in range(500)]
+        keeper = engine.schedule(1000.0, lambda: None)
+        for handle in handles:
+            handle.cancel()
+        # Cancelled entries were purged without waiting for their pop time.
+        assert engine.compactions >= 1
+        assert engine.pending_events < 100
+        assert engine.cancelled_pending < 500
+        assert not keeper.cancelled
+
+    def test_compacted_queue_still_runs_live_events_in_order(self):
+        engine = SimulationEngine()
+        order = []
+        live = []
+        for i in range(300):
+            handle = engine.schedule(float(i), order.append, i)
+            if i % 3 == 0:
+                live.append(i)
+            else:
+                handle.cancel()
+        engine.run()
+        assert order == live
+
+    def test_double_cancel_is_counted_once(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.cancelled_pending == 1
+
+    def test_cancelled_events_do_not_count_as_processed(self):
+        engine = SimulationEngine()
+        for i in range(200):
+            engine.schedule(float(i), lambda: None).cancel()
+        engine.schedule(500.0, lambda: None)
+        engine.run()
+        assert engine.events_processed == 1
+
+
+class TestEventFreeList:
+    def test_fired_events_are_recycled(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+        assert len(engine._free) > 0
+
+    def test_stale_handle_cannot_cancel_a_recycled_event(self):
+        engine = SimulationEngine()
+        fired = []
+        stale = engine.schedule(1.0, fired.append, "first")
+        engine.run()
+        # The event object behind `stale` is now on the free-list; scheduling
+        # again reuses it for a different callback.
+        engine.schedule(2.0, fired.append, "second")
+        stale.cancel()  # must be a no-op for the recycled slot
+        assert not stale.cancelled
+        engine.run()
+        assert fired == ["first", "second"]
+
+    def test_handle_of_fired_event_reports_not_cancelled(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(0.5, lambda: None)
+        engine.run()
+        assert handle.cancelled is False
+
+
+class TestScheduleAfter:
+    def test_schedule_after_runs_with_args(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_after(1.0, seen.append, "x")
+        engine.run()
+        assert seen == ["x"]
+        assert engine.now == 1.0
+
+    def test_schedule_after_without_handle_returns_none(self):
+        engine = SimulationEngine()
+        seen = []
+        assert engine.schedule_after(1.0, seen.append, "y", handle=False) is None
+        engine.run()
+        assert seen == ["y"]
+
+    def test_schedule_after_rejects_negative_delay(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_schedule_after_handle_can_cancel(self):
+        engine = SimulationEngine()
+        seen = []
+        handle = engine.schedule_after(1.0, seen.append, "z")
+        handle.cancel()
+        engine.run()
+        assert seen == []
