@@ -11,11 +11,17 @@ module provides:
   sweep once;
 * ``emit_report`` -- prints the regenerated rows/series and also writes them
   to ``benchmarks/results/<name>.txt`` so they survive pytest's output
-  capture.
+  capture;
+* ``write_benchmark_json`` -- the one way benches persist ``BENCH_*.json``
+  result files: it refuses placeholder values, so a half-finished benchmark
+  can never masquerade as a recorded result again (a ``PLACEHOLDER``
+  baseline label once survived a whole PR in ``BENCH_fabric.json``).
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from typing import Callable, Dict
 
@@ -44,6 +50,49 @@ def cached_report(key: str, builder: Callable[[], MetricsReport]) -> MetricsRepo
     if key not in _cache:
         _cache[key] = builder()
     return _cache[key]
+
+
+#: Substrings that mark a value as "not actually measured".  Matching is
+#: case-sensitive on purpose: these appear as deliberate ALL-CAPS markers.
+PLACEHOLDER_TOKENS = ("PLACEHOLDER", "TBD", "FIXME", "CHANGEME")
+
+
+class PlaceholderValueError(ValueError):
+    """A benchmark result contained a placeholder instead of a measurement."""
+
+
+def assert_no_placeholders(value: object, path: str = "$") -> None:
+    """Recursively reject placeholder strings and non-finite numbers.
+
+    Benchmark JSON is the repo's performance memory; a placeholder that
+    lands there silently becomes "the recorded baseline" for every later
+    comparison.  Raises :class:`PlaceholderValueError` naming the offending
+    path.
+    """
+    if isinstance(value, str):
+        for token in PLACEHOLDER_TOKENS:
+            if token in value:
+                raise PlaceholderValueError(
+                    f"placeholder marker {token!r} at {path}: {value!r}"
+                )
+    elif isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise PlaceholderValueError(f"non-finite number at {path}: {value!r}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            assert_no_placeholders(key, f"{path}.{key}")
+            assert_no_placeholders(item, f"{path}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            assert_no_placeholders(item, f"{path}[{index}]")
+
+
+def write_benchmark_json(path: str, report: Dict[str, object]) -> None:
+    """Validate and persist one ``BENCH_*.json`` result file."""
+    assert_no_placeholders(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, default=str)
+        handle.write("\n")
 
 
 def emit_report(name: str, report: MetricsReport) -> str:

@@ -43,6 +43,12 @@ from repro.experiments.scenarios import SCALE_100
 from repro.workload.executor import WorkloadExecutor
 from repro.workload.workloads import WORKLOAD_A
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:  # direct `python benchmarks/bench_fabric.py` runs
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks._shared import write_benchmark_json  # noqa: E402
+
 #: Pre-refactor baseline, measured at commit f02a3cf (PR 1, before the
 #: runtime hot-path refactor) on this same benchmark configuration
 #: (SCALE_100 shape, workload-A, 1000 records / 8000 ops, 50 threads,
@@ -60,7 +66,6 @@ PRE_REFACTOR_BASELINE = {
 FULL_CONFIG = {"record_count": 1000, "operation_count": 8000, "threads": 50, "seed": 20260730}
 QUICK_CONFIG = {"record_count": 300, "operation_count": 2000, "threads": 50, "seed": 20260730}
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_fabric.json")
 
 
@@ -177,9 +182,9 @@ def main(argv=None) -> int:
 
     repeat = args.repeat if args.repeat is not None else (1 if args.quick else 3)
     report = run_bench(quick=args.quick, repeat=repeat)
-    with open(args.out, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, default=str)
-        handle.write("\n")
+    # write_benchmark_json refuses placeholder values -- a PLACEHOLDER
+    # baseline label must never reach a recorded result file again.
+    write_benchmark_json(args.out, report)
 
     print(json.dumps(report, indent=2, default=str))
     if not report["deterministic"]:

@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""Anti-entropy benchmark: stale rate with Merkle repair on vs off under a
+60-second datacenter partition.
+
+The ``GRID5000_3SITES_FAULTS`` scenario cuts Sophia off from the WAN for
+60 s (its nodes keep serving their own LOCAL_ONE clients) while client
+fleets in all three sites run YCSB workload-B.  Two arms differ in exactly
+one knob:
+
+* **repair on**  -- cross-DC Merkle repair every ``repair_interval`` seconds
+  (the tentpole subsystem: coarse hash trees per DC pair, differing token
+  ranges streamed over the WAN);
+* **repair off** -- no anti-entropy at all.
+
+Both arms disable hinted-handoff replay on heal and the global read-repair
+round, so post-heal convergence in the "on" arm is attributable to the
+repair process alone (the "off" arm converges only through fresh writes).
+
+Reported per arm: the isolated site's stale rate before/during/after the
+partition, the post-heal recovery stale rate (measured from one repair
+interval after heal to the end of the run), and the per-DC-pair repair WAN
+traffic -- the stale-rate-vs-traffic trade-off from the ROADMAP.  The
+benchmark asserts the acceptance criterion: with repair on, the partitioned
+site's post-heal stale rate drops back under the site's tolerated stale
+rate (ASR), and no LOCAL_* operation anywhere surfaced Unavailable.
+
+The result is written to ``BENCH_repair.json`` at the repository root
+through the shared placeholder-refusing writer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_repair.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import grid5000_3sites_faults
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:  # direct `python benchmarks/bench_repair.py` runs
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks._shared import write_benchmark_json  # noqa: E402
+from repro.workload.workloads import WORKLOAD_B  # noqa: E402
+
+ISOLATED = "sophia"
+SEED = 20260730
+
+#: Full-size run: the acceptance-criterion configuration (60 s partition).
+FULL_CONFIG = {
+    "lead_time": 10.0,
+    "partition_duration": 60.0,
+    "repair_interval": 10.0,
+    "record_count": 400,
+    "operation_count": 60_000,
+    "threads": 12,
+    "think_time": 0.02,
+}
+
+#: CI smoke sizes: same shape, ~10x shorter timeline.
+QUICK_CONFIG = {
+    "lead_time": 2.0,
+    "partition_duration": 6.0,
+    "repair_interval": 2.0,
+    "record_count": 200,
+    "operation_count": 8_000,
+    "threads": 12,
+    "think_time": 0.02,
+}
+
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_repair.json")
+
+
+def run_arm(cfg: Dict[str, float], *, repair: bool) -> Dict[str, object]:
+    """One measured run; returns windowed per-DC staleness + repair traffic."""
+    scenario = grid5000_3sites_faults(
+        lead_time=cfg["lead_time"],
+        partition_duration=cfg["partition_duration"],
+        repair_interval=cfg["repair_interval"] if repair else None,
+        isolated=ISOLATED,
+    )
+    workload = WORKLOAD_B.scaled(
+        record_count=int(cfg["record_count"]), operation_count=int(cfg["operation_count"])
+    )
+    t0 = time.perf_counter()
+    result = run_experiment(
+        scenario,
+        workload,
+        "local_one",
+        int(cfg["threads"]),
+        seed=SEED,
+        datacenters=scenario.datacenter_names,
+        think_time=cfg["think_time"],
+    )
+    wall = time.perf_counter() - t0
+    timeline = result.auditor  # FaultTimeline (fault scenario)
+    log = dict((desc.split(" ")[0], t) for t, desc in result.injector.log)
+    partition_at = log["isolate"]
+    heal_at = log.get("deisolate")
+    assert heal_at is not None, "the partition never healed inside the run"
+    run_start = min(event.time for event in timeline.op_events)
+    run_end = max(event.time for event in timeline.op_events)
+    # Post-heal recovery window: give repair one interval to complete a
+    # session, then measure to the end of the run.
+    recovery_from = heal_at + cfg["repair_interval"]
+    windows = {
+        "before": (run_start, partition_at),
+        "during": (partition_at, heal_at),
+        "after_heal": (heal_at, run_end + 1e-9),
+        "recovery": (recovery_from, run_end + 1e-9),
+    }
+    datacenters = scenario.datacenter_names
+    staleness: Dict[str, Dict[str, Optional[float]]] = {}
+    for name, (start, end) in windows.items():
+        staleness[name] = {
+            dc: timeline.stale_rate_in(start, end, datacenter=dc) for dc in datacenters
+        }
+    service = result.anti_entropy
+    return {
+        "repair": repair,
+        "policy": result.config.policy_name,
+        "summary": result.summary(),
+        "fault_log": [[round(t, 3), desc] for t, desc in result.injector.log],
+        "windows_virtual_s": {k: [round(a, 3), round(b, 3)] for k, (a, b) in windows.items()},
+        "stale_rate_by_window": {
+            name: {dc: (round(rate, 4) if rate is not None else None) for dc, rate in row.items()}
+            for name, row in staleness.items()
+        },
+        "unavailable_total": result.metrics.counters.unavailable,
+        "repair_traffic_bytes_by_pair": service.traffic_by_pair() if service else {},
+        "repair_sessions": (
+            {f"{a}|{b}": s.as_dict() for (a, b), s in service.stats.items()} if service else {}
+        ),
+        "wall_s": round(wall, 2),
+    }
+
+
+def run_bench(quick: bool = False) -> Dict[str, object]:
+    cfg = QUICK_CONFIG if quick else FULL_CONFIG
+    arm_on = run_arm(cfg, repair=True)
+    arm_off = run_arm(cfg, repair=False)
+    asr = grid5000_3sites_faults().harmony_stale_rates_by_dc[ISOLATED]
+    recovery_on = arm_on["stale_rate_by_window"]["recovery"][ISOLATED]
+    recovery_off = arm_off["stale_rate_by_window"]["recovery"][ISOLATED]
+    during_on = arm_on["stale_rate_by_window"]["during"][ISOLATED]
+    report = {
+        "benchmark": "bench_repair",
+        "scenario": "grid5000_3sites_faults",
+        "isolated_datacenter": ISOLATED,
+        "quick": quick,
+        "seed": SEED,
+        "config": dict(cfg),
+        "tolerated_stale_rate": asr,
+        "repair_on": arm_on,
+        "repair_off": arm_off,
+        "comparison": {
+            "stale_rate_during_partition": during_on,
+            "post_heal_recovery_stale_rate_repair_on": recovery_on,
+            "post_heal_recovery_stale_rate_repair_off": recovery_off,
+            "recovery_under_asr_with_repair": (
+                recovery_on is not None and recovery_on <= asr
+            ),
+            "repair_beats_no_repair": (
+                recovery_on is not None
+                and recovery_off is not None
+                and recovery_on < recovery_off
+            ),
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smoke-test sizes (CI)")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick)
+    write_benchmark_json(args.out, report)
+
+    import json
+
+    print(json.dumps(report, indent=2, default=str))
+    comparison = report["comparison"]
+    failed = False
+    if not comparison["recovery_under_asr_with_repair"]:
+        print(
+            f"FAIL: post-heal stale rate {comparison['post_heal_recovery_stale_rate_repair_on']} "
+            f"did not drop under the ASR bound {report['tolerated_stale_rate']}",
+            file=sys.stderr,
+        )
+        failed = True
+    if report["repair_on"]["unavailable_total"] != 0:
+        print("FAIL: LOCAL_ONE clients saw Unavailable during the partition", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Fault-injection walkthrough: a datacenter dies mid-run, then heals.
+
+Two acts on the ``GRID5000_3SITES`` ring (Rennes, Sophia, Nancy):
+
+1. **Full-DC outage and consistency levels.**  Sophia's nodes all go down.
+   ``LOCAL_ONE``/``LOCAL_QUORUM`` clients in the surviving sites keep
+   serving with zero errors, global ``QUORUM`` still finds a majority, and
+   ``EACH_QUORUM`` is rejected up front as Unavailable -- the coordinator's
+   failure detector proves a Sophia quorum is impossible, so no timeout is
+   burned (Cassandra's ``UnavailableException`` semantics).
+
+2. **WAN isolation, heal, and anti-entropy.**  Sophia is cut off from the
+   WAN mid-run (its nodes keep serving their own clients) and healed
+   later; the per-DC stale rate and read latency are plotted before /
+   during / after the partition, with the cross-DC Merkle repair process on
+   vs off.  With repair on, one session after heal drives Sophia's stale
+   rate back under its tolerated stale rate; with repair off, divergence
+   decays only as keys happen to be rewritten.
+
+The "plot" is ASCII (no plotting dependency): one bar row per time bucket
+per site.  Run with::
+
+    PYTHONPATH=src python examples/dc_outage.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro import ConsistencyLevel, SimulatedCluster, WORKLOAD_B, WorkloadExecutor, format_table
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import GRID5000_3SITES, grid5000_3sites_faults
+
+ISOLATED = "sophia"
+
+
+def show_outage_levels() -> None:
+    print("== act 1: full-DC outage (every Sophia node down) ==")
+    cluster = SimulatedCluster(GRID5000_3SITES.cluster_config(seed=7))
+    key = "order42"
+    cluster.write_sync(key, "v0", ConsistencyLevel.EACH_QUORUM, datacenter="rennes")
+    cluster.settle()
+    cluster.take_down_datacenter(ISOLATED)
+
+    rows = []
+    for level in (
+        ConsistencyLevel.LOCAL_ONE,
+        ConsistencyLevel.LOCAL_QUORUM,
+        ConsistencyLevel.QUORUM,
+        ConsistencyLevel.EACH_QUORUM,
+    ):
+        result = cluster.write_sync(key, f"during-{level}", level, datacenter="rennes")
+        rows.append(
+            {
+                "level": str(level),
+                "outcome": "UNAVAILABLE" if result.unavailable else "ok",
+                "latency_ms": "-" if result.unavailable else round(result.latency * 1e3, 2),
+            }
+        )
+    print(format_table(rows))
+    # Let the write-timeout window elapse so unacknowledged replicas turn
+    # into hints, then recover the site: hinted handoff replays over the WAN.
+    cluster.engine.run_until(cluster.engine.now + 2.0)
+    replayed = cluster.bring_up_datacenter(ISOLATED, replay_hints=True)
+    cluster.settle()
+    print(
+        f"  sophia recovered: {replayed} hints replayed over the WAN, "
+        f"replicas consistent -> {cluster.is_consistent(key)}"
+    )
+    print()
+
+
+def _bar(rate: Optional[float], width: int = 32) -> str:
+    if rate is None:
+        return "(no reads)"
+    filled = round(rate * width)
+    return "#" * filled + "." * (width - filled) + f" {rate:6.1%}"
+
+
+def run_partition_act(quick: bool) -> None:
+    print("== act 2: WAN isolation of sophia, heal, anti-entropy on vs off ==")
+    if quick:
+        lead, duration, interval, ops = 2.0, 6.0, 2.0, 8_000
+    else:
+        lead, duration, interval, ops = 5.0, 30.0, 6.0, 30_000
+    asr = GRID5000_3SITES.harmony_stale_rates_by_dc[ISOLATED]
+    for repair in (True, False):
+        scenario = grid5000_3sites_faults(
+            lead_time=lead,
+            partition_duration=duration,
+            repair_interval=interval if repair else None,
+            isolated=ISOLATED,
+        )
+        result = run_experiment(
+            scenario,
+            WORKLOAD_B.scaled(record_count=200, operation_count=ops),
+            "local_one",
+            12,
+            seed=11,
+            datacenters=scenario.datacenter_names,
+            think_time=0.02,
+        )
+        timeline = result.auditor
+        run_start = min(event.time for event in timeline.op_events)
+        run_end = max(event.time for event in timeline.op_events)
+        partition_at = run_start + lead
+        heal_at = partition_at + duration
+        n_buckets = 8
+        edges: List[float] = [run_start]
+        # Bucket boundaries aligned with the fault timeline so "during" and
+        # "after" never share a bucket.
+        span = run_end - run_start
+        for i in range(1, n_buckets):
+            edges.append(run_start + span * i / n_buckets)
+        edges.append(run_end + 1e-9)
+        edges = sorted(set(edges + [partition_at, heal_at]))
+
+        label = f"repair every {interval:g}s" if repair else "repair off"
+        traffic = result.anti_entropy.wan_traffic_bytes() if result.anti_entropy else 0
+        print(f"-- {label}  (tolerated stale rate in {ISOLATED}: {asr:.0%}, "
+              f"repair WAN traffic: {traffic / 1024:.0f} KiB) --")
+        for dc in scenario.datacenter_names:
+            print(f"  {dc}: stale rate per window  (| partition start, > heal)")
+            for index in range(len(edges) - 1):
+                start, end = edges[index], edges[index + 1]
+                marker = " "
+                if abs(start - partition_at) < 1e-6:
+                    marker = "|"
+                elif abs(start - heal_at) < 1e-6:
+                    marker = ">"
+                rate = timeline.stale_rate_in(start, end, datacenter=dc)
+                latency = timeline.mean_latency_in(start, end, datacenter=dc, op_type="read")
+                latency_text = f"{latency * 1e3:5.2f}ms" if latency is not None else "   -  "
+                print(
+                    f"   {marker} t={start - run_start:6.2f}s  {_bar(rate)}  read {latency_text}"
+                )
+        recovery = timeline.stale_rate_in(heal_at + interval, run_end + 1e-9, datacenter=ISOLATED)
+        verdict = "-" if recovery is None else f"{recovery:.2%}"
+        print(f"  {ISOLATED} post-heal stale rate: {verdict} (bound: {asr:.0%})")
+        unavailable = result.metrics.counters.unavailable
+        print(f"  Unavailable operations across all LOCAL_ONE clients: {unavailable}")
+        print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run (a few seconds)")
+    args = parser.parse_args(argv)
+    show_outage_levels()
+    run_partition_act(args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

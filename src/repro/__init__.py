@@ -39,7 +39,13 @@ Package layout
     the simulated quorum-replicated store (ring, replication strategies
     including the per-DC ``NetworkTopologyStrategy``, storage engines,
     coordinator read/write paths with the DC-aware levels ``LOCAL_ONE`` /
-    ``LOCAL_QUORUM`` / ``EACH_QUORUM``, read repair, hints);
+    ``LOCAL_QUORUM`` / ``EACH_QUORUM``, read repair, hints, and the
+    cross-DC Merkle anti-entropy service);
+``repro.faults``
+    fault injection: declarative fault schedules (node crashes, full-DC
+    outages, WAN partitions at the fabric level), the shared failure
+    detector behind the coordinators' Unavailable fail-fast path, and the
+    windowed fault timeline for before/during/after analysis;
 ``repro.network``
     latency models (Grid'5000-like, EC2-like), topology with per-DC-pair
     WAN links, and the message fabric;
@@ -74,6 +80,7 @@ from repro.cluster import (
     SimulatedCluster,
     quorum_size,
 )
+from repro.cluster.antientropy import AntiEntropyConfig, AntiEntropyService, MerkleTree
 from repro.core import (
     ClusterMonitor,
     HarmonyConfig,
@@ -95,6 +102,18 @@ from repro.experiments import (
     ExperimentResult,
     run_experiment,
 )
+from repro.experiments.scenarios import GRID5000_3SITES_FAULTS, grid5000_3sites_faults
+from repro.faults import (
+    DatacenterIsolation,
+    DatacenterOutage,
+    DatacenterPartition,
+    FailureDetector,
+    FaultInjector,
+    FaultSchedule,
+    FaultTimeline,
+    NodeCrash,
+    NodeRestart,
+)
 from repro.geo import GeoHarmonyController, GeoHarmonyPolicy, StaticGeoPolicy
 from repro.metrics import LatencyHistogram, MetricsReport, TimeSeries, format_table
 from repro.staleness import DualReadProbe, StalenessAuditor
@@ -113,24 +132,37 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AntiEntropyConfig",
+    "AntiEntropyService",
     "ClusterConfig",
     "ClusterMonitor",
     "ConsistencyLevel",
     "CoreWorkload",
+    "DatacenterIsolation",
+    "DatacenterOutage",
+    "DatacenterPartition",
     "DualReadProbe",
     "EC2",
     "EC2_MULTIREGION",
     "ExperimentConfig",
     "ExperimentResult",
+    "FailureDetector",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultTimeline",
     "GRID5000",
     "GRID5000_3SITES",
+    "GRID5000_3SITES_FAULTS",
     "GeoHarmonyController",
     "GeoHarmonyPolicy",
     "HarmonyConfig",
     "HarmonyController",
     "HarmonyPolicy",
     "LatencyHistogram",
+    "MerkleTree",
     "MetricsReport",
+    "NodeCrash",
+    "NodeRestart",
     "SimulatedCluster",
     "StaleReadModel",
     "StalenessAuditor",
@@ -150,6 +182,7 @@ __all__ = [
     "WorkloadExecutor",
     "__version__",
     "format_table",
+    "grid5000_3sites_faults",
     "propagation_time",
     "quorum_size",
     "run_experiment",

@@ -1,0 +1,488 @@
+"""Cross-datacenter anti-entropy: Merkle-style repair between site pairs.
+
+Background write propagation plus the occasional global read-repair round
+converge *hot* keys quickly, but a key that is never re-read or re-written
+after a failure can stay divergent across sites indefinitely.  Cassandra
+closes that gap with ``nodetool repair``: replicas build Merkle trees over
+their token ranges, exchange them, and stream the data of every range whose
+hashes differ.  This module reproduces that mechanism at datacenter
+granularity -- the level the geo subsystem cares about -- as a periodic
+background process.
+
+One repair **session** for a DC pair ``(A, B)``:
+
+1. an initiator node in ``A`` sends a small ``TREE_REQUEST`` to a partner
+   node in ``B`` (both chosen round-robin among live nodes, deterministic);
+2. on delivery the partner snapshots ``B``'s per-key newest versions, folds
+   them into a coarse :class:`MerkleTree` over the token space, and answers
+   with a ``TREE_RESPONSE`` sized like the serialized tree (leaf count x
+   digest size) -- the WAN cost of comparing datacenters;
+3. on delivery the initiator builds ``A``'s tree, diffs the leaves, and for
+   every key falling in a differing range streams the newest cell to each
+   replica (in either site) that is behind, as ``REPAIR_STREAM`` messages
+   whose sizes are the cell sizes -- the WAN cost of convergence.
+
+Tree *construction* is instantaneous (zero simulated cost), mirroring how
+the monitoring module samples counters out-of-band; what the simulation
+accounts for is the **traffic**: every byte of tree exchange and streaming
+crosses the fabric, is delayed by the WAN latency models, is subject to
+partitions and is tallied per DC pair.  That per-pair tally is what the
+monitor reports (:meth:`~repro.core.monitor.ClusterMonitor.attach_anti_entropy`)
+and what ``benchmarks/bench_repair.py`` trades off against the stale rate.
+
+A session interrupted by a partition simply stalls (its messages were
+dropped or parked); the service notices at a later tick and starts a fresh
+session, so repair resumes automatically after heal -- no bookkeeping
+survives a partition, exactly like re-running ``nodetool repair``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.storage import Cell
+from repro.network.fabric import MessageKind
+from repro.network.topology import NodeAddress
+from repro.sim.background import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import SimulatedCluster
+
+__all__ = ["MerkleTree", "AntiEntropyConfig", "AntiEntropyService", "RepairPairStats"]
+
+
+def _key_digest(key: str, timestamp: float, value_id: int) -> int:
+    """Stable 64-bit digest of one (key, version) pair."""
+    payload = f"{key}\x00{timestamp!r}\x00{value_id}".encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(payload, digest_size=8).digest(), "little")
+
+
+class MerkleTree:
+    """A coarse hash tree over the token space.
+
+    ``2**depth`` leaves partition the 64-bit token space into equal ranges;
+    each leaf holds the XOR of the digests of every (key, newest-version)
+    pair whose token falls in the range.  XOR folding is order-independent,
+    so two datacenters that store the same versions build identical leaves
+    regardless of iteration order.  Only the leaf vector is compared (the
+    classic interior-node walk saves bandwidth on huge trees; at datacenter
+    granularity the whole vector is a few KB and one round trip).
+    """
+
+    __slots__ = ("depth", "leaves")
+
+    def __init__(self, depth: int, leaves: Optional[List[int]] = None) -> None:
+        if depth < 1 or depth > 16:
+            raise ValueError(f"depth must be in [1, 16], got {depth!r}")
+        self.depth = depth
+        self.leaves: List[int] = leaves if leaves is not None else [0] * (1 << depth)
+        if len(self.leaves) != (1 << depth):
+            raise ValueError(
+                f"depth {depth} needs {1 << depth} leaves, got {len(self.leaves)}"
+            )
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    def leaf_of(self, token: int) -> int:
+        """Leaf index owning a 64-bit token."""
+        return token >> (64 - self.depth)
+
+    def add(self, token: int, key: str, timestamp: float, value_id: int) -> None:
+        """Fold one (key, version) pair into its leaf."""
+        self.leaves[token >> (64 - self.depth)] ^= _key_digest(key, timestamp, value_id)
+
+    @classmethod
+    def build(
+        cls,
+        view: Mapping[str, Cell],
+        token_of,
+        depth: int,
+    ) -> "MerkleTree":
+        """Build a tree from a key -> newest-cell view (``token_of`` hashes keys)."""
+        tree = cls(depth)
+        leaves = tree.leaves
+        shift = 64 - depth
+        for key, cell in view.items():
+            leaves[token_of(key) >> shift] ^= _key_digest(key, cell.timestamp, cell.value_id)
+        return tree
+
+    def root(self) -> int:
+        """A digest of the whole tree (equal roots => equal leaf vectors)."""
+        h = hashlib.blake2b(digest_size=8)
+        for leaf in self.leaves:
+            h.update(leaf.to_bytes(8, "little"))
+        return int.from_bytes(h.digest(), "little")
+
+    def diff(self, other: "MerkleTree") -> List[int]:
+        """Indices of leaves whose hashes differ (depths must match)."""
+        if self.depth != other.depth:
+            raise ValueError(
+                f"cannot diff trees of different depths ({self.depth} vs {other.depth})"
+            )
+        mine = self.leaves
+        theirs = other.leaves
+        return [index for index in range(len(mine)) if mine[index] != theirs[index]]
+
+    def serialized_size(self, digest_size_bytes: int) -> int:
+        """Bytes on the wire for one tree exchange."""
+        return self.n_leaves * int(digest_size_bytes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        populated = sum(1 for leaf in self.leaves if leaf)
+        return f"MerkleTree(depth={self.depth}, populated_leaves={populated})"
+
+
+@dataclass(frozen=True)
+class AntiEntropyConfig:
+    """Tunables of the cross-DC repair process.
+
+    Attributes
+    ----------
+    interval:
+        Virtual seconds between repair ticks.  Each tick starts one session
+        per configured DC pair (pairs are staggered inside the tick only by
+        message latency, not by extra delay).
+    depth:
+        Merkle tree depth; ``2**depth`` token ranges per tree.  Deeper trees
+        localize differences better (less over-streaming) at the cost of a
+        bigger tree exchange -- the classic repair trade-off.
+    digest_size_bytes:
+        Wire size of one leaf digest (Cassandra uses 16-32 byte hashes).
+    request_size_bytes:
+        Wire size of the initial tree request.
+    pairs:
+        Explicit DC pairs to repair; ``None`` repairs every unordered pair
+        of the cluster's topology.
+    """
+
+    interval: float = 5.0
+    depth: int = 6
+    digest_size_bytes: int = 32
+    request_size_bytes: int = 64
+    pairs: Optional[Tuple[Tuple[str, str], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("repair interval must be positive")
+        if not 1 <= self.depth <= 16:
+            raise ValueError(f"depth must be in [1, 16], got {self.depth!r}")
+        if self.digest_size_bytes < 1 or self.request_size_bytes < 1:
+            raise ValueError("message sizes must be positive")
+
+
+@dataclass
+class RepairPairStats:
+    """Cumulative repair accounting for one unordered DC pair.
+
+    ``bytes_sent`` is the pair's **WAN** cost: tree exchange plus streamed
+    cells whose source and target sit in different datacenters.  Streams
+    that happen to repair a replica inside the source's own site still
+    count in ``cells_streamed`` but ride the LAN and are excluded from the
+    WAN byte tally.
+    """
+
+    sessions_started: int = 0
+    sessions_completed: int = 0
+    ranges_diffed: int = 0
+    cells_streamed: int = 0
+    bytes_sent: int = 0
+    last_session_at: float = -1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "sessions_started": self.sessions_started,
+            "sessions_completed": self.sessions_completed,
+            "ranges_diffed": self.ranges_diffed,
+            "cells_streamed": self.cells_streamed,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class _Session:
+    """In-flight state of one repair session (initiator side)."""
+
+    __slots__ = ("pair", "initiator", "partner", "partner_tree", "started_at")
+
+    def __init__(
+        self,
+        pair: Tuple[str, str],
+        initiator: NodeAddress,
+        partner: NodeAddress,
+        started_at: float,
+    ) -> None:
+        self.pair = pair
+        self.initiator = initiator
+        self.partner = partner
+        self.partner_tree: Optional[MerkleTree] = None
+        self.started_at = started_at
+
+
+class AntiEntropyService:
+    """Periodic Merkle repair between datacenter pairs.
+
+    Build with a cluster (typically via
+    :meth:`SimulatedCluster.start_anti_entropy`), :meth:`start` it, and stop
+    it before draining the engine.  All scheduling is deterministic: session
+    endpoints rotate round-robin over live nodes and no randomness is
+    consumed, so enabling repair does not perturb any other random stream.
+    """
+
+    def __init__(
+        self, cluster: "SimulatedCluster", config: Optional[AntiEntropyConfig] = None
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or AntiEntropyConfig()
+        names = cluster.topology.datacenter_names
+        if self.config.pairs is not None:
+            pairs = []
+            known = set(names)
+            for a, b in self.config.pairs:
+                if a not in known or b not in known:
+                    raise ValueError(f"unknown datacenter in repair pair ({a!r}, {b!r})")
+                if a == b:
+                    raise ValueError(f"cannot repair a datacenter against itself ({a!r})")
+                pairs.append((a, b) if a <= b else (b, a))
+            self._pairs: List[Tuple[str, str]] = sorted(set(pairs))
+        else:
+            self._pairs = [
+                (a, b) if a <= b else (b, a) for a, b in itertools.combinations(names, 2)
+            ]
+        if not self._pairs:
+            raise ValueError("anti-entropy needs at least two datacenters")
+        self.stats: Dict[Tuple[str, str], RepairPairStats] = {
+            pair: RepairPairStats() for pair in self._pairs
+        }
+        self._sessions: Dict[Tuple[str, str], _Session] = {}
+        self._rotation: Dict[str, int] = {name: 0 for name in names}
+        self._process: Optional[PeriodicProcess] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, *, initial_delay: Optional[float] = None) -> None:
+        """Begin the periodic repair ticks (one session per pair per tick)."""
+        if self._process is not None and self._process.running:
+            raise RuntimeError("anti-entropy service already started")
+        self._process = PeriodicProcess(
+            self.cluster.engine,
+            self.config.interval,
+            self._tick,
+            name="anti-entropy",
+            initial_delay=initial_delay,
+        )
+
+    def stop(self) -> None:
+        """Stop ticking (in-flight session messages still drain normally)."""
+        if self._process is not None:
+            self._process.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._process is not None and self._process.running
+
+    @property
+    def pairs(self) -> List[Tuple[str, str]]:
+        return list(self._pairs)
+
+    # ------------------------------------------------------------------
+    # Traffic accounting (consumed by the monitor and the benches)
+    # ------------------------------------------------------------------
+    def traffic_by_pair(self) -> Dict[str, int]:
+        """Cumulative repair bytes per unordered DC pair (``"a|b"`` keys)."""
+        return {f"{a}|{b}": stats.bytes_sent for (a, b), stats in self.stats.items()}
+
+    def wan_traffic_bytes(self, datacenter: Optional[str] = None) -> int:
+        """Total repair bytes, optionally restricted to pairs touching a DC."""
+        total = 0
+        for (a, b), stats in self.stats.items():
+            if datacenter is None or datacenter in (a, b):
+                total += stats.bytes_sent
+        return total
+
+    # ------------------------------------------------------------------
+    # Session machinery
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self.cluster.engine.now
+        for pair in self._pairs:
+            session = self._sessions.get(pair)
+            if session is not None:
+                # A session that outlived a full interval lost its messages
+                # (partition, crash); forget it and start over -- repair
+                # state never survives a failure, like re-running repair.
+                if now - session.started_at < self.config.interval:
+                    continue
+                self._sessions.pop(pair, None)
+            self._start_session(pair)
+
+    def _live_node_in(self, datacenter: str) -> Optional[NodeAddress]:
+        """Next live node of a DC, rotating deterministically."""
+        members = self.cluster.addresses_in(datacenter)
+        if not members:
+            return None
+        start = self._rotation[datacenter]
+        for offset in range(len(members)):
+            index = (start + offset) % len(members)
+            address = members[index]
+            if self.cluster.nodes[address].is_up:
+                self._rotation[datacenter] = index + 1
+                return address
+        return None
+
+    def _start_session(self, pair: Tuple[str, str]) -> None:
+        dc_a, dc_b = pair
+        initiator = self._live_node_in(dc_a)
+        partner = self._live_node_in(dc_b)
+        if initiator is None or partner is None:
+            return  # a whole site is down; nothing to compare against
+        stats = self.stats[pair]
+        stats.sessions_started += 1
+        stats.last_session_at = self.cluster.engine.now
+        session = _Session(pair, initiator, partner, self.cluster.engine.now)
+        self._sessions[pair] = session
+        stats.bytes_sent += self.config.request_size_bytes
+        self.cluster.fabric.send(
+            initiator,
+            partner,
+            MessageKind.TREE_REQUEST,
+            {"pair": pair},
+            size_bytes=self.config.request_size_bytes,
+            on_delivered=lambda message, session=session: self._on_tree_request(session),
+        )
+
+    def _on_tree_request(self, session: _Session) -> None:
+        """Partner side: snapshot the partner DC's view and answer with its tree."""
+        if self._sessions.get(session.pair) is not session:
+            return  # superseded by a newer session
+        if not self.cluster.nodes[session.partner].is_up:
+            # The partner crashed while the request was in flight (the node
+            # layer dropped the message; the delivery callback still fires).
+            # Abandon the session -- it expires at the next tick.
+            return
+        dc_b = session.pair[1]
+        tree = self._build_tree(dc_b)
+        session.partner_tree = tree
+        size = tree.serialized_size(self.config.digest_size_bytes)
+        self.stats[session.pair].bytes_sent += size
+        self.cluster.fabric.send(
+            session.partner,
+            session.initiator,
+            MessageKind.TREE_RESPONSE,
+            {"pair": session.pair},
+            size_bytes=size,
+            on_delivered=lambda message, session=session: self._on_tree_response(session),
+        )
+
+    def _on_tree_response(self, session: _Session) -> None:
+        """Initiator side: diff the trees and stream differing ranges."""
+        if self._sessions.pop(session.pair, None) is not session:
+            return  # superseded; drop silently
+        if not self.cluster.nodes[session.initiator].is_up:
+            return  # initiator crashed mid-session; abandon
+        assert session.partner_tree is not None
+        dc_a, _dc_b = session.pair
+        token_of = self.cluster.ring.partitioner.token
+        view_a = self._dc_view(dc_a)
+        local_tree = MerkleTree.build(view_a, token_of, self.config.depth)
+        differing = set(local_tree.diff(session.partner_tree))
+        stats = self.stats[session.pair]
+        stats.sessions_completed += 1
+        if not differing:
+            return
+        stats.ranges_diffed += len(differing)
+        self._stream_ranges(session, differing, view_a)
+
+    # ------------------------------------------------------------------
+    def _dc_view(self, datacenter: str) -> Dict[str, Cell]:
+        """key -> newest cell across every live replica of one site."""
+        view: Dict[str, Cell] = {}
+        for address in self.cluster.addresses_in(datacenter):
+            node = self.cluster.nodes[address]
+            if not node.is_up:
+                continue
+            storage = node.storage
+            for key in storage.keys():
+                cell = storage.peek(key)
+                if cell is not None and cell.is_newer_than(view.get(key)):
+                    view[key] = cell
+        return view
+
+    def _build_tree(self, datacenter: str) -> MerkleTree:
+        token_of = self.cluster.ring.partitioner.token
+        return MerkleTree.build(self._dc_view(datacenter), token_of, self.config.depth)
+
+    def _stream_ranges(
+        self, session: _Session, differing: set, view_a: Dict[str, Cell]
+    ) -> None:
+        """Bring every behind replica (both sites) of keys in differing
+        ranges up to the pairwise-newest version.
+
+        ``view_a`` is the initiator-side view the caller already built for
+        its tree (same engine event, so it is exactly current); the partner
+        side is re-snapshotted because its tree was taken one WAN trip ago.
+        """
+        cluster = self.cluster
+        token_of = cluster.ring.partitioner.token
+        shift = 64 - self.config.depth
+        _dc_a, dc_b = session.pair
+        view_b = self._dc_view(dc_b)
+        stats = self.stats[session.pair]
+        fabric = cluster.fabric
+        topology = cluster.topology
+        for key in sorted(set(view_a) | set(view_b)):
+            if (token_of(key) >> shift) not in differing:
+                continue
+            cell_a = view_a.get(key)
+            cell_b = view_b.get(key)
+            newest = cell_a if cell_b is None or (
+                cell_a is not None and cell_a.is_newer_than(cell_b)
+            ) else cell_b
+            if newest is None:
+                continue
+            # Stream from a live replica holding the newest version; prefer
+            # replica order for determinism.
+            replicas = cluster.replicas_for(key)
+            source: Optional[NodeAddress] = None
+            for replica in replicas:
+                if topology.datacenter_of(replica) not in session.pair:
+                    continue
+                node = cluster.nodes[replica]
+                if not node.is_up:
+                    continue
+                cell = node.peek(key)
+                if cell is not None and not newest.is_newer_than(cell):
+                    source = replica
+                    break
+            if source is None:
+                continue
+            source_dc = topology.datacenter_of(source)
+            for replica in replicas:
+                if replica is source or topology.datacenter_of(replica) not in session.pair:
+                    continue
+                node = cluster.nodes[replica]
+                if not node.is_up:
+                    continue
+                cell = node.peek(key)
+                if cell is None or newest.is_newer_than(cell):
+                    stats.cells_streamed += 1
+                    if topology.datacenter_of(replica) != source_dc:
+                        stats.bytes_sent += newest.size_bytes
+                    fabric.send(
+                        source,
+                        replica,
+                        MessageKind.REPAIR_STREAM,
+                        {"cell": newest},
+                        size_bytes=newest.size_bytes,
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        total = sum(stats.sessions_completed for stats in self.stats.values())
+        return (
+            f"AntiEntropyService(pairs={len(self._pairs)}, interval={self.config.interval}, "
+            f"sessions={total}, running={self.running})"
+        )

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.antientropy import AntiEntropyService
 
 from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.coordinator import Coordinator, CoordinatorConfig, OperationResult
@@ -33,13 +36,24 @@ from repro.cluster.replication import (
 from repro.cluster.ring import Murmur3Partitioner, Partitioner, TokenRing
 from repro.cluster.stats import ClusterStats
 from repro.cluster.storage import Cell
+from repro.faults.detector import FailureDetector
 from repro.network.fabric import Message, MessageKind, NetworkFabric
 from repro.network.latency import LatencyModel
 from repro.network.topology import NodeAddress, Topology, uniform_topology
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
 
-__all__ = ["ClusterConfig", "SimulatedCluster"]
+__all__ = ["ClusterConfig", "SimulatedCluster", "NoLiveCoordinator"]
+
+
+class NoLiveCoordinator(RuntimeError):
+    """No reachable coordinator exists for the requested contact points.
+
+    Raised by explicit coordinator selection; the client-facing ``read`` /
+    ``write`` entry points catch it and answer with an ``unavailable``
+    result instead (a real driver whose contact points are all down errors
+    out client-side without any server seeing the request).
+    """
 
 
 @dataclass
@@ -198,6 +212,9 @@ class SimulatedCluster:
         else:
             self.strategy = SimpleStrategy(config.replication_factor)
         self.stats = ClusterStats()
+        #: Shared liveness view consulted by every coordinator before doing
+        #: work for a request (see :mod:`repro.faults.detector`).
+        self.failure_detector = FailureDetector()
         self.nodes: Dict[NodeAddress, StorageNode] = {}
         self.coordinators: Dict[NodeAddress, Coordinator] = {}
         self._replica_cache: Dict[str, Tuple[NodeAddress, ...]] = {}
@@ -222,6 +239,7 @@ class SimulatedCluster:
                 config=config.coordinator,
                 read_repair_rng=self.streams.stream(f"coordinator.{address}.read_repair"),
                 write_size_bytes=config.write_size_bytes,
+                failure_detector=self.failure_detector,
             )
             self.nodes[address] = node
             self.coordinators[address] = coordinator
@@ -229,6 +247,10 @@ class SimulatedCluster:
         self._round_robin = itertools.cycle(self.topology.nodes)
         self._round_robin_by_dc: Dict[str, tuple] = {}
         self._operation_observers: List[Callable[[OperationResult], None]] = []
+        #: The most recently started anti-entropy service (None until
+        #: :meth:`start_anti_entropy`); monitors discover it here so repair
+        #: traffic shows up in samples without explicit wiring.
+        self.anti_entropy: Optional["AntiEntropyService"] = None
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -241,6 +263,9 @@ class SimulatedCluster:
                 MessageKind.WRITE_REQUEST,
                 MessageKind.REPAIR_WRITE,
                 MessageKind.HINT_REPLAY,
+                MessageKind.REPAIR_STREAM,
+                MessageKind.TREE_REQUEST,
+                MessageKind.TREE_RESPONSE,
             }
         )
 
@@ -356,10 +381,43 @@ class SimulatedCluster:
             address = next(cycle)
             if self.nodes[address].is_up:
                 return self.coordinators[address]
-        raise RuntimeError(
+        raise NoLiveCoordinator(
             "no live coordinator available"
             + (f" in datacenter {datacenter!r}" if datacenter is not None else "")
         )
+
+    def _client_side_unavailable(
+        self,
+        op_type: str,
+        key: str,
+        consistency_level: ConsistencyLevel,
+        datacenter: Optional[str],
+        on_complete: Callable[[OperationResult], None],
+    ) -> int:
+        """Complete an operation as ``unavailable`` without any coordinator.
+
+        Models a driver whose contact points (one datacenter's nodes, or the
+        whole cluster) are all unreachable: the error is immediate and no
+        simulated node ever sees the request.
+        """
+        now = self.engine.now
+        result = OperationResult(
+            op_type=op_type,
+            key=key,
+            cell=None,
+            consistency_level=consistency_level,
+            blocked_for=0,
+            started_at=now,
+            completed_at=now,
+            timed_out=False,
+            unavailable=True,
+            replicas=(),
+            responded=[],
+            coordinator=None,
+            datacenter=datacenter,
+        )
+        self.engine.schedule_after(0.0, on_complete, result, handle=False)
+        return -1
 
     def write(
         self,
@@ -389,7 +447,13 @@ class SimulatedCluster:
             if callback is not None:
                 callback(result)
 
-        return self._pick_coordinator(coordinator, datacenter).write(
+        try:
+            picked = self._pick_coordinator(coordinator, datacenter)
+        except NoLiveCoordinator:
+            return self._client_side_unavailable(
+                "write", key, consistency_level, datacenter, on_complete
+            )
+        return picked.write(
             key,
             value,
             consistency_level,
@@ -419,9 +483,13 @@ class SimulatedCluster:
             if callback is not None:
                 callback(result)
 
-        return self._pick_coordinator(coordinator, datacenter).read(
-            key, consistency_level, on_complete
-        )
+        try:
+            picked = self._pick_coordinator(coordinator, datacenter)
+        except NoLiveCoordinator:
+            return self._client_side_unavailable(
+                "read", key, consistency_level, datacenter, on_complete
+            )
+        return picked.read(key, consistency_level, on_complete)
 
     # ------------------------------------------------------------------
     # Synchronous convenience wrappers (drive the engine until completion)
@@ -464,7 +532,10 @@ class SimulatedCluster:
     def settle(self, extra_time: float = 1.0) -> None:
         """Run the engine until pending background work (propagation, repair,
         hint replay) has drained, advancing at most ``extra_time`` seconds at
-        a time until the queue is empty."""
+        a time until the queue is empty.
+
+        A running periodic service (anti-entropy, a monitoring loop) keeps
+        the queue non-empty forever -- stop it before settling."""
         while self.engine.pending_events > 0:
             self.engine.run_until(self.engine.now + extra_time)
             if self.engine.next_event_time() is None:
@@ -498,14 +569,131 @@ class SimulatedCluster:
     def take_down(self, address: NodeAddress) -> None:
         """Bring a node offline (its replicas stop applying writes)."""
         self.nodes[address].go_down()
+        self.failure_detector.mark_down(address)
 
     def bring_up(self, address: NodeAddress, *, replay_hints: bool = True) -> int:
-        """Bring a node back online, optionally replaying hints destined to it."""
+        """Bring a node back online, optionally replaying hints.
+
+        Two replay directions, as in Cassandra: hints buffered *for* the
+        recovering node are delivered to it, and hints the recovering
+        node's own coordinator buffered *while everyone thought it was
+        gone* are delivered to their (live, reachable) targets.  Returns
+        the total hints replayed in both directions.
+        """
         self.nodes[address].come_up()
+        self.failure_detector.mark_up(address)
         replayed = 0
         if replay_hints:
-            for coordinator in self.coordinators.values():
-                replayed += coordinator.replay_hints(address)
+            replayed = self._replay_hints_for(address)
+            # Outbound: the recovered coordinator drains its own buffer for
+            # targets it can reach now; unreachable targets keep their
+            # hints for a later recovery.
+            own = self.coordinators[address]
+            for target in own.hints.targets():
+                if self._hint_target_reachable(own, target):
+                    replayed += own.replay_hints(target)
+        return replayed
+
+    def take_down_datacenter(self, datacenter: str) -> None:
+        """Take every node of one site offline at once (a full-DC outage).
+
+        LOCAL_* clients of *other* sites keep serving (their requirements
+        never mention this site); EACH_QUORUM and any level whose global
+        requirement needs this site's replicas surface ``unavailable``.
+        """
+        members = self.addresses_in(datacenter)
+        if not members:
+            raise ValueError(f"unknown datacenter {datacenter!r}")
+        for address in members:
+            self.take_down(address)
+
+    def bring_up_datacenter(self, datacenter: str, *, replay_hints: bool = True) -> int:
+        """Recover a whole site; returns the number of hints replayed to it.
+
+        Hints buffered by coordinators anywhere in the cluster are replayed
+        across the WAN (subject to any still-active partitions), which is
+        how writes accepted elsewhere during the outage reach the recovered
+        replicas without waiting for anti-entropy.
+        """
+        members = self.addresses_in(datacenter)
+        if not members:
+            raise ValueError(f"unknown datacenter {datacenter!r}")
+        replayed = 0
+        for address in members:
+            replayed += self.bring_up(address, replay_hints=replay_hints)
+        return replayed
+
+    def partition_datacenters(self, dc_a: str, dc_b: str, *, mode: str = "drop") -> None:
+        """Sever the WAN between two sites (see the fabric's partition modes)."""
+        self.fabric.partition_datacenters(dc_a, dc_b, mode=mode)
+
+    def heal_datacenters(
+        self, dc_a: str, dc_b: str, *, replay_hints: bool = True
+    ) -> Tuple[int, int]:
+        """Heal a WAN partition.
+
+        Returns ``(parked_released, hints_replayed)``.  With
+        ``replay_hints=True`` (default) hinted handoff replays across the
+        healed link in both directions: every coordinator on either side
+        replays its buffered hints for nodes on the other side -- the
+        cross-WAN half of Cassandra's hinted handoff.  If another partition
+        event still holds the pair severed (fabric refcounting), nothing is
+        released or replayed yet.
+        """
+        released = self.fabric.heal_datacenters(dc_a, dc_b)
+        replayed = 0
+        if replay_hints and not self.fabric.is_partitioned(dc_a, dc_b):
+            for target_dc in (dc_a, dc_b):
+                for address in self.addresses_in(target_dc):
+                    replayed += self._replay_hints_for(address)
+        return released, replayed
+
+    def start_anti_entropy(self, config=None) -> "AntiEntropyService":
+        """Start the periodic cross-DC Merkle repair process.
+
+        Returns the running :class:`~repro.cluster.antientropy.AntiEntropyService`
+        (call ``stop()`` on it before :meth:`settle`).  Requires a multi-DC
+        topology -- anti-entropy repairs *between* sites; intra-DC divergence
+        is covered by read repair and hinted handoff.
+        """
+        from repro.cluster.antientropy import AntiEntropyService
+
+        service = AntiEntropyService(self, config)
+        service.start()
+        self.anti_entropy = service
+        return service
+
+    def _hint_target_reachable(self, coordinator: Coordinator, target: NodeAddress) -> bool:
+        """Whether a hint replayed now would actually arrive.
+
+        Replaying consumes the hint, so a replay toward a down or
+        partitioned target silently destroys it -- better to keep holding
+        it for a later recovery.
+        """
+        if not self.nodes[target].is_up:
+            return False
+        fabric = self.fabric
+        if not fabric.has_partitions:
+            return True
+        target_dc = self.topology.datacenter_of(target)
+        return coordinator.datacenter == target_dc or not fabric.is_partitioned(
+            coordinator.datacenter, target_dc
+        )
+
+    def _replay_hints_for(self, target: NodeAddress) -> int:
+        """Replay buffered hints for ``target`` from every coordinator that
+        can currently reach it (down or partitioned coordinators keep
+        holding theirs for a later recovery; a down target keeps every
+        coordinator holding)."""
+        if not self.nodes[target].is_up:
+            return 0
+        replayed = 0
+        for coordinator in self.coordinators.values():
+            if not self.nodes[coordinator.address].is_up:
+                continue
+            if not self._hint_target_reachable(coordinator, target):
+                continue
+            replayed += coordinator.replay_hints(target)
         return replayed
 
     def mean_inter_replica_latency(self, key: Optional[str] = None) -> float:

@@ -105,6 +105,12 @@ class OperationResult:
     timed_out:
         True when the operation could not gather enough acknowledgements
         before the timeout (the client still gets a response, flagged).
+    unavailable:
+        True when the coordinator rejected the operation up front because
+        the failure detector showed the consistency level could not be met
+        (down replicas, partitioned datacenters) -- Cassandra's
+        ``UnavailableException``.  Unavailable operations never touched any
+        replica: ``cell`` is ``None`` and no hint is stored.
     replicas:
         The full replica set of the key (preference order).  This is the
         cluster's shared immutable tuple -- do not mutate it.
@@ -126,6 +132,7 @@ class OperationResult:
     started_at: float
     completed_at: float
     timed_out: bool = False
+    unavailable: bool = False
     replicas: Sequence[NodeAddress] = ()
     responded: List[NodeAddress] = field(default_factory=list)
     coordinator: Optional[NodeAddress] = None
@@ -245,6 +252,7 @@ class Coordinator:
         *,
         read_repair_rng=None,
         write_size_bytes: int = 1024,
+        failure_detector=None,
     ) -> None:
         self._engine = engine
         self._fabric = fabric
@@ -258,6 +266,9 @@ class Coordinator:
         self.config = config or CoordinatorConfig()
         self._read_repair_rng = read_repair_rng
         self._write_size_bytes = int(write_size_bytes)
+        #: Shared liveness view (see :mod:`repro.faults.detector`).  ``None``
+        #: disables the availability precheck entirely (standalone use).
+        self._failure_detector = failure_detector
         self._request_ids = itertools.count()
         self._value_ids = itertools.count()
         self._pending_writes: Dict[int, _PendingWrite] = {}
@@ -304,6 +315,10 @@ class Coordinator:
         if type(replicas) is not tuple:  # user-supplied replicas_for callables
             replicas = tuple(replicas)
         required, required_by_dc = self._requirement(consistency_level, replicas)
+        if not self._is_achievable(replicas, required, required_by_dc):
+            return self._reject_unavailable(
+                "write", key, consistency_level, required, replicas, callback
+            )
         request_id = next(self._request_ids)
         cell = Cell(
             timestamp=timestamp if timestamp is not None else self._engine.now,
@@ -351,6 +366,10 @@ class Coordinator:
         if type(replicas) is not tuple:  # user-supplied replicas_for callables
             replicas = tuple(replicas)
         required, required_by_dc = self._requirement(consistency_level, replicas)
+        if not self._is_achievable(replicas, required, required_by_dc):
+            return self._reject_unavailable(
+                "read", key, consistency_level, required, replicas, callback
+            )
         request_id = next(self._request_ids)
         if required_by_dc is None:
             ordered = self._order_by_proximity(replicas)
@@ -656,6 +675,99 @@ class Coordinator:
                 {"request_id": pending.request_id, "cell": newest},
                 size_bytes=newest.size_bytes,
             )
+
+    # ------------------------------------------------------------------
+    # Availability (fail fast, Cassandra UnavailableException semantics)
+    # ------------------------------------------------------------------
+    def _is_achievable(
+        self,
+        replicas: Sequence[NodeAddress],
+        required: int,
+        required_by_dc: Optional[Dict[str, int]],
+    ) -> bool:
+        """Whether enough replicas are reachable to ever meet the requirement.
+
+        A replica is reachable when the failure detector reports it up *and*
+        no fabric partition severs the coordinator's datacenter from the
+        replica's.  The whole check is skipped (returns True) while the
+        cluster is healthy, so the hot path pays one boolean test.  Note the
+        real-Cassandra asymmetry this reproduces: a request is rejected only
+        when the requirement is *provably* unmeetable at issue time; a
+        replica that dies mid-flight still surfaces as a timeout.
+        """
+        detector = self._failure_detector
+        if detector is None:
+            return True
+        fabric = self._fabric
+        partitioned = fabric.has_partitions
+        if not detector.any_down and not partitioned:
+            return True
+        topology = self._topology
+        local_dc = self.datacenter
+        if required_by_dc is None:
+            reachable = 0
+            for replica in replicas:
+                if not detector.is_up(replica):
+                    continue
+                if partitioned:
+                    dc = topology.datacenter_of(replica)
+                    if dc != local_dc and fabric.is_partitioned(local_dc, dc):
+                        continue
+                reachable += 1
+                if reachable >= required:
+                    return True
+            return False
+        for dc, need in required_by_dc.items():
+            if need <= 0:
+                continue
+            if partitioned and dc != local_dc and fabric.is_partitioned(local_dc, dc):
+                return False
+            have = 0
+            for replica in replicas:
+                if topology.datacenter_of(replica) == dc and detector.is_up(replica):
+                    have += 1
+                    if have >= need:
+                        break
+            if have < need:
+                return False
+        return True
+
+    def _reject_unavailable(
+        self,
+        op_type: str,
+        key: str,
+        level: ConsistencyLevel,
+        required: int,
+        replicas: Sequence[NodeAddress],
+        callback: Callable[[OperationResult], None],
+    ) -> int:
+        """Answer the client immediately with an ``unavailable`` result.
+
+        No replica is contacted and no hint is stored -- the mutation (if
+        any) never happened anywhere, which is what lets the staleness
+        auditor ignore unavailable operations entirely.
+        """
+        now = self._engine.now
+        self._counters.unavailable_rejections += 1
+        result = OperationResult(
+            op_type=op_type,
+            key=key,
+            cell=None,
+            consistency_level=level,
+            blocked_for=required,
+            started_at=now,
+            completed_at=now + self.config.request_overhead,
+            timed_out=False,
+            unavailable=True,
+            replicas=replicas,
+            responded=[],
+            coordinator=self.address,
+            datacenter=self.datacenter,
+        )
+        # Delivered through the event loop so callbacks never run re-entrantly
+        # inside the caller's stack frame (same rule as every other response).
+        self._engine.schedule_after(0.0, callback, result, handle=False)
+        return next(self._request_ids)
 
     # ------------------------------------------------------------------
     # Helpers

@@ -186,6 +186,18 @@ class StorageNode:
             # Hint replays are applied directly (they are background work and
             # modelled as not competing for the foreground worker pool).
             self._apply_write(message.payload["cell"], is_repair=True)
+        elif message.kind == MessageKind.REPAIR_STREAM:
+            # Anti-entropy streamed cell: background work like hint replay
+            # (is_repair=False: the read_repairs counter is for the read
+            # path), counted separately so repair effectiveness is
+            # observable.
+            self._apply_write(message.payload["cell"], is_repair=False)
+            self.counters.anti_entropy_cells += 1
+        elif message.kind in (MessageKind.TREE_REQUEST, MessageKind.TREE_RESPONSE):
+            # Merkle tree exchange: the anti-entropy service drives its own
+            # state machine through delivery callbacks; the node itself has
+            # nothing to do beyond having "received" the message.
+            pass
         else:  # pragma: no cover - defensive; unknown kinds indicate a bug
             raise ValueError(f"node {self.address} received unknown message kind {message.kind!r}")
 

@@ -29,6 +29,9 @@ class NodeCounters:
     hints_replayed: int = 0
     dropped_mutations: int = 0
     queue_rejections: int = 0
+    unavailable_rejections: int = 0
+    #: Cells applied from anti-entropy repair streams (Merkle repair).
+    anti_entropy_cells: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view used by reports and the monitoring module."""
@@ -42,6 +45,8 @@ class NodeCounters:
             "hints_replayed": self.hints_replayed,
             "dropped_mutations": self.dropped_mutations,
             "queue_rejections": self.queue_rejections,
+            "unavailable_rejections": self.unavailable_rejections,
+            "anti_entropy_cells": self.anti_entropy_cells,
         }
 
 

@@ -244,12 +244,20 @@ class StorageEngine:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def key_count(self) -> int:
-        """Number of distinct keys currently stored."""
+    def keys(self) -> set:
+        """Distinct keys currently stored (memtable + sstables).
+
+        Used by the anti-entropy service to build Merkle trees; like
+        :meth:`peek`, it does not touch the read counters.
+        """
         keys = set(key for key, _ in self.memtable.items())
         for table in self.sstables:
             keys.update(table.keys())
-        return len(keys)
+        return keys
+
+    def key_count(self) -> int:
+        """Number of distinct keys currently stored."""
+        return len(self.keys())
 
     def total_bytes(self) -> int:
         """Approximate resident data size (memtable + sstables)."""

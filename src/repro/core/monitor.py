@@ -76,6 +76,13 @@ class MonitoringSample:
     datacenter:
         ``None`` for the cluster-wide aggregate; the datacenter name for a
         per-DC sample (geo monitoring).
+    repair_bytes:
+        Anti-entropy repair traffic sent during the window: cluster-wide for
+        the aggregate sample, or summed over the DC pairs touching this
+        datacenter for a per-DC sample.  Zero unless an
+        :class:`~repro.cluster.antientropy.AntiEntropyService` was attached
+        via :meth:`ClusterMonitor.attach_anti_entropy` -- this is the WAN
+        cost axis of the stale-rate-vs-repair-traffic trade-off.
     """
 
     time: float
@@ -87,6 +94,7 @@ class MonitoringSample:
     propagation_time: float
     window: float
     datacenter: Optional[str] = None
+    repair_bytes: float = 0.0
 
 
 class ClusterMonitor:
@@ -114,6 +122,48 @@ class ClusterMonitor:
         self._ping_rng = cluster.streams.stream("harmony.monitor.ping")
         self.samples: List[MonitoringSample] = []
         self.samples_by_dc: Dict[str, List[MonitoringSample]] = {}
+        # Anti-entropy accounting: the attached service's cumulative byte
+        # totals at the previous sample, per scope (None = cluster-wide).
+        self._anti_entropy = None
+        self._repair_prev: Dict[Optional[str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Anti-entropy accounting
+    # ------------------------------------------------------------------
+    def attach_anti_entropy(self, service) -> None:
+        """Count the repair traffic of an anti-entropy service in samples.
+
+        Subsequent samples carry the per-window ``repair_bytes`` delta
+        (per-DC samples sum the pairs touching that DC), making the repair
+        traffic observable through the same channel as the rates the
+        controller consumes.  Explicit attachment is only needed for a
+        service the cluster facade does not know about: a service started
+        through :meth:`SimulatedCluster.start_anti_entropy` is discovered
+        automatically via ``cluster.anti_entropy``.
+        """
+        self._anti_entropy = service
+        self._repair_prev.clear()
+
+    def _anti_entropy_service(self):
+        if self._anti_entropy is not None:
+            return self._anti_entropy
+        return getattr(self.cluster, "anti_entropy", None)
+
+    def repair_traffic_by_pair(self) -> Dict[str, int]:
+        """Cumulative repair bytes per DC pair (empty without a service)."""
+        service = self._anti_entropy_service()
+        if service is None:
+            return {}
+        return service.traffic_by_pair()
+
+    def _repair_window_bytes(self, datacenter: Optional[str]) -> float:
+        service = self._anti_entropy_service()
+        if service is None:
+            return 0.0
+        total = service.wan_traffic_bytes(datacenter)
+        previous = self._repair_prev.get(datacenter, 0)
+        self._repair_prev[datacenter] = total
+        return float(total - previous)
 
     # ------------------------------------------------------------------
     def prime(self) -> None:
@@ -238,6 +288,7 @@ class ClusterMonitor:
             propagation_time=float(tp),
             window=float(window),
             datacenter=datacenter,
+            repair_bytes=self._repair_window_bytes(datacenter),
         )
         if datacenter is None:
             self.samples.append(sample)
@@ -302,6 +353,7 @@ class ClusterMonitor:
         self._smoothed.clear()
         self.samples.clear()
         self.samples_by_dc.clear()
+        self._repair_prev.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClusterMonitor(samples={len(self.samples)})"

@@ -70,11 +70,22 @@ class ExperimentConfig:
 
 @dataclass
 class ExperimentResult:
-    """Outcome of one run: metrics plus identification."""
+    """Outcome of one run: metrics plus identification.
+
+    Fault-scenario runs additionally carry the armed
+    :class:`~repro.faults.schedule.FaultInjector` (whose ``log`` records the
+    applied fault timeline) and the
+    :class:`~repro.cluster.antientropy.AntiEntropyService` (whose stats hold
+    the per-DC-pair repair traffic); the auditor is then a
+    :class:`~repro.faults.timeline.FaultTimeline`, so results can be sliced
+    into before/during/after windows.
+    """
 
     config: ExperimentConfig
     metrics: RunMetrics
     auditor: StalenessAuditor
+    injector: Optional[object] = None
+    anti_entropy: Optional[object] = None
 
     def summary(self) -> Dict[str, object]:
         """One flat row: the columns every figure table shares."""
@@ -155,6 +166,7 @@ def run_experiment(
     monitoring_interval: Optional[float] = None,
     cluster_hook: Optional[Callable[[SimulatedCluster], None]] = None,
     datacenters: Optional[Sequence[str]] = None,
+    think_time: float = 0.0,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -170,6 +182,10 @@ def run_experiment(
     datacenters:
         Pin client threads to these datacenters round-robin (geo runs);
         pass ``scenario.datacenter_names`` for one client fleet per site.
+    think_time:
+        Per-thread delay between operations; fault runs use it to stretch
+        the measured run across the fault timeline (a tight closed loop
+        would burn the operation budget before the partition even starts).
     """
     if isinstance(policy, str):
         policy_obj = make_policy(policy, scenario, monitoring_interval=monitoring_interval)
@@ -187,17 +203,48 @@ def run_experiment(
     cluster = SimulatedCluster(scenario.cluster_config(seed=seed, n_nodes=n_nodes))
     if cluster_hook is not None:
         cluster_hook(cluster)
-    auditor = StalenessAuditor()
+    faulted = scenario.fault_schedule is not None
+    if faulted:
+        from repro.faults.timeline import FaultTimeline
+
+        auditor: StalenessAuditor = FaultTimeline()
+        auditor.attach(cluster)
+    else:
+        auditor = StalenessAuditor()
     executor = WorkloadExecutor(
         cluster,
         workload,
         policy_obj,
         threads=threads,
         auditor=auditor,
+        think_time=think_time,
         datacenters=list(datacenters) if datacenters is not None else None,
     )
-    metrics = executor.run()
-    return ExperimentResult(config=config, metrics=metrics, auditor=auditor)
+    injector = None
+    service = None
+    if faulted or scenario.anti_entropy is not None:
+        # Load first so fault times and repair ticks are relative to the
+        # start of the *measured* run, not the (variable-length) load phase.
+        executor.load()
+        if faulted:
+            from repro.faults.schedule import FaultInjector
+
+            injector = FaultInjector(cluster, scenario.fault_schedule)
+            injector.arm()
+        if scenario.anti_entropy is not None:
+            service = cluster.start_anti_entropy(scenario.anti_entropy)
+    try:
+        metrics = executor.run()
+    finally:
+        if service is not None:
+            service.stop()
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        auditor=auditor,
+        injector=injector,
+        anti_entropy=service,
+    )
 
 
 def run_thread_sweep(

@@ -36,9 +36,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
+from repro.cluster.antientropy import AntiEntropyConfig
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.coordinator import CoordinatorConfig
 from repro.cluster.node import NodeConfig
+from repro.faults.schedule import DatacenterIsolation, FaultSchedule
 from repro.network.latency import (
     EC2LikeLatency,
     Grid5000LikeLatency,
@@ -53,6 +55,8 @@ __all__ = [
     "EC2",
     "GRID5000_3SITES",
     "EC2_MULTIREGION",
+    "GRID5000_3SITES_FAULTS",
+    "grid5000_3sites_faults",
     "SCALE_100",
     "SCALE_300",
     "ScenarioRegistry",
@@ -94,6 +98,14 @@ class Scenario:
         :class:`~repro.network.fabric.NetworkFabric`).  The scale scenarios
         use ``"fifo"`` in-order links; the paper-faithful scenarios keep the
         default time-faithful ``"coalesced"`` delivery.
+    fault_schedule:
+        Optional :class:`~repro.faults.schedule.FaultSchedule`; the
+        experiment runner arms it after the load phase, so event times are
+        relative to the start of the measured run.
+    anti_entropy:
+        Optional :class:`~repro.cluster.antientropy.AntiEntropyConfig`; the
+        runner starts the cross-DC Merkle repair process with it for the
+        duration of the measured run.
     description:
         Free-text summary used in logs and EXPERIMENTS.md.
     """
@@ -114,6 +126,8 @@ class Scenario:
     harmony_stale_rates_by_dc: Optional[Dict[str, float]] = None
     fabric_delivery: str = "coalesced"
     latency_sampling: str = "pooled"
+    fault_schedule: Optional[FaultSchedule] = None
+    anti_entropy: Optional[AntiEntropyConfig] = None
     description: str = ""
 
     @property
@@ -403,6 +417,74 @@ SCALE_300 = Scenario(
 )
 
 
+def grid5000_3sites_faults(
+    *,
+    partition_duration: float = 60.0,
+    repair_interval: Optional[float] = 10.0,
+    isolated: str = "sophia",
+    lead_time: float = 10.0,
+    mode: str = "drop",
+    replay_hints: bool = False,
+    read_repair_chance: float = 0.0,
+) -> Scenario:
+    """The 3-site Grid'5000 ring under an adversarial WAN timeline.
+
+    ``lead_time`` seconds into the measured run, the ``isolated`` site loses
+    its WAN to both other sites for ``partition_duration`` seconds (its
+    nodes stay up and keep serving their own LOCAL_* clients); cross-DC
+    Merkle repair runs every ``repair_interval`` seconds (``None`` disables
+    it -- the control arm of the repair benchmarks).
+
+    Two defaults deliberately differ from the healthy scenario so the
+    anti-entropy effect is isolated and measurable: hinted handoff is *not*
+    replayed on heal (``replay_hints=False``) and the global read-repair
+    round is off (``read_repair_chance=0``) -- otherwise both side channels
+    also converge the partitioned site and the repair-on/off comparison
+    measures three mechanisms at once.  Sweep ``partition_duration`` and
+    ``repair_interval`` to map the stale-rate-vs-WAN-traffic trade-off.
+    """
+    if isolated not in _GRID5000_3SITES_TOPOLOGY.datacenter_names:
+        raise ValueError(
+            f"unknown site {isolated!r}; topology has "
+            f"{_GRID5000_3SITES_TOPOLOGY.datacenter_names}"
+        )
+    schedule = FaultSchedule(
+        [
+            DatacenterIsolation(
+                at=lead_time,
+                datacenter=isolated,
+                duration=partition_duration,
+                mode=mode,
+                replay_hints=replay_hints,
+            )
+        ]
+    )
+    anti_entropy = (
+        AntiEntropyConfig(interval=repair_interval) if repair_interval is not None else None
+    )
+    repair_text = (
+        f"Merkle repair every {repair_interval:g} s" if repair_interval is not None else "no repair"
+    )
+    return GRID5000_3SITES.with_overrides(
+        name="grid5000_3sites_faults",
+        coordinator=CoordinatorConfig(read_repair_chance=read_repair_chance),
+        fault_schedule=schedule,
+        anti_entropy=anti_entropy,
+        description=(
+            f"GRID5000_3SITES with {isolated} cut off from the WAN ({mode}) from "
+            f"t={lead_time:g}s to t={lead_time + partition_duration:g}s of the "
+            f"measured run; {repair_text}; hint replay on heal "
+            f"{'on' if replay_hints else 'off'} and global read-repair rounds "
+            f"{'on' if read_repair_chance else 'off'} so convergence is "
+            "attributable to anti-entropy."
+        ),
+    )
+
+
+#: Canonical fault scenario: 60 s WAN isolation of Sophia, repair every 10 s.
+GRID5000_3SITES_FAULTS = grid5000_3sites_faults()
+
+
 class ScenarioRegistry:
     """Name -> scenario lookup used by the CLI-ish helpers and benches."""
 
@@ -411,6 +493,7 @@ class ScenarioRegistry:
         EC2.name: EC2,
         GRID5000_3SITES.name: GRID5000_3SITES,
         EC2_MULTIREGION.name: EC2_MULTIREGION,
+        GRID5000_3SITES_FAULTS.name: GRID5000_3SITES_FAULTS,
         SCALE_100.name: SCALE_100,
         SCALE_300.name: SCALE_300,
     }

@@ -1,0 +1,311 @@
+"""Fault schedules: declarative, replayable failure timelines.
+
+A :class:`FaultSchedule` is a list of timed :class:`FaultEvent`\\ s -- node
+crashes and restarts, whole-datacenter outages, WAN partitions between DC
+pairs -- that a :class:`FaultInjector` arms against a running cluster.  The
+injector translates each event into plain engine callbacks, so a fault
+timeline is exactly as deterministic as everything else in the simulator:
+the same seed and the same schedule produce the same trace.
+
+Event times are **relative to the arming instant** (the experiment runner
+arms the schedule after the load phase, so ``at=5.0`` means "five virtual
+seconds into the measured run").  Every event can be described before the
+cluster exists, which lets :class:`~repro.experiments.scenarios.Scenario`
+objects carry a fault timeline the same way they carry a topology.
+
+The three failure axes map onto the cluster layers like this:
+
+========================  ==========================================================
+:class:`NodeCrash` /      :meth:`SimulatedCluster.take_down` / ``bring_up`` --
+:class:`NodeRestart`      the node drops queued work; recovery replays hints.
+:class:`DatacenterOutage` every node of the site goes down at once; LOCAL_*
+                          clients of *other* sites keep serving, EACH_QUORUM
+                          surfaces ``Unavailable``.
+:class:`DatacenterPartition` / the **fabric** severs the DC pair(s); nodes stay up
+:class:`DatacenterIsolation`   and keep serving their own site, so both sides
+                          diverge until heal + hinted handoff / anti-entropy.
+========================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.network.topology import NodeAddress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports faults)
+    from repro.cluster.cluster import SimulatedCluster
+
+__all__ = [
+    "FaultEvent",
+    "NodeCrash",
+    "NodeRestart",
+    "DatacenterOutage",
+    "DatacenterPartition",
+    "DatacenterIsolation",
+    "FaultSchedule",
+    "FaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one timed fault action.
+
+    ``at`` is in virtual seconds relative to :meth:`FaultInjector.arm`.
+    """
+
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at!r}")
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Take one node offline (queued and future requests are dropped)."""
+
+    node: NodeAddress = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node is None:
+            raise ValueError("NodeCrash needs a node address")
+
+
+@dataclass(frozen=True)
+class NodeRestart(FaultEvent):
+    """Bring a crashed node back, optionally replaying buffered hints to it."""
+
+    node: NodeAddress = None  # type: ignore[assignment]
+    replay_hints: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node is None:
+            raise ValueError("NodeRestart needs a node address")
+
+
+@dataclass(frozen=True)
+class DatacenterOutage(FaultEvent):
+    """Every node of one site goes down at ``at`` and recovers ``duration`` later.
+
+    ``duration=None`` keeps the site down for the rest of the run.  On
+    recovery, hints buffered anywhere in the cluster for the site's nodes are
+    replayed (over the WAN, from remote coordinators) unless
+    ``replay_hints=False``.
+    """
+
+    datacenter: str = ""
+    duration: Optional[float] = None
+    replay_hints: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.datacenter:
+            raise ValueError("DatacenterOutage needs a datacenter name")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"outage duration must be positive, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class DatacenterPartition(FaultEvent):
+    """Sever the WAN between two sites at ``at``; heal ``duration`` later.
+
+    ``mode`` is the fabric's partition mode (``"drop"`` loses blocked
+    messages, ``"park"`` buffers and releases them on heal).  On heal,
+    hinted handoff replays across the WAN in both directions unless
+    ``replay_hints=False`` (the anti-entropy benchmarks disable it to
+    isolate the Merkle repair path).  ``duration=None`` never heals.
+    """
+
+    datacenters: Tuple[str, str] = ("", "")
+    duration: Optional[float] = None
+    mode: str = "drop"
+    replay_hints: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.datacenters) != 2 or not all(self.datacenters):
+            raise ValueError(f"DatacenterPartition needs two site names, got {self.datacenters!r}")
+        if self.datacenters[0] == self.datacenters[1]:
+            raise ValueError("cannot partition a datacenter from itself")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"partition duration must be positive, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class DatacenterIsolation(FaultEvent):
+    """Partition one site away from *every* other site (its WAN goes dark).
+
+    The site's nodes stay up and keep serving their own LOCAL_* clients --
+    the difference between an isolation and a :class:`DatacenterOutage` is
+    exactly the difference between a WAN cut and a power cut.
+    """
+
+    datacenter: str = ""
+    duration: Optional[float] = None
+    mode: str = "drop"
+    replay_hints: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.datacenter:
+            raise ValueError("DatacenterIsolation needs a datacenter name")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"isolation duration must be positive, got {self.duration!r}")
+
+
+class FaultSchedule:
+    """An immutable, time-ordered collection of fault events.
+
+    The constructor sorts events by time (stable, so same-time events keep
+    insertion order) and validates them eagerly -- a malformed schedule
+    should fail when the scenario is built, not mid-run.
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"expected FaultEvent instances, got {event!r}")
+        self._events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda event: event.at)
+        )
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        return self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def horizon(self) -> float:
+        """Virtual time (relative to arming) at which the last action fires."""
+        horizon = 0.0
+        for event in self._events:
+            end = event.at
+            duration = getattr(event, "duration", None)
+            if duration is not None:
+                end += duration
+            horizon = max(horizon, end)
+        return horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultSchedule({len(self._events)} events, horizon={self.horizon:.1f}s)"
+
+
+class FaultInjector:
+    """Arms a :class:`FaultSchedule` against a live cluster.
+
+    The injector is one-shot: build, :meth:`arm`, run the engine.  Every
+    action it performs is appended to :attr:`log` as ``(virtual_time,
+    description)`` so tests and reports can assert the exact fault timeline
+    that was applied.
+    """
+
+    def __init__(self, cluster: "SimulatedCluster", schedule: FaultSchedule) -> None:
+        self.cluster = cluster
+        self.schedule = schedule
+        self.log: List[Tuple[float, str]] = []
+        self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every event of the timeline relative to *now*."""
+        if self._armed:
+            raise RuntimeError("a FaultInjector can only be armed once")
+        self._armed = True
+        engine = self.cluster.engine
+        for event in self.schedule:
+            if isinstance(event, NodeCrash):
+                engine.schedule(event.at, self._crash_node, event, label="fault.node_crash")
+            elif isinstance(event, NodeRestart):
+                engine.schedule(event.at, self._restart_node, event, label="fault.node_restart")
+            elif isinstance(event, DatacenterOutage):
+                engine.schedule(event.at, self._dc_down, event, label="fault.dc_outage")
+                if event.duration is not None:
+                    engine.schedule(
+                        event.at + event.duration, self._dc_up, event, label="fault.dc_recover"
+                    )
+            elif isinstance(event, DatacenterPartition):
+                engine.schedule(event.at, self._partition, event, label="fault.partition")
+                if event.duration is not None:
+                    engine.schedule(
+                        event.at + event.duration, self._heal, event, label="fault.heal"
+                    )
+            elif isinstance(event, DatacenterIsolation):
+                engine.schedule(event.at, self._isolate, event, label="fault.isolation")
+                if event.duration is not None:
+                    engine.schedule(
+                        event.at + event.duration, self._deisolate, event, label="fault.heal"
+                    )
+            else:  # pragma: no cover - FaultSchedule validates types
+                raise TypeError(f"unknown fault event {event!r}")
+
+    # ------------------------------------------------------------------
+    def _note(self, description: str) -> None:
+        self.log.append((self.cluster.engine.now, description))
+
+    def _crash_node(self, event: NodeCrash) -> None:
+        self.cluster.take_down(event.node)
+        self._note(f"node {event.node} down")
+
+    def _restart_node(self, event: NodeRestart) -> None:
+        replayed = self.cluster.bring_up(event.node, replay_hints=event.replay_hints)
+        self._note(f"node {event.node} up ({replayed} hints replayed)")
+
+    def _dc_down(self, event: DatacenterOutage) -> None:
+        self.cluster.take_down_datacenter(event.datacenter)
+        self._note(f"datacenter {event.datacenter} down")
+
+    def _dc_up(self, event: DatacenterOutage) -> None:
+        replayed = self.cluster.bring_up_datacenter(
+            event.datacenter, replay_hints=event.replay_hints
+        )
+        self._note(f"datacenter {event.datacenter} up ({replayed} hints replayed)")
+
+    def _partition(self, event: DatacenterPartition) -> None:
+        a, b = event.datacenters
+        self.cluster.partition_datacenters(a, b, mode=event.mode)
+        self._note(f"partition {a}|{b} ({event.mode})")
+
+    def _heal(self, event: DatacenterPartition) -> None:
+        a, b = event.datacenters
+        released, replayed = self.cluster.heal_datacenters(
+            a, b, replay_hints=event.replay_hints
+        )
+        self._note(f"heal {a}|{b} ({released} parked released, {replayed} hints replayed)")
+
+    def _isolate(self, event: DatacenterIsolation) -> None:
+        for other in self.cluster.datacenter_names:
+            if other != event.datacenter:
+                self.cluster.partition_datacenters(event.datacenter, other, mode=event.mode)
+        self._note(f"isolate {event.datacenter} ({event.mode})")
+
+    def _deisolate(self, event: DatacenterIsolation) -> None:
+        released = replayed = 0
+        for other in self.cluster.datacenter_names:
+            if other != event.datacenter:
+                r, h = self.cluster.heal_datacenters(
+                    event.datacenter, other, replay_hints=event.replay_hints
+                )
+                released += r
+                replayed += h
+        self._note(
+            f"deisolate {event.datacenter} ({released} parked released, "
+            f"{replayed} hints replayed)"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "armed" if self._armed else "idle"
+        return f"FaultInjector({state}, {len(self.schedule)} events, {len(self.log)} applied)"

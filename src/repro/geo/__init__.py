@@ -24,6 +24,13 @@ The WAN itself is modelled by per-DC-pair latency links on the topology
 :data:`repro.experiments.scenarios.GRID5000_3SITES` and
 :data:`repro.experiments.scenarios.EC2_MULTIREGION` scenarios instantiate
 measured-scale site meshes.
+
+The adversarial counterpart of this package is :mod:`repro.faults`: WAN
+partitions and whole-site outages injected at the fabric level, with
+``LOCAL_*`` sites continuing to serve while ``EACH_QUORUM`` surfaces
+``Unavailable``, and cross-DC convergence restored after heal by hinted
+handoff plus the Merkle repair process in :mod:`repro.cluster.antientropy`
+(scenario :func:`repro.experiments.scenarios.grid5000_3sites_faults`).
 """
 
 from repro.geo.controller import GeoControllerDecision, GeoHarmonyController

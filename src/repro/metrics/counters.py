@@ -17,11 +17,20 @@ class OperationCounters:
     read_timeouts: int = 0
     write_timeouts: int = 0
     read_misses: int = 0
+    #: Operations rejected with Unavailable (fault injection); these are
+    #: counted separately from reads/writes because they never executed.
+    unavailable_reads: int = 0
+    unavailable_writes: int = 0
+
+    @property
+    def unavailable(self) -> int:
+        """Operations rejected as Unavailable (reads + writes)."""
+        return self.unavailable_reads + self.unavailable_writes
 
     @property
     def total(self) -> int:
-        """Total number of completed client operations."""
-        return self.reads + self.writes
+        """Total number of completed client operations (incl. rejections)."""
+        return self.reads + self.writes + self.unavailable
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -30,6 +39,8 @@ class OperationCounters:
             "read_timeouts": self.read_timeouts,
             "write_timeouts": self.write_timeouts,
             "read_misses": self.read_misses,
+            "unavailable_reads": self.unavailable_reads,
+            "unavailable_writes": self.unavailable_writes,
             "total": self.total,
         }
 

@@ -10,6 +10,19 @@ hinted-handoff and read-repair paths.
 The fabric also exposes the measurements the Harmony monitoring module needs:
 a ``ping``-style RTT probe and counters of delivered / dropped messages.
 
+Datacenter partitions (fault injection)
+---------------------------------------
+The fabric is where WAN partitions live: :meth:`NetworkFabric.partition_datacenters`
+severs one unordered DC pair so that messages between the two sites are either
+*dropped* (a hard partition; senders rely on timeouts, hints and anti-entropy
+to converge later) or *parked* (a grey partition; traffic is buffered in the
+fabric and released when :meth:`NetworkFabric.heal_datacenters` is called,
+like a WAN link that buffers and finally flushes).  Intra-DC traffic is never
+affected, which is exactly what lets ``LOCAL_ONE``/``LOCAL_QUORUM`` keep
+serving while ``EACH_QUORUM`` degrades.  Blocked traffic is counted per DC
+pair (``NetworkStats.blocked`` / ``blocked_by_pair``), so tests and the
+fault benchmarks can assert where messages died.
+
 Hot-path design notes
 ---------------------
 Three things keep the per-message cost low on 100+ node rings:
@@ -70,6 +83,11 @@ class MessageKind(str, Enum):
     HINT_REPLAY = "hint_replay"
     READ_RESPONSE = "read_response"
     WRITE_RESPONSE = "write_response"
+    # Anti-entropy (Merkle repair) kinds: tree exchange between two session
+    # endpoints, then streamed cells for the token ranges that differed.
+    TREE_REQUEST = "tree_request"
+    TREE_RESPONSE = "tree_response"
+    REPAIR_STREAM = "repair_stream"
 
     def __str__(self) -> str:  # keep str(kind) == the wire name
         return self.value
@@ -128,6 +146,12 @@ class NetworkStats:
     bytes_sent: int = 0
     total_latency: float = 0.0
     per_kind: Counter = field(default_factory=Counter)
+    #: Messages blocked by a datacenter partition (dropped or parked).
+    blocked: int = 0
+    #: Messages currently parked in a "park"-mode partition.
+    parked: int = 0
+    #: Blocked-message counts per unordered DC pair ("dcA|dcB").
+    blocked_by_pair: Counter = field(default_factory=Counter)
 
     def mean_latency(self) -> float:
         """Mean one-way delivery latency over all delivered messages."""
@@ -275,6 +299,14 @@ class NetworkFabric:
         self._links: Dict[NodeAddress, Dict[NodeAddress, _Link]] = {}
         # Monotonic tie-break for per-link heaps.
         self._link_seq = 0
+        # Active datacenter partitions: ordered DC-pair tuple -> [mode,
+        # refcount].  Refcounted so overlapping fault events (an isolation
+        # spanning a pairwise partition) compose: the pair only reopens when
+        # every partition event that severed it has healed.  Empty in
+        # healthy runs, so the hot path pays one falsy check per send.
+        self._partitions: Dict[Tuple[str, str], List] = {}
+        # Messages parked by "park"-mode partitions, per pair, in send order.
+        self._parked: Dict[Tuple[str, str], List[Tuple[Message, Optional[Callable]]]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -315,6 +347,90 @@ class NetworkFabric:
         if not 0.0 <= value < 1.0:
             raise ValueError(f"drop_probability must be in [0, 1), got {value!r}")
         self._drop_probability = float(value)
+
+    # ------------------------------------------------------------------
+    # Datacenter partitions (fault injection)
+    # ------------------------------------------------------------------
+    PARTITION_MODES = ("drop", "park")
+
+    @staticmethod
+    def _pair_key(dc_a: str, dc_b: str) -> Tuple[str, str]:
+        return (dc_a, dc_b) if dc_a <= dc_b else (dc_b, dc_a)
+
+    def partition_datacenters(self, dc_a: str, dc_b: str, *, mode: str = "drop") -> None:
+        """Sever the WAN between two datacenters.
+
+        ``mode="drop"`` loses blocked messages outright (a hard partition:
+        the sender's timeouts, hints and anti-entropy must repair the
+        damage).  ``mode="park"`` buffers them inside the fabric and releases
+        them when the pair is healed -- a link that stalls but does not lose
+        data.  Intra-DC traffic and other DC pairs are unaffected.
+        Partitions are refcounted: partitioning an already-severed pair
+        updates the mode (parked messages stay parked) and requires one
+        more heal before the pair reopens, so overlapping fault events
+        compose instead of the first heal reopening everyone's cut.
+        """
+        if mode not in self.PARTITION_MODES:
+            raise ValueError(f"mode must be one of {self.PARTITION_MODES}, got {mode!r}")
+        if dc_a == dc_b:
+            raise ValueError(f"cannot partition a datacenter from itself ({dc_a!r})")
+        known = set(self._topology.datacenter_names)
+        for dc in (dc_a, dc_b):
+            if dc not in known:
+                raise ValueError(f"unknown datacenter {dc!r}; topology has {sorted(known)}")
+        pair = self._pair_key(dc_a, dc_b)
+        entry = self._partitions.get(pair)
+        if entry is None:
+            self._partitions[pair] = [mode, 1]
+        else:
+            entry[0] = mode
+            entry[1] += 1
+        self._parked.setdefault(pair, [])
+
+    def heal_datacenters(self, dc_a: str, dc_b: str) -> int:
+        """Undo one partition of a DC pair.
+
+        The pair reopens (and parked messages are released, each
+        re-scheduled through the normal link machinery from the heal
+        instant) only when every partition event that severed it has
+        healed.  Returns the number of messages released (0 for drop-mode,
+        unknown pairs, or a pair still held by another partition event).
+        """
+        pair = self._pair_key(dc_a, dc_b)
+        entry = self._partitions.get(pair)
+        if entry is None:
+            return 0
+        entry[1] -= 1
+        if entry[1] > 0:
+            return 0
+        del self._partitions[pair]
+        parked = self._parked.pop(pair, [])
+        for message, on_delivered in parked:
+            self._schedule_delivery(message, on_delivered)
+        self.stats.parked -= len(parked)
+        return len(parked)
+
+    def heal_all_partitions(self) -> int:
+        """Fully heal every active partition (all refcounts drained);
+        returns total parked messages released."""
+        released = 0
+        for pair in list(self._partitions):
+            while pair in self._partitions:
+                released += self.heal_datacenters(*pair)
+        return released
+
+    def is_partitioned(self, dc_a: str, dc_b: str) -> bool:
+        """Whether the unordered DC pair is currently severed."""
+        return self._pair_key(dc_a, dc_b) in self._partitions
+
+    @property
+    def has_partitions(self) -> bool:
+        """Whether any DC partition is active (cheap liveness-precheck guard)."""
+        return bool(self._partitions)
+
+    def partitioned_pairs(self) -> List[Tuple[str, str]]:
+        """Active partitions as sorted ordered pairs (deterministic order)."""
+        return sorted(self._partitions)
 
     @property
     def delivery_mode(self) -> str:
@@ -423,6 +539,21 @@ class NetworkFabric:
         if self._drop_probability and self._drop_rng.random() < self._drop_probability:
             stats.dropped += 1
             return message
+        if self._partitions:
+            src_dc = self._topology.datacenter_of(src)
+            dst_dc = self._topology.datacenter_of(dst)
+            if src_dc != dst_dc:
+                pair = (src_dc, dst_dc) if src_dc <= dst_dc else (dst_dc, src_dc)
+                entry = self._partitions.get(pair)
+                if entry is not None:
+                    stats.blocked += 1
+                    stats.blocked_by_pair[f"{pair[0]}|{pair[1]}"] += 1
+                    if entry[0] == "park":
+                        self._parked[pair].append((message, on_delivered))
+                        stats.parked += 1
+                    else:
+                        stats.dropped += 1
+                    return message
 
         if self._delivery == "per_message":
             delay = self.one_way_delay(src, dst, size_bytes=size_bytes)
@@ -479,6 +610,59 @@ class NetworkFabric:
                 link.next_fire = deliver_at
                 engine._schedule_unhandled_at(deliver_at, link.fire)
         return message
+
+    def _schedule_delivery(
+        self, message: Message, on_delivered: Optional[Callable[[Message], None]]
+    ) -> None:
+        """Schedule delivery of an already-counted message via the normal
+        per-link machinery.
+
+        Used when parked messages are released on heal: routing them through
+        the links (instead of straight to :meth:`_deliver`) keeps the
+        ``fifo`` mode's in-order guarantee and the per-link queue accounting
+        intact relative to post-heal traffic on the same links.  Mirrors the
+        tail of :meth:`send`, which stays monolithic because it is the hot
+        path.
+        """
+        src, dst = message.src, message.dst
+        engine = self._engine
+        now = engine._now
+        if self._delivery == "per_message":
+            delay = self.one_way_delay(src, dst, size_bytes=message.size_bytes)
+            engine.schedule(
+                delay, self._deliver, message, on_delivered, label=f"deliver:{message.kind}"
+            )
+            return
+        link = self._link_for(src, dst)
+        if self._latency_sampling == "pooled":
+            latency = link.pool.next()
+        else:
+            latency = self._topology.latency_model(src, dst).sample(self._latency_rng)
+        delay = latency * self._latency_scale
+        if message.size_bytes:
+            delay += message.size_bytes / self._bandwidth
+        deliver_at = now + delay
+        if self._delivery == "fifo":
+            if deliver_at < link.last_time:
+                deliver_at = link.last_time
+            link.last_time = deliver_at
+        in_flight = link.in_flight
+        link.in_flight = in_flight + 1
+        if in_flight == 0:
+            engine._new_event(deliver_at, self._deliver_from_link, "", (link, message, on_delivered))
+            return
+        seq = self._link_seq
+        self._link_seq = seq + 1
+        if self._delivery == "fifo":
+            link.fifo_queue.append((deliver_at, seq, message, on_delivered))
+            if link.next_fire is None:
+                link.next_fire = deliver_at
+                engine._schedule_unhandled_at(deliver_at, link.fire)
+        else:  # coalesced
+            heapq.heappush(link.pending, (deliver_at, seq, message, on_delivered))
+            if link.next_fire is None or deliver_at < link.next_fire:
+                link.next_fire = deliver_at
+                engine._schedule_unhandled_at(deliver_at, link.fire)
 
     def _deliver_from_link(
         self, link: _Link, message: Message, on_delivered: Optional[Callable[[Message], None]]

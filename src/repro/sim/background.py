@@ -1,0 +1,92 @@
+"""Periodic background processes on top of the event engine.
+
+Long-running maintenance activities -- the Harmony monitoring loop,
+anti-entropy repair, compaction-style housekeeping -- share one shape: run a
+callback every ``interval`` virtual seconds until told to stop.
+:class:`PeriodicProcess` packages that shape once, on top of
+:class:`~repro.sim.process.Process`, so services do not each reimplement the
+sleep/stop/tick-counting loop.
+
+A periodic process keeps the engine's event queue non-empty forever, so
+helpers that drain the queue (``SimulatedCluster.settle()``) will not return
+while one is running: call :meth:`PeriodicProcess.stop` first.  This is the
+same contract an asyncio program has with a recurring timer task.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.process import Process, Timeout
+
+__all__ = ["PeriodicProcess"]
+
+
+class PeriodicProcess:
+    """Invoke ``fn()`` every ``interval`` simulated seconds until stopped.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine driving the clock.
+    interval:
+        Virtual seconds between invocations (must be positive).
+    fn:
+        Zero-argument callback run at each tick.  Exceptions propagate and
+        kill the engine run, exactly like any other event callback -- a
+        background service that can fail should catch its own errors.
+    name:
+        Process name used in traces and error messages.
+    initial_delay:
+        Delay before the first tick; defaults to ``interval`` (the first
+        tick does not fire at time zero, mirroring a cron-style schedule).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        interval: float,
+        fn: Callable[[], None],
+        *,
+        name: str = "periodic",
+        initial_delay: Optional[float] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if initial_delay is not None and initial_delay < 0:
+            raise ValueError(f"initial_delay must be non-negative, got {initial_delay!r}")
+        self._engine = engine
+        self._interval = float(interval)
+        self._initial_delay = float(interval if initial_delay is None else initial_delay)
+        self._fn = fn
+        self._name = name
+        self._stopped = False
+        self.ticks = 0
+        self._process = Process(engine, self._loop(), name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return not self._stopped and not self._process.finished
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+    def stop(self) -> None:
+        """Stop ticking; the engine queue can then drain normally."""
+        self._stopped = True
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+    def _loop(self):
+        yield Timeout(self._initial_delay)
+        while not self._stopped:
+            self._fn()
+            self.ticks += 1
+            yield Timeout(self._interval)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return f"PeriodicProcess({self._name!r}, every {self._interval}s, {state}, ticks={self.ticks})"

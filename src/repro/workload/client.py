@@ -55,6 +55,11 @@ class ClientThread:
     think_time:
         Fixed delay between an operation completing and the next being
         issued (0 for a tight closed loop, as in YCSB without a target rate).
+    unavailable_backoff:
+        Delay before the next operation after an Unavailable rejection
+        (drivers back off before retrying a host that refused work; without
+        this, a client pinned to a dead datacenter would burn the whole
+        operation budget in zero virtual time).
     datacenter:
         When given, the client only contacts coordinators in that
         datacenter (a geo client next to one site); DC-aware consistency
@@ -73,10 +78,13 @@ class ClientThread:
         on_result: Callable[[Operation, OperationResult], None],
         on_issue: Optional[Callable[[Operation], None]] = None,
         think_time: float = 0.0,
+        unavailable_backoff: float = 0.05,
         datacenter: Optional[str] = None,
     ) -> None:
         if think_time < 0:
             raise ValueError("think_time must be non-negative")
+        if unavailable_backoff < 0:
+            raise ValueError("unavailable_backoff must be non-negative")
         self.thread_id = thread_id
         self.datacenter = datacenter
         self._cluster = cluster
@@ -87,6 +95,7 @@ class ClientThread:
         self._on_result = on_result
         self._on_issue = on_issue
         self._think_time = think_time
+        self._unavailable_backoff = unavailable_backoff
         self.operations_completed = 0
         self._process: Optional[Process] = None
 
@@ -123,6 +132,8 @@ class ClientThread:
             result = yield from self._execute(operation)
             self.operations_completed += 1
             self._on_result(operation, result)
+            if result.unavailable and self._unavailable_backoff > 0:
+                yield Timeout(self._unavailable_backoff)
             if self._think_time > 0:
                 yield Timeout(self._think_time)
         return self.operations_completed
@@ -135,6 +146,27 @@ class ClientThread:
             # Read then write of the same key, as YCSB does: the reported
             # latency covers both halves.
             read_result = yield from self._issue_read(operation.key)
+            if read_result.unavailable:
+                # The read half was rejected: abort the RMW without writing
+                # (a client cannot modify what it could not read).  Issuing
+                # the write anyway would commit a mutation hidden inside an
+                # operation reported as failed, corrupting the staleness
+                # ground truth.
+                return OperationResult(
+                    op_type="read_modify_write",
+                    key=operation.key,
+                    cell=None,
+                    consistency_level=read_result.consistency_level,
+                    blocked_for=read_result.blocked_for,
+                    started_at=read_result.started_at,
+                    completed_at=read_result.completed_at,
+                    timed_out=False,
+                    unavailable=True,
+                    replicas=read_result.replicas,
+                    responded=[],
+                    coordinator=read_result.coordinator,
+                    datacenter=read_result.datacenter,
+                )
             write_result = yield from self._issue_write(operation)
             combined = OperationResult(
                 op_type="read_modify_write",
@@ -145,6 +177,7 @@ class ClientThread:
                 started_at=read_result.started_at,
                 completed_at=write_result.completed_at,
                 timed_out=read_result.timed_out or write_result.timed_out,
+                unavailable=read_result.unavailable or write_result.unavailable,
                 replicas=write_result.replicas,
                 responded=write_result.responded,
             )
@@ -169,6 +202,7 @@ class ClientThread:
                 started_at=first.started_at,
                 completed_at=last.completed_at,
                 timed_out=first.timed_out or last.timed_out,
+                unavailable=first.unavailable or last.unavailable,
                 replicas=last.replicas,
                 responded=last.responded,
             )

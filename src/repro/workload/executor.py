@@ -113,6 +113,7 @@ class RunMetrics:
             "write_p99_ms": round(self.write_latency.p99() * 1e3, 3),
             "stale_reads": self.staleness.stale_reads,
             "stale_rate": round(self.staleness.stale_rate(), 4),
+            "unavailable": self.counters.unavailable,
             "duration_s": round(self.duration, 3),
         }
 
@@ -314,6 +315,16 @@ class WorkloadExecutor:
             self.auditor.snapshot(operation.key)
 
     def _on_result(self, operation: Operation, result: OperationResult) -> None:
+        if result.unavailable:
+            # Rejected operations never executed: keep them out of the
+            # latency histograms and the staleness verdicts (an unavailable
+            # read returned no data by design, not because it was stale),
+            # but count them so fault runs can report error rates.
+            if result.op_type == "read":
+                self.metrics.counters.unavailable_reads += 1
+            else:
+                self.metrics.counters.unavailable_writes += 1
+            return
         latency = result.latency
         self.metrics.overall_latency.record(latency)
         self.metrics.throughput.record()

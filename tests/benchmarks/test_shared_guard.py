@@ -1,0 +1,80 @@
+"""The benchmark JSON writer must refuse placeholder values.
+
+A ``PLACEHOLDER`` baseline label once survived a whole PR inside
+``BENCH_fabric.json``; these tests pin the guard that prevents a repeat, and
+verify the recorded benchmark files themselves are clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks._shared import (  # noqa: E402
+    PlaceholderValueError,
+    assert_no_placeholders,
+    write_benchmark_json,
+)
+
+
+class TestPlaceholderGuard:
+    def test_clean_report_passes(self):
+        assert_no_placeholders(
+            {"benchmark": "x", "ops_per_wall_s": 123.4, "rows": [{"a": 1}, {"b": "ok"}]}
+        )
+
+    @pytest.mark.parametrize("marker", ["PLACEHOLDER", "TBD", "FIXME", "CHANGEME"])
+    def test_placeholder_strings_rejected(self, marker):
+        with pytest.raises(PlaceholderValueError):
+            assert_no_placeholders({"baseline": f"{marker}: measure me"})
+
+    def test_placeholder_in_nested_list_rejected(self):
+        with pytest.raises(PlaceholderValueError) as excinfo:
+            assert_no_placeholders({"rows": [{"ok": 1}, {"bad": ["fine", "PLACEHOLDER"]}]})
+        assert "rows" in str(excinfo.value)
+
+    def test_placeholder_dict_key_rejected(self):
+        with pytest.raises(PlaceholderValueError):
+            assert_no_placeholders({"PLACEHOLDER_FIELD": 1})
+
+    def test_non_finite_numbers_rejected(self):
+        with pytest.raises(PlaceholderValueError):
+            assert_no_placeholders({"speedup": float("nan")})
+        with pytest.raises(PlaceholderValueError):
+            assert_no_placeholders({"speedup": float("inf")})
+
+    def test_write_refuses_and_leaves_no_file(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        with pytest.raises(PlaceholderValueError):
+            write_benchmark_json(str(path), {"baseline": "PLACEHOLDER"})
+        assert not path.exists()
+
+    def test_write_accepts_clean_report(self, tmp_path):
+        path = tmp_path / "BENCH_ok.json"
+        report = {"benchmark": "demo", "value": 1.5}
+        write_benchmark_json(str(path), report)
+        assert json.loads(path.read_text()) == report
+
+
+class TestRecordedBenchmarkFilesAreClean:
+    @pytest.mark.parametrize("name", ["BENCH_fabric.json", "BENCH_repair.json"])
+    def test_recorded_results_contain_no_placeholders(self, name):
+        path = os.path.join(REPO_ROOT, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        assert_no_placeholders(report)
+
+    def test_fabric_baseline_is_a_real_measurement(self):
+        path = os.path.join(REPO_ROOT, "BENCH_fabric.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        baseline = report["baseline_pre_refactor"]
+        assert baseline["ops_per_wall_s"] > 0
+        assert baseline["commit"]

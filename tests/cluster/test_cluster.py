@@ -103,11 +103,21 @@ class TestClusterBasics:
             small_cluster.write_sync(f"k{i}", "v", ConsistencyLevel.ONE)
         assert small_cluster.stats.counters(down).coordinator_writes == 0
 
-    def test_no_live_coordinator_raises(self, small_cluster):
+    def test_no_live_coordinator_surfaces_unavailable(self, small_cluster):
+        # A driver whose contact points are all down errors out client-side:
+        # the operation completes immediately as unavailable, no server-side
+        # work happens, and explicit coordinator selection still raises.
+        from repro.cluster.cluster import NoLiveCoordinator
+
         for address in small_cluster.addresses:
             small_cluster.take_down(address)
-        with pytest.raises(RuntimeError):
-            small_cluster.write_sync("k", "v", ConsistencyLevel.ONE)
+        result = small_cluster.write_sync("k", "v", ConsistencyLevel.ONE)
+        assert result.unavailable
+        assert not result.timed_out
+        assert result.cell is None
+        assert result.coordinator is None
+        with pytest.raises(NoLiveCoordinator):
+            small_cluster._pick_coordinator(None)
 
     def test_mean_inter_replica_latency_positive_and_scales(self):
         config = ClusterConfig(

@@ -171,17 +171,25 @@ class TestHintedHandoff:
         cluster.settle()
         assert cluster.node(down).peek(key) is not None
 
-    def test_write_timeout_flags_result_when_too_few_replicas_are_up(self):
+    def test_write_is_rejected_unavailable_when_too_few_replicas_are_up(self):
+        # The failure detector knows every replica is down, so the
+        # coordinator rejects up front (UnavailableException semantics)
+        # instead of burning the write timeout; no hint is stored because
+        # the mutation never happened anywhere.
         cluster = make_cluster(coordinator=CoordinatorConfig(write_timeout=0.05))
         key = "theta"
         for replica in cluster.replicas_for(key):
             cluster.take_down(replica)
         result = cluster.write_sync(key, "v1", ConsistencyLevel.ALL)
-        assert result.timed_out
+        assert result.unavailable
+        assert not result.timed_out
+        assert result.cell is None
+        total_hints = sum(c.hints.stored for c in cluster.coordinators.values())
+        assert total_hints == 0
 
 
 class TestReadTimeout:
-    def test_read_times_out_when_all_replicas_are_down(self):
+    def test_read_is_rejected_unavailable_when_all_replicas_are_down(self):
         cluster = make_cluster(coordinator=CoordinatorConfig(read_timeout=0.05))
         key = "iota"
         cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
@@ -189,7 +197,24 @@ class TestReadTimeout:
         for replica in cluster.replicas_for(key):
             cluster.take_down(replica)
         result = cluster.read_sync(key, ConsistencyLevel.ALL)
-        assert result.timed_out
+        assert result.unavailable
+        assert result.cell is None
+
+    def test_read_times_out_when_replicas_die_mid_flight(self):
+        # The fail-fast precheck only covers failures known at issue time; a
+        # replica that dies while the request is in flight still surfaces as
+        # a timeout (the real UnavailableException/TimedOut asymmetry).
+        cluster = make_cluster(coordinator=CoordinatorConfig(read_timeout=0.05))
+        key = "iota2"
+        cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
+        cluster.settle()
+        box = []
+        cluster.read(key, ConsistencyLevel.ALL, box.append)
+        for replica in cluster.replicas_for(key):
+            cluster.nodes[replica].go_down()  # bypass the failure detector
+        cluster._run_until(lambda: bool(box))
+        assert box[0].timed_out
+        assert not box[0].unavailable
 
 
 class TestCoordinatorConfigValidation:

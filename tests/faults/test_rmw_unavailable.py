@@ -1,0 +1,85 @@
+"""Read-modify-write semantics under Unavailable rejections.
+
+A committed mutation hidden inside an operation reported as failed would
+corrupt the staleness ground truth (the auditor skips unavailable results),
+so the client must abort the write half of an RMW whose read half was
+rejected.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.faults.timeline import FaultTimeline
+from repro.geo.policy import StaticGeoPolicy
+from repro.workload.executor import WorkloadExecutor
+from repro.workload.workloads import WORKLOAD_F
+
+
+def two_dc_cluster(seed: int = 3) -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            n_nodes=8,
+            datacenters=2,
+            racks_per_dc=2,
+            seed=seed,
+            replication_factors={"dc1": 2, "dc2": 2},
+        )
+    )
+
+
+def total_writes_applied(cluster: SimulatedCluster) -> int:
+    return sum(cluster.stats.counters(a).writes_applied for a in cluster.addresses)
+
+
+class TestRmwAbortsOnUnavailableRead:
+    def test_no_write_commits_when_the_read_half_is_rejected(self):
+        cluster = two_dc_cluster()
+        timeline = FaultTimeline()
+        timeline.attach(cluster)
+        # Reads at EACH_QUORUM (needs both sites), writes at LOCAL_ONE: with
+        # the WAN cut, every read half is rejected up front, so every RMW
+        # must abort without issuing its (locally satisfiable) write.
+        policy = StaticGeoPolicy(
+            read=ConsistencyLevel.EACH_QUORUM, write=ConsistencyLevel.LOCAL_ONE
+        )
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_F.scaled(record_count=40, operation_count=200),
+            policy,
+            threads=4,
+            auditor=timeline,
+            datacenters=["dc1"],
+        )
+        executor.load()
+        applied_after_load = total_writes_applied(cluster)
+        cluster.partition_datacenters("dc1", "dc2", mode="drop")
+        metrics = executor.run()
+        cluster.heal_datacenters("dc1", "dc2", replay_hints=False)
+        cluster.settle()
+
+        assert metrics.counters.unavailable == 200
+        assert metrics.counters.writes == 0
+        # The store itself must be untouched: an aborted RMW left no cell
+        # behind on any replica.
+        assert total_writes_applied(cluster) == applied_after_load
+        # And the auditor's ground truth saw no acknowledged writes either.
+        assert timeline.writes_observed == 40  # the load phase only
+
+    def test_rmw_with_satisfiable_read_still_writes(self):
+        cluster = two_dc_cluster()
+        policy = StaticGeoPolicy(
+            read=ConsistencyLevel.LOCAL_ONE, write=ConsistencyLevel.LOCAL_ONE
+        )
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_F.scaled(record_count=40, operation_count=200),
+            policy,
+            threads=4,
+            datacenters=["dc1"],
+        )
+        executor.load()
+        cluster.partition_datacenters("dc1", "dc2", mode="drop")
+        metrics = executor.run()
+        assert metrics.counters.unavailable == 0
+        assert metrics.counters.writes > 0

@@ -1,0 +1,172 @@
+"""Acceptance tests for the fault-injection + anti-entropy subsystem.
+
+The PR's acceptance criterion, verbatim: during a simulated full-DC outage
+on a 3-site ring, ``LOCAL_ONE``/``LOCAL_QUORUM`` clients in surviving DCs
+complete with zero ``Unavailable`` errors while ``EACH_QUORUM`` degrades as
+expected, and after heal the Merkle repair process drives the partitioned
+DC's stale rate back under the ASR bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import GRID5000_3SITES, grid5000_3sites_faults
+from repro.workload.workloads import WORKLOAD_B
+
+ISOLATED = "sophia"
+SURVIVORS = ("rennes", "nancy")
+
+
+class TestUnavailableSurfacingDuringFullDcOutage:
+    """Every consistency level, from a surviving site, while Sophia is dark."""
+
+    @pytest.fixture(scope="class")
+    def outage_cluster(self):
+        cluster = SimulatedCluster(GRID5000_3SITES.cluster_config(seed=7))
+        cluster.write_sync("k", "v0", ConsistencyLevel.EACH_QUORUM, datacenter="rennes")
+        cluster.settle()
+        cluster.take_down_datacenter(ISOLATED)
+        return cluster
+
+    @pytest.mark.parametrize(
+        "level",
+        [
+            ConsistencyLevel.ONE,
+            ConsistencyLevel.TWO,
+            ConsistencyLevel.THREE,
+            ConsistencyLevel.QUORUM,
+            ConsistencyLevel.LOCAL_ONE,
+            ConsistencyLevel.LOCAL_QUORUM,
+        ],
+    )
+    def test_levels_satisfiable_without_sophia_keep_serving(self, outage_cluster, level):
+        # Sophia holds 2 of 7 replicas; global QUORUM is 4 <= 5 live, and
+        # LOCAL_* requirements never mention Sophia from a rennes client.
+        write = outage_cluster.write_sync("k", f"w-{level}", level, datacenter="rennes")
+        assert not write.unavailable and not write.timed_out
+        read = outage_cluster.read_sync("k", level, datacenter="rennes")
+        assert not read.unavailable and not read.timed_out
+        assert read.cell is not None
+
+    @pytest.mark.parametrize(
+        "level", [ConsistencyLevel.EACH_QUORUM, ConsistencyLevel.ALL]
+    )
+    def test_levels_needing_sophia_surface_unavailable(self, outage_cluster, level):
+        write = outage_cluster.write_sync("k", f"w-{level}", level, datacenter="rennes")
+        assert write.unavailable
+        assert not write.timed_out  # rejected up front, no timeout burned
+        read = outage_cluster.read_sync("k", level, datacenter="rennes")
+        assert read.unavailable
+        assert read.cell is None
+
+    def test_write_only_any_level_unaffected(self, outage_cluster):
+        result = outage_cluster.write_sync(
+            "k", "w-any", ConsistencyLevel.ANY, datacenter="rennes"
+        )
+        assert not result.unavailable
+
+    def test_clients_of_the_dead_site_fail_client_side(self, outage_cluster):
+        result = outage_cluster.read_sync(
+            "k", ConsistencyLevel.LOCAL_ONE, datacenter=ISOLATED
+        )
+        assert result.unavailable
+        assert result.coordinator is None  # no server ever saw the request
+
+    def test_rejections_counted_per_coordinator(self, outage_cluster):
+        rejections = sum(
+            outage_cluster.stats.counters(address).unavailable_rejections
+            for address in outage_cluster.addresses
+        )
+        assert rejections > 0
+
+
+class TestPartitionHealRepairAcceptance:
+    """The windowed stale-rate criterion on the canonical fault scenario
+    (CI-sized timeline, same seed-fixed shape as bench_repair.py)."""
+
+    LEAD, DURATION, INTERVAL = 2.0, 6.0, 2.0
+
+    @pytest.fixture(scope="class")
+    def arms(self):
+        results = {}
+        for repair in (True, False):
+            scenario = grid5000_3sites_faults(
+                lead_time=self.LEAD,
+                partition_duration=self.DURATION,
+                repair_interval=self.INTERVAL if repair else None,
+                isolated=ISOLATED,
+            )
+            results[repair] = run_experiment(
+                scenario,
+                WORKLOAD_B.scaled(record_count=200, operation_count=8000),
+                "local_one",
+                12,
+                seed=20260730,
+                datacenters=scenario.datacenter_names,
+                think_time=0.02,
+            )
+        return results
+
+    def _windows(self, result):
+        timeline = result.auditor
+        log = {desc.split(" ")[0]: t for t, desc in result.injector.log}
+        run_start = min(event.time for event in timeline.op_events)
+        run_end = max(event.time for event in timeline.op_events) + 1e-9
+        return timeline, log["isolate"], log["deisolate"], run_start, run_end
+
+    def test_local_clients_see_zero_unavailable_everywhere(self, arms):
+        for result in arms.values():
+            assert result.metrics.counters.unavailable == 0
+
+    def test_partition_raises_the_isolated_sites_stale_rate(self, arms):
+        timeline, partition_at, heal_at, run_start, _ = self._windows(arms[True])
+        before = timeline.stale_rate_in(run_start, partition_at, datacenter=ISOLATED)
+        during = timeline.stale_rate_in(partition_at, heal_at, datacenter=ISOLATED)
+        assert during is not None and before is not None
+        assert during > 0.25
+        assert during > before + 0.2
+
+    def test_repair_drives_stale_rate_back_under_asr(self, arms):
+        asr = GRID5000_3SITES.harmony_stale_rates_by_dc[ISOLATED]
+        timeline, _partition_at, heal_at, _start, run_end = self._windows(arms[True])
+        recovery = timeline.stale_rate_in(
+            heal_at + self.INTERVAL, run_end, datacenter=ISOLATED
+        )
+        assert recovery is not None
+        assert recovery <= asr, (
+            f"post-heal stale rate {recovery:.3f} above the {asr:.0%} ASR bound"
+        )
+        # And repair did the work: the WAN pairs touching Sophia carry bytes.
+        service = arms[True].anti_entropy
+        assert service is not None
+        assert service.wan_traffic_bytes(ISOLATED) > 0
+
+    def test_repair_beats_no_repair_in_the_recovery_window(self, arms):
+        _, _, heal_at_on, _, end_on = self._windows(arms[True])
+        timeline_off, _, heal_at_off, _, end_off = self._windows(arms[False])
+        recovery_on = arms[True].auditor.stale_rate_in(
+            heal_at_on + self.INTERVAL, end_on, datacenter=ISOLATED
+        )
+        recovery_off = timeline_off.stale_rate_in(
+            heal_at_off + self.INTERVAL, end_off, datacenter=ISOLATED
+        )
+        assert recovery_on is not None and recovery_off is not None
+        assert recovery_on < recovery_off
+
+    def test_surviving_sites_latency_unharmed_during_partition(self, arms):
+        timeline, partition_at, heal_at, run_start, _ = self._windows(arms[True])
+        for dc in SURVIVORS:
+            before = timeline.mean_latency_in(
+                run_start, partition_at, datacenter=dc, op_type="read"
+            )
+            during = timeline.mean_latency_in(
+                partition_at, heal_at, datacenter=dc, op_type="read"
+            )
+            assert before is not None and during is not None
+            # LOCAL_ONE never touches the WAN, so the cut must not move
+            # read latency beyond noise.
+            assert during < before * 1.5

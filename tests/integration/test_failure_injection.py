@@ -70,14 +70,23 @@ class TestNodeFailure:
                 f"{victim} missing {key} after hint replay"
             )
 
-    def test_quorum_writes_time_out_when_too_many_replicas_are_down(self):
+    def test_quorum_writes_unavailable_when_too_many_replicas_are_down(self):
+        # ALL needs every replica; with two of three down the failure
+        # detector proves the requirement unmeetable, so the coordinator
+        # rejects up front instead of waiting out the timeout.
         cluster = build_cluster(seed=3)
         key = "doomed"
         replicas = cluster.replicas_for(key)
         for node in replicas[:2]:
             cluster.take_down(node)
         result = cluster.write_sync(key, "v1", ConsistencyLevel.ALL)
-        assert result.timed_out
+        assert result.unavailable
+        assert not result.timed_out
+        # QUORUM (2 of 3) is also unmeetable with one live replica...
+        assert cluster.write_sync(key, "v1", ConsistencyLevel.QUORUM).unavailable
+        # ...but ONE still succeeds through the surviving replica.
+        one = cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
+        assert not one.unavailable and not one.timed_out
 
     def test_workload_completes_with_a_node_down(self):
         cluster = build_cluster(seed=4)
@@ -92,6 +101,153 @@ class TestNodeFailure:
         )
         metrics = executor.run()
         assert metrics.counters.total == 300
+
+
+class TestHintReplayAfterRestart:
+    """Hinted handoff around a node restart in a single-DC ring.
+
+    The happy path (take node down, write, bring it up, hints converge) was
+    covered from the start; these exercise the restart under a live
+    workload, last-write-wins across multiple hinted versions, replay
+    idempotence, and the no-replay control case.
+    """
+
+    def test_restart_mid_workload_converges_through_hints(self):
+        from repro.faults.schedule import FaultInjector, FaultSchedule, NodeCrash, NodeRestart
+
+        cluster = build_cluster(seed=11)
+        victim = cluster.addresses[0]
+        schedule = FaultSchedule(
+            [NodeCrash(at=0.3, node=victim), NodeRestart(at=1.6, node=victim)]
+        )
+        injector = FaultInjector(cluster, schedule)
+        executor = WorkloadExecutor(
+            cluster,
+            WORKLOAD_A.scaled(record_count=60, operation_count=1200),
+            StaticEventualPolicy(),
+            threads=4,
+            think_time=0.005,
+        )
+        executor.load()
+        injector.arm()
+        metrics = executor.run()
+        assert metrics.counters.total == 1200
+        assert [desc for _t, desc in injector.log][0].startswith(f"node {victim} down")
+        cluster.settle()
+        # Every key the victim replicates must be present again -- writes it
+        # missed while down arrived through hint replay (plus read repair).
+        missing = [
+            key
+            for key in (f"user{i}" for i in range(60))
+            if victim in cluster.replicas_for(key) and cluster.node(victim).peek(key) is None
+        ]
+        assert not missing, f"{victim} still missing {missing} after restart + hints"
+        replayed = sum(c.hints.replayed for c in cluster.coordinators.values())
+        assert replayed > 0
+
+    def test_replay_preserves_last_write_wins(self):
+        cluster = build_cluster(seed=12)
+        key = "lww"
+        victim = cluster.replicas_for(key)[0]
+        cluster.take_down(victim)
+        for value in ("v1", "v2", "v3"):
+            cluster.write_sync(key, value, ConsistencyLevel.ONE)
+        cluster.engine.run_until(cluster.engine.now + 1.0)  # hints recorded
+        cluster.bring_up(victim, replay_hints=True)
+        cluster.settle()
+        assert cluster.node(victim).peek(key).value == "v3"
+        assert cluster.is_consistent(key)
+
+    def test_hints_replay_only_once(self):
+        cluster = build_cluster(seed=13)
+        key = "once"
+        victim = cluster.replicas_for(key)[0]
+        cluster.take_down(victim)
+        cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
+        cluster.engine.run_until(cluster.engine.now + 1.0)
+        first = cluster.bring_up(victim, replay_hints=True)
+        assert first >= 1
+        cluster.settle()
+        # A second bounce finds nothing left to replay.
+        cluster.take_down(victim)
+        second = cluster.bring_up(victim, replay_hints=True)
+        assert second == 0
+
+    def test_heal_does_not_destroy_hints_for_a_still_down_target(self):
+        # A node that crashes during a partition must get its hints after
+        # ITS recovery, not have them burned by the partition's heal while
+        # it is still down.
+        cluster = SimulatedCluster(
+            ClusterConfig(
+                n_nodes=8,
+                datacenters=2,
+                racks_per_dc=2,
+                seed=15,
+                replication_factors={"dc1": 2, "dc2": 2},
+            )
+        )
+        key = "survivor"
+        remote = next(
+            r for r in cluster.replicas_for(key)
+            if cluster.topology.datacenter_of(r) == "dc2"
+        )
+        cluster.partition_datacenters("dc1", "dc2")
+        cluster.take_down(remote)
+        cluster.write_sync(key, "v1", ConsistencyLevel.LOCAL_QUORUM, datacenter="dc1")
+        cluster.engine.run_until(cluster.engine.now + 2.0)  # hints recorded
+        pending_before = sum(
+            c.hints.pending_for(remote) for c in cluster.coordinators.values()
+        )
+        assert pending_before >= 1
+        # Heal while the node is still down: its hints must be retained.
+        cluster.heal_datacenters("dc1", "dc2", replay_hints=True)
+        cluster.settle()
+        assert cluster.node(remote).peek(key) is None
+        pending_after = sum(
+            c.hints.pending_for(remote) for c in cluster.coordinators.values()
+        )
+        assert pending_after == pending_before
+        cluster.bring_up(remote, replay_hints=True)
+        cluster.settle()
+        assert cluster.node(remote).peek(key) is not None
+
+    def test_recovered_coordinator_drains_its_own_hint_buffer(self):
+        # Coordinator Y buffers hints for X, then Y crashes; X restarts
+        # first.  Y's recovery must deliver its buffered hints to the
+        # already-up X.
+        cluster = build_cluster(seed=16)
+        key = "crossed"
+        replicas = cluster.replicas_for(key)
+        x = replicas[0]
+        y = next(a for a in cluster.addresses if a not in replicas)
+        cluster.take_down(x)
+        cluster.write_sync(key, "v1", ConsistencyLevel.ONE, coordinator=y)
+        cluster.engine.run_until(cluster.engine.now + 1.0)  # hint recorded at y
+        assert cluster.coordinators[y].hints.pending_for(x) >= 1
+        cluster.take_down(y)
+        # X restarts while Y is down: Y's hints cannot be replayed yet.
+        cluster.bring_up(x, replay_hints=True)
+        cluster.settle()
+        assert cluster.node(x).peek(key) is None
+        # Y's own recovery drains its buffer toward the now-up X.
+        replayed = cluster.bring_up(y, replay_hints=True)
+        assert replayed >= 1
+        cluster.settle()
+        assert cluster.node(x).peek(key) is not None
+
+    def test_without_replay_the_restarted_node_stays_stale(self):
+        cluster = build_cluster(seed=14)
+        key = "stale"
+        victim = cluster.replicas_for(key)[0]
+        cluster.take_down(victim)
+        cluster.write_sync(key, "v1", ConsistencyLevel.ONE)
+        cluster.engine.run_until(cluster.engine.now + 1.0)
+        cluster.bring_up(victim, replay_hints=False)
+        cluster.settle()
+        assert cluster.node(victim).peek(key) is None
+        # The hints are still buffered for a later replay.
+        pending = sum(c.hints.pending_for(victim) for c in cluster.coordinators.values())
+        assert pending >= 1
 
 
 class TestSlowNode:

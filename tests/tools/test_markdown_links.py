@@ -1,0 +1,62 @@
+"""The repo's markdown must have no broken intra-repo links, and the
+checker itself must actually detect breakage (tested against fixtures)."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_markdown_links.py")
+
+spec = importlib.util.spec_from_file_location("check_markdown_links", CHECKER)
+checker = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(checker)
+
+
+class TestCheckerMechanics:
+    def test_detects_broken_link(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](does/not/exist.md) here\n")
+        errors, scanned = checker.check_file(str(doc))
+        assert len(errors) == 1
+        assert scanned == 1
+        assert "does/not/exist.md" in errors[0]
+
+    def test_accepts_existing_relative_link_and_anchor(self, tmp_path):
+        (tmp_path / "other.md").write_text("hi\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[ok](other.md) [anchored](other.md#section) [inpage](#here) "
+            "[ext](https://example.org) ![img](other.md)\n"
+        )
+        assert checker.check_file(str(doc))[0] == []
+
+    def test_ignores_links_inside_code_fences(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```\n[fake](nope.md)\n```\n")
+        assert checker.check_file(str(doc))[0] == []
+
+    def test_directory_targets_are_valid(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        doc = tmp_path / "doc.md"
+        doc.write_text("[dir](sub)\n")
+        assert checker.check_file(str(doc))[0] == []
+
+
+class TestRepositoryMarkdown:
+    def test_repo_markdown_has_no_broken_links(self):
+        result = subprocess.run(
+            [sys.executable, CHECKER], capture_output=True, text=True
+        )
+        assert result.returncode == 0, f"broken links:\n{result.stdout}{result.stderr}"
+
+    def test_checker_scans_the_docs_tree(self):
+        files = {os.path.relpath(path, REPO_ROOT) for path in checker.markdown_files()}
+        assert "README.md" in files
+        assert "ROADMAP.md" in files
+        assert os.path.join("docs", "architecture.md") in files
+        assert os.path.join("docs", "scenarios.md") in files
+        assert os.path.join("docs", "determinism.md") in files

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repository markdown links.
+
+Scans the repo's markdown (README.md, ROADMAP.md, docs/, and every other
+tracked ``*.md`` at the top level) for inline links and images
+(``[text](target)`` / ``![alt](target)``) and verifies that every
+non-external target resolves to an existing file or directory, relative to
+the file containing the link. External targets (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``) are skipped; a
+``path#anchor`` target is checked for the path part only.
+
+Used by the CI docs job; run locally with::
+
+    python tools/check_markdown_links.py
+
+Exits 0 when every link resolves, 1 otherwise (printing one line per broken
+link: ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown link or image: [text](target) / ![alt](target).
+#: The target group stops at the first unescaped ')' or whitespace+title.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+
+#: Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Generated retrieval artifacts: their links refer to assets of the repos
+#: and papers they were extracted from, not to files in this repository.
+EXCLUDED = {"PAPERS.md", "SNIPPETS.md"}
+
+
+def markdown_files() -> List[str]:
+    """Markdown at the repo root (minus generated artifacts) and docs/."""
+    found: List[str] = []
+    for entry in sorted(os.listdir(REPO_ROOT)):
+        if entry.endswith(".md") and entry not in EXCLUDED:
+            found.append(os.path.join(REPO_ROOT, entry))
+    docs = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _dirnames, filenames in os.walk(docs):
+            for name in sorted(filenames):
+                if name.endswith(".md"):
+                    found.append(os.path.join(dirpath, name))
+    return found
+
+
+def iter_links(path: str) -> Iterable[Tuple[int, str]]:
+    """Yield (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            if FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                yield line_number, match.group(1)
+
+
+def is_external(target: str) -> bool:
+    return target.startswith(EXTERNAL_PREFIXES) or target.startswith("#")
+
+
+def check_file(path: str) -> Tuple[List[str], int]:
+    """Return (error lines, links scanned) for one file -- a single pass."""
+    errors: List[str] = []
+    scanned = 0
+    base = os.path.dirname(path)
+    for line_number, target in iter_links(path):
+        scanned += 1
+        if is_external(target):
+            continue
+        cleaned = target.split("#", 1)[0]
+        if not cleaned:
+            continue
+        resolved = os.path.normpath(os.path.join(base, cleaned))
+        if not os.path.exists(resolved):
+            relative = os.path.relpath(path, REPO_ROOT)
+            errors.append(f"{relative}:{line_number}: broken link -> {target}")
+    return errors, scanned
+
+
+def main() -> int:
+    files = markdown_files()
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    all_errors: List[str] = []
+    checked_links = 0
+    for path in files:
+        errors, scanned = check_file(path)
+        checked_links += scanned
+        all_errors.extend(errors)
+    if all_errors:
+        print(f"{len(all_errors)} broken intra-repo markdown link(s):")
+        for error in all_errors:
+            print(f"  {error}")
+        return 1
+    print(
+        f"markdown links OK: {len(files)} files, {checked_links} links scanned, "
+        "0 broken"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
