@@ -30,6 +30,14 @@ Package layout
     the Harmony contribution: stale-read estimation model, monitoring module
     (cluster-wide and per-datacenter), adaptive consistency controller and
     the policy interface;
+``repro.control``
+    the unified adaptive control plane: the scope-parameterized
+    :class:`~repro.control.StalenessEstimator`, the
+    ``Decision``/``ControlPolicy``/:class:`~repro.control.ControlPlane`
+    spine every adaptive knob runs on (read levels, per-DC write levels,
+    repair cadence), and the client-side retry/downgrade policies --
+    the legacy controllers in ``repro.core``/``repro.geo`` are now thin
+    shims over it;
 ``repro.geo``
     the geo-replication subsystem: the per-datacenter
     :class:`~repro.geo.GeoHarmonyController` (one stale-read model instance

@@ -145,8 +145,13 @@ class AntiEntropyConfig:
     ----------
     interval:
         Virtual seconds between repair ticks.  Each tick starts one session
-        per configured DC pair (pairs are staggered inside the tick only by
-        message latency, not by extra delay).
+        per *due* DC pair (pairs are staggered inside the tick only by
+        message latency, not by extra delay).  The interval doubles as every
+        pair's initial cadence; a controller may retune individual pairs at
+        run time through :meth:`AntiEntropyService.set_pair_interval` (the
+        adaptive repair-scheduling policy does), in which case this value is
+        the base tick driving the due-checks and should be the smallest
+        cadence any pair may reach.
     depth:
         Merkle tree depth; ``2**depth`` token ranges per tree.  Deeper trees
         localize differences better (less over-streaming) at the cost of a
@@ -257,6 +262,11 @@ class AntiEntropyService:
         self.stats: Dict[Tuple[str, str], RepairPairStats] = {
             pair: RepairPairStats() for pair in self._pairs
         }
+        #: Per-pair repair cadence; starts at ``config.interval`` everywhere
+        #: and is retuned at run time by the adaptive scheduling policy.
+        self._pair_interval: Dict[Tuple[str, str], float] = {
+            pair: self.config.interval for pair in self._pairs
+        }
         self._sessions: Dict[Tuple[str, str], _Session] = {}
         self._rotation: Dict[str, int] = {name: 0 for name in names}
         self._process: Optional[PeriodicProcess] = None
@@ -290,6 +300,33 @@ class AntiEntropyService:
         return list(self._pairs)
 
     # ------------------------------------------------------------------
+    # Per-pair scheduling (the adaptive repair policy's knob)
+    # ------------------------------------------------------------------
+    def _normalize_pair(self, pair: Tuple[str, str]) -> Tuple[str, str]:
+        a, b = pair
+        ordered = (a, b) if a <= b else (b, a)
+        if ordered not in self.stats:
+            raise ValueError(f"unknown repair pair {pair!r}; configured pairs: {self._pairs}")
+        return ordered
+
+    def pair_interval(self, pair: Tuple[str, str]) -> float:
+        """Current repair cadence of one DC pair (in either order)."""
+        return self._pair_interval[self._normalize_pair(pair)]
+
+    def set_pair_interval(self, pair: Tuple[str, str], interval: float) -> None:
+        """Retune one pair's repair cadence.
+
+        The service keeps ticking at ``config.interval`` (the base cadence);
+        a pair only starts a new session once its own interval has elapsed
+        since the previous one, so per-pair intervals below the base tick
+        cannot take effect -- configure the base as the smallest cadence any
+        pair may be tightened to.
+        """
+        if interval <= 0:
+            raise ValueError(f"repair interval must be positive, got {interval!r}")
+        self._pair_interval[self._normalize_pair(pair)] = float(interval)
+
+    # ------------------------------------------------------------------
     # Traffic accounting (consumed by the monitor and the benches)
     # ------------------------------------------------------------------
     def traffic_by_pair(self) -> Dict[str, int]:
@@ -310,14 +347,20 @@ class AntiEntropyService:
     def _tick(self) -> None:
         now = self.cluster.engine.now
         for pair in self._pairs:
+            interval = self._pair_interval[pair]
             session = self._sessions.get(pair)
             if session is not None:
-                # A session that outlived a full interval lost its messages
-                # (partition, crash); forget it and start over -- repair
-                # state never survives a failure, like re-running repair.
-                if now - session.started_at < self.config.interval:
+                # A session that outlived the pair's full interval lost its
+                # messages (partition, crash); forget it and start over --
+                # repair state never survives a failure, like re-running
+                # repair.  (The epsilon absorbs float accumulation in the
+                # periodic tick times.)
+                if now - session.started_at < interval - 1e-9:
                     continue
                 self._sessions.pop(pair, None)
+            stats = self.stats[pair]
+            if stats.last_session_at >= 0 and now - stats.last_session_at < interval - 1e-9:
+                continue  # the pair's (possibly relaxed) cadence is not due yet
             self._start_session(pair)
 
     def _live_node_in(self, datacenter: str) -> Optional[NodeAddress]:

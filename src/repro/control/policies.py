@@ -1,0 +1,511 @@
+"""Control-plane policies: every adaptive knob of the simulator in one idiom.
+
+Four policies share the :class:`~repro.control.plane.ControlPolicy` spine:
+
+* :class:`HarmonyReadPolicy` -- the paper's cluster-wide read-level loop
+  (what :class:`repro.core.controller.HarmonyController` now delegates to);
+* :class:`GeoReadPolicy` -- the per-datacenter read-level loop (what
+  :class:`repro.geo.controller.GeoHarmonyController` now delegates to);
+* :class:`GeoReadWritePolicy` -- the per-datacenter **joint read/write**
+  adaptation: instead of forcing the whole consistency requirement onto the
+  read path, each site picks the ``(X reads, W writes)`` pair that satisfies
+  its tolerated stale rate at the lowest blocking cost for its current
+  read/write mix (read-heavy sites escalate writes, write-heavy sites
+  escalate reads);
+* :class:`RepairSchedulePolicy` -- adapts the anti-entropy repair interval
+  per DC pair from measured leaf-diff divergence, with the pair's repair
+  WAN traffic fed back as a cost term.
+
+The first two keep the exact decision scheme of the original controllers --
+they are the *port*, not a reimplementation -- with the model arithmetic
+shared through :class:`~repro.control.estimator.StalenessEstimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.cluster.consistency import (
+    ConsistencyLevel,
+    level_for_replicas,
+    local_level_for_replicas,
+    quorum_size,
+)
+from repro.control.estimator import StalenessEstimator
+from repro.control.plane import ControlPolicy, ControlTick, Decision
+from repro.core.config import HarmonyConfig
+from repro.core.monitor import MonitoringSample
+from repro.metrics.series import TimeSeries
+
+__all__ = [
+    "HarmonyReadPolicy",
+    "GeoReadPolicy",
+    "GeoReadWritePolicy",
+    "RepairControlConfig",
+    "RepairSchedulePolicy",
+]
+
+
+class HarmonyReadPolicy(ControlPolicy):
+    """Cluster-wide adaptive read levels (paper Section III, one scope).
+
+    Holds the current decision between ticks exactly like the original
+    controller; :meth:`decide` can also be driven manually with a
+    hand-built sample (the unit-test path).
+    """
+
+    name = "harmony"
+    kind = "read_level"
+
+    def __init__(self, config: Optional[HarmonyConfig] = None) -> None:
+        super().__init__()
+        self.config = config or HarmonyConfig()
+        self.estimator: Optional[StalenessEstimator] = None
+        self.current_level = ConsistencyLevel.ONE
+        self.current_replicas = 1
+        self.estimate_series = TimeSeries("stale_estimate")
+        self.level_series = TimeSeries("read_replicas")
+        #: Optional hook invoked with every decision (the legacy controller
+        #: shim uses it to keep its ``ControllerDecision`` log in step).
+        self.on_decision: Optional[Callable[[Decision], None]] = None
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        self.estimator = StalenessEstimator({None: plane.cluster.replication_factor})
+
+    # ------------------------------------------------------------------
+    def decide(self, sample: MonitoringSample) -> Decision:
+        """Run the paper's decision scheme on one monitoring sample."""
+        assert self.estimator is not None, "policy must be bound before deciding"
+        asr = self.config.tolerated_stale_rate
+        estimate, replicas = self.estimator.decide_replicas(sample, asr)
+        level = level_for_replicas(replicas, self.estimator.replication_factor())
+        decision = Decision(
+            time=self.cluster.engine.now,
+            policy=self.name,
+            scope="cluster",
+            kind=self.kind,
+            value=level,
+            replicas=replicas,
+            estimate=estimate,
+            sample=sample,
+        )
+        self.current_level = level
+        self.current_replicas = replicas
+        self.estimate_series.append(decision.time, estimate.probability)
+        self.level_series.append(decision.time, float(replicas))
+        if self.on_decision is not None:
+            self.on_decision(decision)
+        return decision
+
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        return [self.decide(tick.sample)]
+
+
+class GeoReadPolicy(ControlPolicy):
+    """Per-datacenter adaptive read levels (the geo controller's scheme).
+
+    One staleness model per replica-holding datacenter, evaluated against
+    the site's **local** replication factor; sites without replicas fall
+    back to level ONE (the closest replica, wherever it lives).
+    """
+
+    name = "geo-harmony"
+    kind = "read_level"
+
+    def __init__(
+        self,
+        config: Optional[HarmonyConfig] = None,
+        tolerated_stale_rates: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or HarmonyConfig()
+        self._overrides = dict(tolerated_stale_rates or {})
+        self.estimator: Optional[StalenessEstimator] = None
+        self.tolerated_stale_rates: Dict[str, float] = {}
+        self._factors: Dict[str, int] = {}
+        self.current_level: Dict[str, ConsistencyLevel] = {}
+        self.current_replicas: Dict[str, int] = {}
+        self.estimate_series: Dict[str, TimeSeries] = {}
+        self.level_series: Dict[str, TimeSeries] = {}
+        self.on_decision: Optional[Callable[[Decision], None]] = None
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        cluster = plane.cluster
+        factors = cluster.replication_factors
+        if factors is None:
+            raise ValueError(
+                "per-datacenter control needs a cluster using NetworkTopologyStrategy "
+                "(per-DC replication factors); got strategy "
+                f"{cluster.config.strategy!r}"
+            )
+        unknown = set(self._overrides) - set(cluster.datacenter_names)
+        if unknown:
+            raise ValueError(
+                f"tolerated_stale_rates references unknown datacenter(s) {sorted(unknown)}"
+            )
+        for dc, asr in self._overrides.items():
+            if not 0.0 <= asr <= 1.0:
+                raise ValueError(
+                    f"tolerated stale rate for {dc!r} must be in [0, 1], got {asr!r}"
+                )
+        self.tolerated_stale_rates = {
+            dc: self._overrides.get(dc, self.config.tolerated_stale_rate)
+            for dc in cluster.datacenter_names
+        }
+        self._factors = dict(factors)
+        self.estimator = StalenessEstimator(
+            {dc: rf for dc, rf in factors.items() if rf >= 1}
+        )
+        self.current_level = {
+            dc: (
+                ConsistencyLevel.LOCAL_ONE
+                if dc in self.estimator.models
+                else ConsistencyLevel.ONE
+            )
+            for dc in cluster.datacenter_names
+        }
+        self.current_replicas = {dc: 1 for dc in cluster.datacenter_names}
+        self.estimate_series = {
+            dc: TimeSeries(f"stale_estimate[{dc}]") for dc in self.estimator.models
+        }
+        self.level_series = {
+            dc: TimeSeries(f"read_replicas[{dc}]") for dc in self.estimator.models
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def models(self) -> Dict[str, object]:
+        """Datacenter -> stale-read model (replica-holding sites only)."""
+        assert self.estimator is not None
+        return self.estimator.models
+
+    def decide(self, datacenter: str, sample: MonitoringSample) -> Decision:
+        """Run the decision scheme for one datacenter."""
+        assert self.estimator is not None, "policy must be bound before deciding"
+        if datacenter not in self.estimator.models:
+            raise ValueError(f"datacenter {datacenter!r} holds no replicas")
+        asr = self.tolerated_stale_rates[datacenter]
+        estimate, replicas = self.estimator.decide_replicas(sample, asr, scope=datacenter)
+        level = local_level_for_replicas(replicas, self._factors[datacenter])
+        decision = Decision(
+            time=self.cluster.engine.now,
+            policy=self.name,
+            scope=f"dc:{datacenter}",
+            kind=self.kind,
+            value=level,
+            replicas=replicas,
+            estimate=estimate,
+            sample=sample,
+        )
+        self.current_level[datacenter] = level
+        self.current_replicas[datacenter] = replicas
+        self.estimate_series[datacenter].append(decision.time, estimate.probability)
+        self.level_series[datacenter].append(decision.time, float(replicas))
+        if self.on_decision is not None:
+            self.on_decision(decision)
+        return decision
+
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        assert self.estimator is not None
+        samples = tick.samples_by_dc
+        return [self.decide(dc, samples[dc]) for dc in self.estimator.models]
+
+
+class GeoReadWritePolicy(ControlPolicy):
+    """Joint per-datacenter read *and* write level adaptation.
+
+    The paper (and :class:`GeoReadPolicy`) adapts reads only: writes stay at
+    one acknowledged replica and the read path absorbs the whole
+    consistency requirement.  But the stale-read probability depends on the
+    overlap of the read and written sets -- ``C(N-W, X) / C(N, X)`` -- so
+    the same tolerance can be met by many ``(X, W)`` pairs, and which pair
+    blocks *least* depends on the read/write mix: a read-heavy site should
+    pay on its rare writes, a write-heavy site on its rare reads.
+
+    Per tick and per datacenter the policy searches the pairs
+
+    ``X in 1..N_local``  x  ``W in {1, local_quorum}``
+
+    for the feasible pair (estimated staleness <= the site's tolerance)
+    minimizing the blocking-cost proxy ``read_rate * X + write_rate * W``;
+    ties break toward lower ``W``, then lower ``X`` (the paper's read-led
+    behaviour).  ``X`` maps onto LOCAL_ONE/LOCAL_QUORUM/ALL exactly as the
+    read-only policy does; ``W = 1`` maps to LOCAL_ONE and
+    ``W = local_quorum`` to LOCAL_QUORUM.
+
+    Everything is a pure function of the monitoring sample: the policy
+    consumes no randomness.
+    """
+
+    name = "geo-harmony-rw"
+
+    def __init__(
+        self,
+        config: Optional[HarmonyConfig] = None,
+        tolerated_stale_rates: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        super().__init__()
+        # Reuse the read policy's validation/state plumbing for the read side.
+        self._read = GeoReadPolicy(config, tolerated_stale_rates)
+        self._read.name = self.name
+        self.config = self._read.config
+        self.current_write_level: Dict[str, ConsistencyLevel] = {}
+        self.current_write_replicas: Dict[str, int] = {}
+        self.write_level_series: Dict[str, TimeSeries] = {}
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        self._read.bind(plane)
+        for dc in self.cluster.datacenter_names:
+            holds = dc in self._read.models
+            self.current_write_level[dc] = (
+                ConsistencyLevel.LOCAL_ONE if holds else ConsistencyLevel.ONE
+            )
+            self.current_write_replicas[dc] = 1
+        self.write_level_series = {
+            dc: TimeSeries(f"write_replicas[{dc}]") for dc in self._read.models
+        }
+
+    # ------------------------------------------------------------------
+    # Read-side passthroughs (shared with the read-only policy)
+    # ------------------------------------------------------------------
+    @property
+    def models(self) -> Dict[str, object]:
+        return self._read.models
+
+    @property
+    def tolerated_stale_rates(self) -> Dict[str, float]:
+        return self._read.tolerated_stale_rates
+
+    @property
+    def current_level(self) -> Dict[str, ConsistencyLevel]:
+        return self._read.current_level
+
+    @property
+    def current_replicas(self) -> Dict[str, int]:
+        return self._read.current_replicas
+
+    @property
+    def estimate_series(self) -> Dict[str, TimeSeries]:
+        return self._read.estimate_series
+
+    @property
+    def level_series(self) -> Dict[str, TimeSeries]:
+        return self._read.level_series
+
+    # ------------------------------------------------------------------
+    def search(
+        self, datacenter: str, sample: MonitoringSample
+    ) -> Tuple[int, int]:
+        """The ``(X, W)`` pair for one site and sample (pure, for tests)."""
+        estimator = self._read.estimator
+        assert estimator is not None, "policy must be bound before deciding"
+        if datacenter not in estimator.models:
+            raise ValueError(f"datacenter {datacenter!r} holds no replicas")
+        n = estimator.replication_factor(datacenter)
+        asr = self._read.tolerated_stale_rates[datacenter]
+        write_candidates = sorted({1, quorum_size(n)})
+        best: Optional[Tuple[float, int, int]] = None
+        for w in write_candidates:
+            for x in range(1, n + 1):
+                probability = estimator.stale_probability_rw(
+                    sample, read_replicas=x, write_replicas=w, scope=datacenter
+                )
+                if probability > asr:
+                    continue
+                cost = sample.read_rate * x + sample.write_rate * w
+                key = (cost, w, x)
+                if best is None or key < best:
+                    best = key
+        assert best is not None  # X = N is always feasible (miss probability 0)
+        _cost, w, x = best
+        return x, w
+
+    def decide(self, datacenter: str, sample: MonitoringSample) -> List[Decision]:
+        """Joint read+write decision for one datacenter (two records)."""
+        estimator = self._read.estimator
+        assert estimator is not None
+        x, w = self.search(datacenter, sample)
+        n = estimator.replication_factor(datacenter)
+        asr = self._read.tolerated_stale_rates[datacenter]
+        estimate = estimator.evaluate(sample, asr, scope=datacenter)
+        achieved = estimator.stale_probability_rw(
+            sample, read_replicas=x, write_replicas=w, scope=datacenter
+        )
+        now = self.cluster.engine.now
+        read_level = local_level_for_replicas(x, n)
+        write_level = (
+            ConsistencyLevel.LOCAL_ONE if w <= 1 else ConsistencyLevel.LOCAL_QUORUM
+        )
+        read_decision = Decision(
+            time=now,
+            policy=self.name,
+            scope=f"dc:{datacenter}",
+            kind="read_level",
+            value=read_level,
+            replicas=x,
+            estimate=estimate,
+            sample=sample,
+            achieved_staleness=achieved,
+        )
+        write_decision = Decision(
+            time=now,
+            policy=self.name,
+            scope=f"dc:{datacenter}",
+            kind="write_level",
+            value=write_level,
+            replicas=w,
+            estimate=estimate,
+            sample=sample,
+            achieved_staleness=achieved,
+        )
+        read_state = self._read
+        read_state.current_level[datacenter] = read_level
+        read_state.current_replicas[datacenter] = x
+        read_state.estimate_series[datacenter].append(now, estimate.probability)
+        read_state.level_series[datacenter].append(now, float(x))
+        self.current_write_level[datacenter] = write_level
+        self.current_write_replicas[datacenter] = w
+        self.write_level_series[datacenter].append(now, float(w))
+        return [read_decision, write_decision]
+
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        samples = tick.samples_by_dc
+        decisions: List[Decision] = []
+        for dc in self.models:
+            decisions.extend(self.decide(dc, samples[dc]))
+        return decisions
+
+
+@dataclass(frozen=True)
+class RepairControlConfig:
+    """Tunables of the adaptive anti-entropy repair scheduler.
+
+    Attributes
+    ----------
+    min_interval / max_interval:
+        Bounds of the per-pair repair interval in virtual seconds.
+    tighten_factor:
+        Multiplier applied to a pair's interval when its last completed
+        session found divergence (must be in ``(0, 1)``).
+    relax_factor:
+        Multiplier applied when the pair's sessions came back clean (> 1).
+    divergence_threshold:
+        Number of differing Merkle leaves (since the previous control tick)
+        that counts as divergence.
+    wan_budget_bytes_per_s:
+        Optional cost cap: when the pair's repair traffic over the control
+        window exceeds this rate, the interval is relaxed even under
+        divergence -- ``repair_bytes`` feeding back into the decision.
+    """
+
+    min_interval: float = 5.0
+    max_interval: float = 60.0
+    tighten_factor: float = 0.5
+    relax_factor: float = 1.5
+    divergence_threshold: int = 1
+    wan_budget_bytes_per_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_interval <= 0:
+            raise ValueError("min_interval must be positive")
+        if self.max_interval < self.min_interval:
+            raise ValueError("max_interval must be >= min_interval")
+        if not 0.0 < self.tighten_factor < 1.0:
+            raise ValueError("tighten_factor must be in (0, 1)")
+        if self.relax_factor <= 1.0:
+            raise ValueError("relax_factor must be > 1")
+        if self.divergence_threshold < 1:
+            raise ValueError("divergence_threshold must be >= 1")
+        if self.wan_budget_bytes_per_s is not None and self.wan_budget_bytes_per_s <= 0:
+            raise ValueError("wan_budget_bytes_per_s must be positive")
+
+
+class RepairSchedulePolicy(ControlPolicy):
+    """Divergence-driven anti-entropy scheduling, per DC pair.
+
+    A fixed repair interval pays the tree-exchange WAN cost forever, even
+    when sites never diverge; a long interval leaves real divergence (after
+    partitions, outages) unrepaired.  This policy watches every pair's
+    completed sessions between control ticks:
+
+    * leaf diffs at or above ``divergence_threshold`` -> **tighten** the
+      pair's interval (multiply by ``tighten_factor``, floor at
+      ``min_interval``) so convergence accelerates while divergence lasts;
+    * clean sessions -> **relax** (multiply by ``relax_factor``, cap at
+      ``max_interval``) so steady state pays almost nothing;
+    * repair traffic above ``wan_budget_bytes_per_s`` -> relax even under
+      divergence: the pair is already streaming as fast as the budget
+      allows, and more sessions would only add tree-exchange overhead.
+
+    Ticks where a pair completed no session carry no new information and
+    leave its interval untouched.  The policy consumes no randomness.
+    """
+
+    name = "repair-schedule"
+    kind = "repair_interval"
+    #: Steers from the repair service's session stats, never from the
+    #: monitor -- a plane carrying only this policy builds no monitor.
+    uses_monitor = False
+
+    def __init__(self, service, config: Optional[RepairControlConfig] = None) -> None:
+        super().__init__()
+        self.service = service
+        self.config = config or RepairControlConfig()
+        self._previous: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
+        self._last_tick_at: float = 0.0
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        self._last_tick_at = plane.cluster.engine.now
+        for pair in self.service.pairs:
+            stats = self.service.stats[pair]
+            self._previous[pair] = (
+                stats.sessions_completed,
+                stats.ranges_diffed,
+                stats.bytes_sent,
+            )
+
+    # ------------------------------------------------------------------
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        now = tick.now
+        window = max(now - self._last_tick_at, 1e-9)
+        self._last_tick_at = now
+        decisions: List[Decision] = []
+        for pair in self.service.pairs:
+            stats = self.service.stats[pair]
+            prev_sessions, prev_diffs, prev_bytes = self._previous[pair]
+            sessions = stats.sessions_completed - prev_sessions
+            diffs = stats.ranges_diffed - prev_diffs
+            traffic = stats.bytes_sent - prev_bytes
+            self._previous[pair] = (
+                stats.sessions_completed,
+                stats.ranges_diffed,
+                stats.bytes_sent,
+            )
+            if sessions == 0:
+                continue  # no completed session since the last tick: no signal
+            current = self.service.pair_interval(pair)
+            diverging = diffs >= self.config.divergence_threshold
+            budget = self.config.wan_budget_bytes_per_s
+            over_budget = budget is not None and traffic / window > budget
+            if diverging and not over_budget:
+                target = max(self.config.min_interval, current * self.config.tighten_factor)
+            else:
+                target = min(self.config.max_interval, current * self.config.relax_factor)
+            if abs(target - current) <= 1e-12:
+                continue
+            self.service.set_pair_interval(pair, target)
+            decisions.append(
+                Decision(
+                    time=now,
+                    policy=self.name,
+                    scope=f"pair:{pair[0]}|{pair[1]}",
+                    kind=self.kind,
+                    value=target,
+                )
+            )
+        return decisions

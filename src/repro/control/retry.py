@@ -1,0 +1,174 @@
+"""Client-side retry policies: the control plane's answer to Unavailable.
+
+A coordinator that provably cannot meet a consistency requirement rejects
+the operation up front (Cassandra's ``UnavailableException``); what the
+*client* does next is application policy.  Real drivers expose exactly this
+seam (the DataStax driver's ``RetryPolicy.onUnavailable``), and the classic
+production answer is to **downgrade**: an ``EACH_QUORUM`` write that cannot
+reach a quorum in a partitioned datacenter is retried at ``LOCAL_QUORUM``,
+trading cross-DC durability for availability and *metering the trade* so
+the operator sees it happen.
+
+Two policies ship:
+
+* :class:`RetryPolicy` -- the default: never retry, back off
+  ``backoff.initial`` seconds before the next operation.  With the default
+  :class:`BackoffConfig` this reproduces the previous hard-coded 50 ms
+  behaviour exactly (and consumes no randomness);
+* :class:`DowngradeRetryPolicy` -- retry up to ``max_retries`` times with
+  exponential backoff, downgrading the consistency level along a
+  configurable ladder (default: ``EACH_QUORUM -> LOCAL_QUORUM``).
+
+Backoff delays are deterministic: the optional jitter is drawn from the
+named ``RandomStream`` the workload executor hands each client thread
+(``workload.retry.<thread>``), so same-seed runs stay byte-identical -- and
+with ``jitter=0`` (the default) no randomness is consumed at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cluster.consistency import ConsistencyLevel
+
+__all__ = ["BackoffConfig", "RetryDecision", "RetryPolicy", "DowngradeRetryPolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffConfig:
+    """Exponential backoff with optional deterministic jitter.
+
+    The delay before attempt ``k + 1`` (after the ``k``-th failure, counted
+    from 0) is ``min(max_delay, initial * multiplier**k)``, stretched by a
+    uniformly drawn factor in ``[1, 1 + jitter]`` when ``jitter > 0``.  The
+    defaults reproduce the previous fixed 50 ms client backoff: attempt 0
+    always waits exactly ``initial`` seconds and no random draw happens.
+    """
+
+    initial: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initial < 0:
+            raise ValueError("initial backoff must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_delay < self.initial:
+            raise ValueError("max_delay must be >= initial")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Backoff in seconds after the ``attempt``-th failure (0-based)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        base = min(self.max_delay, self.initial * self.multiplier**attempt)
+        if self.jitter > 0.0:
+            if rng is None:
+                raise ValueError(
+                    "jittered backoff needs a named RandomStream (rng); "
+                    "deterministic runs must not fall back to global randomness"
+                )
+            base *= 1.0 + self.jitter * float(rng.random())
+        return base
+
+
+@dataclass(frozen=True)
+class RetryDecision:
+    """What the client should do after one Unavailable rejection.
+
+    ``retry=False`` surfaces the failure to the workload (after ``backoff``
+    seconds, matching the old post-failure pause); ``retry=True`` re-issues
+    the operation after ``backoff`` seconds, at ``level`` if given (a
+    *downgrade*, metered by the executor) or at the original level.
+    """
+
+    retry: bool
+    backoff: float
+    level: Optional[ConsistencyLevel] = None
+
+
+class RetryPolicy:
+    """Default policy: no retries, configurable backoff (old behaviour)."""
+
+    name = "no-retry"
+
+    def __init__(self, backoff: Optional[BackoffConfig] = None) -> None:
+        self.backoff = backoff or BackoffConfig()
+
+    def on_unavailable(
+        self,
+        level: Optional[ConsistencyLevel],
+        attempt: int,
+        *,
+        datacenter: Optional[str] = None,
+        rng=None,
+    ) -> RetryDecision:
+        """Decide after the ``attempt``-th Unavailable of one operation."""
+        return RetryDecision(retry=False, backoff=self.backoff.delay(attempt, rng))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(backoff={self.backoff})"
+
+
+#: The downgrade every real application reaches for first: give up cross-DC
+#: synchrony, keep local quorum durability.
+DEFAULT_LADDER: Mapping[ConsistencyLevel, ConsistencyLevel] = {
+    ConsistencyLevel.EACH_QUORUM: ConsistencyLevel.LOCAL_QUORUM,
+}
+
+
+class DowngradeRetryPolicy(RetryPolicy):
+    """Retry with exponential backoff, downgrading along a level ladder.
+
+    Parameters
+    ----------
+    ladder:
+        Level -> weaker level to retry at.  Levels not in the ladder are
+        retried unchanged (the outage may be transient).  Default:
+        ``EACH_QUORUM -> LOCAL_QUORUM``.
+    max_retries:
+        Retries per operation before the failure is surfaced.
+    backoff:
+        Backoff schedule across those retries.
+    """
+
+    name = "downgrade"
+
+    def __init__(
+        self,
+        ladder: Optional[Mapping[ConsistencyLevel, ConsistencyLevel]] = None,
+        max_retries: int = 3,
+        backoff: Optional[BackoffConfig] = None,
+    ) -> None:
+        super().__init__(backoff)
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self.ladder: Dict[ConsistencyLevel, ConsistencyLevel] = dict(
+            DEFAULT_LADDER if ladder is None else ladder
+        )
+        for source, target in self.ladder.items():
+            if source is target:
+                raise ValueError(f"ladder maps {source} onto itself")
+        self.max_retries = int(max_retries)
+
+    def on_unavailable(
+        self,
+        level: Optional[ConsistencyLevel],
+        attempt: int,
+        *,
+        datacenter: Optional[str] = None,
+        rng=None,
+    ) -> RetryDecision:
+        delay = self.backoff.delay(attempt, rng)
+        if attempt >= self.max_retries:
+            return RetryDecision(retry=False, backoff=delay)
+        downgraded = self.ladder.get(level) if level is not None else None
+        return RetryDecision(retry=True, backoff=delay, level=downgraded)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rungs = ", ".join(f"{a.value}->{b.value}" for a, b in self.ladder.items())
+        return f"DowngradeRetryPolicy([{rungs}], max_retries={self.max_retries})"

@@ -1,5 +1,14 @@
 """Adaptive consistency module (paper Fig. 3, right half, and Section III).
 
+.. deprecated::
+    This module is now a thin shim over the unified control plane: the
+    decision scheme lives in
+    :class:`repro.control.policies.HarmonyReadPolicy` and the periodic
+    driving in :class:`repro.control.plane.ControlPlane`.  The
+    :class:`HarmonyController` class keeps its historical API (every
+    existing caller and test works unchanged); new code should register a
+    ``HarmonyReadPolicy`` on a ``ControlPlane`` directly.
+
 The controller runs the decision scheme of the paper's Section III on every
 monitoring tick:
 
@@ -25,12 +34,13 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cluster.cluster import SimulatedCluster
-from repro.cluster.consistency import ConsistencyLevel, level_for_replicas
+from repro.cluster.consistency import ConsistencyLevel
+from repro.control.plane import ControlPlane, Decision
+from repro.control.policies import HarmonyReadPolicy
 from repro.core.config import HarmonyConfig
-from repro.core.model import StaleEstimate, StaleReadModel
+from repro.core.model import StaleEstimate
 from repro.core.monitor import ClusterMonitor, MonitoringSample
 from repro.metrics.series import TimeSeries
-from repro.sim.engine import EventHandle
 
 __all__ = ["HarmonyController", "ControllerDecision"]
 
@@ -63,6 +73,11 @@ class ControllerDecision:
 class HarmonyController:
     """Periodic estimation + consistency-level selection.
 
+    Deprecation shim: construction builds a one-policy
+    :class:`~repro.control.plane.ControlPlane` carrying a
+    :class:`~repro.control.policies.HarmonyReadPolicy`; every public method
+    and attribute of the historical controller is preserved on top of it.
+
     Parameters
     ----------
     cluster:
@@ -89,45 +104,27 @@ class HarmonyController:
         self.cluster = cluster
         self.config = config or HarmonyConfig()
         self.monitor = monitor or ClusterMonitor(cluster, self.config)
-        self.model = StaleReadModel(cluster.replication_factor)
-        self._current_level = ConsistencyLevel.ONE
-        self._current_replicas = 1
+        self.plane = ControlPlane(
+            cluster, self.config, self.monitor, name="harmony.tick"
+        )
+        self._policy = HarmonyReadPolicy(self.config)
+        self._policy.on_decision = self._record
+        self.plane.add(self._policy)
+        assert self._policy.estimator is not None
+        #: The cluster-wide stale-read model (shared with the policy).
+        self.model = self._policy.estimator.models[None]
         self.decisions: List[ControllerDecision] = []
-        self.estimate_series = TimeSeries("stale_estimate")
-        self.level_series = TimeSeries("read_replicas")
-        self._running = False
-        self._pending: Optional[EventHandle] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Prime the monitor and schedule the periodic decision loop."""
-        if self._running:
-            return
-        self._running = True
-        self.monitor.prime()
-        self._schedule_next()
+        self.plane.start()
 
     def stop(self) -> None:
         """Stop the periodic loop (the last decision remains in effect)."""
-        self._running = False
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
-
-    def _schedule_next(self) -> None:
-        if not self._running:
-            return
-        self._pending = self.cluster.engine.schedule(
-            self.config.monitoring_interval, self._on_tick, label="harmony.tick"
-        )
-
-    def _on_tick(self) -> None:
-        if not self._running:
-            return
-        self.tick()
-        self._schedule_next()
+        self.plane.stop()
 
     # ------------------------------------------------------------------
     # Decision logic
@@ -139,54 +136,45 @@ class HarmonyController:
 
     def decide(self, sample: MonitoringSample) -> ControllerDecision:
         """Run the paper's decision scheme on a monitoring sample."""
-        asr = self.config.tolerated_stale_rate
-        estimate = self.model.estimate(
-            read_rate=sample.read_rate,
-            write_rate=sample.write_rate,
-            propagation_time=sample.propagation_time,
-            tolerated_stale_rate=asr,
-        )
-        if asr >= estimate.probability:
-            # The tolerated rate covers the estimated staleness of basic
-            # eventual consistency: read from a single replica.
-            replicas = 1
-        else:
-            replicas = estimate.required_replicas
-        level = self._level_for(replicas)
-        decision = ControllerDecision(
-            time=self.cluster.engine.now,
-            estimate=estimate,
-            sample=sample,
-            replicas=replicas,
-            level=level,
-        )
-        self._current_replicas = replicas
-        self._current_level = level
-        self.decisions.append(decision)
-        self.estimate_series.append(decision.time, estimate.probability)
-        self.level_series.append(decision.time, float(replicas))
-        return decision
+        self._policy.decide(sample)
+        return self.decisions[-1]
 
-    def _level_for(self, replicas: int) -> ConsistencyLevel:
-        if self.config.use_named_levels:
-            return level_for_replicas(replicas, self.cluster.replication_factor)
-        # Raw replica counts map onto the named levels that exist for small
-        # counts and ALL beyond THREE; the simulator honours blocked_for so
-        # this is equivalent for RF <= 5 except the 4-replica case.
-        return level_for_replicas(replicas, self.cluster.replication_factor)
+    def _record(self, decision: Decision) -> None:
+        """Mirror a spine decision into the historical record format."""
+        assert decision.estimate is not None and decision.sample is not None
+        assert decision.replicas is not None
+        self.decisions.append(
+            ControllerDecision(
+                time=decision.time,
+                estimate=decision.estimate,
+                sample=decision.sample,
+                replicas=decision.replicas,
+                level=decision.value,  # type: ignore[arg-type]
+            )
+        )
 
     # ------------------------------------------------------------------
     # Read-side API (what the client asks for)
     # ------------------------------------------------------------------
     @property
+    def estimate_series(self) -> TimeSeries:
+        """Time series of the stale-read estimates, one point per decision."""
+        return self._policy.estimate_series
+
+    @property
+    def level_series(self) -> TimeSeries:
+        """Time series of the chosen read-replica counts."""
+        return self._policy.level_series
+
+    @property
     def read_level(self) -> ConsistencyLevel:
         """The consistency level currently chosen for reads."""
-        return self._current_level
+        return self._policy.current_level
 
     @property
     def read_replicas(self) -> int:
         """The replica count behind the current level."""
-        return self._current_replicas
+        return self._policy.current_replicas
 
     @property
     def current_estimate(self) -> float:
@@ -198,5 +186,5 @@ class HarmonyController:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"HarmonyController(asr={self.config.tolerated_stale_rate}, "
-            f"level={self._current_level}, decisions={len(self.decisions)})"
+            f"level={self.read_level}, decisions={len(self.decisions)})"
         )

@@ -70,6 +70,20 @@ class ConsistencyPolicy:
         """Consistency level for the next write."""
         return self._write
 
+    @property
+    def decision_counts(self):
+        """Control-plane decision counters (exported into run metrics).
+
+        Adaptive policies run a :class:`~repro.control.plane.ControlPlane`
+        either directly (``self.plane``) or inside a legacy controller
+        (``self.controller.plane``); static policies have neither and
+        report no decisions.
+        """
+        plane = getattr(self, "plane", None)
+        if plane is None:
+            plane = getattr(getattr(self, "controller", None), "plane", None)
+        return plane.decision_counts if plane is not None else {}
+
     def describe(self) -> str:
         """One-line description used in experiment logs."""
         return f"{self.name}(read={self._read}, write={self._write})"

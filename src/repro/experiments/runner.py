@@ -78,7 +78,9 @@ class ExperimentResult:
     :class:`~repro.cluster.antientropy.AntiEntropyService` (whose stats hold
     the per-DC-pair repair traffic); the auditor is then a
     :class:`~repro.faults.timeline.FaultTimeline`, so results can be sliced
-    into before/during/after windows.
+    into before/during/after windows.  Scenarios with ``adaptive_repair``
+    also carry the run's :class:`~repro.control.plane.ControlPlane` (whose
+    ``decisions`` log every repair-interval move).
     """
 
     config: ExperimentConfig
@@ -86,6 +88,7 @@ class ExperimentResult:
     auditor: StalenessAuditor
     injector: Optional[object] = None
     anti_entropy: Optional[object] = None
+    control_plane: Optional[object] = None
 
     def summary(self) -> Dict[str, object]:
         """One flat row: the columns every figure table shares."""
@@ -110,11 +113,14 @@ def make_policy(name: str, scenario: Scenario, *,
     * ``local_one`` / ``local_quorum`` / ``each_quorum`` -- static DC-aware
       levels (geo scenarios; writes at LOCAL_ONE);
     * ``geo-harmony`` -- the per-datacenter adaptive controller, using the
-      scenario's ``harmony_stale_rates_by_dc``.
+      scenario's ``harmony_stale_rates_by_dc``;
+    * ``geo-harmony-rw`` -- joint per-datacenter read *and* write
+      adaptation on the control plane (same ASR map); read-heavy sites
+      escalate writes instead of reads.
     """
     from repro.core.config import HarmonyConfig
     from repro.core.policy import ThresholdPolicy
-    from repro.geo.policy import GeoHarmonyPolicy, StaticGeoPolicy
+    from repro.geo.policy import GeoHarmonyPolicy, GeoHarmonyRWPolicy, StaticGeoPolicy
 
     lowered = name.lower()
     if lowered == "eventual":
@@ -132,6 +138,15 @@ def make_policy(name: str, scenario: Scenario, *,
             else None
         )
         return GeoHarmonyPolicy(
+            tolerated_stale_rates=scenario.harmony_stale_rates_by_dc, config=config
+        )
+    if lowered == "geo-harmony-rw":
+        config = (
+            HarmonyConfig(monitoring_interval=monitoring_interval)
+            if monitoring_interval is not None
+            else None
+        )
+        return GeoHarmonyRWPolicy(
             tolerated_stale_rates=scenario.harmony_stale_rates_by_dc, config=config
         )
     if lowered.startswith("harmony-"):
@@ -167,6 +182,7 @@ def run_experiment(
     cluster_hook: Optional[Callable[[SimulatedCluster], None]] = None,
     datacenters: Optional[Sequence[str]] = None,
     think_time: float = 0.0,
+    retry_policy: Optional[object] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -186,6 +202,10 @@ def run_experiment(
         Per-thread delay between operations; fault runs use it to stretch
         the measured run across the fault timeline (a tight closed loop
         would burn the operation budget before the partition even starts).
+    retry_policy:
+        Client-side :class:`~repro.control.retry.RetryPolicy` shared by all
+        threads (e.g. ``DowngradeRetryPolicy()`` to ride out datacenter
+        outages at a weaker level); ``None`` keeps the no-retry default.
     """
     if isinstance(policy, str):
         policy_obj = make_policy(policy, scenario, monitoring_interval=monitoring_interval)
@@ -218,10 +238,17 @@ def run_experiment(
         threads=threads,
         auditor=auditor,
         think_time=think_time,
+        retry_policy=retry_policy,
         datacenters=list(datacenters) if datacenters is not None else None,
     )
+    if scenario.adaptive_repair is not None and scenario.anti_entropy is None:
+        raise ValueError(
+            f"scenario {scenario.name!r} sets adaptive_repair but no anti_entropy "
+            "config; the repair scheduler needs a repair service to steer"
+        )
     injector = None
     service = None
+    plane = None
     if faulted or scenario.anti_entropy is not None:
         # Load first so fault times and repair ticks are relative to the
         # start of the *measured* run, not the (variable-length) load phase.
@@ -233,9 +260,25 @@ def run_experiment(
             injector.arm()
         if scenario.anti_entropy is not None:
             service = cluster.start_anti_entropy(scenario.anti_entropy)
+            if scenario.adaptive_repair is not None:
+                from repro.control.plane import ControlPlane
+                from repro.control.policies import RepairSchedulePolicy
+
+                # One control evaluation per base repair tick: the policy
+                # only acts on completed sessions, so a faster cadence
+                # would add ticks without adding information.
+                plane = ControlPlane(
+                    cluster,
+                    interval=scenario.anti_entropy.interval,
+                    name="repair-control",
+                )
+                plane.add(RepairSchedulePolicy(service, scenario.adaptive_repair))
+                plane.start()
     try:
         metrics = executor.run()
     finally:
+        if plane is not None:
+            plane.stop()
         if service is not None:
             service.stop()
     return ExperimentResult(
@@ -244,6 +287,7 @@ def run_experiment(
         auditor=auditor,
         injector=injector,
         anti_entropy=service,
+        control_plane=plane,
     )
 
 

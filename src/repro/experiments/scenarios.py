@@ -40,6 +40,7 @@ from repro.cluster.antientropy import AntiEntropyConfig
 from repro.cluster.cluster import ClusterConfig
 from repro.cluster.coordinator import CoordinatorConfig
 from repro.cluster.node import NodeConfig
+from repro.control.policies import RepairControlConfig
 from repro.faults.schedule import DatacenterIsolation, FaultSchedule
 from repro.network.latency import (
     EC2LikeLatency,
@@ -57,6 +58,7 @@ __all__ = [
     "EC2_MULTIREGION",
     "GRID5000_3SITES_FAULTS",
     "grid5000_3sites_faults",
+    "GRID5000_3SITES_ADAPTIVE",
     "SCALE_100",
     "SCALE_300",
     "ScenarioRegistry",
@@ -106,6 +108,13 @@ class Scenario:
         Optional :class:`~repro.cluster.antientropy.AntiEntropyConfig`; the
         runner starts the cross-DC Merkle repair process with it for the
         duration of the measured run.
+    adaptive_repair:
+        Optional :class:`~repro.control.policies.RepairControlConfig`; the
+        runner then registers a
+        :class:`~repro.control.policies.RepairSchedulePolicy` on a control
+        plane, adapting each DC pair's repair interval to measured leaf-diff
+        divergence (requires ``anti_entropy``; its ``interval`` is the base
+        tick and should equal ``adaptive_repair.min_interval``).
     description:
         Free-text summary used in logs and EXPERIMENTS.md.
     """
@@ -128,6 +137,7 @@ class Scenario:
     latency_sampling: str = "pooled"
     fault_schedule: Optional[FaultSchedule] = None
     anti_entropy: Optional[AntiEntropyConfig] = None
+    adaptive_repair: Optional[RepairControlConfig] = None
     description: str = ""
 
     @property
@@ -485,6 +495,35 @@ def grid5000_3sites_faults(
 GRID5000_3SITES_FAULTS = grid5000_3sites_faults()
 
 
+#: The unified-control-plane scenario: the healthy 3-site Grid'5000 ring with
+#: cross-DC Merkle repair whose per-pair cadence is *adapted* -- tightened
+#: toward 5 s while sessions find differing Merkle leaves, relaxed toward
+#: 60 s while they come back clean, with each pair's repair WAN traffic fed
+#: back as a cost cap.  Pair it with the ``geo-harmony-rw`` policy for joint
+#: per-DC read/write adaptation on the same control plane idiom; the control
+#: benchmark (`benchmarks/bench_control.py`) compares both knobs against
+#: their static counterparts.
+GRID5000_3SITES_ADAPTIVE = GRID5000_3SITES.with_overrides(
+    name="grid5000_3sites_adaptive",
+    anti_entropy=AntiEntropyConfig(interval=5.0),
+    adaptive_repair=RepairControlConfig(
+        min_interval=5.0,
+        max_interval=60.0,
+        tighten_factor=0.5,
+        relax_factor=1.5,
+        wan_budget_bytes_per_s=2_000_000.0,
+    ),
+    description=(
+        "GRID5000_3SITES with divergence-driven anti-entropy scheduling: "
+        "repair cadence per DC pair adapts between 5 s and 60 s from "
+        "measured leaf-diff divergence (x0.5 under divergence, x1.5 when "
+        "clean, relaxed when a pair's repair traffic exceeds 2 MB/s), and "
+        "the geo-harmony-rw policy additionally adapts per-site write "
+        "levels alongside reads."
+    ),
+)
+
+
 class ScenarioRegistry:
     """Name -> scenario lookup used by the CLI-ish helpers and benches."""
 
@@ -494,6 +533,7 @@ class ScenarioRegistry:
         GRID5000_3SITES.name: GRID5000_3SITES,
         EC2_MULTIREGION.name: EC2_MULTIREGION,
         GRID5000_3SITES_FAULTS.name: GRID5000_3SITES_FAULTS,
+        GRID5000_3SITES_ADAPTIVE.name: GRID5000_3SITES_ADAPTIVE,
         SCALE_100.name: SCALE_100,
         SCALE_300.name: SCALE_300,
     }

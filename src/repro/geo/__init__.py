@@ -34,11 +34,12 @@ handoff plus the Merkle repair process in :mod:`repro.cluster.antientropy`
 """
 
 from repro.geo.controller import GeoControllerDecision, GeoHarmonyController
-from repro.geo.policy import GeoHarmonyPolicy, StaticGeoPolicy
+from repro.geo.policy import GeoHarmonyPolicy, GeoHarmonyRWPolicy, StaticGeoPolicy
 
 __all__ = [
     "GeoControllerDecision",
     "GeoHarmonyController",
     "GeoHarmonyPolicy",
+    "GeoHarmonyRWPolicy",
     "StaticGeoPolicy",
 ]

@@ -1,5 +1,15 @@
 """Per-datacenter adaptive consistency control.
 
+.. deprecated::
+    This module is now a thin shim over the unified control plane: the
+    per-site decision scheme lives in
+    :class:`repro.control.policies.GeoReadPolicy` and the periodic driving
+    in :class:`repro.control.plane.ControlPlane`.  The
+    :class:`GeoHarmonyController` class keeps its historical API; new code
+    should register a ``GeoReadPolicy`` (or the joint
+    :class:`~repro.control.policies.GeoReadWritePolicy`) on a
+    ``ControlPlane`` directly.
+
 The single-site :class:`~repro.core.controller.HarmonyController` runs one
 stale-read model against cluster-wide rates and picks one global level.  In a
 geo-replicated deployment that conflates very different regimes: a
@@ -31,12 +41,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
 from repro.cluster.cluster import SimulatedCluster
-from repro.cluster.consistency import ConsistencyLevel, local_level_for_replicas
+from repro.cluster.consistency import ConsistencyLevel
+from repro.control.plane import ControlPlane, Decision
+from repro.control.policies import GeoReadPolicy
 from repro.core.config import HarmonyConfig
-from repro.core.model import StaleEstimate, StaleReadModel
+from repro.core.model import StaleEstimate
 from repro.core.monitor import ClusterMonitor, MonitoringSample
 from repro.metrics.series import TimeSeries
-from repro.sim.engine import EventHandle
 
 __all__ = ["GeoHarmonyController", "GeoControllerDecision"]
 
@@ -72,6 +83,11 @@ class GeoControllerDecision:
 class GeoHarmonyController:
     """Periodic per-datacenter estimation + consistency-level selection.
 
+    Deprecation shim: construction builds a one-policy
+    :class:`~repro.control.plane.ControlPlane` carrying a
+    :class:`~repro.control.policies.GeoReadPolicy`; the historical API is
+    preserved on top of it.
+
     Parameters
     ----------
     cluster:
@@ -99,77 +115,45 @@ class GeoHarmonyController:
         self.cluster = cluster
         self.config = config or HarmonyConfig()
         self.monitor = monitor or ClusterMonitor(cluster, self.config)
-        factors = cluster.replication_factors
-        if factors is None:
-            raise ValueError(
-                "GeoHarmonyController needs a cluster using NetworkTopologyStrategy "
-                "(per-DC replication factors); got strategy "
-                f"{cluster.config.strategy!r}"
-            )
-        overrides = dict(tolerated_stale_rates or {})
-        unknown = set(overrides) - set(cluster.datacenter_names)
-        if unknown:
-            raise ValueError(f"tolerated_stale_rates references unknown datacenter(s) {sorted(unknown)}")
-        for dc, asr in overrides.items():
-            if not 0.0 <= asr <= 1.0:
-                raise ValueError(f"tolerated stale rate for {dc!r} must be in [0, 1], got {asr!r}")
-        #: Datacenter -> ASR actually enforced (defaults filled in).
-        self.tolerated_stale_rates: Dict[str, float] = {
-            dc: overrides.get(dc, self.config.tolerated_stale_rate)
-            for dc in cluster.datacenter_names
-        }
-        # One model instance per replica-holding datacenter; sites without
-        # replicas cannot serve local reads, so they fall back to level ONE
-        # (the closest replica, wherever it lives).
-        self.models: Dict[str, StaleReadModel] = {
-            dc: StaleReadModel(rf) for dc, rf in factors.items() if rf >= 1
-        }
-        self._factors = dict(factors)
-        self._current_level: Dict[str, ConsistencyLevel] = {
-            dc: (ConsistencyLevel.LOCAL_ONE if dc in self.models else ConsistencyLevel.ONE)
-            for dc in cluster.datacenter_names
-        }
-        self._current_replicas: Dict[str, int] = {dc: 1 for dc in cluster.datacenter_names}
+        self.plane = ControlPlane(
+            cluster, self.config, self.monitor, name="geo_harmony.tick"
+        )
+        self._policy = GeoReadPolicy(self.config, tolerated_stale_rates)
+        self._policy.on_decision = self._record
+        self.plane.add(self._policy)  # binds: validates strategy + overrides
         self.decisions: List[GeoControllerDecision] = []
-        self.estimate_series: Dict[str, TimeSeries] = {
-            dc: TimeSeries(f"stale_estimate[{dc}]") for dc in self.models
-        }
-        self.level_series: Dict[str, TimeSeries] = {
-            dc: TimeSeries(f"read_replicas[{dc}]") for dc in self.models
-        }
-        self._running = False
-        self._pending: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------------
+    # State exposed by the historical API (delegated to the policy)
+    # ------------------------------------------------------------------
+    @property
+    def tolerated_stale_rates(self) -> Dict[str, float]:
+        """Datacenter -> ASR actually enforced (defaults filled in)."""
+        return self._policy.tolerated_stale_rates
+
+    @property
+    def models(self) -> Dict[str, object]:
+        """One stale-read model per replica-holding datacenter."""
+        return self._policy.models
+
+    @property
+    def estimate_series(self) -> Dict[str, TimeSeries]:
+        return self._policy.estimate_series
+
+    @property
+    def level_series(self) -> Dict[str, TimeSeries]:
+        return self._policy.level_series
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Prime the monitor and schedule the periodic decision loop."""
-        if self._running:
-            return
-        self._running = True
-        self.monitor.prime()
-        self._schedule_next()
+        self.plane.start()
 
     def stop(self) -> None:
         """Stop the periodic loop (the last decisions remain in effect)."""
-        self._running = False
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
-
-    def _schedule_next(self) -> None:
-        if not self._running:
-            return
-        self._pending = self.cluster.engine.schedule(
-            self.config.monitoring_interval, self._on_tick, label="geo_harmony.tick"
-        )
-
-    def _on_tick(self) -> None:
-        if not self._running:
-            return
-        self.tick()
-        self._schedule_next()
+        self.plane.stop()
 
     # ------------------------------------------------------------------
     # Decision logic
@@ -181,46 +165,35 @@ class GeoHarmonyController:
 
     def decide(self, datacenter: str, sample: MonitoringSample) -> GeoControllerDecision:
         """Run the paper's decision scheme for one datacenter."""
-        model = self.models.get(datacenter)
-        if model is None:
-            raise ValueError(f"datacenter {datacenter!r} holds no replicas")
-        asr = self.tolerated_stale_rates[datacenter]
-        estimate = model.estimate(
-            read_rate=sample.read_rate,
-            write_rate=sample.write_rate,
-            propagation_time=sample.propagation_time,
-            tolerated_stale_rate=asr,
+        self._policy.decide(datacenter, sample)
+        return self.decisions[-1]
+
+    def _record(self, decision: Decision) -> None:
+        """Mirror a spine decision into the historical record format."""
+        assert decision.estimate is not None and decision.sample is not None
+        assert decision.replicas is not None
+        datacenter = decision.scope.removeprefix("dc:")
+        self.decisions.append(
+            GeoControllerDecision(
+                datacenter=datacenter,
+                time=decision.time,
+                estimate=decision.estimate,
+                sample=decision.sample,
+                replicas=decision.replicas,
+                level=decision.value,  # type: ignore[arg-type]
+            )
         )
-        if asr >= estimate.probability:
-            replicas = 1
-        else:
-            replicas = estimate.required_replicas
-        level = local_level_for_replicas(replicas, self._factors[datacenter])
-        decision = GeoControllerDecision(
-            datacenter=datacenter,
-            time=self.cluster.engine.now,
-            estimate=estimate,
-            sample=sample,
-            replicas=replicas,
-            level=level,
-        )
-        self._current_replicas[datacenter] = replicas
-        self._current_level[datacenter] = level
-        self.decisions.append(decision)
-        self.estimate_series[datacenter].append(decision.time, estimate.probability)
-        self.level_series[datacenter].append(decision.time, float(replicas))
-        return decision
 
     # ------------------------------------------------------------------
     # Read-side API (what the per-DC clients ask for)
     # ------------------------------------------------------------------
     def read_level(self, datacenter: str) -> ConsistencyLevel:
         """The consistency level currently chosen for reads in a datacenter."""
-        return self._current_level[datacenter]
+        return self._policy.current_level[datacenter]
 
     def read_replicas(self, datacenter: str) -> int:
         """The local replica count behind a datacenter's current level."""
-        return self._current_replicas[datacenter]
+        return self._policy.current_replicas[datacenter]
 
     def current_estimate(self, datacenter: str) -> float:
         """Latest stale-read estimate of one site (0.0 before the first tick)."""
@@ -234,5 +207,7 @@ class GeoHarmonyController:
         return [d for d in self.decisions if d.datacenter == datacenter]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        levels = ", ".join(f"{dc}={level.value}" for dc, level in self._current_level.items())
+        levels = ", ".join(
+            f"{dc}={level.value}" for dc, level in self._policy.current_level.items()
+        )
         return f"GeoHarmonyController({levels})"

@@ -16,7 +16,7 @@ which pinned threads use instead of the site-agnostic ``read_level()`` /
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.consistency import ConsistencyLevel
@@ -24,7 +24,15 @@ from repro.core.config import HarmonyConfig
 from repro.core.policy import ConsistencyPolicy
 from repro.geo.controller import GeoHarmonyController
 
-__all__ = ["GeoHarmonyPolicy", "StaticGeoPolicy", "site_agnostic_level"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.policies import GeoReadWritePolicy
+
+__all__ = [
+    "GeoHarmonyPolicy",
+    "GeoHarmonyRWPolicy",
+    "StaticGeoPolicy",
+    "site_agnostic_level",
+]
 
 #: LOCAL_* levels resolved for a client with no datacenter context.  An
 #: unpinned client may be routed to a coordinator in a datacenter holding no
@@ -180,6 +188,104 @@ class GeoHarmonyPolicy(ConsistencyPolicy):
         if self.controller is not None and datacenter not in self.controller.models:
             return site_agnostic_level(self._write)
         return self._write
+
+    def describe(self) -> str:
+        return f"{self.name}(interval={self.config.monitoring_interval}s)"
+
+
+class GeoHarmonyRWPolicy(ConsistencyPolicy):
+    """Joint per-datacenter read *and* write adaptation on the control plane.
+
+    Wraps a :class:`~repro.control.policies.GeoReadWritePolicy` on its own
+    :class:`~repro.control.plane.ControlPlane`: each site's reads *and*
+    writes follow the cost-optimal ``(X, W)`` pair that meets the site's
+    tolerated stale rate -- read-heavy sites push the consistency burden
+    onto their rare writes (reads stay at ``LOCAL_ONE``), write-heavy sites
+    keep the paper's read-led behaviour.
+
+    Parameters
+    ----------
+    tolerated_stale_rates:
+        Per-datacenter ASR overrides (sites without an entry use
+        ``config.tolerated_stale_rate``).
+    config:
+        Shared Harmony configuration; a default one is built if omitted.
+    """
+
+    def __init__(
+        self,
+        tolerated_stale_rates: Optional[Mapping[str, float]] = None,
+        config: Optional[HarmonyConfig] = None,
+    ) -> None:
+        super().__init__(read=ConsistencyLevel.LOCAL_ONE, write=ConsistencyLevel.LOCAL_ONE)
+        self.config = config or HarmonyConfig()
+        self.tolerated_stale_rates: Dict[str, float] = dict(tolerated_stale_rates or {})
+        self.plane = None
+        self.control: Optional["GeoReadWritePolicy"] = None
+        if self.tolerated_stale_rates:
+            rates = "/".join(
+                f"{dc}:{int(round(asr * 100))}%"
+                for dc, asr in sorted(self.tolerated_stale_rates.items())
+            )
+        else:
+            rates = f"{int(round(self.config.tolerated_stale_rate * 100))}%"
+        self.name = f"geo-harmony-rw-{rates}"
+
+    # -- executor interface -------------------------------------------------
+    def attach(self, cluster: SimulatedCluster) -> None:
+        from repro.control.plane import ControlPlane
+        from repro.control.policies import GeoReadWritePolicy
+
+        self.plane = ControlPlane(cluster, self.config, name="geo_harmony_rw.tick")
+        self.control = GeoReadWritePolicy(
+            self.config, tolerated_stale_rates=self.tolerated_stale_rates
+        )
+        self.plane.add(self.control)
+        self.plane.start()
+
+    def detach(self) -> None:
+        if self.plane is not None:
+            self.plane.stop()
+
+    # -- unpinned clients ---------------------------------------------------
+    _STRICTNESS = GeoHarmonyPolicy._STRICTNESS
+
+    def read_level(self) -> ConsistencyLevel:
+        """Site-agnostic read level: the strictest current per-site decision."""
+        if self.control is None:
+            return ConsistencyLevel.ONE
+        strictest = max(
+            (self.control.current_level[dc] for dc in self.control.models),
+            key=lambda level: self._STRICTNESS.get(level, 0),
+        )
+        return site_agnostic_level(strictest)
+
+    def write_level(self) -> ConsistencyLevel:
+        """Site-agnostic write level: the strictest current per-site decision."""
+        if self.control is None:
+            return ConsistencyLevel.ONE
+        strictest = max(
+            (self.control.current_write_level[dc] for dc in self.control.models),
+            key=lambda level: self._STRICTNESS.get(level, 0),
+        )
+        return site_agnostic_level(strictest)
+
+    # -- pinned clients -----------------------------------------------------
+    def read_level_for(self, datacenter: str) -> ConsistencyLevel:
+        if self.control is None:
+            return ConsistencyLevel.LOCAL_ONE
+        if datacenter not in self.control.models:
+            return site_agnostic_level(self.control.current_level.get(datacenter, self._read))
+        return self.control.current_level[datacenter]
+
+    def write_level_for(self, datacenter: str) -> ConsistencyLevel:
+        if self.control is None:
+            return ConsistencyLevel.LOCAL_ONE
+        if datacenter not in self.control.models:
+            return site_agnostic_level(
+                self.control.current_write_level.get(datacenter, self._write)
+            )
+        return self.control.current_write_level[datacenter]
 
     def describe(self) -> str:
         return f"{self.name}(interval={self.config.monitoring_interval}s)"

@@ -21,6 +21,13 @@ class OperationCounters:
     #: counted separately from reads/writes because they never executed.
     unavailable_reads: int = 0
     unavailable_writes: int = 0
+    #: Unavailable rejections absorbed by the client retry policy: each
+    #: retry re-issued one operation; each downgrade additionally weakened
+    #: its consistency level (e.g. EACH_QUORUM -> LOCAL_QUORUM).  Retried
+    #: rejections never reach ``unavailable_reads``/``unavailable_writes``
+    #: unless the final attempt also fails.
+    retries: int = 0
+    downgrades: int = 0
 
     @property
     def unavailable(self) -> int:
@@ -41,6 +48,8 @@ class OperationCounters:
             "read_misses": self.read_misses,
             "unavailable_reads": self.unavailable_reads,
             "unavailable_writes": self.unavailable_writes,
+            "retries": self.retries,
+            "downgrades": self.downgrades,
             "total": self.total,
         }
 

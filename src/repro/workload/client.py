@@ -11,6 +11,15 @@ A :class:`ClientThread` is a simulated process (see
 :class:`~repro.workload.workloads.CoreWorkload`, asks the *consistency
 policy* which read level to use, issues the operation against the cluster and
 reports the result to the executor's collector.
+
+Unavailable rejections go through a pluggable
+:class:`~repro.control.retry.RetryPolicy`: the default surfaces the failure
+after a configurable backoff (historically a hard-coded 50 ms, now an
+exponential schedule with optional deterministic jitter), while
+:class:`~repro.control.retry.DowngradeRetryPolicy` re-issues the operation
+at a weaker consistency level -- e.g. ``EACH_QUORUM -> LOCAL_QUORUM`` during
+a datacenter outage -- with every retry and downgrade metered through the
+executor's counters.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from typing import Callable, Optional
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.coordinator import OperationResult
+from repro.control.retry import BackoffConfig, RetryPolicy
 from repro.sim.process import Process, Timeout, Waiter
 from repro.workload.workloads import CoreWorkload, Operation, OperationType
 
@@ -52,14 +62,25 @@ class ClientThread:
         Optional callback invoked with ``(Operation,)`` right before the
         operation is sent (the staleness auditor snapshots ground truth
         here).
+    on_retry:
+        Optional callback invoked with ``(Operation, from_level, to_level,
+        attempt)`` before each Unavailable retry -- the executor meters
+        retries and level downgrades through it.
     think_time:
         Fixed delay between an operation completing and the next being
         issued (0 for a tight closed loop, as in YCSB without a target rate).
+    retry_policy:
+        Policy consulted after every Unavailable rejection.  ``None`` builds
+        the default no-retry policy from ``unavailable_backoff`` (drivers
+        back off before the next operation after a host refused work;
+        without this, a client pinned to a dead datacenter would burn the
+        whole operation budget in zero virtual time).
+    retry_rng:
+        Named random stream for jittered backoff schedules (unused -- and
+        never drawn from -- unless the policy's backoff has jitter).
     unavailable_backoff:
-        Delay before the next operation after an Unavailable rejection
-        (drivers back off before retrying a host that refused work; without
-        this, a client pinned to a dead datacenter would burn the whole
-        operation budget in zero virtual time).
+        Backoff of the default policy when ``retry_policy`` is not given;
+        kept for backward compatibility with the pre-retry-policy API.
     datacenter:
         When given, the client only contacts coordinators in that
         datacenter (a geo client next to one site); DC-aware consistency
@@ -77,7 +98,10 @@ class ClientThread:
         take_budget: Callable[[], bool],
         on_result: Callable[[Operation, OperationResult], None],
         on_issue: Optional[Callable[[Operation], None]] = None,
+        on_retry: Optional[Callable[[Operation, object, object, int], None]] = None,
         think_time: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_rng=None,
         unavailable_backoff: float = 0.05,
         datacenter: Optional[str] = None,
     ) -> None:
@@ -94,8 +118,12 @@ class ClientThread:
         self._take_budget = take_budget
         self._on_result = on_result
         self._on_issue = on_issue
+        self._on_retry = on_retry
         self._think_time = think_time
-        self._unavailable_backoff = unavailable_backoff
+        self._retry_policy = retry_policy or RetryPolicy(
+            BackoffConfig(initial=unavailable_backoff, max_delay=max(unavailable_backoff, 1.0))
+        )
+        self._retry_rng = retry_rng
         self.operations_completed = 0
         self._process: Optional[Process] = None
 
@@ -129,23 +157,59 @@ class ClientThread:
         """Generator body of the closed loop."""
         while self._take_budget():
             operation = self._workload.next_operation()
-            result = yield from self._execute(operation)
+            result, final_backoff = yield from self._execute_with_retries(operation)
             self.operations_completed += 1
             self._on_result(operation, result)
-            if result.unavailable and self._unavailable_backoff > 0:
-                yield Timeout(self._unavailable_backoff)
+            if result.unavailable and final_backoff > 0:
+                yield Timeout(final_backoff)
             if self._think_time > 0:
                 yield Timeout(self._think_time)
         return self.operations_completed
 
-    def _execute(self, operation: Operation):
-        """Issue one operation and wait for its completion."""
+    def _execute_with_retries(self, operation: Operation):
+        """Issue one operation, consulting the retry policy on Unavailable.
+
+        Returns ``(result, final_backoff)``: the result eventually reported
+        to the executor and the pause to take *after* reporting when the
+        operation still failed (the historical post-failure backoff).
+        """
+        attempt = 0
+        override: Optional[ConsistencyLevel] = None
+        while True:
+            result = yield from self._execute(operation, override)
+            if not result.unavailable:
+                return result, 0.0
+            decision = self._retry_policy.on_unavailable(
+                result.consistency_level,
+                attempt,
+                datacenter=self.datacenter,
+                rng=self._retry_rng,
+            )
+            if not decision.retry:
+                return result, decision.backoff
+            to_level = decision.level if decision.level is not None else result.consistency_level
+            if self._on_retry is not None:
+                self._on_retry(operation, result.consistency_level, to_level, attempt)
+            if decision.level is not None:
+                override = decision.level
+            if decision.backoff > 0:
+                yield Timeout(decision.backoff)
+            attempt += 1
+
+    def _execute(self, operation: Operation, level_override: Optional[ConsistencyLevel] = None):
+        """Issue one operation and wait for its completion.
+
+        ``level_override`` replaces both the read and write level of this
+        attempt (a retry downgrade applies to the whole operation: an RMW
+        retried at LOCAL_QUORUM must not write back at the level that was
+        just rejected).
+        """
         if self._on_issue is not None:
             self._on_issue(operation)
         if operation.op_type is OperationType.READ_MODIFY_WRITE:
             # Read then write of the same key, as YCSB does: the reported
             # latency covers both halves.
-            read_result = yield from self._issue_read(operation.key)
+            read_result = yield from self._issue_read(operation.key, level_override)
             if read_result.unavailable:
                 # The read half was rejected: abort the RMW without writing
                 # (a client cannot modify what it could not read).  Issuing
@@ -167,7 +231,7 @@ class ClientThread:
                     coordinator=read_result.coordinator,
                     datacenter=read_result.datacenter,
                 )
-            write_result = yield from self._issue_write(operation)
+            write_result = yield from self._issue_write(operation, level_override)
             combined = OperationResult(
                 op_type="read_modify_write",
                 key=operation.key,
@@ -188,7 +252,7 @@ class ClientThread:
             first: Optional[OperationResult] = None
             last: Optional[OperationResult] = None
             for _ in range(operation.scan_length):
-                result = yield from self._issue_read(operation.key)
+                result = yield from self._issue_read(operation.key, level_override)
                 if first is None:
                     first = result
                 last = result
@@ -207,21 +271,21 @@ class ClientThread:
                 responded=last.responded,
             )
         if operation.op_type.is_write:
-            result = yield from self._issue_write(operation)
+            result = yield from self._issue_write(operation, level_override)
             return result
-        result = yield from self._issue_read(operation.key)
+        result = yield from self._issue_read(operation.key, level_override)
         return result
 
-    def _issue_read(self, key: str):
+    def _issue_read(self, key: str, level_override: Optional[ConsistencyLevel] = None):
         waiter = Waiter(self._cluster.engine)
-        level = self._read_level_provider()
+        level = level_override if level_override is not None else self._read_level_provider()
         self._cluster.read(key, level, waiter.succeed, datacenter=self.datacenter)
         result = yield waiter
         return result
 
-    def _issue_write(self, operation: Operation):
+    def _issue_write(self, operation: Operation, level_override: Optional[ConsistencyLevel] = None):
         waiter = Waiter(self._cluster.engine)
-        level = self._write_level_provider()
+        level = level_override if level_override is not None else self._write_level_provider()
         self._cluster.write(
             operation.key,
             _payload_for(operation),

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Protocol
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.consistency import ConsistencyLevel
 from repro.cluster.coordinator import OperationResult
+from repro.control.retry import RetryPolicy
 from repro.metrics.counters import OperationCounters, StalenessSummary, ThroughputMeter
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.series import TimeSeries
@@ -77,6 +78,14 @@ class RunMetrics:
         keyed by the datacenter of the coordinator that served the read.
         Populated whenever the cluster reports coordinator datacenters
         (always, in practice); what the geo benchmark compares per site.
+    downgrade_usage:
+        ``"FROM->TO"`` -> count of consistency-level downgrades the client
+        retry policy performed (empty without a downgrading policy) -- the
+        metered consistency cost of riding out Unavailable rejections.
+    control_decisions:
+        ``"policy.kind"`` -> decision count of the run's control plane
+        (empty for static policies) -- shows the adaptive loop actually
+        moving knobs.
     duration:
         Virtual duration of the run phase in seconds.
     """
@@ -94,6 +103,8 @@ class RunMetrics:
     estimate_series: TimeSeries = field(default_factory=lambda: TimeSeries("stale_estimate"))
     read_latency_by_dc: Dict[str, LatencyHistogram] = field(default_factory=dict)
     staleness_by_dc: Dict[str, StalenessSummary] = field(default_factory=dict)
+    downgrade_usage: Dict[str, int] = field(default_factory=dict)
+    control_decisions: Dict[str, int] = field(default_factory=dict)
     duration: float = 0.0
 
     def ops_per_second(self) -> float:
@@ -114,6 +125,8 @@ class RunMetrics:
             "stale_reads": self.staleness.stale_reads,
             "stale_rate": round(self.staleness.stale_rate(), 4),
             "unavailable": self.counters.unavailable,
+            "retries": self.counters.retries,
+            "downgrades": self.counters.downgrades,
             "duration_s": round(self.duration, 3),
         }
 
@@ -136,6 +149,14 @@ class WorkloadExecutor:
         fresh/stale verdict recorded into the metrics.
     think_time:
         Per-thread delay between operations (default 0, a tight closed loop).
+    retry_policy:
+        Client-side :class:`~repro.control.retry.RetryPolicy` consulted
+        after Unavailable rejections, shared by every thread (policies are
+        stateless across operations).  ``None`` keeps the historical
+        behaviour: no retries, 50 ms backoff before the next operation.
+        Each thread gets its own named random stream
+        (``workload.retry.<thread>``) for jittered backoff schedules; with
+        the default jitter of 0 no randomness is ever drawn.
     max_virtual_time:
         Safety bound on the virtual duration of the run phase.
     datacenters:
@@ -161,6 +182,7 @@ class WorkloadExecutor:
         *,
         auditor: Optional[object] = None,
         think_time: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
         max_virtual_time: float = 3600.0,
         datacenters: Optional[List[str]] = None,
     ) -> None:
@@ -172,6 +194,7 @@ class WorkloadExecutor:
         self.threads = int(threads)
         self.auditor = auditor
         self.think_time = float(think_time)
+        self.retry_policy = retry_policy
         self.max_virtual_time = float(max_virtual_time)
         if datacenters is not None:
             known = set(cluster.datacenter_names)
@@ -244,7 +267,14 @@ class WorkloadExecutor:
                 take_budget=self._take_budget,
                 on_result=self._on_result,
                 on_issue=self._on_issue,
+                on_retry=self._on_retry,
                 think_time=self.think_time,
+                retry_policy=self.retry_policy,
+                retry_rng=(
+                    self.cluster.streams.stream(f"workload.retry.{i}")
+                    if self.retry_policy is not None
+                    else None
+                ),
                 datacenter=self._thread_datacenter(i),
             )
             for i in range(self.threads)
@@ -275,6 +305,10 @@ class WorkloadExecutor:
         series = getattr(self.policy, "estimate_series", None)
         if series is not None:
             self.metrics.estimate_series = series
+        # Capture the control plane's decision counters, if the policy ran one.
+        counts = getattr(self.policy, "decision_counts", None)
+        if counts:
+            self.metrics.control_decisions = dict(counts)
         self.policy.detach()
         return self.metrics
 
@@ -313,6 +347,14 @@ class WorkloadExecutor:
     def _on_issue(self, operation: Operation) -> None:
         if self.auditor is not None and not operation.op_type.is_write:
             self.auditor.snapshot(operation.key)
+
+    def _on_retry(self, operation: Operation, from_level, to_level, attempt: int) -> None:
+        """Meter one Unavailable retry (and its downgrade, if any)."""
+        self.metrics.counters.retries += 1
+        if to_level is not from_level and to_level is not None and from_level is not None:
+            self.metrics.counters.downgrades += 1
+            key = f"{getattr(from_level, 'value', from_level)}->{getattr(to_level, 'value', to_level)}"
+            self.metrics.downgrade_usage[key] = self.metrics.downgrade_usage.get(key, 0) + 1
 
     def _on_result(self, operation: Operation, result: OperationResult) -> None:
         if result.unavailable:

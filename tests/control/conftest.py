@@ -1,0 +1,74 @@
+"""Shared fixtures for the control-plane tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.core.monitor import MonitoringSample
+from repro.network.latency import ConstantLatency
+from repro.network.topology import TopologyBuilder
+
+
+def build_geo_topology(nodes_per_rack: int = 2):
+    """Three sites (alpha/beta/gamma) with constant, well-separated latencies."""
+    return (
+        TopologyBuilder()
+        .datacenter("alpha")
+        .rack("r1", nodes=nodes_per_rack)
+        .datacenter("beta")
+        .rack("r1", nodes=nodes_per_rack)
+        .datacenter("gamma")
+        .rack("r1", nodes=nodes_per_rack)
+        .latencies(
+            intra_rack=ConstantLatency(0.0002),
+            inter_rack=ConstantLatency(0.0004),
+            inter_dc=ConstantLatency(0.006),
+        )
+        .build()
+    )
+
+
+@pytest.fixture
+def geo_cluster() -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            topology=build_geo_topology(),
+            replication_factors={"alpha": 2, "beta": 2, "gamma": 2},
+            seed=29,
+        )
+    )
+
+
+@pytest.fixture
+def plain_cluster() -> SimulatedCluster:
+    return SimulatedCluster(
+        ClusterConfig(
+            n_nodes=6,
+            replication_factor=3,
+            seed=31,
+            intra_rack_latency=ConstantLatency(0.0003),
+            inter_rack_latency=ConstantLatency(0.0005),
+        )
+    )
+
+
+def make_sample(
+    read_rate: float,
+    write_rate: float,
+    tp: float,
+    *,
+    time: float = 1.0,
+    datacenter=None,
+) -> MonitoringSample:
+    return MonitoringSample(
+        time=time,
+        read_rate=read_rate,
+        write_rate=write_rate,
+        raw_read_rate=read_rate,
+        raw_write_rate=write_rate,
+        network_latency=tp,
+        propagation_time=tp,
+        window=1.0,
+        datacenter=datacenter,
+    )

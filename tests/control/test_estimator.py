@@ -1,0 +1,123 @@
+"""Unit tests for the scope-parameterized staleness estimator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.control.estimator import StalenessEstimator
+from repro.core.model import StaleReadModel
+
+from tests.control.conftest import make_sample
+
+
+class TestScopes:
+    def test_cluster_and_per_dc_scopes(self):
+        estimator = StalenessEstimator({None: 5, "rennes": 3, "sophia": 2})
+        assert estimator.replication_factor() == 5
+        assert estimator.replication_factor("rennes") == 3
+        assert estimator.replication_factor("sophia") == 2
+
+    def test_replica_less_scope_dropped(self):
+        estimator = StalenessEstimator({None: 5, "empty": 0})
+        with pytest.raises(ValueError, match="no replicas"):
+            estimator.evaluate(make_sample(10.0, 10.0, 0.001), 0.2, scope="empty")
+
+    def test_no_scopes_rejected(self):
+        with pytest.raises(ValueError):
+            StalenessEstimator({"empty": 0})
+
+
+class TestDecisionShortcut:
+    def test_matches_standalone_model(self):
+        estimator = StalenessEstimator({None: 5})
+        model = StaleReadModel(5)
+        sample = make_sample(3000.0, 2000.0, 0.0004)
+        estimate, replicas = estimator.decide_replicas(sample, 0.25)
+        expected = model.estimate(
+            read_rate=sample.read_rate,
+            write_rate=sample.write_rate,
+            propagation_time=sample.propagation_time,
+            tolerated_stale_rate=0.25,
+        )
+        assert estimate.probability == expected.probability
+        if 0.25 >= expected.probability:
+            assert replicas == 1
+        else:
+            assert replicas == expected.required_replicas
+
+    def test_tolerant_application_reads_one_replica(self):
+        estimator = StalenessEstimator({None: 3})
+        _, replicas = estimator.decide_replicas(make_sample(5000.0, 5000.0, 0.01), 1.0)
+        assert replicas == 1
+
+    def test_zero_tolerance_under_load_reads_all(self):
+        estimator = StalenessEstimator({None: 3})
+        _, replicas = estimator.decide_replicas(make_sample(2000.0, 2000.0, 0.01), 0.0)
+        assert replicas == 3
+
+
+class TestWriteAwareGeneralization:
+    def test_w1_matches_paper_closed_form(self):
+        """With one written replica the generalization IS the paper's model."""
+        estimator = StalenessEstimator({None: 5})
+        model = StaleReadModel(5)
+        sample = make_sample(800.0, 600.0, 0.004)
+        for x in range(1, 6):
+            general = estimator.stale_probability_rw(sample, read_replicas=x, write_replicas=1)
+            paper = model.stale_read_probability(
+                read_rate=sample.read_rate,
+                write_rate=sample.write_rate,
+                propagation_time=sample.propagation_time,
+                read_replicas=x,
+            )
+            assert general == pytest.approx(paper, rel=1e-12)
+
+    def test_more_written_replicas_lower_staleness(self):
+        estimator = StalenessEstimator({None: 5})
+        sample = make_sample(800.0, 600.0, 0.004)
+        probs = [
+            estimator.stale_probability_rw(sample, read_replicas=1, write_replicas=w)
+            for w in range(1, 6)
+        ]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_guaranteed_overlap_is_never_stale(self):
+        """X + W > N forces the read set to intersect the written set."""
+        estimator = StalenessEstimator({None: 5})
+        sample = make_sample(8000.0, 8000.0, 0.05)  # extreme load
+        assert estimator.stale_probability_rw(sample, read_replicas=3, write_replicas=3) == 0.0
+        assert estimator.stale_probability_rw(sample, read_replicas=5, write_replicas=1) == 0.0
+
+    def test_hypergeometric_factor_exact(self):
+        """p(X, W) / p(1, 1) equals C(N-W, X)/C(N, X) / ((N-1)/N)."""
+        estimator = StalenessEstimator({None: 5})
+        sample = make_sample(50.0, 40.0, 0.001)  # mild load: probabilities unclamped
+        base = estimator.stale_probability_rw(sample, read_replicas=1, write_replicas=1)
+        p22 = estimator.stale_probability_rw(sample, read_replicas=2, write_replicas=2)
+        expected_ratio = (math.comb(3, 2) / math.comb(5, 2)) / (4 / 5)
+        assert p22 / base == pytest.approx(expected_ratio, rel=1e-9)
+
+    def test_single_replica_scope_never_stale(self):
+        estimator = StalenessEstimator({"tiny": 1})
+        sample = make_sample(5000.0, 5000.0, 0.01, datacenter="tiny")
+        assert (
+            estimator.stale_probability_rw(
+                sample, read_replicas=1, write_replicas=1, scope="tiny"
+            )
+            == 0.0
+        )
+
+    def test_idle_workload_never_stale(self):
+        estimator = StalenessEstimator({None: 5})
+        sample = make_sample(0.0, 0.0, 0.01)
+        assert estimator.stale_probability_rw(sample, read_replicas=1, write_replicas=1) == 0.0
+
+    def test_out_of_range_replicas_rejected(self):
+        estimator = StalenessEstimator({None: 3})
+        sample = make_sample(10.0, 10.0, 0.001)
+        with pytest.raises(ValueError):
+            estimator.stale_probability_rw(sample, read_replicas=0, write_replicas=1)
+        with pytest.raises(ValueError):
+            estimator.stale_probability_rw(sample, read_replicas=1, write_replicas=4)

@@ -1,0 +1,171 @@
+"""Retry policies: backoff schedules, downgrade ladder, outage behaviour.
+
+Includes the acceptance test of the Unavailable-aware client work: under a
+full-DC outage, ``EACH_QUORUM`` traffic with the downgrade policy is served
+via ``LOCAL_QUORUM`` with **zero** Unavailable surfaced to the workload, and
+the downgrade counter accounts for every absorbed rejection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.control.retry import (
+    BackoffConfig,
+    DowngradeRetryPolicy,
+    RetryPolicy,
+)
+from repro.experiments.scenarios import GRID5000_3SITES
+from repro.geo.policy import StaticGeoPolicy
+from repro.staleness.auditor import StalenessAuditor
+from repro.workload.executor import WorkloadExecutor
+from repro.workload.workloads import WORKLOAD_A
+
+
+class TestBackoffConfig:
+    def test_default_reproduces_fixed_50ms(self):
+        config = BackoffConfig()
+        assert config.delay(0) == 0.05
+
+    def test_exponential_growth_capped(self):
+        config = BackoffConfig(initial=0.05, multiplier=2.0, max_delay=0.3)
+        assert config.delay(0) == 0.05
+        assert config.delay(1) == 0.1
+        assert config.delay(2) == 0.2
+        assert config.delay(3) == 0.3  # capped
+        assert config.delay(10) == 0.3
+
+    def test_jitter_is_deterministic_per_stream(self):
+        config = BackoffConfig(initial=0.05, jitter=0.5)
+        a = config.delay(0, rng=np.random.default_rng(7))
+        b = config.delay(0, rng=np.random.default_rng(7))
+        assert a == b
+        assert 0.05 <= a <= 0.075
+
+    def test_jitter_without_stream_rejected(self):
+        config = BackoffConfig(jitter=0.2)
+        with pytest.raises(ValueError, match="RandomStream"):
+            config.delay(0)
+
+    def test_no_jitter_never_draws(self):
+        class Exploding:
+            def random(self):  # pragma: no cover - must not be called
+                raise AssertionError("default backoff must not consume randomness")
+
+        assert BackoffConfig().delay(2, rng=Exploding()) == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffConfig(initial=-1.0)
+        with pytest.raises(ValueError):
+            BackoffConfig(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffConfig(initial=0.5, max_delay=0.1)
+        with pytest.raises(ValueError):
+            BackoffConfig(jitter=1.5)
+
+
+class TestPolicies:
+    def test_default_policy_never_retries(self):
+        decision = RetryPolicy().on_unavailable(ConsistencyLevel.EACH_QUORUM, 0)
+        assert not decision.retry
+        assert decision.backoff == 0.05
+
+    def test_downgrade_ladder_default(self):
+        policy = DowngradeRetryPolicy()
+        decision = policy.on_unavailable(ConsistencyLevel.EACH_QUORUM, 0)
+        assert decision.retry
+        assert decision.level is ConsistencyLevel.LOCAL_QUORUM
+
+    def test_unlisted_level_retries_unchanged(self):
+        policy = DowngradeRetryPolicy()
+        decision = policy.on_unavailable(ConsistencyLevel.QUORUM, 0)
+        assert decision.retry and decision.level is None
+
+    def test_max_retries_surfaces_failure(self):
+        policy = DowngradeRetryPolicy(max_retries=2)
+        assert policy.on_unavailable(ConsistencyLevel.EACH_QUORUM, 1).retry
+        assert not policy.on_unavailable(ConsistencyLevel.EACH_QUORUM, 2).retry
+
+    def test_identity_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            DowngradeRetryPolicy({ConsistencyLevel.QUORUM: ConsistencyLevel.QUORUM})
+
+
+def outage_executor(retry_policy, *, seed=5, operation_count=300):
+    """EACH_QUORUM traffic from Rennes/Nancy fleets while Sophia is down."""
+    cluster = SimulatedCluster(GRID5000_3SITES.cluster_config(seed=seed))
+    policy = StaticGeoPolicy(
+        read=ConsistencyLevel.EACH_QUORUM, write=ConsistencyLevel.EACH_QUORUM
+    )
+    executor = WorkloadExecutor(
+        cluster,
+        WORKLOAD_A.scaled(record_count=50, operation_count=operation_count),
+        policy,
+        threads=4,
+        auditor=StalenessAuditor(),
+        retry_policy=retry_policy,
+        datacenters=["rennes", "nancy"],
+    )
+    executor.load()
+    cluster.take_down_datacenter("sophia")
+    return cluster, executor
+
+
+class TestDowngradeUnderDatacenterOutage:
+    def test_each_quorum_served_via_local_quorum_with_zero_unavailable(self):
+        cluster, executor = outage_executor(DowngradeRetryPolicy())
+        metrics = executor.run()
+        # Nothing surfaced to the workload as Unavailable...
+        assert metrics.counters.unavailable == 0
+        assert metrics.counters.total == 300
+        # ...because every operation's EACH_QUORUM rejection was absorbed by
+        # exactly one downgrade retry, and the meter accounts for all of them.
+        assert metrics.counters.retries == 300
+        assert metrics.counters.downgrades == 300
+        assert metrics.downgrade_usage == {"EACH_QUORUM->LOCAL_QUORUM": 300}
+        # The reads that executed were served at the downgraded level.
+        assert set(metrics.consistency_level_usage) == {"LOCAL_QUORUM"}
+        assert "downgrades" in metrics.summary()
+
+    def test_without_downgrade_policy_everything_is_unavailable(self):
+        cluster, executor = outage_executor(None, operation_count=120)
+        metrics = executor.run()
+        assert metrics.counters.unavailable == 120
+        assert metrics.counters.retries == 0
+        assert metrics.counters.downgrades == 0
+        assert metrics.downgrade_usage == {}
+
+    def test_downgraded_run_is_deterministic(self):
+        def run():
+            cluster, executor = outage_executor(
+                DowngradeRetryPolicy(backoff=BackoffConfig(initial=0.05, jitter=0.25)),
+                operation_count=150,
+            )
+            metrics = executor.run()
+            return (
+                metrics.summary(),
+                metrics.downgrade_usage,
+                cluster.engine.events_processed,
+                cluster.fabric.stats.sent,
+            )
+
+        assert run() == run()
+
+    def test_jittered_backoff_consumes_named_streams(self):
+        cluster, executor = outage_executor(
+            DowngradeRetryPolicy(backoff=BackoffConfig(initial=0.05, jitter=0.25)),
+            operation_count=60,
+        )
+        executor.run()
+        assert any(name.startswith("workload.retry.") for name in cluster.streams.names())
+
+
+class TestDefaultPathPreservesBehaviour:
+    def test_no_retry_policy_consumes_no_retry_randomness(self):
+        cluster, executor = outage_executor(None, operation_count=40)
+        executor.run()
+        assert not any(name.startswith("workload.retry.") for name in cluster.streams.names())

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Perf-trend guard: fail CI when the fabric benchmark regresses.
+
+Compares a freshly-measured ``bench_fabric.py`` result against the recorded
+``BENCH_fabric.json`` baseline committed at the repository root and exits
+non-zero when the hot path regressed by more than ``--max-regression``
+(default 25%).
+
+Two metrics are compared:
+
+* ``optimized.ops_per_wall_s`` -- the headline simulated-ops-per-wall-second
+  number, compared only when the fresh run used the **same benchmark
+  configuration** (record/operation/thread counts and seed) as the recorded
+  baseline; comparing across run sizes would be meaningless;
+* ``speedup_vs_legacy_fabric`` -- the optimized-vs-legacy-fabric ratio
+  measured within one process on one machine.  Both configurations run the
+  identical workload, so the ratio cancels out machine speed: a CI runner
+  half as fast as the laptop that recorded the baseline still reproduces
+  the ratio, and a change that slows the optimized path shrinks it.
+
+At least one metric must be comparable, otherwise the guard fails loudly
+(a guard that silently compares nothing guards nothing).
+
+Usage::
+
+    python tools/check_perf_trend.py --fresh BENCH_fabric_fresh.json \
+        [--baseline BENCH_fabric.json] [--max-regression 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_fabric.json")
+
+
+def _load(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _ratio_metric(report: Dict[str, object]) -> Optional[float]:
+    value = report.get("speedup_vs_legacy_fabric")
+    return float(value) if value is not None else None
+
+
+def _ops_metric(report: Dict[str, object]) -> Optional[float]:
+    optimized = report.get("optimized")
+    if not isinstance(optimized, dict):
+        return None
+    value = optimized.get("ops_per_wall_s")
+    return float(value) if value is not None else None
+
+
+def compare(
+    fresh: Dict[str, object], baseline: Dict[str, object], max_regression: float
+) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, failure lines)."""
+    lines: List[str] = []
+    failures: List[str] = []
+
+    def check(name: str, fresh_value: Optional[float], base_value: Optional[float]) -> bool:
+        if fresh_value is None or base_value is None or base_value <= 0:
+            return False
+        change = fresh_value / base_value - 1.0
+        lines.append(
+            f"{name}: fresh={fresh_value:.3f} baseline={base_value:.3f} "
+            f"({change:+.1%})"
+        )
+        if change < -max_regression:
+            failures.append(
+                f"{name} regressed {-change:.1%} (> {max_regression:.0%} allowed)"
+            )
+        return True
+
+    compared = False
+    if fresh.get("config") == baseline.get("config"):
+        compared |= check("optimized ops_per_wall_s", _ops_metric(fresh), _ops_metric(baseline))
+    else:
+        lines.append(
+            "configs differ -- skipping the ops/s comparison "
+            f"(fresh={fresh.get('config')} baseline={baseline.get('config')})"
+        )
+    compared |= check(
+        "speedup_vs_legacy_fabric", _ratio_metric(fresh), _ratio_metric(baseline)
+    )
+    if not compared:
+        failures.append("no comparable metric between fresh and baseline reports")
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True, help="freshly measured BENCH JSON")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, help="recorded baseline BENCH JSON"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 < args.max_regression < 1:
+        parser.error("--max-regression must be in (0, 1)")
+
+    fresh = _load(args.fresh)
+    baseline = _load(args.baseline)
+    lines, failures = compare(fresh, baseline, args.max_regression)
+    for line in lines:
+        print(line)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf trend OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
