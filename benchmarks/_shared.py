@@ -87,9 +87,40 @@ def assert_no_placeholders(value: object, path: str = "$") -> None:
             assert_no_placeholders(item, f"{path}[{index}]")
 
 
+class RepetitionMismatchError(ValueError):
+    """A benchmark's ``repetitions`` field disagrees with its per-rep lists."""
+
+
+def assert_repetitions_consistent(report: Dict[str, object], path: str = "$") -> None:
+    """Check that ``repetitions`` matches the length of every ``*all_reps*`` list.
+
+    ``BENCH_fabric.json`` once claimed ``"repetitions": 3`` while recording
+    four entries in ``optimized_all_reps_ops_per_wall_s`` -- metadata that
+    lies about its own sample count poisons every later comparison.  The
+    check recurses so nested sections are covered too.
+    """
+    if not isinstance(report, dict):
+        return
+    repetitions = report.get("repetitions")
+    for key, value in report.items():
+        if isinstance(value, dict):
+            assert_repetitions_consistent(value, f"{path}.{key}")
+        elif (
+            "all_reps" in key
+            and isinstance(value, (list, tuple))
+            and isinstance(repetitions, int)
+            and len(value) != repetitions
+        ):
+            raise RepetitionMismatchError(
+                f"{path}.{key} has {len(value)} entries but {path}.repetitions "
+                f"says {repetitions}"
+            )
+
+
 def write_benchmark_json(path: str, report: Dict[str, object]) -> None:
     """Validate and persist one ``BENCH_*.json`` result file."""
     assert_no_placeholders(report)
+    assert_repetitions_consistent(report)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, default=str)
         handle.write("\n")

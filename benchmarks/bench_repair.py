@@ -40,8 +40,12 @@ import sys
 import time
 from typing import Dict, Optional
 
+from repro.cluster.antientropy import AntiEntropyConfig
+from repro.cluster.cluster import SimulatedCluster
 from repro.experiments.runner import run_experiment
-from repro.experiments.scenarios import grid5000_3sites_faults
+from repro.experiments.scenarios import GRID5000_3SITES, grid5000_3sites_faults
+from repro.geo.policy import StaticGeoPolicy
+from repro.workload.executor import WorkloadExecutor
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if REPO_ROOT not in sys.path:  # direct `python benchmarks/bench_repair.py` runs
@@ -142,10 +146,91 @@ def run_arm(cfg: Dict[str, float], *, repair: bool) -> Dict[str, object]:
     }
 
 
+def run_steady_state_arm(
+    *, incremental: bool, record_count: int, sessions: int, interval: float = 5.0
+) -> Dict[str, object]:
+    """Measure per-session repair bytes on a healthy, quiescent 3-site ring.
+
+    The cluster is loaded and fully converged before repair starts, so the
+    sessions being measured are pure *steady state*: nothing changed since
+    the previous session.  Full-keyspace mode still re-hashes and ships the
+    whole leaf vector every time; incremental mode pays the request plus an
+    empty leaf set.  The first interval (the convergence / full-exchange
+    session) is excluded from the per-session figure.  Every number here is
+    a deterministic byte count -- machine-independent, which is what lets
+    the CI perf-trend guard pin it.
+    """
+    cluster = SimulatedCluster(GRID5000_3SITES.cluster_config(seed=SEED))
+    from repro.workload.workloads import WORKLOAD_B
+
+    workload = WORKLOAD_B.scaled(record_count=record_count, operation_count=0)
+    executor = WorkloadExecutor(
+        cluster, workload, StaticGeoPolicy(), threads=1,
+        datacenters=cluster.datacenter_names,
+    )
+    executor.load()  # settles: all replicas converged before repair starts
+    service = cluster.start_anti_entropy(
+        AntiEntropyConfig(interval=interval, incremental=incremental)
+    )
+    engine = cluster.engine
+    # Let the first (full / convergence) session complete, snapshot, then
+    # measure the following ``sessions`` windows.
+    engine.run_until(engine.now + 1.5 * interval)
+    bytes_before = sum(s.bytes_sent for s in service.stats.values())
+    sessions_before = sum(s.sessions_completed for s in service.stats.values())
+    leaves_before = sum(s.leaves_exchanged for s in service.stats.values())
+    streamed_before = sum(s.cells_streamed for s in service.stats.values())
+    engine.run_until(engine.now + sessions * interval)
+    service.stop()
+    cluster.settle()
+    # Every figure is a delta over the measured window, so the excluded
+    # convergence sessions' work never pollutes the steady-state numbers.
+    bytes_total = sum(s.bytes_sent for s in service.stats.values()) - bytes_before
+    completed = sum(s.sessions_completed for s in service.stats.values()) - sessions_before
+    leaves = sum(s.leaves_exchanged for s in service.stats.values()) - leaves_before
+    streamed = sum(s.cells_streamed for s in service.stats.values()) - streamed_before
+    report: Dict[str, object] = {
+        "incremental": incremental,
+        "sessions": completed,
+        "bytes_total": bytes_total,
+        "bytes_per_session": round(bytes_total / completed, 1) if completed else None,
+        "leaves_exchanged": leaves,
+        "cells_streamed": streamed,
+    }
+    if incremental:
+        report["keys_rehashed_by_dc"] = {
+            dc: stats["keys_rehashed"] for dc, stats in sorted(service.cache_stats.items())
+        }
+    return report
+
+
+def run_steady_state(quick: bool) -> Dict[str, object]:
+    record_count = 100 if quick else 400
+    sessions = 4 if quick else 10
+    incremental = run_steady_state_arm(
+        incremental=True, record_count=record_count, sessions=sessions
+    )
+    full = run_steady_state_arm(
+        incremental=False, record_count=record_count, sessions=sessions
+    )
+    ratio = None
+    if incremental["bytes_per_session"] and full["bytes_per_session"]:
+        ratio = round(full["bytes_per_session"] / incremental["bytes_per_session"], 2)
+    return {
+        "scenario": GRID5000_3SITES.name,
+        "record_count": record_count,
+        "sessions_measured": sessions,
+        "incremental": incremental,
+        "full_keyspace": full,
+        "full_vs_incremental_bytes_ratio": ratio,
+    }
+
+
 def run_bench(quick: bool = False) -> Dict[str, object]:
     cfg = QUICK_CONFIG if quick else FULL_CONFIG
     arm_on = run_arm(cfg, repair=True)
     arm_off = run_arm(cfg, repair=False)
+    steady_state = run_steady_state(quick)
     asr = grid5000_3sites_faults().harmony_stale_rates_by_dc[ISOLATED]
     recovery_on = arm_on["stale_rate_by_window"]["recovery"][ISOLATED]
     recovery_off = arm_off["stale_rate_by_window"]["recovery"][ISOLATED]
@@ -160,6 +245,7 @@ def run_bench(quick: bool = False) -> Dict[str, object]:
         "tolerated_stale_rate": asr,
         "repair_on": arm_on,
         "repair_off": arm_off,
+        "steady_state": steady_state,
         "comparison": {
             "stale_rate_during_partition": during_on,
             "post_heal_recovery_stale_rate_repair_on": recovery_on,
@@ -200,6 +286,14 @@ def main(argv=None) -> int:
         failed = True
     if report["repair_on"]["unavailable_total"] != 0:
         print("FAIL: LOCAL_ONE clients saw Unavailable during the partition", file=sys.stderr)
+        failed = True
+    ratio = report["steady_state"]["full_vs_incremental_bytes_ratio"]
+    if ratio is None or ratio < 5.0:
+        print(
+            f"FAIL: steady-state incremental repair only cut session bytes {ratio}x "
+            "(acceptance floor is 5x over the full-keyspace baseline)",
+            file=sys.stderr,
+        )
         failed = True
     if failed:
         return 1

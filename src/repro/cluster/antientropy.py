@@ -30,10 +30,27 @@ partitions and is tallied per DC pair.  That per-pair tally is what the
 monitor reports (:meth:`~repro.core.monitor.ClusterMonitor.attach_anti_entropy`)
 and what ``benchmarks/bench_repair.py`` trades off against the stale rate.
 
-A session interrupted by a partition simply stalls (its messages were
-dropped or parked); the service notices at a later tick and starts a fresh
-session, so repair resumes automatically after heal -- no bookkeeping
-survives a partition, exactly like re-running ``nodetool repair``.
+Incremental repair (the default, ``AntiEntropyConfig.incremental``)
+-------------------------------------------------------------------
+Re-hashing the full keyspace per session costs O(keyspace) CPU and a full
+leaf vector per exchange even when *nothing changed*.  Instead, every
+storage engine flags the keys it mutates (``StorageEngine.dirty_keys``; all
+mutations funnel through ``apply``), and the service keeps one persistent
+:class:`_TreeCache` per datacenter: refreshing it drains the dirty sets and
+re-folds only the touched keys, stamping changed leaves with a monotone
+version.  A session then exchanges only the leaves either side saw change
+since the pair's last completed session (per-pair markers in
+:class:`_PairSync`), and streams only the keys of differing leaves via the
+cache's inverse leaf -> keys index -- O(changed keys) end to end.
+
+Safety falls back to a **full** exchange whenever the markers cannot be
+trusted: the pair's first session, a liveness change in either site (a
+node's data joining or leaving the view is not derivable from dirty flags)
+and any fabric partition epoch change (messages -- including this
+service's own streams -- may have been lost).  A session interrupted by a
+partition simply stalls (its messages were dropped or parked); the service
+notices at a later tick and starts a fresh session, so repair resumes
+automatically after heal, exactly like re-running ``nodetool repair``.
 """
 
 from __future__ import annotations
@@ -52,6 +69,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import SimulatedCluster
 
 __all__ = ["MerkleTree", "AntiEntropyConfig", "AntiEntropyService", "RepairPairStats"]
+
+_EMPTY_SET: frozenset = frozenset()
 
 
 def _key_digest(key: str, timestamp: float, value_id: int) -> int:
@@ -160,6 +179,17 @@ class AntiEntropyConfig:
         Wire size of one leaf digest (Cassandra uses 16-32 byte hashes).
     request_size_bytes:
         Wire size of the initial tree request.
+    leaf_index_size_bytes:
+        Wire size of one leaf *index* in an incremental exchange (requests
+        name their dirty leaves; responses carry ``(index, digest)`` pairs).
+    incremental:
+        ``True`` (default) runs **incremental** repair: each datacenter
+        keeps a persistent tree cache updated from per-key dirty flags, and
+        a session only exchanges leaves that changed since the pair's last
+        completed session -- O(changed keys) hashing and wire bytes in
+        steady state.  ``False`` reproduces the original full-keyspace
+        behaviour (every session re-hashes everything and ships the whole
+        leaf vector), kept as the measurable baseline.
     pairs:
         Explicit DC pairs to repair; ``None`` repairs every unordered pair
         of the cluster's topology.
@@ -169,6 +199,8 @@ class AntiEntropyConfig:
     depth: int = 6
     digest_size_bytes: int = 32
     request_size_bytes: int = 64
+    leaf_index_size_bytes: int = 2
+    incremental: bool = True
     pairs: Optional[Tuple[Tuple[str, str], ...]] = None
 
     def __post_init__(self) -> None:
@@ -178,6 +210,8 @@ class AntiEntropyConfig:
             raise ValueError(f"depth must be in [1, 16], got {self.depth!r}")
         if self.digest_size_bytes < 1 or self.request_size_bytes < 1:
             raise ValueError("message sizes must be positive")
+        if self.leaf_index_size_bytes < 1:
+            raise ValueError("leaf_index_size_bytes must be positive")
 
 
 @dataclass
@@ -188,7 +222,11 @@ class RepairPairStats:
     cells whose source and target sit in different datacenters.  Streams
     that happen to repair a replica inside the source's own site still
     count in ``cells_streamed`` but ride the LAN and are excluded from the
-    WAN byte tally.
+    WAN byte tally.  ``leaves_exchanged`` counts the leaf digests that
+    crossed the WAN (the whole vector per session in full mode, only the
+    changed leaves in incremental mode); ``full_sessions`` counts sessions
+    that could not use incremental markers (first contact, liveness change,
+    partition epoch change).
     """
 
     sessions_started: int = 0
@@ -196,6 +234,8 @@ class RepairPairStats:
     ranges_diffed: int = 0
     cells_streamed: int = 0
     bytes_sent: int = 0
+    leaves_exchanged: int = 0
+    full_sessions: int = 0
     last_session_at: float = -1.0
 
     def as_dict(self) -> Dict[str, object]:
@@ -205,13 +245,68 @@ class RepairPairStats:
             "ranges_diffed": self.ranges_diffed,
             "cells_streamed": self.cells_streamed,
             "bytes_sent": self.bytes_sent,
+            "leaves_exchanged": self.leaves_exchanged,
+            "full_sessions": self.full_sessions,
         }
+
+
+class _TreeCache:
+    """Persistent per-datacenter Merkle state for incremental repair.
+
+    ``view`` is the datacenter's key -> newest-cell map across its live
+    replicas; ``leaves`` the XOR-folded leaf hashes over it; ``leaf_version``
+    a monotone per-leaf change stamp (against which per-pair sync markers
+    compare); ``keys_by_leaf`` the inverse index that makes streaming a
+    differing leaf O(keys in that leaf).  A liveness change invalidates the
+    whole cache (a node's data joining or leaving the view cannot be
+    derived from dirty flags).
+    """
+
+    __slots__ = ("view", "leaves", "leaf_version", "version", "liveness", "keys_by_leaf")
+
+    def __init__(self, n_leaves: int) -> None:
+        self.view: Dict[str, Cell] = {}
+        self.leaves: List[int] = [0] * n_leaves
+        self.leaf_version: List[int] = [0] * n_leaves
+        self.version = 0
+        self.liveness: Tuple[NodeAddress, ...] = ()
+        self.keys_by_leaf: Dict[int, set] = {}
+
+
+class _PairSync:
+    """Incremental-exchange markers of one DC pair.
+
+    ``initiator_seen`` / ``partner_seen`` are the tree-cache versions up to
+    which both sides' leaves have been mutually compared; ``epoch`` is the
+    fabric partition epoch the markers are valid for.  ``-1`` forces a full
+    exchange.
+    """
+
+    __slots__ = ("initiator_seen", "partner_seen", "epoch")
+
+    def __init__(self) -> None:
+        self.initiator_seen = -1
+        self.partner_seen = -1
+        self.epoch = -1
 
 
 class _Session:
     """In-flight state of one repair session (initiator side)."""
 
-    __slots__ = ("pair", "initiator", "partner", "partner_tree", "started_at")
+    __slots__ = (
+        "pair",
+        "initiator",
+        "partner",
+        "partner_tree",
+        "started_at",
+        "full",
+        "requested_leaves",
+        "initiator_version",
+        "partner_version",
+        "epoch_at_start",
+        "drops_at_start",
+        "response_leaves",
+    )
 
     def __init__(
         self,
@@ -225,6 +320,14 @@ class _Session:
         self.partner = partner
         self.partner_tree: Optional[MerkleTree] = None
         self.started_at = started_at
+        # Incremental-mode state.
+        self.full = True
+        self.requested_leaves: Optional[Tuple[int, ...]] = None
+        self.initiator_version = -1
+        self.partner_version = -1
+        self.epoch_at_start = -1
+        self.drops_at_start = -1
+        self.response_leaves: Optional[Dict[int, int]] = None
 
 
 class AntiEntropyService:
@@ -270,6 +373,17 @@ class AntiEntropyService:
         self._sessions: Dict[Tuple[str, str], _Session] = {}
         self._rotation: Dict[str, int] = {name: 0 for name in names}
         self._process: Optional[PeriodicProcess] = None
+        # Incremental-repair state: one persistent tree cache per DC that
+        # participates in a pair, one sync-marker pair per DC pair, and
+        # per-DC cache accounting (what the dirty-range tests assert on).
+        self._caches: Dict[str, _TreeCache] = {}
+        self._pair_sync: Dict[Tuple[str, str], _PairSync] = {
+            pair: _PairSync() for pair in self._pairs
+        }
+        self.cache_stats: Dict[str, Dict[str, int]] = {
+            dc: {"keys_rehashed": 0, "full_rebuilds": 0, "refreshes": 0}
+            for dc in sorted({name for pair in self._pairs for name in pair})
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -388,13 +502,37 @@ class AntiEntropyService:
         stats.last_session_at = self.cluster.engine.now
         session = _Session(pair, initiator, partner, self.cluster.engine.now)
         self._sessions[pair] = session
-        stats.bytes_sent += self.config.request_size_bytes
+        config = self.config
+        size = config.request_size_bytes
+        if config.incremental:
+            cache = self._refresh_cache(dc_a)
+            sync = self._pair_sync[pair]
+            fabric = self.cluster.fabric
+            epoch = fabric.partition_epoch
+            session.epoch_at_start = epoch
+            session.drops_at_start = fabric.stats.dropped
+            session.initiator_version = cache.version
+            full = sync.initiator_seen < 0 or sync.partner_seen < 0 or sync.epoch != epoch
+            session.full = full
+            if full:
+                stats.full_sessions += 1
+            else:
+                seen = sync.initiator_seen
+                leaf_version = cache.leaf_version
+                session.requested_leaves = tuple(
+                    index
+                    for index in range(len(leaf_version))
+                    if leaf_version[index] > seen
+                )
+                # The request names the initiator's dirty leaves.
+                size += config.leaf_index_size_bytes * len(session.requested_leaves)
+        stats.bytes_sent += size
         self.cluster.fabric.send(
             initiator,
             partner,
             MessageKind.TREE_REQUEST,
             {"pair": pair},
-            size_bytes=self.config.request_size_bytes,
+            size_bytes=size,
             on_delivered=lambda message, session=session: self._on_tree_request(session),
         )
 
@@ -408,9 +546,38 @@ class AntiEntropyService:
             # Abandon the session -- it expires at the next tick.
             return
         dc_b = session.pair[1]
-        tree = self._build_tree(dc_b)
-        session.partner_tree = tree
-        size = tree.serialized_size(self.config.digest_size_bytes)
+        config = self.config
+        if config.incremental:
+            cache = self._refresh_cache(dc_b)
+            session.partner_version = cache.version
+            leaves = cache.leaves
+            if session.full:
+                send_indices = range(len(leaves))
+                size = len(leaves) * config.digest_size_bytes
+            else:
+                sync = self._pair_sync[session.pair]
+                seen = sync.partner_seen
+                leaf_version = cache.leaf_version
+                dirty = [
+                    index
+                    for index in range(len(leaf_version))
+                    if leaf_version[index] > seen
+                ]
+                assert session.requested_leaves is not None
+                send_indices = sorted(set(session.requested_leaves) | set(dirty))
+                # (index, digest) pairs for only the leaves either side saw
+                # change -- the steady-state wire cost of a session.
+                size = len(send_indices) * (
+                    config.digest_size_bytes + config.leaf_index_size_bytes
+                )
+            session.response_leaves = {index: leaves[index] for index in send_indices}
+            stats = self.stats[session.pair]
+            stats.leaves_exchanged += len(session.response_leaves)
+        else:
+            tree = self._build_tree(dc_b)
+            session.partner_tree = tree
+            size = tree.serialized_size(config.digest_size_bytes)
+            self.stats[session.pair].leaves_exchanged += tree.n_leaves
         self.stats[session.pair].bytes_sent += size
         self.cluster.fabric.send(
             session.partner,
@@ -427,18 +594,146 @@ class AntiEntropyService:
             return  # superseded; drop silently
         if not self.cluster.nodes[session.initiator].is_up:
             return  # initiator crashed mid-session; abandon
+        dc_a, dc_b = session.pair
+        stats = self.stats[session.pair]
+        if self.config.incremental:
+            assert session.response_leaves is not None
+            cache_a = self._refresh_cache(dc_a)
+            leaves_a = cache_a.leaves
+            differing = {
+                index
+                for index, digest in session.response_leaves.items()
+                if leaves_a[index] != digest
+            }
+            stats.sessions_completed += 1
+            if differing:
+                stats.ranges_diffed += len(differing)
+                cache_b = self._refresh_cache(dc_b)
+                keys: set = set()
+                for index in differing:
+                    keys |= cache_a.keys_by_leaf.get(index, _EMPTY_SET)
+                    keys |= cache_b.keys_by_leaf.get(index, _EMPTY_SET)
+                self._stream_keys(session, sorted(keys), cache_a.view, cache_b.view)
+            # Advance the pair's sync markers only if no message was lost
+            # anywhere during the session: a changed partition epoch OR a
+            # grown fabric drop counter (drop_probability losses, drop-mode
+            # partitions -- including this session's own repair streams,
+            # which were just sent above) means divergence may have escaped
+            # this exchange, so the next session falls back to a full one.
+            # Incremental repair never trusts state across message loss.
+            sync = self._pair_sync[session.pair]
+            fabric = self.cluster.fabric
+            if (
+                fabric.partition_epoch == session.epoch_at_start
+                and fabric.stats.dropped == session.drops_at_start
+            ):
+                sync.initiator_seen = session.initiator_version
+                sync.partner_seen = session.partner_version
+                sync.epoch = session.epoch_at_start
+            else:
+                sync.initiator_seen = -1
+                sync.partner_seen = -1
+            return
         assert session.partner_tree is not None
-        dc_a, _dc_b = session.pair
         token_of = self.cluster.ring.partitioner.token
         view_a = self._dc_view(dc_a)
         local_tree = MerkleTree.build(view_a, token_of, self.config.depth)
         differing = set(local_tree.diff(session.partner_tree))
-        stats = self.stats[session.pair]
         stats.sessions_completed += 1
         if not differing:
             return
         stats.ranges_diffed += len(differing)
         self._stream_ranges(session, differing, view_a)
+
+    # ------------------------------------------------------------------
+    # Incremental tree caches
+    # ------------------------------------------------------------------
+    def _refresh_cache(self, datacenter: str) -> _TreeCache:
+        """Bring the datacenter's persistent tree cache up to date.
+
+        Steady state: drain the dirty-key sets of the site's live nodes and
+        re-fold only the touched (key, version) pairs -- O(changed keys).
+        A liveness change (node/site down or up) rebuilds from scratch:
+        which replicas contribute to the view cannot be derived from dirty
+        flags.
+        """
+        cluster = self.cluster
+        nodes = cluster.nodes
+        alive = tuple(
+            address
+            for address in cluster.addresses_in(datacenter)
+            if nodes[address].is_up
+        )
+        cache = self._caches.get(datacenter)
+        cstats = self.cache_stats[datacenter]
+        cstats["refreshes"] += 1
+        token_of = cluster.ring.partitioner.token
+        shift = 64 - self.config.depth
+        if cache is None or cache.liveness != alive:
+            # Full rebuild; reset every node's dirty set (down nodes
+            # included -- their data re-enters through the next rebuild
+            # when liveness changes again).
+            for address in cluster.addresses_in(datacenter):
+                nodes[address].storage.drain_dirty()
+            fresh = _TreeCache(1 << self.config.depth)
+            fresh.liveness = alive
+            fresh.version = (cache.version + 1) if cache is not None else 1
+            view = self._dc_view(datacenter)
+            fresh.view = view
+            leaves = fresh.leaves
+            keys_by_leaf = fresh.keys_by_leaf
+            for key, cell in view.items():
+                leaf = token_of(key) >> shift
+                leaves[leaf] ^= _key_digest(key, cell.timestamp, cell.value_id)
+                members = keys_by_leaf.get(leaf)
+                if members is None:
+                    members = keys_by_leaf[leaf] = set()
+                members.add(key)
+            version = fresh.version
+            fresh.leaf_version = [version] * len(leaves)
+            self._caches[datacenter] = fresh
+            cstats["full_rebuilds"] += 1
+            cstats["keys_rehashed"] += len(view)
+            return fresh
+        dirty: set = set()
+        for address in alive:
+            dirty |= nodes[address].storage.drain_dirty()
+        if not dirty:
+            return cache
+        live_nodes = [nodes[address] for address in alive]
+        view = cache.view
+        leaves = cache.leaves
+        leaf_version = cache.leaf_version
+        keys_by_leaf = cache.keys_by_leaf
+        version = cache.version
+        rehashed = 0
+        for key in sorted(dirty):
+            newest: Optional[Cell] = None
+            for node in live_nodes:
+                cell = node.peek(key)
+                if cell is not None and cell.is_newer_than(newest):
+                    newest = cell
+            if newest is None:
+                continue  # defensive: no live replica holds the key
+            old = view.get(key)
+            if old is not None and not newest.is_newer_than(old):
+                continue  # dirty flag, but the newest version is unchanged
+            leaf = token_of(key) >> shift
+            if old is not None:
+                leaves[leaf] ^= _key_digest(key, old.timestamp, old.value_id)
+            else:
+                members = keys_by_leaf.get(leaf)
+                if members is None:
+                    members = keys_by_leaf[leaf] = set()
+                members.add(key)
+            leaves[leaf] ^= _key_digest(key, newest.timestamp, newest.value_id)
+            version += 1
+            leaf_version[leaf] = version
+            view[key] = newest
+            rehashed += 1
+        cache.version = version
+        cstats["keys_rehashed"] += rehashed
+        return cache
 
     # ------------------------------------------------------------------
     def _dc_view(self, datacenter: str) -> Dict[str, Cell]:
@@ -462,24 +757,37 @@ class AntiEntropyService:
     def _stream_ranges(
         self, session: _Session, differing: set, view_a: Dict[str, Cell]
     ) -> None:
-        """Bring every behind replica (both sites) of keys in differing
-        ranges up to the pairwise-newest version.
+        """Full-mode streaming: scan the keyspace for keys in differing
+        ranges and delegate to :meth:`_stream_keys`.
 
         ``view_a`` is the initiator-side view the caller already built for
         its tree (same engine event, so it is exactly current); the partner
         side is re-snapshotted because its tree was taken one WAN trip ago.
         """
-        cluster = self.cluster
-        token_of = cluster.ring.partitioner.token
+        token_of = self.cluster.ring.partitioner.token
         shift = 64 - self.config.depth
-        _dc_a, dc_b = session.pair
-        view_b = self._dc_view(dc_b)
+        view_b = self._dc_view(session.pair[1])
+        keys = [
+            key
+            for key in sorted(set(view_a) | set(view_b))
+            if (token_of(key) >> shift) in differing
+        ]
+        self._stream_keys(session, keys, view_a, view_b)
+
+    def _stream_keys(
+        self,
+        session: _Session,
+        keys: List[str],
+        view_a: Dict[str, Cell],
+        view_b: Dict[str, Cell],
+    ) -> None:
+        """Bring every behind replica (both sites) of ``keys`` up to the
+        pairwise-newest version."""
+        cluster = self.cluster
         stats = self.stats[session.pair]
         fabric = cluster.fabric
         topology = cluster.topology
-        for key in sorted(set(view_a) | set(view_b)):
-            if (token_of(key) >> shift) not in differing:
-                continue
+        for key in keys:
             cell_a = view_a.get(key)
             cell_b = view_b.get(key)
             newest = cell_a if cell_b is None or (
@@ -519,7 +827,7 @@ class AntiEntropyService:
                         source,
                         replica,
                         MessageKind.REPAIR_STREAM,
-                        {"cell": newest},
+                        newest,
                         size_bytes=newest.size_bytes,
                     )
 

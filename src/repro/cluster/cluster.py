@@ -46,6 +46,10 @@ from repro.sim.rng import RandomStreams
 __all__ = ["ClusterConfig", "SimulatedCluster", "NoLiveCoordinator"]
 
 
+def _discard_result(result: "OperationResult") -> None:
+    """Completion sink for fire-and-forget operations (no callback given)."""
+
+
 class NoLiveCoordinator(RuntimeError):
     """No reachable coordinator exists for the requested contact points.
 
@@ -243,39 +247,19 @@ class SimulatedCluster:
             )
             self.nodes[address] = node
             self.coordinators[address] = coordinator
-            self.fabric.register(address, self._make_dispatcher(node, coordinator))
-        self._round_robin = itertools.cycle(self.topology.nodes)
+            node.set_response_handler(coordinator.handle_response)
+            self.fabric.register(address, node.handle_message)
+        # Round-robin over (node, coordinator) pairs: picking a coordinator
+        # costs one cycle step and one attribute check, no dict lookups.
+        self._round_robin = itertools.cycle(
+            [(self.nodes[a], self.coordinators[a]) for a in self.topology.nodes]
+        )
         self._round_robin_by_dc: Dict[str, tuple] = {}
         self._operation_observers: List[Callable[[OperationResult], None]] = []
         #: The most recently started anti-entropy service (None until
         #: :meth:`start_anti_entropy`); monitors discover it here so repair
         #: traffic shows up in samples without explicit wiring.
         self.anti_entropy: Optional["AntiEntropyService"] = None
-
-    # ------------------------------------------------------------------
-    # Wiring helpers
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _make_dispatcher(node: StorageNode, coordinator: Coordinator) -> Callable[[Message], None]:
-        request_kinds = frozenset(
-            {
-                MessageKind.READ_REQUEST,
-                MessageKind.WRITE_REQUEST,
-                MessageKind.REPAIR_WRITE,
-                MessageKind.HINT_REPLAY,
-                MessageKind.REPAIR_STREAM,
-                MessageKind.TREE_REQUEST,
-                MessageKind.TREE_RESPONSE,
-            }
-        )
-
-        def dispatch(message: Message) -> None:
-            if message.kind in request_kinds:
-                node.handle_message(message)
-            else:
-                coordinator.handle_response(message)
-
-        return dispatch
 
     # ------------------------------------------------------------------
     # Placement
@@ -356,6 +340,25 @@ class SimulatedCluster:
         for observer in self._operation_observers:
             observer(result)
 
+    def _completion_callback(
+        self, callback: Optional[Callable[[OperationResult], None]], notify_observers: bool
+    ) -> Callable[[OperationResult], None]:
+        """The observer fan-out closure for one operation.
+
+        Only called from :meth:`read`/:meth:`write` *after* their inlined
+        fast path established that observers must be notified; with no
+        registered observers (or notification suppressed) the callers pass
+        the client's own callback straight through and no per-operation
+        closure is allocated.
+        """
+
+        def on_complete(result: OperationResult) -> None:
+            self._notify(result)
+            if callback is not None:
+                callback(result)
+
+        return on_complete
+
     def _pick_coordinator(
         self, coordinator: Optional[NodeAddress], datacenter: Optional[str] = None
     ) -> Coordinator:
@@ -371,16 +374,19 @@ class SimulatedCluster:
                 members = self.addresses_in(datacenter)
                 if not members:
                     raise ValueError(f"unknown datacenter {datacenter!r}")
-                pool = (itertools.cycle(members), len(members))
+                pool = (
+                    itertools.cycle([(self.nodes[a], self.coordinators[a]) for a in members]),
+                    len(members),
+                )
                 self._round_robin_by_dc[datacenter] = pool
             cycle, pool_size = pool
         else:
             cycle = self._round_robin
             pool_size = len(self.coordinators)
         for _ in range(pool_size):
-            address = next(cycle)
-            if self.nodes[address].is_up:
-                return self.coordinators[address]
+            node, picked = next(cycle)
+            if node._up:
+                return picked
         raise NoLiveCoordinator(
             "no live coordinator available"
             + (f" in datacenter {datacenter!r}" if datacenter is not None else "")
@@ -440,13 +446,11 @@ class SimulatedCluster:
         registered operation observers -- used by measurement probes that
         must not re-trigger themselves.
         """
-
-        def on_complete(result: OperationResult) -> None:
-            if notify_observers:
-                self._notify(result)
-            if callback is not None:
-                callback(result)
-
+        # Inlined _completion_callback fast path (one call per operation).
+        if not notify_observers or not self._operation_observers:
+            on_complete = callback if callback is not None else _discard_result
+        else:
+            on_complete = self._completion_callback(callback, notify_observers)
         try:
             picked = self._pick_coordinator(coordinator, datacenter)
         except NoLiveCoordinator:
@@ -476,13 +480,10 @@ class SimulatedCluster:
         ``datacenter`` pins the coordinator to one site (see :meth:`write`);
         ``notify_observers=False`` skips the registered operation observers.
         """
-
-        def on_complete(result: OperationResult) -> None:
-            if notify_observers:
-                self._notify(result)
-            if callback is not None:
-                callback(result)
-
+        if not notify_observers or not self._operation_observers:
+            on_complete = callback if callback is not None else _discard_result
+        else:
+            on_complete = self._completion_callback(callback, notify_observers)
         try:
             picked = self._pick_coordinator(coordinator, datacenter)
         except NoLiveCoordinator:

@@ -45,7 +45,8 @@ from repro.cluster.stats import NodeCounters
 from repro.cluster.storage import Cell
 from repro.network.fabric import Message, MessageKind, NetworkFabric
 from repro.network.topology import NodeAddress, Topology
-from repro.sim.engine import EventHandle, SimulationEngine
+from repro.sim.engine import SimulationEngine
+from repro.sim.timers import FixedDelayTimer, TimerEntry
 
 __all__ = ["Coordinator", "OperationResult", "CoordinatorConfig"]
 
@@ -83,7 +84,7 @@ class CoordinatorConfig:
             raise ValueError("request_overhead must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationResult:
     """Outcome of one client operation, delivered to the completion callback.
 
@@ -182,7 +183,7 @@ class _PendingWrite:
         self.callback = callback
         self.started_at = started_at
         self.completed = False
-        self.timeout_handle: Optional[EventHandle] = None
+        self.timeout_handle: Optional[TimerEntry] = None
 
 
 class _PendingRead:
@@ -227,7 +228,7 @@ class _PendingRead:
         self.callback = callback
         self.started_at = started_at
         self.completed = False
-        self.timeout_handle: Optional[EventHandle] = None
+        self.timeout_handle: Optional[TimerEntry] = None
         self.repairs_outstanding = 0
 
 
@@ -265,6 +266,8 @@ class Coordinator:
         self._counters = counters
         self.config = config or CoordinatorConfig()
         self._read_repair_rng = read_repair_rng
+        self._read_repair_pool: List[float] = []
+        self._read_repair_index = 0
         self._write_size_bytes = int(write_size_bytes)
         #: Shared liveness view (see :mod:`repro.faults.detector`).  ``None``
         #: disables the availability precheck entirely (standalone use).
@@ -289,10 +292,43 @@ class Coordinator:
         self._dc_contacts_cache: Dict[
             Tuple[ConsistencyLevel, Sequence[NodeAddress]], Tuple[NodeAddress, ...]
         ] = {}
+        # Per-(level, key) route cache: [replicas, required, required_by_dc,
+        # contacted-or-None].  Replica placement is static for the lifetime
+        # of a ring, so the whole resolution chain (placement lookup,
+        # requirement, proximity prefix) collapses to one dict hit keyed by
+        # cheap string/enum hashes instead of hashing replica tuples.
+        # A caller that supplies a *dynamic* ``replicas_for`` (placement that
+        # changes over time) must call :meth:`invalidate_routes` after every
+        # change -- the cache has no other invalidation trigger.
+        self._route_cache: Dict[Tuple[ConsistencyLevel, str], List] = {}
+        # Shared fixed-delay timer queues (one per distinct delay value)
+        # replacing the historical one-engine-event-per-operation timeouts:
+        # arming is an append, completion is an O(1) cancel, and dead entries
+        # are swept in bulk when the queue's single armed event fires.
+        self._timers: Dict[float, FixedDelayTimer] = {}
         self.hints = HintStore()
         # The coordinator receives replica responses at a dedicated logical
         # address component; responses are routed back via the fabric handler
         # installed by the owning cluster (see SimulatedCluster).
+
+    def invalidate_routes(self) -> None:
+        """Drop every cached (level, key) route and derived placement cache.
+
+        Required after a change to what ``replicas_for`` returns (placement
+        is static in the shipped cluster, so this never runs on the hot
+        path; the hook exists for callers simulating token movement).
+        """
+        self._route_cache.clear()
+        self._proximity_cache.clear()
+        self._requirement_cache.clear()
+        self._dc_contacts_cache.clear()
+
+    def _after(self, delay: float, fn, arg):
+        """Schedule ``fn(arg)`` on the shared timer queue for ``delay``."""
+        timer = self._timers.get(delay)
+        if timer is None:
+            timer = self._timers[delay] = FixedDelayTimer(self._engine, delay)
+        return timer.schedule(fn, arg)
 
     # ------------------------------------------------------------------
     # Public API
@@ -311,10 +347,19 @@ class Coordinator:
 
         Returns the request id (useful for tracing in tests).
         """
-        replicas = self._replicas_for(key)
-        if type(replicas) is not tuple:  # user-supplied replicas_for callables
-            replicas = tuple(replicas)
-        required, required_by_dc = self._requirement(consistency_level, replicas)
+        route = self._route_cache.get((consistency_level, key))
+        if route is None:
+            replicas = self._replicas_for(key)
+            if type(replicas) is not tuple:  # user-supplied replicas_for callables
+                replicas = tuple(replicas)
+            required, required_by_dc = self._requirement(consistency_level, replicas)
+            self._route_cache[(consistency_level, key)] = [
+                replicas, required, required_by_dc, None,
+            ]
+        else:
+            replicas = route[0]
+            required = route[1]
+            required_by_dc = route[2]
         if not self._is_achievable(replicas, required, required_by_dc):
             return self._reject_unavailable(
                 "write", key, consistency_level, required, replicas, callback
@@ -339,17 +384,20 @@ class Coordinator:
         )
         self._pending_writes[request_id] = pending
         self._counters.coordinator_writes += 1
-        payload = {"request_id": request_id, "cell": cell}
+        payload = (request_id, cell)
+        fabric_send = self._fabric.send
+        address = self.address
+        size = cell.size_bytes
         for replica in replicas:
-            self._fabric.send(
-                self.address,
+            fabric_send(
+                address,
                 replica,
                 MessageKind.WRITE_REQUEST,
                 payload,
-                size_bytes=cell.size_bytes,
+                size_bytes=size,
             )
-        pending.timeout_handle = self._engine.schedule(
-            self.config.write_timeout, self._write_timed_out, request_id, label="write.timeout"
+        pending.timeout_handle = self._after(
+            self.config.write_timeout, self._write_timed_out, request_id
         )
         return request_id
 
@@ -362,34 +410,50 @@ class Coordinator:
         """Issue a read; ``callback`` receives the :class:`OperationResult`."""
         if consistency_level.is_write_only:
             raise ValueError("consistency level ANY cannot be used for reads")
-        replicas = self._replicas_for(key)
-        if type(replicas) is not tuple:  # user-supplied replicas_for callables
-            replicas = tuple(replicas)
-        required, required_by_dc = self._requirement(consistency_level, replicas)
+        route = self._route_cache.get((consistency_level, key))
+        if route is None:
+            replicas = self._replicas_for(key)
+            if type(replicas) is not tuple:  # user-supplied replicas_for callables
+                replicas = tuple(replicas)
+            required, required_by_dc = self._requirement(consistency_level, replicas)
+            route = [replicas, required, required_by_dc, None]
+            self._route_cache[(consistency_level, key)] = route
+        else:
+            replicas = route[0]
+            required = route[1]
+            required_by_dc = route[2]
         if not self._is_achievable(replicas, required, required_by_dc):
             return self._reject_unavailable(
                 "read", key, consistency_level, required, replicas, callback
             )
         request_id = next(self._request_ids)
-        if required_by_dc is None:
-            ordered = self._order_by_proximity(replicas)
-            contacted = ordered[:required]
-        else:
-            # DC-aware level: contact exactly the required count in every
-            # datacenter with a requirement (LOCAL_* touch only the local DC).
-            # The union is re-sorted by proximity so the closest contacted
-            # replica receives the full data request (index 0 below) and the
-            # rest get digests, as in the classic path.  The selection only
-            # depends on (level, replica set), so it is cached.
-            contacted = self._dc_contacts_cache.get((consistency_level, replicas))
-            if contacted is None:
-                union: List[NodeAddress] = []
-                for dc, need in required_by_dc.items():
-                    in_dc = [r for r in replicas if self._topology.datacenter_of(r) == dc]
-                    in_dc.sort(key=lambda r: self._topology.mean_latency(self.address, r))
-                    union.extend(in_dc[:need])
-                contacted = self._order_by_proximity(tuple(union))
-                self._dc_contacts_cache[(consistency_level, replicas)] = contacted
+        contacted = route[3]
+        if contacted is None:
+            if required_by_dc is None:
+                # The contacted prefix only depends on (level, replica set):
+                # cache the slice itself so the hot path pays one dict hit.
+                contacted = self._dc_contacts_cache.get((consistency_level, replicas))
+                if contacted is None:
+                    contacted = self._order_by_proximity(replicas)[:required]
+                    self._dc_contacts_cache[(consistency_level, replicas)] = contacted
+            else:
+                # DC-aware level: contact exactly the required count in every
+                # datacenter with a requirement (LOCAL_* touch only the local
+                # DC).  The union is re-sorted by proximity so the closest
+                # contacted replica receives the full data request (index 0
+                # below) and the rest get digests, as in the classic path.
+                # The selection only depends on (level, replica set), so it
+                # is cached.
+                contacted = self._dc_contacts_cache.get((consistency_level, replicas))
+                if contacted is None:
+                    union: List[NodeAddress] = []
+                    for dc, need in required_by_dc.items():
+                        in_dc = [r for r in replicas if self._topology.datacenter_of(r) == dc]
+                        in_dc.sort(key=lambda r: self._topology.mean_latency(self.address, r))
+                        union.extend(in_dc[:need])
+                    contacted = self._order_by_proximity(tuple(union))
+                    self._dc_contacts_cache[(consistency_level, replicas)] = contacted
+            route[3] = contacted
         # Global read repair: occasionally contact every replica so the
         # background repair can fix stale ones even under CL=ONE (for LOCAL_*
         # levels this round is also the cross-DC anti-entropy path).
@@ -410,14 +474,18 @@ class Coordinator:
         self._counters.coordinator_reads += 1
         # As in Cassandra, the closest replica receives the full data request
         # and the remaining contacted replicas receive cheaper digest requests
-        # (enough to detect staleness and trigger read repair).
-        for index, replica in enumerate(contacted):
-            payload = {"request_id": request_id, "key": key, "digest": index > 0}
-            self._fabric.send(
-                self.address, replica, MessageKind.READ_REQUEST, payload, size_bytes=64
-            )
-        pending.timeout_handle = self._engine.schedule(
-            self.config.read_timeout, self._read_timed_out, request_id, label="read.timeout"
+        # (enough to detect staleness and trigger read repair).  Two shared
+        # payload tuples cover the whole fan-out.
+        data_payload = (request_id, key, False)
+        digest_payload = (request_id, key, True)
+        fabric_send = self._fabric.send
+        address = self.address
+        payload = data_payload
+        for replica in contacted:
+            fabric_send(address, replica, MessageKind.READ_REQUEST, payload, size_bytes=64)
+            payload = digest_payload
+        pending.timeout_handle = self._after(
+            self.config.read_timeout, self._read_timed_out, request_id
         )
         return request_id
 
@@ -425,17 +493,30 @@ class Coordinator:
     # Response handling (wired up by SimulatedCluster)
     # ------------------------------------------------------------------
     def handle_response(self, message: Message) -> None:
-        """Process a replica response addressed to this coordinator."""
+        """Process a replica response addressed to this coordinator.
+
+        Response payloads are tuples: ``(request_id, replica, cell)`` for
+        reads, ``(request_id, replica, is_repair)`` for writes.
+        """
         payload = message.payload
-        if message.kind == MessageKind.WRITE_RESPONSE:
-            request_id = payload["request_id"]
-            if payload.get("repair") and request_id in self._blocking_repairs:
-                self._on_blocking_repair_ack(request_id)
-            else:
-                self._on_write_ack(request_id, payload["replica"])
-        elif message.kind == MessageKind.READ_RESPONSE:
-            self._on_read_response(payload["request_id"], payload["replica"], payload["cell"])
+        kind = message.kind
+        if kind == MessageKind.WRITE_RESPONSE:
+            self.handle_write_response_payload(payload)
+        elif kind == MessageKind.READ_RESPONSE:
+            self.handle_read_response_payload(payload)
         # Other kinds (repair acks) need no coordinator-side bookkeeping.
+
+    def handle_write_response_payload(self, payload: Tuple) -> None:
+        """Fast path for an already-classified WRITE_RESPONSE payload."""
+        request_id = payload[0]
+        if payload[2] and request_id in self._blocking_repairs:
+            self._on_blocking_repair_ack(request_id)
+        else:
+            self._on_write_ack(request_id, payload[1])
+
+    def handle_read_response_payload(self, payload: Tuple) -> None:
+        """Fast path for an already-classified READ_RESPONSE payload."""
+        self._on_read_response(payload[0], payload[1], payload[2])
 
     # ------------------------------------------------------------------
     # Write-path internals
@@ -444,18 +525,23 @@ class Coordinator:
         pending = self._pending_writes.get(request_id)
         if pending is None:
             return
-        if replica not in pending.acks:
-            pending.acks.append(replica)
+        acks = pending.acks
+        if replica not in acks:
+            acks.append(replica)
         if pending.completed:
             # Late acks after completion just mean the replica converged;
             # clean up once everyone answered (including the hint-cleanup
             # timer, which otherwise fires as a dead event).
-            if len(pending.acks) == len(pending.replicas):
+            if len(acks) == len(pending.replicas):
                 if pending.timeout_handle is not None:
                     pending.timeout_handle.cancel()
                 self._pending_writes.pop(request_id, None)
             return
-        if self._satisfied(pending.acks, pending.required, pending.required_by_dc):
+        # Inlined _satisfied fast path for the count-based levels.
+        if pending.required_by_dc is None:
+            if len(acks) >= pending.required:
+                self._complete_write(pending, timed_out=False)
+        elif self._satisfied(acks, pending.required, pending.required_by_dc):
             self._complete_write(pending, timed_out=False)
 
     def _complete_write(self, pending: _PendingWrite, *, timed_out: bool) -> None:
@@ -467,11 +553,8 @@ class Coordinator:
             self._pending_writes.pop(pending.request_id, None)
         else:
             # Re-arm a cleanup timeout: replicas that never answer get hints.
-            pending.timeout_handle = self._engine.schedule(
-                self.config.write_timeout,
-                self._hint_missing_replicas,
-                pending.request_id,
-                label="write.hint",
+            pending.timeout_handle = self._after(
+                self.config.write_timeout, self._hint_missing_replicas, pending.request_id
             )
         result = OperationResult(
             op_type="write",
@@ -518,7 +601,7 @@ class Coordinator:
                 self.address,
                 hint.target,
                 MessageKind.HINT_REPLAY,
-                {"cell": hint.cell},
+                hint.cell,
                 size_bytes=hint.cell.size_bytes,
             )
             self._counters.hints_replayed += 1
@@ -534,11 +617,12 @@ class Coordinator:
         pending = self._pending_reads.get(request_id)
         if pending is None:
             return
-        pending.responses[replica] = cell
+        responses = pending.responses
+        responses[replica] = cell
         if pending.completed:
             # A straggler response arriving after completion: use it for read
             # repair, then clean up once everyone contacted has answered.
-            self._maybe_read_repair(pending)
+            self._maybe_read_repair(pending, self._newest_response(pending))
             if len(pending.responses) == len(pending.contacted):
                 if pending.timeout_handle is not None:
                     pending.timeout_handle.cancel()
@@ -547,7 +631,11 @@ class Coordinator:
         if pending.repairs_outstanding > 0:
             # Already waiting on a blocking repair triggered earlier.
             return
-        if self._satisfied(pending.responses, pending.required, pending.required_by_dc):
+        if (
+            len(responses) >= pending.required
+            if pending.required_by_dc is None
+            else self._satisfied(responses, pending.required, pending.required_by_dc)
+        ):
             # Level ALL demands that the replicas agree before the client is
             # answered: if they diverge, repair the stale ones first and only
             # then complete (paper Fig. 1, strong-consistency flow).
@@ -567,6 +655,8 @@ class Coordinator:
         pending.completed = True
         if pending.timeout_handle is not None:
             pending.timeout_handle.cancel()
+        # Computed once and threaded through the repair helpers (historically
+        # each helper re-scanned the responses).
         newest = self._newest_response(pending)
         result = OperationResult(
             op_type="read",
@@ -582,7 +672,7 @@ class Coordinator:
             coordinator=self.address,
             datacenter=self.datacenter,
         )
-        self._maybe_read_repair(pending)
+        self._maybe_read_repair(pending, newest)
         if len(pending.responses) == len(pending.contacted):
             self._pending_reads.pop(pending.request_id, None)
         else:
@@ -590,11 +680,8 @@ class Coordinator:
             # answer (down node, dropped message) must not pin the pending
             # read forever -- evict after one more timeout window, giving
             # stragglers a grace period to trigger read repair.
-            pending.timeout_handle = self._engine.schedule(
-                self.config.read_timeout,
-                self._evict_read,
-                pending.request_id,
-                label="read.evict",
+            pending.timeout_handle = self._after(
+                self.config.read_timeout, self._evict_read, pending.request_id
             )
         pending.callback(result)
 
@@ -622,9 +709,10 @@ class Coordinator:
                 return False
         return True
 
-    def _stale_responders(self, pending: _PendingRead) -> List[NodeAddress]:
-        """Contacted replicas whose response is older than the newest observed."""
-        newest = self._newest_response(pending)
+    def _stale_responders(
+        self, pending: _PendingRead, newest: Optional[Cell]
+    ) -> List[NodeAddress]:
+        """Contacted replicas whose response is older than ``newest``."""
         if newest is None:
             return []
         return [
@@ -636,7 +724,7 @@ class Coordinator:
     def _start_blocking_repair(self, pending: _PendingRead) -> None:
         """Repair divergent replicas and answer the client only once they ack."""
         newest = self._newest_response(pending)
-        stale = self._stale_responders(pending)
+        stale = self._stale_responders(pending, newest)
         if newest is None or not stale:
             self._complete_read(pending, timed_out=False)
             return
@@ -648,7 +736,7 @@ class Coordinator:
                 self.address,
                 replica,
                 MessageKind.REPAIR_WRITE,
-                {"request_id": pending.request_id, "cell": newest},
+                (pending.request_id, newest),
                 size_bytes=newest.size_bytes,
             )
 
@@ -662,17 +750,16 @@ class Coordinator:
             if not pending.completed:
                 self._complete_read(pending, timed_out=False)
 
-    def _maybe_read_repair(self, pending: _PendingRead) -> None:
+    def _maybe_read_repair(self, pending: _PendingRead, newest: Optional[Cell]) -> None:
         """Send the newest observed cell to contacted replicas that are behind."""
-        newest = self._newest_response(pending)
         if newest is None:
             return
-        for replica in self._stale_responders(pending):
+        for replica in self._stale_responders(pending, newest):
             self._fabric.send(
                 self.address,
                 replica,
                 MessageKind.REPAIR_WRITE,
-                {"request_id": pending.request_id, "cell": newest},
+                (pending.request_id, newest),
                 size_bytes=newest.size_bytes,
             )
 
@@ -836,6 +923,8 @@ class Coordinator:
             self._proximity_cache[replicas] = cached
         return cached
 
+    _READ_REPAIR_POOL_SIZE = 512
+
     def _read_repair_roll(self) -> bool:
         if self.config.read_repair_chance <= 0.0:
             return False
@@ -843,7 +932,18 @@ class Coordinator:
             return True
         if self._read_repair_rng is None:
             return False
-        return bool(self._read_repair_rng.random() < self.config.read_repair_chance)
+        # The coordinator's read-repair stream is consumed only here, so
+        # pre-drawing a block yields the exact same uniform sequence as
+        # per-read scalar draws (NumPy fills doubles sequentially from the
+        # bit stream) at a fraction of the per-roll cost.
+        index = self._read_repair_index
+        pool = self._read_repair_pool
+        if index >= len(pool):
+            pool = self._read_repair_rng.random(size=self._READ_REPAIR_POOL_SIZE).tolist()
+            self._read_repair_pool = pool
+            index = 0
+        self._read_repair_index = index + 1
+        return pool[index] < self.config.read_repair_chance
 
     @property
     def in_flight(self) -> int:

@@ -123,10 +123,32 @@ class StorageNode:
         # call on the hot path.
         self._service_pool: list = []
         self._service_index = 0
-        # NOTE: the node does not register itself with the fabric; the owning
-        # SimulatedCluster installs a per-address dispatcher that routes
-        # replica requests here and replica *responses* to the co-located
-        # coordinator.
+        # Replica *responses* addressed to this node are forwarded to the
+        # co-located coordinator (set by the owning SimulatedCluster via
+        # :meth:`set_response_handler`); the node itself is the single
+        # fabric handler for its address, so delivery needs no intermediate
+        # dispatch closure.  Responses are forwarded even while the node is
+        # down: a coordinator keeps driving its in-flight operations when
+        # its own storage process dies (matching the historical dispatcher).
+        self._response_handler: Optional[Callable[[Message], None]] = None
+        # Kind-classified payload fast paths (set when the handler is a
+        # Coordinator); responses then skip the generic Message dispatch.
+        self._read_response_sink: Optional[Callable] = None
+        self._write_response_sink: Optional[Callable] = None
+        # Pre-bound hot callables (one attribute hop less per request).
+        self._schedule_after = engine.schedule_after
+        self._fabric_send = fabric.send
+
+    def set_response_handler(self, handler: Callable[[Message], None]) -> None:
+        """Install the co-located coordinator's response handler."""
+        self._response_handler = handler
+        owner = getattr(handler, "__self__", None)
+        self._read_response_sink = (
+            getattr(owner, "handle_read_response_payload", None) if owner is not None else None
+        )
+        self._write_response_sink = (
+            getattr(owner, "handle_write_response_payload", None) if owner is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -171,29 +193,62 @@ class StorageNode:
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
-    _WORKER_KINDS = frozenset(
-        {MessageKind.READ_REQUEST, MessageKind.WRITE_REQUEST, MessageKind.REPAIR_WRITE}
-    )
+    # Hot message payloads are plain tuples (allocation- and hash-free on
+    # the read side):
+    #   READ_REQUEST   (request_id, key, digest)
+    #   WRITE_REQUEST  (request_id, cell)
+    #   REPAIR_WRITE   (request_id, cell)
+    #   READ_RESPONSE  (request_id, replica, cell)
+    #   WRITE_RESPONSE (request_id, replica, is_repair)
+    # HINT_REPLAY / REPAIR_STREAM carry the Cell itself as the payload.
+    # Worker-pool kinds are dispatched by the explicit comparisons in
+    # handle_message (hot-first order); there is no separate kind set to
+    # keep in sync.
 
     def handle_message(self, message: Message) -> None:
         """Entry point registered with the network fabric."""
+        kind = message.kind
+        if kind == MessageKind.READ_RESPONSE:
+            sink = self._read_response_sink
+            if sink is not None:
+                sink(message.payload)
+            elif self._response_handler is not None:
+                self._response_handler(message)
+            return
+        if kind == MessageKind.WRITE_RESPONSE:
+            sink = self._write_response_sink
+            if sink is not None:
+                sink(message.payload)
+            elif self._response_handler is not None:
+                self._response_handler(message)
+            return
         if not self._up:
             self.counters.dropped_mutations += 1
             return
-        if message.kind in self._WORKER_KINDS:
-            self._enqueue(message)
-        elif message.kind == MessageKind.HINT_REPLAY:
+        if (
+            kind == MessageKind.READ_REQUEST
+            or kind == MessageKind.WRITE_REQUEST
+            or kind == MessageKind.REPAIR_WRITE
+        ):
+            if self._busy_workers >= self.config.concurrency:
+                if len(self._queue) >= self.config.queue_capacity:
+                    self.counters.queue_rejections += 1
+                    return
+                self._queue.append((message, self._engine.now))
+                return
+            self._start_service(message)
+        elif kind == MessageKind.HINT_REPLAY:
             # Hint replays are applied directly (they are background work and
             # modelled as not competing for the foreground worker pool).
-            self._apply_write(message.payload["cell"], is_repair=True)
-        elif message.kind == MessageKind.REPAIR_STREAM:
+            self._apply_write(message.payload, is_repair=True)
+        elif kind == MessageKind.REPAIR_STREAM:
             # Anti-entropy streamed cell: background work like hint replay
             # (is_repair=False: the read_repairs counter is for the read
             # path), counted separately so repair effectiveness is
             # observable.
-            self._apply_write(message.payload["cell"], is_repair=False)
+            self._apply_write(message.payload, is_repair=False)
             self.counters.anti_entropy_cells += 1
-        elif message.kind in (MessageKind.TREE_REQUEST, MessageKind.TREE_RESPONSE):
+        elif kind in (MessageKind.TREE_REQUEST, MessageKind.TREE_RESPONSE):
             # Merkle tree exchange: the anti-entropy service drives its own
             # state machine through delivery callbacks; the node itself has
             # nothing to do beyond having "received" the message.
@@ -210,22 +265,19 @@ class StorageNode:
             return
         self._start_service(message)
 
-    def _start_service(self, message: Message) -> None:
-        self._busy_workers += 1
-        service_time = self._sample_service_time(message)
-        # handle=False: service completions are never cancelled (a node going
-        # down is checked inside _finish_service), so skip the handle.
-        self._engine.schedule_after(
-            service_time, self._finish_service, message, handle=False
-        )
-
     _SERVICE_POOL_SIZE = 512
 
-    def _sample_service_time(self, message: Message) -> float:
+    def _start_service(self, message: Message) -> None:
+        """Claim a worker and schedule the service completion.
+
+        The single home of service-time sampling: one pooled standard-gamma
+        draw scaled per request kind (digest reads are cheaper), identical
+        bit-for-bit to per-request sampling.
+        """
+        self._busy_workers += 1
         if message.kind == MessageKind.READ_REQUEST:
             scale = self._read_scale
-            payload = message.payload
-            if isinstance(payload, dict) and payload.get("digest"):
+            if message.payload[2]:  # digest read
                 scale *= self.config.digest_service_factor
         else:
             scale = self._write_scale
@@ -238,68 +290,49 @@ class StorageNode:
             self._service_pool = pool
             index = 0
         self._service_index = index + 1
-        return pool[index] * scale * self._slowdown
+        # handle=False: service completions are never cancelled (a node going
+        # down is checked inside _finish_service), so skip the handle.
+        self._schedule_after(
+            pool[index] * scale * self._slowdown, self._finish_service, message, handle=False
+        )
 
     def _finish_service(self, message: Message) -> None:
         self._busy_workers -= 1
         if self._up:
-            self._serve(message)
+            # Inlined request serving (historically a separate _serve call).
+            payload = message.payload
+            kind = message.kind
+            if kind == MessageKind.READ_REQUEST:
+                cell = self.storage.read(payload[1])
+                self.counters.reads_served += 1
+                self._fabric.send(
+                    self.address,
+                    message.src,
+                    MessageKind.READ_RESPONSE,
+                    (payload[0], self.address, cell),
+                    size_bytes=cell.size_bytes if cell is not None else 64,
+                )
+            elif kind == MessageKind.WRITE_REQUEST or kind == MessageKind.REPAIR_WRITE:
+                is_repair = kind == MessageKind.REPAIR_WRITE
+                cell = payload[1]
+                self._apply_write(cell, is_repair=is_repair)
+                self._fabric.send(
+                    self.address,
+                    message.src,
+                    MessageKind.WRITE_RESPONSE,
+                    (payload[0], self.address, is_repair),
+                    size_bytes=64,
+                )
         # Pull the next queued request, if any.
         while self._queue and self._busy_workers < self.config.concurrency:
             queued, _enqueued_at = self._queue.popleft()
             self._start_service(queued)
-
-    # ------------------------------------------------------------------
-    # Replica-level operations
-    # ------------------------------------------------------------------
-    def _serve(self, message: Message) -> None:
-        payload = message.payload
-        if message.kind == MessageKind.READ_REQUEST:
-            cell = self.storage.read(payload["key"])
-            self.counters.reads_served += 1
-            self._reply(
-                message,
-                MessageKind.READ_RESPONSE,
-                {
-                    "request_id": payload["request_id"],
-                    "key": payload["key"],
-                    "cell": cell,
-                    "replica": self.address,
-                },
-                cell,
-            )
-        elif message.kind == MessageKind.WRITE_REQUEST or message.kind == MessageKind.REPAIR_WRITE:
-            is_repair = message.kind == MessageKind.REPAIR_WRITE
-            cell = payload["cell"]
-            self._apply_write(cell, is_repair=is_repair)
-            self._reply(
-                message,
-                MessageKind.WRITE_RESPONSE,
-                {
-                    "request_id": payload["request_id"],
-                    "key": cell.key,
-                    "replica": self.address,
-                    "repair": is_repair,
-                },
-                None,
-            )
 
     def _apply_write(self, cell: Cell, *, is_repair: bool) -> None:
         self.storage.apply(cell)
         self.counters.writes_applied += 1
         if is_repair:
             self.counters.read_repairs += 1
-
-    def _reply(
-        self, request: Message, kind: str, payload: dict, cell: Optional[Cell] = None
-    ) -> None:
-        self._fabric.send(
-            self.address,
-            request.src,
-            kind,
-            payload,
-            size_bytes=cell.size_bytes if cell is not None else 64,
-        )
 
     # ------------------------------------------------------------------
     # Local inspection (no simulated cost; used by auditors and tests)

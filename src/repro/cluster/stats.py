@@ -16,7 +16,7 @@ from repro.network.topology import NodeAddress
 __all__ = ["NodeCounters", "ClusterStats", "CounterSnapshot"]
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeCounters:
     """Cumulative per-node counters, incremented by the node / coordinator."""
 

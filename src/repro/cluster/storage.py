@@ -42,7 +42,7 @@ class Cell:
         return (self.timestamp, self.value_id) > (other.timestamp, other.value_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class StorageStats:
     """Counters exposed by a node's storage engine (``nodetool cfstats``-like)."""
 
@@ -69,7 +69,9 @@ class CommitLog:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
         self._max_entries = int(max_entries)
-        self._entries: List[Tuple[float, str]] = []
+        # Entries are the cells themselves (their timestamp/key are what a
+        # replay would need); storing the cell avoids a per-write tuple.
+        self._entries: List[Cell] = []
         self.appended = 0
         self.bytes_appended = 0
 
@@ -77,10 +79,11 @@ class CommitLog:
         """Record one mutation."""
         self.appended += 1
         self.bytes_appended += cell.size_bytes
-        self._entries.append((cell.timestamp, cell.key))
-        if len(self._entries) > self._max_entries:
+        entries = self._entries
+        entries.append(cell)
+        if len(entries) > self._max_entries:
             # Keep the newest half to avoid O(n) trimming on every append.
-            self._entries = self._entries[-self._max_entries // 2 :]
+            self._entries = entries[-self._max_entries // 2 :]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -165,22 +168,51 @@ class StorageEngine:
         self.sstables: List[SSTable] = []
         self._next_generation = 0
         self.stats = StorageStats()
+        # Keys mutated since the last drain_dirty() -- the incremental
+        # anti-entropy feed.  Every mutation funnels through apply() (client
+        # writes, read repair, hint replay, repair streams), so this set is
+        # exactly "what could have changed a Merkle leaf".
+        self.dirty_keys: set = set()
 
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
     def apply(self, cell: Cell) -> None:
         """Apply a mutation: commit log append + memtable insert (+ maybe flush)."""
-        self.commit_log.append(cell)
-        had_key = self.memtable.get(cell.key) is not None or any(
-            table.get(cell.key) is not None for table in self.sstables
-        )
-        self.memtable.put(cell)
-        self.stats.writes += 1
-        self.stats.bytes_written += cell.size_bytes
+        # Inlined CommitLog.append -- one mutation per replica write makes
+        # this the hottest storage call.
+        log = self.commit_log
+        log.appended += 1
+        log.bytes_appended += cell.size_bytes
+        entries = log._entries
+        entries.append(cell)
+        if len(entries) > log._max_entries:
+            log._entries = entries[-log._max_entries // 2 :]
+        key = cell.key
+        memtable = self.memtable
+        # One memtable lookup serves both the live-cell accounting and the
+        # last-write-wins insert (Memtable.put would look the key up again).
+        existing = memtable._cells.get(key)
+        if existing is None:
+            had_key = False
+            for table in self.sstables:
+                if table.get(key) is not None:
+                    had_key = True
+                    break
+            memtable._cells[key] = cell
+            memtable.size_bytes += cell.size_bytes
+        else:
+            had_key = True
+            if cell.is_newer_than(existing):
+                memtable._cells[key] = cell
+                memtable.size_bytes += cell.size_bytes - existing.size_bytes
+        stats = self.stats
+        stats.writes += 1
+        stats.bytes_written += cell.size_bytes
         if not had_key:
-            self.stats.live_cells += 1
-        if len(self.memtable) >= self._flush_threshold:
+            stats.live_cells += 1
+        self.dirty_keys.add(key)
+        if len(memtable._cells) >= self._flush_threshold:
             self.flush()
 
     def flush(self) -> Optional[SSTable]:
@@ -240,6 +272,16 @@ class StorageEngine:
             if candidate is not None and candidate.is_newer_than(best):
                 best = candidate
         return best
+
+    def drain_dirty(self) -> set:
+        """Return (and reset) the keys mutated since the previous drain.
+
+        Consumed by the anti-entropy service's per-datacenter tree caches;
+        like :meth:`peek`, draining never touches the read counters.
+        """
+        dirty = self.dirty_keys
+        self.dirty_keys = set()
+        return dirty
 
     # ------------------------------------------------------------------
     # Introspection

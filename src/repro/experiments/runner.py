@@ -231,6 +231,51 @@ def run_experiment(
         auditor.attach(cluster)
     else:
         auditor = StalenessAuditor()
+    if scenario.adaptive_repair is not None and scenario.anti_entropy is None:
+        raise ValueError(
+            f"scenario {scenario.name!r} sets adaptive_repair but no anti_entropy "
+            "config; the repair scheduler needs a repair service to steer"
+        )
+    injector = None
+    service = None
+    plane = None
+    own_plane = False
+
+    def register_repair_policy() -> None:
+        """Put the repair scheduler on the run's single control plane.
+
+        Runs right after ``policy.attach(cluster)``: if the consistency
+        policy brought its own :class:`~repro.control.plane.ControlPlane`
+        (adaptive policies do, directly or inside a legacy controller
+        shim), the repair policy is co-registered on it -- one plane, one
+        periodic driver, one decision log per run.  Only static policies
+        get a dedicated plane ticking at the repair base cadence.
+        """
+        nonlocal plane, own_plane
+        from repro.control.plane import ControlPlane
+        from repro.control.policies import RepairSchedulePolicy
+
+        repair = RepairSchedulePolicy(service, scenario.adaptive_repair)
+        shared = getattr(policy_obj, "plane", None)
+        if shared is None:
+            shared = getattr(getattr(policy_obj, "controller", None), "plane", None)
+        if shared is not None:
+            shared.add(repair)
+            plane = shared
+            own_plane = False
+        else:
+            # One control evaluation per base repair tick: the policy only
+            # acts on completed sessions, so a faster cadence would add
+            # ticks without adding information.
+            plane = ControlPlane(
+                cluster,
+                interval=scenario.anti_entropy.interval,
+                name="repair-control",
+            )
+            plane.add(repair)
+            plane.start()
+            own_plane = True
+
     executor = WorkloadExecutor(
         cluster,
         workload,
@@ -240,15 +285,10 @@ def run_experiment(
         think_time=think_time,
         retry_policy=retry_policy,
         datacenters=list(datacenters) if datacenters is not None else None,
+        on_policy_attached=(
+            register_repair_policy if scenario.adaptive_repair is not None else None
+        ),
     )
-    if scenario.adaptive_repair is not None and scenario.anti_entropy is None:
-        raise ValueError(
-            f"scenario {scenario.name!r} sets adaptive_repair but no anti_entropy "
-            "config; the repair scheduler needs a repair service to steer"
-        )
-    injector = None
-    service = None
-    plane = None
     if faulted or scenario.anti_entropy is not None:
         # Load first so fault times and repair ticks are relative to the
         # start of the *measured* run, not the (variable-length) load phase.
@@ -260,24 +300,12 @@ def run_experiment(
             injector.arm()
         if scenario.anti_entropy is not None:
             service = cluster.start_anti_entropy(scenario.anti_entropy)
-            if scenario.adaptive_repair is not None:
-                from repro.control.plane import ControlPlane
-                from repro.control.policies import RepairSchedulePolicy
-
-                # One control evaluation per base repair tick: the policy
-                # only acts on completed sessions, so a faster cadence
-                # would add ticks without adding information.
-                plane = ControlPlane(
-                    cluster,
-                    interval=scenario.anti_entropy.interval,
-                    name="repair-control",
-                )
-                plane.add(RepairSchedulePolicy(service, scenario.adaptive_repair))
-                plane.start()
     try:
         metrics = executor.run()
     finally:
-        if plane is not None:
+        # A shared plane is owned (and stopped) by the policy's detach();
+        # only a runner-built standalone plane is stopped here.
+        if plane is not None and own_plane:
             plane.stop()
         if service is not None:
             service.stop()

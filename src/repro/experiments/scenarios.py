@@ -61,6 +61,7 @@ __all__ = [
     "GRID5000_3SITES_ADAPTIVE",
     "SCALE_100",
     "SCALE_300",
+    "SCALE_1000",
     "ScenarioRegistry",
 ]
 
@@ -427,6 +428,38 @@ SCALE_300 = Scenario(
 )
 
 
+#: 1000-node single-datacenter ring: the headroom proof for the op-path
+#: overhaul.  Same Grid'5000 latency and node envelope as SCALE_100, ten
+#: racks of a hundred nodes; the zero-Waiter client scheduler, shared timer
+#: queues and O(1) per-message link paths are what make closed-loop sweeps
+#: at this width finish in CI-tolerable wall time.
+SCALE_1000 = Scenario(
+    name="scale_1000",
+    n_nodes=1000,
+    replication_factor=5,
+    racks_per_dc=10,
+    datacenters=1,
+    intra_rack_latency=Grid5000LikeLatency(),
+    inter_rack_latency=Grid5000LikeLatency(
+        median=1.2 * Grid5000LikeLatency.DEFAULT_MEDIAN, sigma=0.2
+    ),
+    node=NodeConfig(
+        concurrency=24,
+        read_service_time=0.005,
+        write_service_time=0.0035,
+        service_time_cv=0.45,
+    ),
+    harmony_stale_rates=(0.4, 0.2),
+    fabric_delivery="fifo",
+    description=(
+        "1000-node single-site ring (10 racks of 100) with Grid'5000-like "
+        "latency and bare-metal node envelope; the scale ceiling the "
+        "batched client scheduler and shared timer queues are benchmarked "
+        "against (bench_fabric --scenario scale_1000)."
+    ),
+)
+
+
 def grid5000_3sites_faults(
     *,
     partition_duration: float = 60.0,
@@ -536,6 +569,7 @@ class ScenarioRegistry:
         GRID5000_3SITES_ADAPTIVE.name: GRID5000_3SITES_ADAPTIVE,
         SCALE_100.name: SCALE_100,
         SCALE_300.name: SCALE_300,
+        SCALE_1000.name: SCALE_1000,
     }
 
     @classmethod

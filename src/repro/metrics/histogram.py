@@ -55,8 +55,10 @@ class LatencyHistogram:
             raise ValueError(f"latency must be non-negative, got {latency!r}")
         self._count += 1
         self._total += latency
-        self._min = min(self._min, latency)
-        self._max = max(self._max, latency)
+        if latency < self._min:
+            self._min = latency
+        if latency > self._max:
+            self._max = latency
         if self._reservoir_size is None:
             self._samples.append(latency)
         elif len(self._samples) < self._reservoir_size:

@@ -59,7 +59,7 @@ import numpy as np
 
 from repro.network.latency import LatencyModel
 from repro.network.topology import NodeAddress, Topology
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import Event, SimulationEngine
 from repro.sim.rng import RandomStreams
 
 __all__ = ["Message", "MessageKind", "NetworkFabric", "NetworkStats", "LATENCY_POOL_SIZE"]
@@ -132,7 +132,7 @@ class Message:
     delivered_at: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters maintained by the fabric (per whole cluster).
 
@@ -199,10 +199,23 @@ class _Link:
     per-link bursts.
     """
 
-    __slots__ = ("pool", "pending", "fifo_queue", "next_fire", "last_time", "in_flight", "fire")
+    __slots__ = (
+        "pool",
+        "pending",
+        "fifo_queue",
+        "next_fire",
+        "last_time",
+        "in_flight",
+        "fire",
+        "handler",
+    )
 
     def __init__(self, pool: _LatencyPool) -> None:
         self.pool = pool
+        #: Destination handler resolved once at link creation (kept in sync
+        #: by register/unregister); delivery skips the per-message dict
+        #: lookup.  ``None`` when the destination has no handler.
+        self.handler: Optional[Callable[[Message], None]] = None
         # "coalesced" mode: heap of (deliver_at, seq, message, on_delivered).
         self.pending: List[Tuple[float, int, Message, Optional[Callable]]] = []
         # "fifo" mode: monotonically timed deque of the same tuples.
@@ -285,6 +298,11 @@ class NetworkFabric:
         self._drop_probability = float(drop_probability)
         self._delivery = delivery
         self._latency_sampling = latency_sampling
+        # Mode flags precomputed once; the send hot path branches on C-level
+        # booleans instead of comparing strings per message.
+        self._fifo = delivery == "fifo"
+        self._per_message_delivery = delivery == "per_message"
+        self._pooled = latency_sampling == "pooled"
         self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
         self._next_msg_id = 0
         self.stats = NetworkStats()
@@ -299,6 +317,12 @@ class NetworkFabric:
         self._links: Dict[NodeAddress, Dict[NodeAddress, _Link]] = {}
         # Monotonic tie-break for per-link heaps.
         self._link_seq = 0
+        #: Monotone counter bumped whenever the partition map changes (a new
+        #: partition or a completed heal).  The anti-entropy service compares
+        #: epochs to decide when an incremental session can no longer trust
+        #: its per-pair sync markers (messages may have been lost) and must
+        #: fall back to a full tree exchange.
+        self.partition_epoch = 0
         # Active datacenter partitions: ordered DC-pair tuple -> [mode,
         # refcount].  Refcounted so overlapping fault events (an isolation
         # spanning a pairwise partition) compose: the pair only reopens when
@@ -316,10 +340,21 @@ class NetworkFabric:
         if address in self._handlers:
             raise ValueError(f"a handler is already registered for {address}")
         self._handlers[address] = handler
+        self._sync_link_handlers(address, handler)
 
     def unregister(self, address: NodeAddress) -> None:
         """Remove a node's handler (simulates a crashed / removed node)."""
         self._handlers.pop(address, None)
+        self._sync_link_handlers(address, None)
+
+    def _sync_link_handlers(
+        self, address: NodeAddress, handler: Optional[Callable[[Message], None]]
+    ) -> None:
+        """Refresh the cached handler on every existing link toward ``address``."""
+        for by_dst in self._links.values():
+            link = by_dst.get(address)
+            if link is not None:
+                link.handler = handler
 
     def is_registered(self, address: NodeAddress) -> bool:
         return address in self._handlers
@@ -385,6 +420,7 @@ class NetworkFabric:
         else:
             entry[0] = mode
             entry[1] += 1
+        self.partition_epoch += 1
         self._parked.setdefault(pair, [])
 
     def heal_datacenters(self, dc_a: str, dc_b: str) -> int:
@@ -404,6 +440,7 @@ class NetworkFabric:
         if entry[1] > 0:
             return 0
         del self._partitions[pair]
+        self.partition_epoch += 1
         parked = self._parked.pop(pair, [])
         for message, on_delivered in parked:
             self._schedule_delivery(message, on_delivered)
@@ -480,6 +517,7 @@ class NetworkFabric:
             # functools.partial: called without an interpreter frame of its
             # own, unlike a bridging lambda.
             link.fire = functools.partial(self._fire_link, link)
+            link.handler = self._handlers.get(dst)
             by_dst[dst] = link
         return link
 
@@ -555,7 +593,7 @@ class NetworkFabric:
                         stats.dropped += 1
                     return message
 
-        if self._delivery == "per_message":
+        if self._per_message_delivery:
             delay = self.one_way_delay(src, dst, size_bytes=size_bytes)
             engine.schedule(
                 delay, self._deliver, message, on_delivered, label=f"deliver:{kind}"
@@ -566,7 +604,7 @@ class NetworkFabric:
         link = by_dst.get(dst) if by_dst is not None else None
         if link is None:
             link = self._link_for(src, dst)
-        if self._latency_sampling == "pooled":
+        if self._pooled:
             # Inlined _LatencyPool.next() fast path (one list index).
             pool = link.pool
             index = pool.index
@@ -582,7 +620,7 @@ class NetworkFabric:
         if size_bytes:
             delay += size_bytes / self._bandwidth
         deliver_at = now + delay
-        if self._delivery == "fifo":
+        if self._fifo:
             # In-order links: a message never overtakes the one before it.
             if deliver_at < link.last_time:
                 deliver_at = link.last_time
@@ -592,11 +630,30 @@ class NetworkFabric:
         if in_flight == 0:
             # Fast path: nothing else in flight on this link -- one direct
             # engine event, no queue, no closure (args ride on the event).
-            engine._new_event(deliver_at, self._deliver_from_link, "", (link, message, on_delivered))
+            # The engine's event construction is inlined: this runs once per
+            # message on idle links, the dominant case on wide rings.
+            free = engine._free
+            if free:
+                event = free.pop()
+                event.time = deliver_at
+                event.callback = self._deliver_from_link
+                event.args = (link, message, on_delivered)
+                event.cancelled = False
+                event.label = ""
+            else:
+                event = Event(
+                    time=deliver_at,
+                    callback=self._deliver_from_link,
+                    args=(link, message, on_delivered),
+                )
+            seq = engine._seq
+            engine._seq = seq + 1
+            event.seq = seq
+            heapq.heappush(engine._queue, (deliver_at, seq, event))
             return message
         seq = self._link_seq
         self._link_seq = seq + 1
-        if self._delivery == "fifo":
+        if self._fifo:
             link.fifo_queue.append((deliver_at, seq, message, on_delivered))
             if link.next_fire is None:
                 link.next_fire = deliver_at
@@ -642,7 +699,7 @@ class NetworkFabric:
         if message.size_bytes:
             delay += message.size_bytes / self._bandwidth
         deliver_at = now + delay
-        if self._delivery == "fifo":
+        if self._fifo:
             if deliver_at < link.last_time:
                 deliver_at = link.last_time
             link.last_time = deliver_at
@@ -653,7 +710,7 @@ class NetworkFabric:
             return
         seq = self._link_seq
         self._link_seq = seq + 1
-        if self._delivery == "fifo":
+        if self._fifo:
             link.fifo_queue.append((deliver_at, seq, message, on_delivered))
             if link.next_fire is None:
                 link.next_fire = deliver_at
@@ -667,21 +724,43 @@ class NetworkFabric:
     def _deliver_from_link(
         self, link: _Link, message: Message, on_delivered: Optional[Callable[[Message], None]]
     ) -> None:
-        """Direct (fast-path) delivery of a message that skipped the queue."""
+        """Direct (fast-path) delivery of a message that skipped the queue.
+
+        The delivery bookkeeping is inlined (rather than calling
+        :meth:`_deliver`) because this runs once per message on idle links --
+        the common case on wide rings.
+        """
         link.in_flight -= 1
-        self._deliver(message, on_delivered)
+        now = self._engine._now
+        message.delivered_at = now
+        stats = self.stats
+        stats.delivered += 1
+        stats.total_latency += now - message.sent_at
+        handler = link.handler
+        if handler is not None:
+            handler(message)
+        if on_delivered is not None:
+            on_delivered(message)
 
     def _fire_link(self, link: _Link) -> None:
         """Deliver every queued message on ``link`` whose time has come."""
         now = self._engine._now
         if link.next_fire is not None and link.next_fire <= now:
             link.next_fire = None
-        if self._delivery == "fifo":
+        stats = self.stats
+        handler = link.handler
+        if self._fifo:
             queue = link.fifo_queue
             while queue and queue[0][0] <= now:
                 _t, _seq, message, on_delivered = queue.popleft()
                 link.in_flight -= 1
-                self._deliver(message, on_delivered)
+                message.delivered_at = now
+                stats.delivered += 1
+                stats.total_latency += now - message.sent_at
+                if handler is not None:
+                    handler(message)
+                if on_delivered is not None:
+                    on_delivered(message)
             if queue and link.next_fire is None:
                 head = queue[0][0]
                 link.next_fire = head
@@ -691,7 +770,13 @@ class NetworkFabric:
         while pending and pending[0][0] <= now:
             _t, _seq, message, on_delivered = heapq.heappop(pending)
             link.in_flight -= 1
-            self._deliver(message, on_delivered)
+            message.delivered_at = now
+            stats.delivered += 1
+            stats.total_latency += now - message.sent_at
+            if handler is not None:
+                handler(message)
+            if on_delivered is not None:
+                on_delivered(message)
         if pending:
             head = pending[0][0]
             if link.next_fire is None or head < link.next_fire:

@@ -248,7 +248,12 @@ class SimulationEngine:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the queue without cancelled entries (one O(n) pass)."""
+        """Rebuild the queue without cancelled entries (one O(n) pass).
+
+        The queue list is mutated in place (slice assignment + heapify)
+        rather than replaced: the inlined loop in :meth:`run` holds a local
+        alias to it, and compaction can run from inside an event callback.
+        """
         queue = self._queue
         live = []
         for entry in queue:
@@ -257,8 +262,8 @@ class SimulationEngine:
                 self._recycle(event)
             else:
                 live.append(entry)
-        heapq.heapify(live)
-        self._queue = live
+        queue[:] = live
+        heapq.heapify(queue)
         self._cancelled_pending = 0
         self._compactions += 1
 
@@ -294,14 +299,30 @@ class SimulationEngine:
     ) -> Optional[EventHandle]:
         """Fast-path :meth:`schedule`: positional args only, optional handle.
 
-        The hot paths (message delivery, replica service completion, waiter
+        The hot paths (message delivery, replica service completion, client
         wake-ups) use this so each simulated event costs one free-list pop
         and one heap push; with ``handle=False`` no :class:`EventHandle` is
-        allocated and the event cannot be cancelled.
+        allocated and the event cannot be cancelled.  The body of
+        :meth:`_new_event` is inlined -- this is called once or more per
+        simulated event.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay!r}s in the past")
-        event = self._new_event(self._now + delay, callback, label, args)
+        time = self._now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.label = label
+        else:
+            event = Event(time=time, callback=callback, label=label, args=args)
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        heapq.heappush(self._queue, (time, seq, event))
         if handle:
             return EventHandle(event, self)
         return None
@@ -404,14 +425,50 @@ class SimulationEngine:
         """
         executed = 0
         self._running = True
+        if max_events is not None:
+            try:
+                while not self._stopped:
+                    if executed >= max_events:
+                        break
+                    if not self.step():
+                        break
+                    executed += 1
+            finally:
+                self._running = False
+            return executed
+        # Unbounded run: the event loop is inlined (no per-event step() call)
+        # -- this is where the whole simulation spends its wall time.  The
+        # body mirrors step(); _compact() mutates the queue list in place, so
+        # the local alias stays valid across callbacks.
+        queue = self._queue
+        free = self._free
+        heappop = heapq.heappop
         try:
-            while not self._stopped:
-                if max_events is not None and executed >= max_events:
-                    break
-                if not self.step():
-                    break
+            while queue and not self._stopped:
+                entry = heappop(queue)
+                event = entry[2]
+                if event.cancelled:
+                    self._cancelled_pending -= 1
+                    event.generation += 1
+                    event.args = ()
+                    if len(free) < _FREE_LIST_MAX:
+                        free.append(event)
+                    continue
+                self._now = entry[0]
+                callback = event.callback
+                args = event.args
+                event.generation += 1
+                event.callback = None
+                event.args = ()
+                if len(free) < _FREE_LIST_MAX:
+                    free.append(event)
+                if args:
+                    callback(*args)
+                else:
+                    callback()
                 executed += 1
         finally:
+            self._events_processed += executed
             self._running = False
         return executed
 

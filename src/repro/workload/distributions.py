@@ -146,14 +146,25 @@ class ScrambledZipfianKeyChooser(KeyChooser):
     def __init__(self, item_count: int, theta: float = 0.99) -> None:
         super().__init__(item_count)
         self._zipf = ZipfianGenerator(item_count, theta=theta)
+        # fnv1a_64(raw) % n is pure in (raw, n); the zipfian draw
+        # concentrates on few raw values, so memoizing it removes the
+        # Python hash loop from the per-operation path.  Cleared on grow()
+        # (the modulus changes).
+        self._scramble_cache: dict = {}
 
     def grow(self, new_item_count: int) -> None:
+        grew = new_item_count != self._item_count
         super().grow(new_item_count)
         self._zipf.grow(new_item_count)
+        if grew:
+            self._scramble_cache.clear()
 
     def next_index(self, rng: np.random.Generator) -> int:
         raw = self._zipf.next_index(rng)
-        return fnv1a_64(raw) % self._item_count
+        cached = self._scramble_cache.get(raw)
+        if cached is None:
+            cached = self._scramble_cache[raw] = fnv1a_64(raw) % self._item_count
+        return cached
 
 
 class LatestKeyChooser(KeyChooser):

@@ -24,7 +24,7 @@ from repro.control.retry import RetryPolicy
 from repro.metrics.counters import OperationCounters, StalenessSummary, ThroughputMeter
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.series import TimeSeries
-from repro.workload.client import ClientThread
+from repro.workload.client import ClientThread, CompletionBatch
 from repro.workload.workloads import CoreWorkload, Operation, OperationType, WorkloadConfig
 
 __all__ = ["RunMetrics", "WorkloadExecutor", "ConsistencyPolicyProtocol"]
@@ -185,6 +185,7 @@ class WorkloadExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         max_virtual_time: float = 3600.0,
         datacenters: Optional[List[str]] = None,
+        on_policy_attached: Optional[Callable[[], None]] = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be >= 1")
@@ -196,6 +197,11 @@ class WorkloadExecutor:
         self.think_time = float(think_time)
         self.retry_policy = retry_policy
         self.max_virtual_time = float(max_virtual_time)
+        #: Invoked once per run, right after ``policy.attach(cluster)`` --
+        #: the experiment runner uses it to co-register further control
+        #: policies (e.g. the repair scheduler) on the plane the consistency
+        #: policy just built, instead of spinning up a second plane.
+        self.on_policy_attached = on_policy_attached
         if datacenters is not None:
             known = set(cluster.datacenter_names)
             unknown = [dc for dc in datacenters if dc not in known]
@@ -253,10 +259,15 @@ class WorkloadExecutor:
         if not self._loaded:
             self.load()
         self.policy.attach(self.cluster)
+        if self.on_policy_attached is not None:
+            self.on_policy_attached()
         engine = self.cluster.engine
         start_time = engine.now
         self.metrics.throughput.start(start_time)
 
+        # One completion batch shared by every client: a burst of completions
+        # at one instant costs one flush event, not one wake-up event each.
+        batch = CompletionBatch(engine)
         clients = [
             ClientThread(
                 thread_id=i,
@@ -276,27 +287,38 @@ class WorkloadExecutor:
                     else None
                 ),
                 datacenter=self._thread_datacenter(i),
+                batch=batch,
             )
             for i in range(self.threads)
         ]
         finished = [0]
+        n_clients = len(clients)
 
         def one_finished() -> None:
+            # The last client to finish stops the engine's run loop; driving
+            # the loop from inside the engine avoids the historical
+            # one-Python-iteration-per-event outer loop.
             finished[0] += 1
+            if finished[0] >= n_clients:
+                engine.stop()
 
         for client in clients:
             client.start(one_finished)
 
-        deadline = start_time + self.max_virtual_time
-        n_clients = len(clients)
-        engine_step = engine.step
-        while finished[0] < n_clients:
-            if engine.now > deadline:
-                for client in clients:
-                    client.stop()
-                break
-            if not engine_step():
-                break
+        def deadline_stop() -> None:
+            # Safety bound on the virtual run duration: stop every client
+            # (each stop fires one_finished, so the engine stops once the
+            # last in-flight completion is accounted for).
+            for client in clients:
+                client.stop()
+
+        engine.reset_stop()
+        deadline_guard = engine.at(
+            start_time + self.max_virtual_time, deadline_stop, label="run.deadline"
+        )
+        engine.run()
+        engine.reset_stop()
+        deadline_guard.cancel()
 
         end_time = engine.now
         self.metrics.throughput.stop(end_time)
@@ -357,50 +379,52 @@ class WorkloadExecutor:
             self.metrics.downgrade_usage[key] = self.metrics.downgrade_usage.get(key, 0) + 1
 
     def _on_result(self, operation: Operation, result: OperationResult) -> None:
+        metrics = self.metrics
+        counters = metrics.counters
         if result.unavailable:
             # Rejected operations never executed: keep them out of the
             # latency histograms and the staleness verdicts (an unavailable
             # read returned no data by design, not because it was stale),
             # but count them so fault runs can report error rates.
             if result.op_type == "read":
-                self.metrics.counters.unavailable_reads += 1
+                counters.unavailable_reads += 1
             else:
-                self.metrics.counters.unavailable_writes += 1
+                counters.unavailable_writes += 1
             return
-        latency = result.latency
-        self.metrics.overall_latency.record(latency)
-        self.metrics.throughput.record()
+        latency = result.completed_at - result.started_at
+        metrics.overall_latency.record(latency)
+        metrics.throughput.record()
         if result.op_type == "read":
-            self.metrics.counters.reads += 1
-            self.metrics.read_latency.record(latency)
+            counters.reads += 1
+            metrics.read_latency.record(latency)
             if result.timed_out:
-                self.metrics.counters.read_timeouts += 1
+                counters.read_timeouts += 1
             if result.cell is None:
-                self.metrics.counters.read_misses += 1
+                counters.read_misses += 1
             level_name = result.consistency_level.value
-            self.metrics.consistency_level_usage[level_name] = (
-                self.metrics.consistency_level_usage.get(level_name, 0) + 1
-            )
-            if result.datacenter is not None:
+            usage = metrics.consistency_level_usage
+            usage[level_name] = usage.get(level_name, 0) + 1
+            datacenter = result.datacenter
+            if datacenter is not None:
                 # Not setdefault(): that would build (and usually discard) a
                 # fresh histogram on every read.
-                by_dc = self.metrics.read_latency_by_dc.get(result.datacenter)
+                by_dc = metrics.read_latency_by_dc.get(datacenter)
                 if by_dc is None:
-                    by_dc = self.metrics.read_latency_by_dc[result.datacenter] = LatencyHistogram()
+                    by_dc = metrics.read_latency_by_dc[datacenter] = LatencyHistogram()
                 by_dc.record(latency)
             if self.auditor is not None:
                 stale = self.auditor.judge(operation.key, result)
-                self.metrics.staleness.record(level_name, stale)
-                if result.datacenter is not None:
-                    stale_dc = self.metrics.staleness_by_dc.get(result.datacenter)
+                metrics.staleness.record(level_name, stale)
+                if datacenter is not None:
+                    stale_dc = metrics.staleness_by_dc.get(datacenter)
                     if stale_dc is None:
-                        stale_dc = self.metrics.staleness_by_dc[result.datacenter] = StalenessSummary()
+                        stale_dc = metrics.staleness_by_dc[datacenter] = StalenessSummary()
                     stale_dc.record(level_name, stale)
         else:
-            self.metrics.counters.writes += 1
-            self.metrics.write_latency.record(latency)
+            counters.writes += 1
+            metrics.write_latency.record(latency)
             if result.timed_out:
-                self.metrics.counters.write_timeouts += 1
+                counters.write_timeouts += 1
             if self.auditor is not None:
                 self.auditor.observe_write(result)
 

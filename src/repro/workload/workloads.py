@@ -9,9 +9,10 @@ workload A (heavy read/update, 50/50) and workload B (read-heavy, ~95/5).
 
 from __future__ import annotations
 
+import bisect
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
 
 import numpy as np
 
@@ -50,9 +51,8 @@ class OperationType(enum.Enum):
         )
 
 
-@dataclass(frozen=True)
-class Operation:
-    """One generated operation.
+class Operation(NamedTuple):
+    """One generated operation (a NamedTuple: one C-level ctor per draw).
 
     Attributes
     ----------
@@ -193,6 +193,8 @@ class CoreWorkload:
         self._op_types = [op for op, p in mix.items() if p > 0]
         probabilities = np.array([mix[op] for op in self._op_types], dtype=float)
         self._cumulative = np.cumsum(probabilities / probabilities.sum())
+        self._cumulative_list: list = self._cumulative.tolist()
+        self._key_names: list = []
 
     # ------------------------------------------------------------------
     # Load phase
@@ -202,8 +204,11 @@ class CoreWorkload:
         return [self.key_for(i) for i in range(self.config.record_count)]
 
     def key_for(self, index: int) -> str:
-        """Key name of record ``index``."""
-        return f"{self.config.key_prefix}{index}"
+        """Key name of record ``index`` (memoized -- one f-string per key)."""
+        names = self._key_names
+        while index >= len(names):
+            names.append(f"{self.config.key_prefix}{len(names)}")
+        return names[index]
 
     def value_size(self) -> int:
         """Size in bytes of one generated record value."""
@@ -241,9 +246,14 @@ class CoreWorkload:
             yield self.next_operation()
 
     def _draw_op_type(self) -> OperationType:
+        # bisect on the (tiny) cumulative list instead of np.searchsorted:
+        # the NumPy call overhead dwarfs the search at this size.  The
+        # single scalar draw keeps stream consumption identical to the
+        # historical implementation.
         u = float(self._rng.random())
-        index = int(np.searchsorted(self._cumulative, u, side="right"))
-        index = min(index, len(self._op_types) - 1)
+        index = bisect.bisect_right(self._cumulative_list, u)
+        if index >= len(self._op_types):
+            index = len(self._op_types) - 1
         return self._op_types[index]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,7 +19,9 @@ if REPO_ROOT not in sys.path:
 
 from benchmarks._shared import (  # noqa: E402
     PlaceholderValueError,
+    RepetitionMismatchError,
     assert_no_placeholders,
+    assert_repetitions_consistent,
     write_benchmark_json,
 )
 
@@ -63,6 +65,37 @@ class TestPlaceholderGuard:
         assert json.loads(path.read_text()) == report
 
 
+class TestRepetitionGuard:
+    def test_matching_reps_pass(self):
+        assert_repetitions_consistent(
+            {"repetitions": 3, "optimized_all_reps_ops_per_wall_s": [1.0, 2.0, 3.0]}
+        )
+
+    def test_mismatched_reps_rejected(self):
+        # The historical bug: "repetitions": 3 with four recorded entries.
+        with pytest.raises(RepetitionMismatchError):
+            assert_repetitions_consistent(
+                {"repetitions": 3, "optimized_all_reps_ops_per_wall_s": [1.0, 2.0, 3.0, 4.0]}
+            )
+
+    def test_nested_sections_are_checked(self):
+        with pytest.raises(RepetitionMismatchError):
+            assert_repetitions_consistent(
+                {"inner": {"repetitions": 2, "all_reps_wall_s": [0.1]}}
+            )
+
+    def test_reports_without_reps_metadata_pass(self):
+        assert_repetitions_consistent({"benchmark": "x", "values": [1, 2, 3]})
+
+    def test_write_refuses_mismatch(self, tmp_path):
+        path = tmp_path / "BENCH_bad_reps.json"
+        with pytest.raises(RepetitionMismatchError):
+            write_benchmark_json(
+                str(path), {"repetitions": 1, "all_reps_ops": [1.0, 2.0]}
+            )
+        assert not path.exists()
+
+
 class TestRecordedBenchmarkFilesAreClean:
     @pytest.mark.parametrize("name", ["BENCH_fabric.json", "BENCH_repair.json"])
     def test_recorded_results_contain_no_placeholders(self, name):
@@ -70,6 +103,7 @@ class TestRecordedBenchmarkFilesAreClean:
         with open(path, "r", encoding="utf-8") as handle:
             report = json.load(handle)
         assert_no_placeholders(report)
+        assert_repetitions_consistent(report)
 
     def test_fabric_baseline_is_a_real_measurement(self):
         path = os.path.join(REPO_ROOT, "BENCH_fabric.json")

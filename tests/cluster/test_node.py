@@ -47,23 +47,25 @@ def build_node(config: NodeConfig | None = None):
 
 
 def write_message(src, dst, key="k", ts=1.0, request_id=0) -> Message:
+    # Hot-path payloads are tuples: (request_id, cell) for writes.
     cell = Cell(timestamp=ts, value_id=0, key=key, value="v", size_bytes=16)
     return Message(
         msg_id=0,
         src=src,
         dst=dst,
         kind="write_request",
-        payload={"request_id": request_id, "cell": cell},
+        payload=(request_id, cell),
     )
 
 
-def read_message(src, dst, key="k", request_id=1) -> Message:
+def read_message(src, dst, key="k", request_id=1, digest=False) -> Message:
+    # (request_id, key, digest) for reads.
     return Message(
         msg_id=1,
         src=src,
         dst=dst,
         kind="read_request",
-        payload={"request_id": request_id, "key": key},
+        payload=(request_id, key, digest),
     )
 
 
@@ -86,7 +88,8 @@ def test_read_returns_stored_cell():
     engine.run()
     assert len(responses) == 1
     assert responses[0].kind == "read_response"
-    assert responses[0].payload["cell"].timestamp == 3.0
+    # READ_RESPONSE payload: (request_id, replica, cell).
+    assert responses[0].payload[2].timestamp == 3.0
     assert counters.reads_served == 1
 
 
@@ -94,7 +97,7 @@ def test_read_miss_returns_none_cell():
     engine, fabric, node, coordinator, responses, counters = build_node()
     node.handle_message(read_message(coordinator, node.address, key="missing"))
     engine.run()
-    assert responses[0].payload["cell"] is None
+    assert responses[0].payload[2] is None
 
 
 def test_concurrency_limit_queues_requests():
@@ -144,6 +147,7 @@ def test_hint_replay_applies_without_worker_slot():
     engine, fabric, node, coordinator, responses, counters = build_node()
     message = write_message(coordinator, node.address)
     message.kind = "hint_replay"
+    message.payload = message.payload[1]  # HINT_REPLAY carries the cell itself
     node.handle_message(message)
     assert node.peek("k") is not None  # applied synchronously
     assert node.busy_workers == 0
@@ -197,8 +201,7 @@ def test_digest_reads_are_cheaper_on_average():
     full_read_time = engine.now
     # Digest read on a fresh node (new engine) for a clean comparison.
     engine2, fabric2, node2, coordinator2, responses2, counters2 = build_node(config)
-    message = read_message(coordinator2, node2.address, key="a", request_id=2)
-    message.payload["digest"] = True
+    message = read_message(coordinator2, node2.address, key="a", request_id=2, digest=True)
     node2.handle_message(message)
     engine2.run()
     assert engine2.now < full_read_time

@@ -1,0 +1,64 @@
+"""The runner must drive all control policies from one plane per run.
+
+Historically ``run_experiment`` always built a second ``ControlPlane`` for
+the repair scheduler, even when the consistency policy had already started
+one -- two periodic drivers, two decision logs, and a second monitoring
+surface.  These tests pin the co-registration fix: an adaptive consistency
+policy's plane carries the repair policy too; only static policies get a
+dedicated repair plane.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenarios import GRID5000_3SITES_ADAPTIVE
+from repro.workload.workloads import WORKLOAD_B
+
+
+def run_adaptive(policy: str):
+    scenario = GRID5000_3SITES_ADAPTIVE
+    workload = WORKLOAD_B.scaled(record_count=60, operation_count=400)
+    return run_experiment(
+        scenario,
+        workload,
+        policy,
+        4,
+        seed=3,
+        datacenters=scenario.datacenter_names,
+        think_time=0.02,
+    )
+
+
+class TestOnePlanePerRun:
+    def test_adaptive_policy_shares_its_plane_with_repair(self):
+        result = run_adaptive("geo-harmony-rw")
+        plane = result.control_plane
+        assert plane is not None
+        # The run's plane IS the policy's plane -- no second plane was
+        # built: both the consistency policy and the repair scheduler are
+        # registered on it.
+        names = [p.name for p in plane.policies]
+        assert "geo-harmony-rw" in names
+        assert "repair-schedule" in names
+
+    def test_shared_plane_decisions_reach_run_metrics(self):
+        result = run_adaptive("geo-harmony-rw")
+        # Consistency and repair decisions land in one counter export.
+        kinds = set(result.metrics.control_decisions)
+        assert any(key.startswith("geo-harmony-rw.") for key in kinds)
+        # Repair decisions appear once any session completed and moved a
+        # cadence; at minimum the policy is registered on the shared plane
+        # (asserted above) and its decisions, when made, share the log.
+        plane = result.control_plane
+        repair_decisions = [d for d in plane.decisions if d.policy == "repair-schedule"]
+        for decision in repair_decisions:
+            assert decision.kind == "repair_interval"
+
+    def test_static_policy_gets_standalone_repair_plane(self):
+        result = run_adaptive("local_quorum")
+        plane = result.control_plane
+        assert plane is not None
+        names = [p.name for p in plane.policies]
+        assert names == ["repair-schedule"]
+        # The standalone plane ticks at the repair base cadence.
+        assert plane.interval == GRID5000_3SITES_ADAPTIVE.anti_entropy.interval

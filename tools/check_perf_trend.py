@@ -79,18 +79,90 @@ def compare(
         return True
 
     compared = False
-    if fresh.get("config") == baseline.get("config"):
+    same_scenario = fresh.get("scenario") == baseline.get("scenario")
+    if same_scenario and fresh.get("config") == baseline.get("config"):
         compared |= check("optimized ops_per_wall_s", _ops_metric(fresh), _ops_metric(baseline))
     else:
         lines.append(
             "configs differ -- skipping the ops/s comparison "
             f"(fresh={fresh.get('config')} baseline={baseline.get('config')})"
         )
-    compared |= check(
-        "speedup_vs_legacy_fabric", _ratio_metric(fresh), _ratio_metric(baseline)
-    )
+    if same_scenario:
+        compared |= check(
+            "speedup_vs_legacy_fabric", _ratio_metric(fresh), _ratio_metric(baseline)
+        )
+    else:
+        lines.append(
+            "scenarios differ -- skipping the speedup-ratio comparison "
+            f"(fresh={fresh.get('scenario')} baseline={baseline.get('scenario')})"
+        )
     if not compared:
         failures.append("no comparable metric between fresh and baseline reports")
+    return lines, failures
+
+
+def _steady_state_bytes(report: Dict[str, object]) -> Optional[float]:
+    """Per-session steady-state repair bytes of one BENCH_repair report."""
+    steady = report.get("steady_state")
+    if not isinstance(steady, dict):
+        return None
+    value = steady.get("incremental", {}).get("bytes_per_session")
+    return float(value) if value is not None else None
+
+
+def _steady_state_reduction(report: Dict[str, object]) -> Optional[float]:
+    steady = report.get("steady_state")
+    if not isinstance(steady, dict):
+        return None
+    value = steady.get("full_vs_incremental_bytes_ratio")
+    return float(value) if value is not None else None
+
+
+def compare_repair(
+    fresh: Dict[str, object], baseline: Dict[str, object], max_regression: float
+) -> Tuple[List[str], List[str]]:
+    """Guard the repair benchmark's steady-state session bytes.
+
+    Both metrics are byte counts over deterministic sessions, so they are
+    machine-independent: a fresh run on any hardware must reproduce the
+    committed steady-state economics.  ``bytes_per_session`` may not grow
+    more than ``max_regression`` over the baseline, and the full-keyspace
+    vs incremental reduction ratio may not shrink below 5x (the recorded
+    acceptance floor) or ``max_regression`` under the baseline's ratio.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    fresh_bytes = _steady_state_bytes(fresh)
+    base_bytes = _steady_state_bytes(baseline)
+    if fresh_bytes is None or base_bytes is None:
+        failures.append("steady_state.incremental.bytes_per_session missing from a report")
+        return lines, failures
+    growth = fresh_bytes / base_bytes - 1.0 if base_bytes > 0 else 0.0
+    lines.append(
+        f"steady-state repair bytes/session: fresh={fresh_bytes:.0f} "
+        f"baseline={base_bytes:.0f} ({growth:+.1%})"
+    )
+    if growth > max_regression:
+        failures.append(
+            f"steady-state repair bytes/session grew {growth:.1%} "
+            f"(> {max_regression:.0%} allowed)"
+        )
+    fresh_ratio = _steady_state_reduction(fresh)
+    base_ratio = _steady_state_reduction(baseline)
+    if fresh_ratio is not None and base_ratio is not None:
+        lines.append(
+            f"full-vs-incremental byte reduction: fresh={fresh_ratio:.1f}x "
+            f"baseline={base_ratio:.1f}x"
+        )
+        if fresh_ratio < 5.0:
+            failures.append(
+                f"full-vs-incremental reduction {fresh_ratio:.1f}x fell under the 5x floor"
+            )
+        elif fresh_ratio < base_ratio * (1.0 - max_regression):
+            failures.append(
+                f"full-vs-incremental reduction shrank to {fresh_ratio:.1f}x "
+                f"(baseline {base_ratio:.1f}x)"
+            )
     return lines, failures
 
 
@@ -106,6 +178,17 @@ def main(argv=None) -> int:
         default=0.25,
         help="maximum tolerated fractional regression (default 0.25)",
     )
+    parser.add_argument(
+        "--repair-fresh",
+        default=None,
+        help="freshly measured BENCH_repair JSON (adds the machine-independent "
+        "steady-state repair-bytes guard)",
+    )
+    parser.add_argument(
+        "--repair-baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_repair.json"),
+        help="recorded BENCH_repair baseline (used with --repair-fresh)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.max_regression < 1:
         parser.error("--max-regression must be in (0, 1)")
@@ -113,6 +196,12 @@ def main(argv=None) -> int:
     fresh = _load(args.fresh)
     baseline = _load(args.baseline)
     lines, failures = compare(fresh, baseline, args.max_regression)
+    if args.repair_fresh is not None:
+        repair_lines, repair_failures = compare_repair(
+            _load(args.repair_fresh), _load(args.repair_baseline), args.max_regression
+        )
+        lines.extend(repair_lines)
+        failures.extend(repair_failures)
     for line in lines:
         print(line)
     if failures:
