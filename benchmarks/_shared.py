@@ -106,7 +106,8 @@ def assert_repetitions_consistent(report: Dict[str, object], path: str = "$") ->
         if isinstance(value, dict):
             assert_repetitions_consistent(value, f"{path}.{key}")
         elif (
-            "all_reps" in key
+            isinstance(key, str)
+            and "all_reps" in key
             and isinstance(value, (list, tuple))
             and isinstance(repetitions, int)
             and len(value) != repetitions

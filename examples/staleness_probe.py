@@ -67,7 +67,7 @@ def run(with_probe: bool, seed: int = 9):
         auditor=auditor,
     )
     metrics = executor.run()
-    return {
+    row = {
         "measurement": "dual-read probe (paper)" if with_probe else "ground-truth auditor",
         "throughput_ops_s": round(metrics.ops_per_second(), 1),
         "read_p99_ms": round(metrics.read_latency.p99() * 1e3, 2),
@@ -75,16 +75,39 @@ def run(with_probe: bool, seed: int = 9):
         "probe_stale_rate": round(probe.stale_rate(), 4) if probe else None,
         "extra_reads_issued": probe.probes_issued if probe else 0,
     }
+    return row, auditor
+
+
+def render_visibility_cdf(stats, width: int = 50) -> str:
+    """ASCII t-visibility CDF: P(read at most t stale) over a log t grid.
+
+    The auditor quantifies every stale read's age, so the curve is exact --
+    the same data `benchmarks/bench_staleness.py` records as JSON.
+    """
+    lines = ["t-visibility (ground truth): P(read is at most t seconds stale)"]
+    for row in stats.visibility_curve():
+        bar = "#" * round(row["visibility"] * width)
+        lines.append(f"  t <= {row['t'] * 1e3:8.1f} ms |{bar:<{width}}| {row['visibility']:7.2%}")
+    lines.append(
+        f"  stale reads: {stats.stale}/{stats.judged}"
+        f"  age p99: {stats.age_percentile(99) * 1e3:.1f} ms"
+        f"  max version lag k: {stats.max_k()}"
+    )
+    return "\n".join(lines)
 
 
 def main() -> None:
-    rows = [run(with_probe=False), run(with_probe=True)]
+    row_auditor, auditor = run(with_probe=False)
+    row_probe, _ = run(with_probe=True)
+    rows = [row_auditor, row_probe]
     print(
         format_table(
             rows,
             title="Eventual consistency under workload A: measurement methodology comparison",
         )
     )
+    print()
+    print(render_visibility_cdf(auditor.stats))
     print()
     print(
         "The dual-read methodology consumes cluster capacity (one extra strong read\n"

@@ -61,7 +61,13 @@ Package layout
     YCSB-style workloads A-F, key distributions and closed-loop clients
     (optionally pinned to datacenters);
 ``repro.staleness``
-    ground-truth staleness auditing and the paper's dual-read probe;
+    ground-truth staleness auditing and the paper's dual-read probe, with
+    exact per-read quantification (staleness age, version lag) aggregated
+    into t-visibility curves and k-staleness histograms per scope;
+``repro.obs``
+    run observability: the opt-in zero-engine-event op-lifecycle
+    :class:`~repro.obs.Tracer` (deterministic JSONL spans) and the periodic
+    :class:`~repro.obs.RunSeriesRecorder` time-series export;
 ``repro.metrics``
     latency histograms, throughput meters, time series and reports;
 ``repro.experiments``

@@ -384,6 +384,9 @@ class AntiEntropyService:
             dc: {"keys_rehashed": 0, "full_rebuilds": 0, "refreshes": 0}
             for dc in sorted({name for pair in self._pairs for name in pair})
         }
+        #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`):
+        #: completed sessions are mirrored into the trace.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -614,6 +617,8 @@ class AntiEntropyService:
                     keys |= cache_a.keys_by_leaf.get(index, _EMPTY_SET)
                     keys |= cache_b.keys_by_leaf.get(index, _EMPTY_SET)
                 self._stream_keys(session, sorted(keys), cache_a.view, cache_b.view)
+            if self.tracer is not None:
+                self.tracer.repair_session(session.pair, len(differing), stats.bytes_sent)
             # Advance the pair's sync markers only if no message was lost
             # anywhere during the session: a changed partition epoch OR a
             # grown fabric drop counter (drop_probability losses, drop-mode
@@ -641,9 +646,13 @@ class AntiEntropyService:
         differing = set(local_tree.diff(session.partner_tree))
         stats.sessions_completed += 1
         if not differing:
+            if self.tracer is not None:
+                self.tracer.repair_session(session.pair, 0, stats.bytes_sent)
             return
         stats.ranges_diffed += len(differing)
         self._stream_ranges(session, differing, view_a)
+        if self.tracer is not None:
+            self.tracer.repair_session(session.pair, len(differing), stats.bytes_sent)
 
     # ------------------------------------------------------------------
     # Incremental tree caches

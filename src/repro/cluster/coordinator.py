@@ -307,6 +307,10 @@ class Coordinator:
         # are swept in bulk when the queue's single armed event fires.
         self._timers: Dict[float, FixedDelayTimer] = {}
         self.hints = HintStore()
+        #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`).
+        #: ``None`` by default; every hook below is a single identity check,
+        #: so the traced and untraced hot paths schedule identical events.
+        self.tracer = None
         # The coordinator receives replica responses at a dedicated logical
         # address component; responses are routed back via the fabric handler
         # installed by the owning cluster (see SimulatedCluster).
@@ -396,6 +400,10 @@ class Coordinator:
                 payload,
                 size_bytes=size,
             )
+        if self.tracer is not None:
+            self.tracer.op_fanout(
+                "write", request_id, key, consistency_level, address, len(replicas)
+            )
         pending.timeout_handle = self._after(
             self.config.write_timeout, self._write_timed_out, request_id
         )
@@ -484,6 +492,10 @@ class Coordinator:
         for replica in contacted:
             fabric_send(address, replica, MessageKind.READ_REQUEST, payload, size_bytes=64)
             payload = digest_payload
+        if self.tracer is not None:
+            self.tracer.op_fanout(
+                "read", request_id, key, consistency_level, address, len(contacted)
+            )
         pending.timeout_handle = self._after(
             self.config.read_timeout, self._read_timed_out, request_id
         )
@@ -570,6 +582,8 @@ class Coordinator:
             coordinator=self.address,
             datacenter=self.datacenter,
         )
+        if self.tracer is not None:
+            self.tracer.op_complete(result, pending.request_id)
         pending.callback(result)
 
     def _write_timed_out(self, request_id: int) -> None:
@@ -586,12 +600,16 @@ class Coordinator:
         pending = self._pending_writes.pop(request_id, None)
         if pending is None:
             return
+        stored = 0
         for replica in pending.replicas:
             if replica not in pending.acks:
                 self.hints.add(
                     Hint(target=replica, cell=pending.cell, created_at=self._engine.now)
                 )
                 self._counters.hints_stored += 1
+                stored += 1
+        if stored and self.tracer is not None:
+            self.tracer.hints_stored(self.address, stored)
 
     def replay_hints(self, target: NodeAddress) -> int:
         """Replay buffered hints for ``target`` (called when it comes back up)."""
@@ -606,7 +624,10 @@ class Coordinator:
             )
             self._counters.hints_replayed += 1
 
-        return self.hints.replay(target, deliver)
+        replayed = self.hints.replay(target, deliver)
+        if replayed and self.tracer is not None:
+            self.tracer.hint_replay(self.address, target, replayed)
+        return replayed
 
     # ------------------------------------------------------------------
     # Read-path internals
@@ -672,6 +693,8 @@ class Coordinator:
             coordinator=self.address,
             datacenter=self.datacenter,
         )
+        if self.tracer is not None:
+            self.tracer.op_complete(result, pending.request_id)
         self._maybe_read_repair(pending, newest)
         if len(pending.responses) == len(pending.contacted):
             self._pending_reads.pop(pending.request_id, None)
@@ -851,6 +874,8 @@ class Coordinator:
             coordinator=self.address,
             datacenter=self.datacenter,
         )
+        if self.tracer is not None:
+            self.tracer.op_complete(result)
         # Delivered through the event loop so callbacks never run re-entrantly
         # inside the caller's stack frame (same rule as every other response).
         self._engine.schedule_after(0.0, callback, result, handle=False)

@@ -17,8 +17,11 @@ controller implementations:
   :class:`HarmonyReadPolicy` and :class:`GeoReadPolicy` (the ports of the
   two legacy controllers, which remain importable from their old paths as
   thin shims), :class:`GeoReadWritePolicy` (joint per-DC read/write
-  adaptation) and :class:`RepairSchedulePolicy` (divergence-driven
-  anti-entropy scheduling with ``repair_bytes`` as a cost term);
+  adaptation), :class:`RepairSchedulePolicy` (divergence-driven
+  anti-entropy scheduling with ``repair_bytes`` as a cost term),
+  :class:`ThresholdReadPolicy` (the ported write/read-ratio rule) and
+  :class:`StalenessSLAPolicy` (closed-loop on the auditor's *measured*
+  staleness-age distribution against a quantitative SLA);
 * :mod:`repro.control.retry` -- client-side :class:`RetryPolicy` /
   :class:`DowngradeRetryPolicy` with deterministic exponential backoff.
 
@@ -35,6 +38,8 @@ from repro.control.policies import (
     HarmonyReadPolicy,
     RepairControlConfig,
     RepairSchedulePolicy,
+    StalenessSLAPolicy,
+    ThresholdReadPolicy,
 )
 from repro.control.retry import (
     BackoffConfig,
@@ -54,6 +59,8 @@ __all__ = [
     "GeoReadWritePolicy",
     "RepairControlConfig",
     "RepairSchedulePolicy",
+    "ThresholdReadPolicy",
+    "StalenessSLAPolicy",
     "BackoffConfig",
     "DowngradeRetryPolicy",
     "RetryDecision",

@@ -218,6 +218,9 @@ class ControlPlane:
         self.decisions: List[Decision] = []
         self.stats = _PlaneStats()
         self._process: Optional[PeriodicProcess] = None
+        #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`): every
+        #: decision of every registered policy is mirrored into the trace.
+        self.tracer = None
 
     @property
     def monitor(self) -> ClusterMonitor:
@@ -279,6 +282,10 @@ class ControlPlane:
         for decision in produced:
             self.stats.record(decision)
         self.decisions.extend(produced)
+        tracer = self.tracer
+        if tracer is not None:
+            for decision in produced:
+                tracer.control_decision(decision)
         return produced
 
     @property

@@ -1,6 +1,6 @@
 """Control-plane policies: every adaptive knob of the simulator in one idiom.
 
-Four policies share the :class:`~repro.control.plane.ControlPolicy` spine:
+Six policies share the :class:`~repro.control.plane.ControlPolicy` spine:
 
 * :class:`HarmonyReadPolicy` -- the paper's cluster-wide read-level loop
   (what :class:`repro.core.controller.HarmonyController` now delegates to);
@@ -14,9 +14,15 @@ Four policies share the :class:`~repro.control.plane.ControlPolicy` spine:
   escalate reads);
 * :class:`RepairSchedulePolicy` -- adapts the anti-entropy repair interval
   per DC pair from measured leaf-diff divergence, with the pair's repair
-  WAN traffic fed back as a cost term.
+  WAN traffic fed back as a cost term;
+* :class:`ThresholdReadPolicy` -- the Wang et al.-style write/read-ratio
+  threshold rule (what :class:`repro.core.policy.ThresholdPolicy` now
+  delegates to; the last policy ported off a private scheduling loop);
+* :class:`StalenessSLAPolicy` -- a closed-loop policy steering the read
+  level from the auditor's *measured* staleness-age distribution against a
+  quantitative SLA ("99.9% of reads at most 50 ms stale").
 
-The first two keep the exact decision scheme of the original controllers --
+The ports keep the exact decision scheme of the original controllers --
 they are the *port*, not a reimplementation -- with the model arithmetic
 shared through :class:`~repro.control.estimator.StalenessEstimator`.
 """
@@ -44,6 +50,8 @@ __all__ = [
     "GeoReadWritePolicy",
     "RepairControlConfig",
     "RepairSchedulePolicy",
+    "ThresholdReadPolicy",
+    "StalenessSLAPolicy",
 ]
 
 
@@ -509,3 +517,166 @@ class RepairSchedulePolicy(ControlPolicy):
                 )
             )
         return decisions
+
+
+class ThresholdReadPolicy(ControlPolicy):
+    """The write/read-ratio threshold rule, ported onto the control spine.
+
+    The legacy :class:`repro.core.policy.ThresholdPolicy` ran this loop on a
+    private self-scheduled callback; the port keeps the exact decision
+    scheme -- windowed rates from :class:`~repro.cluster.stats.ClusterStats`
+    snapshots, idle windows keep the current level, a window with writes but
+    no reads escalates to ALL, otherwise escalate when ``write_rate /
+    read_rate`` exceeds the threshold and drop to ONE when it does not --
+    while gaining the plane's decision log and tracing for free.
+
+    Steers from request counters, not the monitor (``uses_monitor=False``),
+    so a plane carrying only this policy probes nothing and consumes no
+    randomness.
+    """
+
+    name = "threshold"
+    kind = "read_level"
+    uses_monitor = False
+
+    def __init__(self, threshold: float = 0.3) -> None:
+        super().__init__()
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold!r}")
+        self.threshold = threshold
+        self.current_level = ConsistencyLevel.ONE
+        self.level_series = TimeSeries("threshold_level")
+        self._previous = None
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        self._previous = plane.cluster.stats.snapshot(plane.cluster.engine.now)
+
+    # ------------------------------------------------------------------
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        cluster = self.cluster
+        current = cluster.stats.snapshot(tick.now)
+        rates = cluster.stats.window_rates(self._previous, current)
+        self._previous = current
+        level = self.current_level
+        if rates["read_rate"] > 0 or rates["write_rate"] > 0:
+            if rates["read_rate"] <= 0:
+                level = ConsistencyLevel.ALL
+            elif rates["write_rate"] / rates["read_rate"] > self.threshold:
+                level = ConsistencyLevel.ALL
+            else:
+                level = ConsistencyLevel.ONE
+        self.current_level = level
+        # The series records every tick -- idle windows included -- so the
+        # sampled trajectory always covers the whole run.
+        self.level_series.append(
+            tick.now, float(level.blocked_for(cluster.replication_factor))
+        )
+        return [
+            Decision(
+                time=tick.now,
+                policy=self.name,
+                scope="cluster",
+                kind=self.kind,
+                value=level,
+                replicas=level.blocked_for(cluster.replication_factor),
+            )
+        ]
+
+
+class StalenessSLAPolicy(ControlPolicy):
+    """Close the loop on *measured* staleness instead of a model estimate.
+
+    Harmony steers from the closed-form stale-read probability; this policy
+    steers from the :class:`~repro.staleness.auditor.StalenessAuditor`'s
+    quantitative ground truth.  The SLA is "at least ``quantile`` of reads
+    are stale by at most ``max_age`` seconds" -- e.g. ``quantile=0.999,
+    max_age=0.05`` reads as *99.9% of reads at most 50 ms stale*.  Each tick
+    compares the windowed violation rate (reads whose staleness age exceeded
+    ``max_age``) against the SLA's violation budget ``1 - quantile``:
+
+    * rate above the budget -> escalate the read level by one replica;
+    * rate at or below **half** the budget -> relax by one replica (the
+      half-budget hysteresis band keeps the loop from oscillating when the
+      violation rate hovers at the boundary);
+    * windows with fewer than ``min_window_reads`` judged reads carry no
+      statistical signal and keep the current level.
+
+    Steers from auditor counters (``uses_monitor=False``): no probe traffic,
+    no randomness, zero engine events of its own.
+    """
+
+    name = "staleness-sla"
+    kind = "read_level"
+    uses_monitor = False
+
+    def __init__(
+        self,
+        auditor,
+        *,
+        max_age: float = 0.05,
+        quantile: float = 0.999,
+        min_window_reads: int = 20,
+    ) -> None:
+        super().__init__()
+        if max_age <= 0:
+            raise ValueError(f"max_age must be positive, got {max_age!r}")
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile!r}")
+        if min_window_reads < 1:
+            raise ValueError(
+                f"min_window_reads must be >= 1, got {min_window_reads!r}"
+            )
+        self.auditor = auditor
+        self.max_age = max_age
+        self.quantile = quantile
+        self.min_window_reads = min_window_reads
+        self.current_level = ConsistencyLevel.ONE
+        self.current_replicas = 1
+        self.violation_series = TimeSeries("sla_violation_rate")
+        self.level_series = TimeSeries("read_replicas")
+        self._prev_judged = 0
+        self._prev_violations = 0
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        stats = self.auditor.stats
+        self._prev_judged = stats.judged
+        self._prev_violations = stats.violations_beyond(self.max_age)
+
+    # ------------------------------------------------------------------
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        stats = self.auditor.stats
+        judged = stats.judged
+        violations = stats.violations_beyond(self.max_age)
+        window_judged = judged - self._prev_judged
+        window_violations = violations - self._prev_violations
+        self._prev_judged = judged
+        self._prev_violations = violations
+        if window_judged < self.min_window_reads:
+            return []
+        rate = window_violations / window_judged
+        self.violation_series.append(tick.now, rate)
+        budget = 1.0 - self.quantile
+        rf = self.cluster.replication_factor
+        replicas = self.current_replicas
+        if rate > budget:
+            replicas = min(rf, replicas + 1)
+        elif rate <= budget / 2.0:
+            replicas = max(1, replicas - 1)
+        if replicas == self.current_replicas:
+            return []
+        level = level_for_replicas(replicas, rf)
+        self.current_level = level
+        self.current_replicas = replicas
+        self.level_series.append(tick.now, float(replicas))
+        return [
+            Decision(
+                time=tick.now,
+                policy=self.name,
+                scope="cluster",
+                kind=self.kind,
+                value=level,
+                replicas=replicas,
+            )
+        ]

@@ -13,8 +13,11 @@ Three pieces, mirroring the implementation section of the paper (Fig. 3):
   the monitor's measurements with the model and the application's tolerated
   stale-read rate to pick the consistency level for upcoming reads.
 
-:mod:`repro.core.policy` wraps the controller (and the static baselines) in
-the uniform *consistency policy* interface the workload executor consumes.
+:mod:`repro.core.policy` wraps the adaptive loops (and the static baselines)
+in the uniform *consistency policy* interface the workload executor
+consumes; since the control plane landed, every adaptive policy drives a
+:class:`~repro.control.plane.ControlPlane` directly and
+:class:`HarmonyController` remains only as a compatibility shim.
 """
 
 from repro.core.config import HarmonyConfig
@@ -24,6 +27,7 @@ from repro.core.monitor import ClusterMonitor, MonitoringSample
 from repro.core.policy import (
     ConsistencyPolicy,
     HarmonyPolicy,
+    SLAConsistencyPolicy,
     StaticEventualPolicy,
     StaticQuorumPolicy,
     StaticStrongPolicy,
@@ -37,6 +41,7 @@ __all__ = [
     "HarmonyController",
     "HarmonyPolicy",
     "MonitoringSample",
+    "SLAConsistencyPolicy",
     "StaleReadModel",
     "StaticEventualPolicy",
     "StaticQuorumPolicy",

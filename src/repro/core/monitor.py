@@ -83,6 +83,13 @@ class MonitoringSample:
         :class:`~repro.cluster.antientropy.AntiEntropyService` was attached
         via :meth:`ClusterMonitor.attach_anti_entropy` -- this is the WAN
         cost axis of the stale-rate-vs-repair-traffic trade-off.
+    stale_rate / stale_age_p99:
+        Measured ground-truth staleness of the scope: the fraction of reads
+        judged stale during the window, and the cumulative 99th-percentile
+        staleness age in seconds.  Zero unless a
+        :class:`~repro.staleness.auditor.StalenessAuditor` was attached via
+        :meth:`ClusterMonitor.attach_staleness` -- the feedback signal the
+        SLA policy steers on (the estimator-driven policies ignore it).
     """
 
     time: float
@@ -95,6 +102,8 @@ class MonitoringSample:
     window: float
     datacenter: Optional[str] = None
     repair_bytes: float = 0.0
+    stale_rate: float = 0.0
+    stale_age_p99: float = 0.0
 
 
 class ClusterMonitor:
@@ -126,6 +135,10 @@ class ClusterMonitor:
         # totals at the previous sample, per scope (None = cluster-wide).
         self._anti_entropy = None
         self._repair_prev: Dict[Optional[str], int] = {}
+        # Staleness accounting: the attached auditor's cumulative judged /
+        # stale counts at the previous sample, per scope.
+        self._staleness = None
+        self._staleness_prev: Dict[Optional[str], tuple] = {}
 
     # ------------------------------------------------------------------
     # Anti-entropy accounting
@@ -164,6 +177,40 @@ class ClusterMonitor:
         previous = self._repair_prev.get(datacenter, 0)
         self._repair_prev[datacenter] = total
         return float(total - previous)
+
+    # ------------------------------------------------------------------
+    # Staleness accounting (ground truth from the auditor)
+    # ------------------------------------------------------------------
+    def attach_staleness(self, auditor) -> None:
+        """Carry the auditor's measured staleness in subsequent samples.
+
+        Samples then report the windowed stale-read fraction and the
+        cumulative staleness-age p99 of the sampled scope, making ground
+        truth observable through the same channel as the rates -- what
+        closed-loop policies (e.g.
+        :class:`~repro.control.policies.StalenessSLAPolicy`) steer on.
+        """
+        self._staleness = auditor
+        self._staleness_prev.clear()
+
+    def _staleness_window(self, datacenter: Optional[str]) -> tuple:
+        """``(window stale rate, cumulative age p99)`` for one scope."""
+        auditor = self._staleness
+        if auditor is None:
+            return 0.0, 0.0
+        stats = (
+            auditor.stats
+            if datacenter is None
+            else auditor.stats_by_dc.get(datacenter)
+        )
+        if stats is None:
+            return 0.0, 0.0
+        judged, stale = stats.judged, stats.stale
+        prev_judged, prev_stale = self._staleness_prev.get(datacenter, (0, 0))
+        self._staleness_prev[datacenter] = (judged, stale)
+        window_judged = judged - prev_judged
+        rate = (stale - prev_stale) / window_judged if window_judged > 0 else 0.0
+        return rate, stats.age_percentile(99)
 
     # ------------------------------------------------------------------
     def prime(self) -> None:
@@ -278,6 +325,7 @@ class ClusterMonitor:
             bandwidth_bytes_per_s=self.config.bandwidth_bytes_per_s,
             overhead=self.config.propagation_overhead,
         )
+        stale_rate, stale_age_p99 = self._staleness_window(datacenter)
         sample = MonitoringSample(
             time=now,
             read_rate=float(smoothed[0]),
@@ -289,6 +337,8 @@ class ClusterMonitor:
             window=float(window),
             datacenter=datacenter,
             repair_bytes=self._repair_window_bytes(datacenter),
+            stale_rate=float(stale_rate),
+            stale_age_p99=float(stale_age_p99),
         )
         if datacenter is None:
             self.samples.append(sample)
@@ -366,6 +416,7 @@ class ClusterMonitor:
         self.samples.clear()
         self.samples_by_dc.clear()
         self._repair_prev.clear()
+        self._staleness_prev.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClusterMonitor(samples={len(self.samples)})"

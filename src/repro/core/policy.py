@@ -2,8 +2,9 @@
 
 A *policy* answers two questions for every client operation -- which
 consistency level to read at, and which to write at -- and may attach
-run-time machinery to the cluster (Harmony attaches its controller).  Four
-policies cover the paper's comparison plus one related-work baseline:
+run-time machinery to the cluster (the adaptive policies attach a control
+plane).  The policies cover the paper's comparison, one related-work
+baseline, and a measured-staleness SLA loop:
 
 * :class:`HarmonyPolicy` -- the adaptive controller with a tolerated
   stale-read rate (the paper's "Harmony-S% Tolerable SR" series);
@@ -15,10 +16,19 @@ policies cover the paper's comparison plus one related-work baseline:
   R+W > N configuration, used in ablations);
 * :class:`ThresholdPolicy` -- a Wang et al.-style read/write-ratio threshold
   rule switching between ONE and ALL, used as the related-work ablation
-  (DESIGN.md ablation A2).
+  (DESIGN.md ablation A2);
+* :class:`SLAConsistencyPolicy` -- closes the loop on the staleness
+  auditor's *measured* t-visibility instead of the model estimate: "at
+  least 99.9% of reads at most 50 ms stale" as a control target.
 
 Writes default to level ONE for every policy except the quorum policy,
 matching the paper's experimental setup (the adaptation is applied to reads).
+
+Every adaptive policy here drives a
+:class:`~repro.control.plane.ControlPlane` directly -- the legacy
+``core/controller.py`` scheduling shim is no longer on any policy path, so
+plane-level observability (decision log, counters, tracing) covers all of
+them through one code path.
 """
 
 from __future__ import annotations
@@ -27,8 +37,13 @@ from typing import Optional
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.consistency import ConsistencyLevel
+from repro.control.plane import ControlPlane
+from repro.control.policies import (
+    HarmonyReadPolicy,
+    StalenessSLAPolicy,
+    ThresholdReadPolicy,
+)
 from repro.core.config import HarmonyConfig
-from repro.core.controller import HarmonyController
 from repro.metrics.series import TimeSeries
 
 __all__ = [
@@ -38,6 +53,7 @@ __all__ = [
     "StaticQuorumPolicy",
     "HarmonyPolicy",
     "ThresholdPolicy",
+    "SLAConsistencyPolicy",
 ]
 
 
@@ -124,7 +140,12 @@ class StaticQuorumPolicy(ConsistencyPolicy):
 
 
 class HarmonyPolicy(ConsistencyPolicy):
-    """The adaptive policy: wraps a :class:`HarmonyController`.
+    """The adaptive policy: a :class:`HarmonyReadPolicy` on its own plane.
+
+    Earlier revisions went through the :class:`HarmonyController` scheduling
+    shim; the policy now builds the control plane directly, so its decisions
+    land in the same ``plane.decisions`` log (and the same trace channel) as
+    every other adaptive policy.
 
     Parameters
     ----------
@@ -155,29 +176,32 @@ class HarmonyPolicy(ConsistencyPolicy):
             )
         super().__init__(read=ConsistencyLevel.ONE, write=write)
         self.config = config
-        self.controller: Optional[HarmonyController] = None
+        self.plane: Optional[ControlPlane] = None
+        self._read_policy: Optional[HarmonyReadPolicy] = None
         self.name = f"harmony-{int(round(config.tolerated_stale_rate * 100))}%"
 
     # -- executor interface -------------------------------------------------
     def attach(self, cluster: SimulatedCluster) -> None:
-        self.controller = HarmonyController(cluster, self.config)
-        self.controller.start()
+        self._read_policy = HarmonyReadPolicy(self.config)
+        self.plane = ControlPlane(cluster, self.config, name="harmony.tick")
+        self.plane.add(self._read_policy)
+        self.plane.start()
 
     def detach(self) -> None:
-        if self.controller is not None:
-            self.controller.stop()
+        if self.plane is not None:
+            self.plane.stop()
 
     def read_level(self) -> ConsistencyLevel:
-        if self.controller is None:
+        if self._read_policy is None:
             return ConsistencyLevel.ONE
-        return self.controller.read_level
+        return self._read_policy.current_level
 
     @property
     def estimate_series(self) -> TimeSeries:
-        """The controller's stale-estimate trace (empty before attach)."""
-        if self.controller is None:
+        """The stale-estimate trace of the read loop (empty before attach)."""
+        if self._read_policy is None:
             return TimeSeries("stale_estimate")
-        return self.controller.estimate_series
+        return self._read_policy.estimate_series
 
     def describe(self) -> str:
         return (
@@ -194,6 +218,10 @@ class ThresholdPolicy(ConsistencyPolicy):
     below it they go to ONE.  The paper criticises exactly this kind of
     arbitrary static threshold; the ablation benchmark quantifies the
     difference against Harmony's model-driven decision.
+
+    The decision loop lives in
+    :class:`~repro.control.policies.ThresholdReadPolicy`; this wrapper just
+    gives it a plane at ``monitoring_interval`` cadence.
     """
 
     def __init__(
@@ -210,52 +238,105 @@ class ThresholdPolicy(ConsistencyPolicy):
         self.threshold = float(threshold)
         self.monitoring_interval = float(monitoring_interval)
         self.name = f"threshold-{threshold:g}"
-        self._cluster: Optional[SimulatedCluster] = None
-        self._level = ConsistencyLevel.ONE
-        self._previous_snapshot = None
-        self._pending = None
-        self.level_series = TimeSeries("threshold_level")
+        # One read policy for the wrapper's lifetime: `level_series` spans
+        # re-attaches, matching the pre-port behaviour.
+        self._policy = ThresholdReadPolicy(self.threshold)
+        self.plane: Optional[ControlPlane] = None
 
     def attach(self, cluster: SimulatedCluster) -> None:
-        self._cluster = cluster
-        self._previous_snapshot = cluster.stats.snapshot(cluster.engine.now)
-        self._schedule()
+        self.plane = ControlPlane(
+            cluster, interval=self.monitoring_interval, name="threshold.tick"
+        )
+        self.plane.add(self._policy)
+        self.plane.start()
 
     def detach(self) -> None:
-        if self._pending is not None:
-            self._pending.cancel()
-            self._pending = None
-        self._cluster = None
+        if self.plane is not None:
+            self.plane.stop()
 
-    def _schedule(self) -> None:
-        if self._cluster is None:
-            return
-        self._pending = self._cluster.engine.schedule(
-            self.monitoring_interval, self._tick, label="threshold.tick"
-        )
-
-    def _tick(self) -> None:
-        if self._cluster is None:
-            return
-        current = self._cluster.stats.snapshot(self._cluster.engine.now)
-        rates = self._cluster.stats.window_rates(self._previous_snapshot, current)
-        self._previous_snapshot = current
-        read_rate = rates["read_rate"]
-        write_rate = rates["write_rate"]
-        if read_rate <= 0 and write_rate <= 0:
-            # Idle window: no information, keep the current level.
-            pass
-        elif read_rate <= 0:
-            self._level = ConsistencyLevel.ALL
-        else:
-            ratio = write_rate / read_rate
-            self._level = (
-                ConsistencyLevel.ALL if ratio > self.threshold else ConsistencyLevel.ONE
-            )
-        self.level_series.append(
-            self._cluster.engine.now, float(self._level.blocked_for(self._cluster.replication_factor))
-        )
-        self._schedule()
+    @property
+    def level_series(self) -> TimeSeries:
+        """Per-tick blocked-replica trace (idle ticks included)."""
+        return self._policy.level_series
 
     def read_level(self) -> ConsistencyLevel:
-        return self._level
+        return self._policy.current_level
+
+
+class SLAConsistencyPolicy(ConsistencyPolicy):
+    """Adaptive reads steered by a quantitative staleness SLA.
+
+    Wraps :class:`~repro.control.policies.StalenessSLAPolicy`: each control
+    tick compares the auditor's windowed staleness-age violation rate
+    against the SLA budget and moves the read level one replica at a time.
+    The auditor is injected by the experiment runner (``needs_auditor``),
+    or can be assigned manually before :meth:`attach`.
+    """
+
+    #: The experiment runner assigns ``policy.auditor`` before attach.
+    needs_auditor = True
+
+    def __init__(
+        self,
+        max_age: float = 0.05,
+        quantile: float = 0.999,
+        monitoring_interval: float = 0.5,
+        *,
+        min_window_reads: int = 20,
+        write: ConsistencyLevel = ConsistencyLevel.ONE,
+    ) -> None:
+        if max_age <= 0:
+            raise ValueError("max_age must be positive")
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if monitoring_interval <= 0:
+            raise ValueError("monitoring_interval must be positive")
+        super().__init__(read=ConsistencyLevel.ONE, write=write)
+        self.max_age = float(max_age)
+        self.quantile = float(quantile)
+        self.monitoring_interval = float(monitoring_interval)
+        self.min_window_reads = int(min_window_reads)
+        self.auditor = None
+        self.name = f"sla-{max_age * 1000.0:g}ms"
+        self._policy: Optional[StalenessSLAPolicy] = None
+        self.plane: Optional[ControlPlane] = None
+
+    def attach(self, cluster: SimulatedCluster) -> None:
+        if self.auditor is None:
+            raise RuntimeError(
+                f"{self.name}: assign a StalenessAuditor to policy.auditor "
+                "before attach (the experiment runner does this automatically)"
+            )
+        self._policy = StalenessSLAPolicy(
+            self.auditor,
+            max_age=self.max_age,
+            quantile=self.quantile,
+            min_window_reads=self.min_window_reads,
+        )
+        self.plane = ControlPlane(
+            cluster, interval=self.monitoring_interval, name="sla.tick"
+        )
+        self.plane.add(self._policy)
+        self.plane.start()
+
+    def detach(self) -> None:
+        if self.plane is not None:
+            self.plane.stop()
+
+    def read_level(self) -> ConsistencyLevel:
+        if self._policy is None:
+            return ConsistencyLevel.ONE
+        return self._policy.current_level
+
+    @property
+    def violation_series(self) -> TimeSeries:
+        """Windowed SLA-violation-rate trace (empty before attach)."""
+        if self._policy is None:
+            return TimeSeries("sla_violation_rate")
+        return self._policy.violation_series
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(quantile={self.quantile}, "
+            f"interval={self.monitoring_interval}s)"
+        )

@@ -89,6 +89,11 @@ class ExperimentResult:
     injector: Optional[object] = None
     anti_entropy: Optional[object] = None
     control_plane: Optional[object] = None
+    #: The run's :class:`~repro.obs.tracer.Tracer` (``None`` unless the
+    #: caller passed one in) and :class:`~repro.obs.export.RunSeriesRecorder`
+    #: (``None`` unless ``series_interval`` was given).
+    tracer: Optional[object] = None
+    series: Optional[object] = None
 
     def summary(self) -> Dict[str, object]:
         """One flat row: the columns every figure table shares."""
@@ -116,10 +121,13 @@ def make_policy(name: str, scenario: Scenario, *,
       scenario's ``harmony_stale_rates_by_dc``;
     * ``geo-harmony-rw`` -- joint per-datacenter read *and* write
       adaptation on the control plane (same ASR map); read-heavy sites
-      escalate writes instead of reads.
+      escalate writes instead of reads;
+    * ``sla-<ms>`` -- reads steered by a measured staleness SLA, e.g.
+      ``sla-50ms`` keeps 99.9% of reads at most 50 ms stale (the runner
+      injects the run's auditor).
     """
     from repro.core.config import HarmonyConfig
-    from repro.core.policy import ThresholdPolicy
+    from repro.core.policy import SLAConsistencyPolicy, ThresholdPolicy
     from repro.geo.policy import GeoHarmonyPolicy, GeoHarmonyRWPolicy, StaticGeoPolicy
 
     lowered = name.lower()
@@ -167,6 +175,16 @@ def make_policy(name: str, scenario: Scenario, *,
         if monitoring_interval is not None:
             return ThresholdPolicy(threshold=threshold, monitoring_interval=monitoring_interval)
         return ThresholdPolicy(threshold=threshold)
+    if lowered.startswith("sla-"):
+        spec = lowered.split("-", 1)[1]
+        if spec.endswith("ms"):
+            spec = spec[:-2]
+        max_age = float(spec) / 1000.0
+        if monitoring_interval is not None:
+            return SLAConsistencyPolicy(
+                max_age=max_age, monitoring_interval=monitoring_interval
+            )
+        return SLAConsistencyPolicy(max_age=max_age)
     raise ValueError(f"unknown policy name {name!r}")
 
 
@@ -183,6 +201,8 @@ def run_experiment(
     datacenters: Optional[Sequence[str]] = None,
     think_time: float = 0.0,
     retry_policy: Optional[object] = None,
+    tracer: Optional[object] = None,
+    series_interval: Optional[float] = None,
 ) -> ExperimentResult:
     """Run one experiment and return its result.
 
@@ -206,6 +226,18 @@ def run_experiment(
         Client-side :class:`~repro.control.retry.RetryPolicy` shared by all
         threads (e.g. ``DowngradeRetryPolicy()`` to ride out datacenter
         outages at a weaker level); ``None`` keeps the no-retry default.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when given, the runner
+        attaches it to every layer of the run (coordinators, control plane,
+        fault injector, anti-entropy service, client loop) so the trace
+        covers the full op lifecycle.  Tracing schedules no engine events,
+        so same-seed runs stay byte-identical with or without it.
+    series_interval:
+        When set, a :class:`~repro.obs.export.RunSeriesRecorder` samples
+        stale rate, staleness-age p99, per-DC read latency, repair WAN
+        bytes and control decisions every ``series_interval`` virtual
+        seconds; returned as ``result.series``.  Unlike the tracer this
+        *does* schedule one engine event per tick (it is off by default).
     """
     if isinstance(policy, str):
         policy_obj = make_policy(policy, scenario, monitoring_interval=monitoring_interval)
@@ -223,6 +255,9 @@ def run_experiment(
     cluster = SimulatedCluster(scenario.cluster_config(seed=seed, n_nodes=n_nodes))
     if cluster_hook is not None:
         cluster_hook(cluster)
+    if tracer is not None:
+        tracer.attach_cluster(cluster)
+    recorder = None
     faulted = scenario.fault_schedule is not None
     if faulted:
         from repro.faults.timeline import FaultTimeline
@@ -231,6 +266,9 @@ def run_experiment(
         auditor.attach(cluster)
     else:
         auditor = StalenessAuditor()
+    if getattr(policy_obj, "needs_auditor", False):
+        # SLA policies close their loop on the auditor's measured staleness.
+        policy_obj.auditor = auditor
     if scenario.adaptive_repair is not None and scenario.anti_entropy is None:
         raise ValueError(
             f"scenario {scenario.name!r} sets adaptive_repair but no anti_entropy "
@@ -276,6 +314,20 @@ def run_experiment(
             plane.start()
             own_plane = True
 
+    def on_policy_attached() -> None:
+        """Post-attach wiring that needs the policy's freshly built plane."""
+        if scenario.adaptive_repair is not None:
+            register_repair_policy()
+        target = plane
+        if target is None:
+            target = getattr(policy_obj, "plane", None)
+            if target is None:
+                target = getattr(getattr(policy_obj, "controller", None), "plane", None)
+        if tracer is not None and target is not None:
+            tracer.attach_plane(target)
+        if recorder is not None:
+            recorder.plane = target
+
     executor = WorkloadExecutor(
         cluster,
         workload,
@@ -285,26 +337,52 @@ def run_experiment(
         think_time=think_time,
         retry_policy=retry_policy,
         datacenters=list(datacenters) if datacenters is not None else None,
+        tracer=tracer,
         on_policy_attached=(
-            register_repair_policy if scenario.adaptive_repair is not None else None
+            on_policy_attached
+            if (
+                scenario.adaptive_repair is not None
+                or tracer is not None
+                or series_interval is not None
+            )
+            else None
         ),
     )
-    if faulted or scenario.anti_entropy is not None:
-        # Load first so fault times and repair ticks are relative to the
-        # start of the *measured* run, not the (variable-length) load phase.
+    if faulted or scenario.anti_entropy is not None or series_interval is not None:
+        # Load first so fault times, repair ticks and series samples are
+        # relative to the start of the *measured* run, not the
+        # (variable-length) load phase.  (The series recorder keeps the
+        # event queue non-empty, so it must not run across the load-phase
+        # settle barrier.)
         executor.load()
         if faulted:
             from repro.faults.schedule import FaultInjector
 
             injector = FaultInjector(cluster, scenario.fault_schedule)
+            if tracer is not None:
+                tracer.attach_injector(injector)
             injector.arm()
         if scenario.anti_entropy is not None:
             service = cluster.start_anti_entropy(scenario.anti_entropy)
+            if tracer is not None:
+                tracer.attach_service(service)
+        if series_interval is not None:
+            from repro.obs.export import RunSeriesRecorder
+
+            recorder = RunSeriesRecorder(
+                cluster,
+                auditor=auditor,
+                metrics=executor.metrics,
+                interval=series_interval,
+            )
+            recorder.start()
     try:
         metrics = executor.run()
     finally:
         # A shared plane is owned (and stopped) by the policy's detach();
         # only a runner-built standalone plane is stopped here.
+        if recorder is not None:
+            recorder.stop()
         if plane is not None and own_plane:
             plane.stop()
         if service is not None:
@@ -316,6 +394,8 @@ def run_experiment(
         injector=injector,
         anti_entropy=service,
         control_plane=plane,
+        tracer=tracer,
+        series=recorder,
     )
 
 

@@ -214,6 +214,8 @@ class FaultInjector:
         self.schedule = schedule
         self.log: List[Tuple[float, str]] = []
         self._armed = False
+        #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`).
+        self.tracer = None
 
     @property
     def armed(self) -> bool:
@@ -255,6 +257,8 @@ class FaultInjector:
     # ------------------------------------------------------------------
     def _note(self, description: str) -> None:
         self.log.append((self.cluster.engine.now, description))
+        if self.tracer is not None:
+            self.tracer.fault(description)
 
     def _crash_node(self, event: NodeCrash) -> None:
         self.cluster.take_down(event.node)

@@ -20,6 +20,19 @@ Because the expected version is resolved from the read's own start time, the
 verdict is independent of the completion order of concurrent reads -- a
 property the tests rely on (a strongly consistent configuration must report
 exactly zero stale reads).
+
+Beyond the boolean verdict, every judged read is quantified (PBS-style,
+see :mod:`repro.staleness.stats`):
+
+* **staleness age** -- read start minus the ack time of the newest write
+  acknowledged before the read started (0 for fresh reads);
+* **version lag k** -- how many acknowledged-before-start versions are newer
+  than the returned cell (0 for fresh reads; a miss on a written key counts
+  every acknowledged version as missed).
+
+The aggregates are exposed as :attr:`StalenessAuditor.stats` (cluster-wide)
+and :attr:`StalenessAuditor.stats_by_dc` (keyed by the datacenter of the
+coordinator that served the read).
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.coordinator import OperationResult
+from repro.staleness.stats import StalenessStats
 
 __all__ = ["StalenessAuditor"]
 
@@ -61,6 +75,20 @@ class _KeyHistory:
             return None
         return self.versions[index - 1]
 
+    def acked_before(self, time: float) -> int:
+        """Number of versions acknowledged strictly before ``time``."""
+        return bisect.bisect_left(self.ack_times, time)
+
+    def lag_of(self, version: Version, acked: int) -> int:
+        """Version lag of ``version`` among the first ``acked`` versions.
+
+        How many of the ``acked`` acknowledged-before-read versions are
+        strictly newer than the returned one.  The version list is strictly
+        increasing (``record`` skips non-advancing versions), so a binary
+        search locates the returned cell's position.
+        """
+        return acked - bisect.bisect_right(self.versions, version, 0, acked)
+
     def newest(self) -> Optional[Version]:
         return self.versions[-1] if self.versions else None
 
@@ -82,6 +110,10 @@ class StalenessAuditor:
         self.stale_reads = 0
         self.fresh_reads = 0
         self.unknown_reads = 0
+        #: Cluster-wide staleness-age / version-lag aggregates.
+        self.stats = StalenessStats()
+        #: Per-datacenter aggregates, keyed by the coordinator's datacenter.
+        self.stats_by_dc: Dict[str, StalenessStats] = {}
 
     # ------------------------------------------------------------------
     # Write side
@@ -110,23 +142,65 @@ class StalenessAuditor:
         ``None``  -- no acknowledged write existed before the read was issued.
         """
         history = self._history.get(key)
-        expected = history.newest_before(result.started_at) if history else None
+        acked = history.acked_before(result.started_at) if history else 0
         self.reads_judged += 1
-        if expected is None:
+        if acked == 0:
             self.unknown_reads += 1
             return None
+        assert history is not None
+        expected = history.versions[acked - 1]
         cell = result.cell
         if cell is None:
             # The key had an acknowledged write but the read saw nothing at
-            # all: that is the most stale a read can be.
+            # all: that is the most stale a read can be -- it missed every
+            # acknowledged version.
             self.stale_reads += 1
+            self._quantify(result, stale=True, history=history, acked=acked, k=acked)
             return True
-        stale = (cell.timestamp, cell.value_id) < expected
+        version = (cell.timestamp, cell.value_id)
+        stale = version < expected
         if stale:
             self.stale_reads += 1
+            self._quantify(
+                result,
+                stale=True,
+                history=history,
+                acked=acked,
+                k=history.lag_of(version, acked),
+            )
         else:
             self.fresh_reads += 1
+            self._quantify(result, stale=False, history=history, acked=acked, k=0)
         return stale
+
+    def _quantify(
+        self,
+        result: OperationResult,
+        *,
+        stale: bool,
+        history: _KeyHistory,
+        acked: int,
+        k: int,
+    ) -> None:
+        """Feed the verdict's age/lag into the per-scope aggregates."""
+        datacenter = result.datacenter
+        by_dc: Optional[StalenessStats] = None
+        if datacenter is not None:
+            by_dc = self.stats_by_dc.get(datacenter)
+            if by_dc is None:
+                by_dc = self.stats_by_dc[datacenter] = StalenessStats()
+        if not stale:
+            self.stats.record_fresh()
+            if by_dc is not None:
+                by_dc.record_fresh()
+            return
+        # The newest missed write is exactly the expected version: its ack
+        # time is strictly before the read's start (bisect_left semantics),
+        # so the age is strictly positive.
+        age = result.started_at - history.ack_times[acked - 1]
+        self.stats.record_stale(age, k)
+        if by_dc is not None:
+            by_dc.record_stale(age, k)
 
     # ------------------------------------------------------------------
     # Summary

@@ -86,6 +86,11 @@ class RunMetrics:
         ``"policy.kind"`` -> decision count of the run's control plane
         (empty for static policies) -- shows the adaptive loop actually
         moving knobs.
+    staleness_stats / staleness_stats_by_dc:
+        Quantitative staleness aggregates
+        (:class:`~repro.staleness.stats.StalenessStats`: t-visibility,
+        k-staleness, staleness-age percentiles), cluster-wide and per
+        datacenter; ``None`` / empty without an auditor.
     duration:
         Virtual duration of the run phase in seconds.
     """
@@ -105,6 +110,8 @@ class RunMetrics:
     staleness_by_dc: Dict[str, StalenessSummary] = field(default_factory=dict)
     downgrade_usage: Dict[str, int] = field(default_factory=dict)
     control_decisions: Dict[str, int] = field(default_factory=dict)
+    staleness_stats: Optional[object] = None
+    staleness_stats_by_dc: Dict[str, object] = field(default_factory=dict)
     duration: float = 0.0
 
     def ops_per_second(self) -> float:
@@ -124,6 +131,14 @@ class RunMetrics:
             "write_p99_ms": round(self.write_latency.p99() * 1e3, 3),
             "stale_reads": self.staleness.stale_reads,
             "stale_rate": round(self.staleness.stale_rate(), 4),
+            "stale_age_p99_ms": (
+                round(self.staleness_stats.age_percentile(99) * 1e3, 3)
+                if self.staleness_stats is not None
+                else 0.0
+            ),
+            "k_max": (
+                self.staleness_stats.max_k() if self.staleness_stats is not None else 0
+            ),
             "unavailable": self.counters.unavailable,
             "retries": self.counters.retries,
             "downgrades": self.counters.downgrades,
@@ -186,6 +201,7 @@ class WorkloadExecutor:
         max_virtual_time: float = 3600.0,
         datacenters: Optional[List[str]] = None,
         on_policy_attached: Optional[Callable[[], None]] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         if threads < 1:
             raise ValueError("threads must be >= 1")
@@ -194,6 +210,10 @@ class WorkloadExecutor:
         self.policy = policy
         self.threads = int(threads)
         self.auditor = auditor
+        #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`); the
+        #: executor contributes the client-side ``op.issue`` / ``op.retry``
+        #: events (coordinators trace fan-outs and completions themselves).
+        self.tracer = tracer
         self.think_time = float(think_time)
         self.retry_policy = retry_policy
         self.max_virtual_time = float(max_virtual_time)
@@ -331,6 +351,13 @@ class WorkloadExecutor:
         counts = getattr(self.policy, "decision_counts", None)
         if counts:
             self.metrics.control_decisions = dict(counts)
+        # Capture the auditor's quantitative staleness aggregates, if any.
+        stats = getattr(self.auditor, "stats", None)
+        if stats is not None:
+            self.metrics.staleness_stats = stats
+            self.metrics.staleness_stats_by_dc = dict(
+                getattr(self.auditor, "stats_by_dc", {}) or {}
+            )
         self.policy.detach()
         return self.metrics
 
@@ -369,9 +396,21 @@ class WorkloadExecutor:
     def _on_issue(self, operation: Operation) -> None:
         if self.auditor is not None and not operation.op_type.is_write:
             self.auditor.snapshot(operation.key)
+        if self.tracer is not None:
+            self.tracer.op_issue(
+                "write" if operation.op_type.is_write else "read", operation.key
+            )
 
     def _on_retry(self, operation: Operation, from_level, to_level, attempt: int) -> None:
         """Meter one Unavailable retry (and its downgrade, if any)."""
+        if self.tracer is not None:
+            self.tracer.op_retry(
+                "write" if operation.op_type.is_write else "read",
+                operation.key,
+                from_level,
+                to_level,
+                attempt,
+            )
         self.metrics.counters.retries += 1
         if to_level is not from_level and to_level is not None and from_level is not None:
             self.metrics.counters.downgrades += 1

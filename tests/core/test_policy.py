@@ -68,18 +68,18 @@ class TestHarmonyPolicy:
         assert policy.read_level() is ConsistencyLevel.ONE
         assert len(policy.estimate_series) == 0
 
-    def test_attach_starts_a_controller_and_detach_stops_it(self, cluster):
+    def test_attach_starts_a_plane_and_detach_stops_it(self, cluster):
         policy = HarmonyPolicy(
             config=HarmonyConfig(tolerated_stale_rate=0.4, monitoring_interval=0.05)
         )
         policy.attach(cluster)
-        assert policy.controller is not None
+        assert policy.plane is not None
         cluster.engine.run_until(cluster.engine.now + 0.3)
-        decisions = len(policy.controller.decisions)
+        decisions = len(policy.plane.decisions)
         assert decisions >= 5
         policy.detach()
         cluster.engine.run_until(cluster.engine.now + 0.3)
-        assert len(policy.controller.decisions) == decisions
+        assert len(policy.plane.decisions) == decisions
 
     def test_estimate_series_is_exposed_after_attach(self, cluster):
         policy = HarmonyPolicy(

@@ -1,0 +1,117 @@
+"""Unit tests for the periodic run-series recorder."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.metrics.histogram import LatencyHistogram
+from repro.obs.export import RunSeriesRecorder
+from repro.staleness.auditor import StalenessAuditor
+
+
+@pytest.fixture
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(n_nodes=4, replication_factor=3, seed=17))
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self, cluster):
+        with pytest.raises(ValueError):
+            RunSeriesRecorder(cluster, interval=0.0)
+        with pytest.raises(ValueError):
+            RunSeriesRecorder(cluster, interval=-1.0)
+
+    def test_start_is_idempotent_and_stop_halts_ticks(self, cluster):
+        auditor = StalenessAuditor()
+        recorder = RunSeriesRecorder(cluster, auditor=auditor, interval=0.5)
+        recorder.start()
+        recorder.start()
+        assert recorder.running
+        cluster.engine.run_until(1.6)
+        recorder.stop()
+        assert not recorder.running
+        cluster.engine.run_until(5.0)
+        assert len(recorder.series["stale_rate"]) == 3  # ticks at 0.5, 1.0, 1.5
+
+    def test_without_sources_rows_is_empty(self, cluster):
+        recorder = RunSeriesRecorder(cluster, interval=0.5)
+        recorder.start()
+        cluster.engine.run_until(2.1)
+        recorder.stop()
+        # No auditor, no metrics, no plane, no anti-entropy service: every
+        # series stayed empty and rows() filters them all out.
+        assert recorder.rows() == {}
+
+
+class TestWindowDeltas:
+    def test_stale_rate_is_windowed_not_cumulative(self, cluster):
+        auditor = StalenessAuditor()
+        recorder = RunSeriesRecorder(cluster, auditor=auditor, interval=1.0)
+        recorder.start()
+        # Window 1: 4 judged, 1 stale.
+        for _ in range(3):
+            auditor.stats.record_fresh()
+        auditor.stats.record_stale(0.010, 1)
+        cluster.engine.run_until(1.1)
+        # Window 2: nothing new.
+        cluster.engine.run_until(2.1)
+        # Window 3: 2 judged, 2 stale.
+        auditor.stats.record_stale(0.020, 1)
+        auditor.stats.record_stale(0.030, 2)
+        cluster.engine.run_until(3.1)
+        recorder.stop()
+        values = list(recorder.series["stale_rate"].values)
+        assert values == pytest.approx([0.25, 0.0, 1.0])
+
+    def test_stale_age_p99_tracks_the_cumulative_distribution(self, cluster):
+        auditor = StalenessAuditor()
+        recorder = RunSeriesRecorder(cluster, auditor=auditor, interval=1.0)
+        recorder.start()
+        auditor.stats.record_stale(0.040, 1)
+        cluster.engine.run_until(1.1)
+        recorder.stop()
+        series = recorder.series["stale_age_p99"]
+        assert series.values[-1] == pytest.approx(0.040)
+
+    def test_control_decisions_are_windowed(self, cluster):
+        recorder = RunSeriesRecorder(cluster, interval=1.0)
+        plane = SimpleNamespace(decisions=[])
+        recorder.plane = plane
+        recorder.start()
+        plane.decisions.extend(["d1", "d2"])
+        cluster.engine.run_until(1.1)
+        plane.decisions.append("d3")
+        cluster.engine.run_until(2.1)
+        recorder.stop()
+        values = list(recorder.series["control_decisions"].values)
+        assert values == [2.0, 1.0]
+
+    def test_per_dc_latency_series_appear_dynamically(self, cluster):
+        histogram = LatencyHistogram()
+        metrics = SimpleNamespace(read_latency_by_dc={"rennes": histogram})
+        recorder = RunSeriesRecorder(cluster, metrics=metrics, interval=1.0)
+        recorder.start()
+        histogram.record(0.010)
+        histogram.record(0.030)
+        cluster.engine.run_until(1.1)
+        histogram.record(0.100)
+        cluster.engine.run_until(2.1)
+        recorder.stop()
+        values = list(recorder.series["read_latency_mean[rennes]"].values)
+        assert values == pytest.approx([0.020, 0.100])
+        assert "read_latency_mean[rennes]" in recorder.rows()
+
+    def test_rows_shape_is_json_able(self, cluster):
+        auditor = StalenessAuditor()
+        recorder = RunSeriesRecorder(cluster, auditor=auditor, interval=1.0)
+        recorder.start()
+        auditor.stats.record_fresh()
+        cluster.engine.run_until(1.1)
+        recorder.stop()
+        rows = recorder.rows()
+        assert set(rows) == {"stale_rate", "stale_age_p99"}
+        for points in rows.values():
+            assert all(set(row) == {"time", "value"} for row in points)

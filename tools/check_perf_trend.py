@@ -166,6 +166,59 @@ def compare_repair(
     return lines, failures
 
 
+def compare_staleness(
+    fresh: Dict[str, object], baseline: Dict[str, object], max_regression: float
+) -> Tuple[List[str], List[str]]:
+    """Guard the staleness benchmark's machine-independent invariants.
+
+    The staleness bench records claims that hold on any hardware (the
+    simulation is deterministic, so a fresh run reproduces the physics, not
+    the wall-clock): quorum reads measure exactly zero staleness,
+    t-visibility is monotone, the write-aware estimator upper-bounds every
+    measurement, and same-seed runs are byte-identical.  A fresh report
+    must re-establish all of them.  When the fresh run used the same
+    configuration as the baseline, the estimator's worst-case relative
+    error additionally may not grow by more than ``max_regression`` --
+    catching silent drift in the closed-form model or the auditor.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    if "claims_hold" not in fresh or "deterministic" not in fresh:
+        failures.append("staleness report is missing claims_hold/deterministic")
+        return lines, failures
+    lines.append(
+        f"staleness claims_hold={fresh['claims_hold']} "
+        f"deterministic={fresh['deterministic']}"
+    )
+    if not fresh["deterministic"]:
+        failures.append("staleness bench: same-seed runs diverged")
+    if not fresh["claims_hold"]:
+        failures.append(
+            "staleness bench: a machine-independent claim failed "
+            "(quorum overlap, t-visibility monotonicity, write-quorum "
+            "direction, or estimator conservativeness)"
+        )
+    fresh_error = fresh.get("eventual_max_relative_error")
+    base_error = baseline.get("eventual_max_relative_error")
+    if fresh.get("config") == baseline.get("config"):
+        if fresh_error is not None and base_error is not None:
+            growth = float(fresh_error) - float(base_error)
+            lines.append(
+                f"estimator max relative error: fresh={float(fresh_error):.4f} "
+                f"baseline={float(base_error):.4f} ({growth:+.4f})"
+            )
+            if growth > max_regression:
+                failures.append(
+                    f"estimator max relative error grew {growth:.4f} "
+                    f"(> {max_regression:.2f} allowed)"
+                )
+    else:
+        lines.append(
+            "staleness configs differ -- skipping the estimator-error comparison"
+        )
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", required=True, help="freshly measured BENCH JSON")
@@ -189,6 +242,17 @@ def main(argv=None) -> int:
         default=os.path.join(REPO_ROOT, "BENCH_repair.json"),
         help="recorded BENCH_repair baseline (used with --repair-fresh)",
     )
+    parser.add_argument(
+        "--staleness-fresh",
+        default=None,
+        help="freshly measured BENCH_staleness JSON (adds the machine-"
+        "independent staleness-claims and estimator-error guard)",
+    )
+    parser.add_argument(
+        "--staleness-baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_staleness.json"),
+        help="recorded BENCH_staleness baseline (used with --staleness-fresh)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.max_regression < 1:
         parser.error("--max-regression must be in (0, 1)")
@@ -202,6 +266,14 @@ def main(argv=None) -> int:
         )
         lines.extend(repair_lines)
         failures.extend(repair_failures)
+    if args.staleness_fresh is not None:
+        staleness_lines, staleness_failures = compare_staleness(
+            _load(args.staleness_fresh),
+            _load(args.staleness_baseline),
+            args.max_regression,
+        )
+        lines.extend(staleness_lines)
+        failures.extend(staleness_failures)
     for line in lines:
         print(line)
     if failures:

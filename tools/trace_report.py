@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Trace report: windowed timeline of one op-lifecycle JSONL trace.
+
+Reads a trace written by :meth:`repro.obs.tracer.Tracer.dump_jsonl` and
+renders a per-window timeline: how many operations were issued and
+completed, how many timed out or were rejected Unavailable, how many
+retries, hint replays, repair sessions and control decisions fell into each
+window -- with the control decisions and fault events spelled out under
+their window row.  This is the "what happened when" view of a run: fault
+windows show up as Unavailable spikes, the control plane's reaction shows
+up one tick later.
+
+Usage::
+
+    python tools/trace_report.py TRACE.jsonl [--window 1.0] [--kinds]
+
+``--kinds`` prints only the per-kind event totals (a quick sanity check
+that the expected hook sites were attached).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Iterable, List
+
+#: Columns of the windowed table: header -> predicate over one event row.
+_COLUMNS = (
+    ("issued", lambda e: e["kind"] == "op.issue"),
+    ("done", lambda e: e["kind"] == "op.complete" and not e.get("unavailable")),
+    ("t/o", lambda e: e["kind"] == "op.complete" and e.get("timed_out")),
+    ("unavail", lambda e: e["kind"] == "op.complete" and e.get("unavailable")),
+    ("retry", lambda e: e["kind"] == "op.retry"),
+    ("hints", lambda e: e["kind"] in ("hint.stored", "hint.replay")),
+    ("repair", lambda e: e["kind"] == "repair.session"),
+    ("ctrl", lambda e: e["kind"] == "control.decision"),
+    ("fault", lambda e: e["kind"] == "fault"),
+)
+
+
+def load_events(lines: Iterable[str]) -> List[Dict[str, object]]:
+    """Parse JSONL trace lines, skipping blanks."""
+    events = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    events.sort(key=lambda e: e["t"])
+    return events
+
+
+def _mean_latency_ms(window_events: List[Dict[str, object]]) -> float:
+    latencies = [
+        e["latency"]
+        for e in window_events
+        if e["kind"] == "op.complete" and not e.get("unavailable")
+    ]
+    return sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+
+
+def _annotations(window_events: List[Dict[str, object]]) -> List[str]:
+    """Human-readable lines for the window's faults and knob movements."""
+    notes = []
+    for e in window_events:
+        if e["kind"] == "fault":
+            notes.append(f"fault: {e['description']}")
+        elif e["kind"] == "control.decision":
+            scope = e.get("scope", "cluster")
+            notes.append(
+                f"{e['policy']} [{scope}] {e.get('decision', '?')} -> {e.get('value')}"
+            )
+    return notes
+
+
+def render_report(events: List[Dict[str, object]], window: float) -> List[str]:
+    """The report as a list of printable lines."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window!r}")
+    lines: List[str] = []
+    counts: Dict[str, int] = {}
+    for e in events:
+        counts[e["kind"]] = counts.get(e["kind"], 0) + 1
+    lines.append(f"{len(events)} events, kinds: " + ", ".join(
+        f"{kind}={count}" for kind, count in sorted(counts.items())
+    ))
+    if not events:
+        return lines
+    start = events[0]["t"]
+    end = events[-1]["t"]
+    headers = ["window"] + [name for name, _ in _COLUMNS] + ["lat(ms)"]
+    widths = [14] + [8] * len(_COLUMNS) + [9]
+    lines.append("".join(h.rjust(w) for h, w in zip(headers, widths)))
+    index = 0
+    window_start = start
+    while window_start <= end:
+        window_end = window_start + window
+        bucket: List[Dict[str, object]] = []
+        while index < len(events) and events[index]["t"] < window_end:
+            bucket.append(events[index])
+            index += 1
+        label = f"[{window_start:.1f},{window_end:.1f})"
+        row = [label.rjust(widths[0])]
+        for (name, predicate), width in zip(_COLUMNS, widths[1:]):
+            row.append(str(sum(1 for e in bucket if predicate(e))).rjust(width))
+        row.append(f"{_mean_latency_ms(bucket):.2f}".rjust(widths[-1]))
+        lines.append("".join(row))
+        for note in _annotations(bucket):
+            lines.append(" " * 4 + note)
+        window_start = window_end
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file (Tracer.dump_jsonl output)")
+    parser.add_argument(
+        "--window", type=float, default=1.0, help="window width in virtual seconds"
+    )
+    parser.add_argument(
+        "--kinds", action="store_true", help="print only per-kind event totals"
+    )
+    args = parser.parse_args(argv)
+    if args.window <= 0:
+        parser.error("--window must be positive")
+
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        events = load_events(handle)
+    lines = render_report(events, args.window)
+    print(lines[0])
+    if not args.kinds:
+        for line in lines[1:]:
+            print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
