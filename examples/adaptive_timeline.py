@@ -56,8 +56,8 @@ def main() -> None:
             auditor=auditor,
         )
         metrics = executor.run()
-        assert policy.controller is not None
-        for decision in policy.controller.decisions:
+        assert policy.plane is not None
+        for decision in policy.plane.decisions:
             decision_rows.append(
                 {
                     "phase_threads": threads,
@@ -67,7 +67,7 @@ def main() -> None:
                     "latency_ms": round(decision.sample.network_latency * 1e3, 3),
                     "estimate": round(decision.estimate.probability, 3),
                     "replicas": decision.replicas,
-                    "level": decision.level.value,
+                    "level": decision.value.value,
                 }
             )
         phase_rows.append(

@@ -35,14 +35,12 @@ Package layout
     :class:`~repro.control.StalenessEstimator`, the
     ``Decision``/``ControlPolicy``/:class:`~repro.control.ControlPlane`
     spine every adaptive knob runs on (read levels, per-DC write levels,
-    repair cadence), and the client-side retry/downgrade policies --
-    the legacy controllers in ``repro.core``/``repro.geo`` are now thin
-    shims over it;
+    repair cadence), and the client-side retry/downgrade policies;
 ``repro.geo``
-    the geo-replication subsystem: the per-datacenter
-    :class:`~repro.geo.GeoHarmonyController` (one stale-read model instance
+    the geo-replication subsystem: the geo-aware workload policies, led by
+    :class:`~repro.geo.GeoHarmonyPolicy` (one stale-read model instance
     per site, each independently mapping its ``Xn`` onto the DC-aware
-    levels) and the geo-aware workload policies;
+    levels);
 ``repro.cluster``
     the simulated quorum-replicated store (ring, replication strategies
     including the per-DC ``NetworkTopologyStrategy``, storage engines,
@@ -128,7 +126,7 @@ from repro.faults import (
     NodeCrash,
     NodeRestart,
 )
-from repro.geo import GeoHarmonyController, GeoHarmonyPolicy, StaticGeoPolicy
+from repro.geo import GeoHarmonyPolicy, GeoHarmonyRWPolicy, StaticGeoPolicy
 from repro.metrics import LatencyHistogram, MetricsReport, TimeSeries, format_table
 from repro.staleness import DualReadProbe, StalenessAuditor
 from repro.workload import (
@@ -167,8 +165,8 @@ __all__ = [
     "GRID5000",
     "GRID5000_3SITES",
     "GRID5000_3SITES_FAULTS",
-    "GeoHarmonyController",
     "GeoHarmonyPolicy",
+    "GeoHarmonyRWPolicy",
     "HarmonyConfig",
     "HarmonyController",
     "HarmonyPolicy",

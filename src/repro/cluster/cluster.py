@@ -43,7 +43,7 @@ from repro.network.topology import NodeAddress, Topology, uniform_topology
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
 
-__all__ = ["ClusterConfig", "SimulatedCluster", "NoLiveCoordinator"]
+__all__ = ["ClusterConfig", "SimulatedCluster", "NoLiveCoordinator", "resolve_topology"]
 
 
 def _discard_result(result: "OperationResult") -> None:
@@ -58,6 +58,34 @@ class NoLiveCoordinator(RuntimeError):
     result instead (a real driver whose contact points are all down errors
     out client-side without any server seeing the request).
     """
+
+
+def resolve_topology(config: "ClusterConfig") -> Topology:
+    """The topology a :class:`SimulatedCluster` built from ``config`` will use.
+
+    Either ``config.topology`` itself or the default uniform topology derived
+    from the shape fields.  Exposed as a module function so planners (the
+    sharded engine's partitioner) can reason about the layout without paying
+    for node/coordinator construction.
+    """
+    if config.topology is not None:
+        return config.topology
+    inter_dc = config.inter_dc_latency
+    if inter_dc is None and config.datacenters > 1:
+        # Multi-DC clusters need an inter-DC latency model; default to a
+        # WAN-ish log-normal so a bare ClusterConfig(datacenters=2) works
+        # out of the box (explicit models always take precedence).
+        from repro.network.latency import LogNormalLatency
+
+        inter_dc = LogNormalLatency(median=0.0005, sigma=0.3, floor=0.0002)
+    return uniform_topology(
+        config.n_nodes,
+        racks_per_dc=config.racks_per_dc,
+        datacenters=config.datacenters,
+        intra_rack=config.intra_rack_latency,
+        inter_rack=config.inter_rack_latency,
+        inter_dc=inter_dc,
+    )
 
 
 @dataclass
@@ -173,22 +201,7 @@ class SimulatedCluster:
         self.config = config
         self.engine = engine or SimulationEngine()
         self.streams = streams or RandomStreams(seed=config.seed)
-        inter_dc = config.inter_dc_latency
-        if inter_dc is None and config.topology is None and config.datacenters > 1:
-            # Multi-DC clusters need an inter-DC latency model; default to a
-            # WAN-ish log-normal so a bare ClusterConfig(datacenters=2) works
-            # out of the box (explicit models always take precedence).
-            from repro.network.latency import LogNormalLatency
-
-            inter_dc = LogNormalLatency(median=0.0005, sigma=0.3, floor=0.0002)
-        self.topology = config.topology or uniform_topology(
-            config.n_nodes,
-            racks_per_dc=config.racks_per_dc,
-            datacenters=config.datacenters,
-            intra_rack=config.intra_rack_latency,
-            inter_rack=config.inter_rack_latency,
-            inter_dc=inter_dc,
-        )
+        self.topology = resolve_topology(config)
         if self.topology.size < config.replication_factor:
             raise ValueError(
                 f"topology has {self.topology.size} nodes, fewer than the replication "

@@ -2,7 +2,7 @@
 
 Before this module the repository had three separate feedback loops --
 ``core/controller.py`` scheduling its own ticks for cluster-wide read levels,
-``geo/controller.py`` doing the same per datacenter, and a fixed-interval
+a geo controller doing the same per datacenter, and a fixed-interval
 anti-entropy process that adapted nothing.  Each new adaptation (write
 levels, repair cadence, client retries) would have meant a fourth and fifth
 copy of the same sample/estimate/decide scaffolding.

@@ -5,7 +5,7 @@ Six policies share the :class:`~repro.control.plane.ControlPolicy` spine:
 * :class:`HarmonyReadPolicy` -- the paper's cluster-wide read-level loop
   (what :class:`repro.core.controller.HarmonyController` now delegates to);
 * :class:`GeoReadPolicy` -- the per-datacenter read-level loop (what
-  :class:`repro.geo.controller.GeoHarmonyController` now delegates to);
+  :class:`repro.geo.policy.GeoHarmonyPolicy` runs on its plane);
 * :class:`GeoReadWritePolicy` -- the per-datacenter **joint read/write**
   adaptation: instead of forcing the whole consistency requirement onto the
   read path, each site picks the ``(X reads, W writes)`` pair that satisfies

@@ -12,12 +12,13 @@ datacenter awareness through the whole reproduction:
   only on their own site while the WAN copies converge asynchronously;
 * **monitoring** -- :class:`repro.core.monitor.ClusterMonitor` samples
   read/write rates and the propagation time ``Tp`` *per datacenter*;
-* **control** -- :class:`GeoHarmonyController` (this package) runs one
-  stale-read model instance per datacenter, so every site independently
-  picks the replica involvement ``Xn`` that keeps its own stale-read
-  estimate under its own tolerance, and maps it onto the local levels;
-* **workload** -- :class:`GeoHarmonyPolicy` plugs the controller into the
-  workload executor, whose client threads can be pinned to datacenters.
+* **control** -- :class:`~repro.control.policies.GeoReadPolicy` on a
+  :class:`~repro.control.plane.ControlPlane` runs one stale-read model
+  instance per datacenter, so every site independently picks the replica
+  involvement ``Xn`` that keeps its own stale-read estimate under its own
+  tolerance, and maps it onto the local levels;
+* **workload** -- :class:`GeoHarmonyPolicy` plugs that control loop into
+  the workload executor, whose client threads can be pinned to datacenters.
 
 The WAN itself is modelled by per-DC-pair latency links on the topology
 (:meth:`repro.network.topology.TopologyBuilder.inter_dc_link`); the
@@ -33,12 +34,9 @@ handoff plus the Merkle repair process in :mod:`repro.cluster.antientropy`
 (scenario :func:`repro.experiments.scenarios.grid5000_3sites_faults`).
 """
 
-from repro.geo.controller import GeoControllerDecision, GeoHarmonyController
 from repro.geo.policy import GeoHarmonyPolicy, GeoHarmonyRWPolicy, StaticGeoPolicy
 
 __all__ = [
-    "GeoControllerDecision",
-    "GeoHarmonyController",
     "GeoHarmonyPolicy",
     "GeoHarmonyRWPolicy",
     "StaticGeoPolicy",

@@ -6,9 +6,10 @@ implements ``read_level_for(datacenter)`` / ``write_level_for(datacenter)``,
 which pinned threads use instead of the site-agnostic ``read_level()`` /
 ``write_level()``.
 
-* :class:`GeoHarmonyPolicy` wraps a
-  :class:`~repro.geo.controller.GeoHarmonyController`: every site's reads
-  follow that site's own adaptive decision;
+* :class:`GeoHarmonyPolicy` runs a
+  :class:`~repro.control.policies.GeoReadPolicy` on its own
+  :class:`~repro.control.plane.ControlPlane`: every site's reads follow
+  that site's own adaptive decision;
 * :class:`StaticGeoPolicy` issues every operation at one fixed DC-aware
   level (``LOCAL_QUORUM``, ``EACH_QUORUM``, ...) -- the static baselines the
   geo benchmark compares against.
@@ -22,10 +23,9 @@ from repro.cluster.cluster import SimulatedCluster
 from repro.cluster.consistency import ConsistencyLevel
 from repro.core.config import HarmonyConfig
 from repro.core.policy import ConsistencyPolicy
-from repro.geo.controller import GeoHarmonyController
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.control.policies import GeoReadWritePolicy
+    from repro.control.policies import GeoReadPolicy, GeoReadWritePolicy
 
 __all__ = [
     "GeoHarmonyPolicy",
@@ -98,7 +98,13 @@ class StaticGeoPolicy(ConsistencyPolicy):
 
 
 class GeoHarmonyPolicy(ConsistencyPolicy):
-    """Per-datacenter adaptive policy: wraps a :class:`GeoHarmonyController`.
+    """Per-datacenter adaptive reads on the control plane.
+
+    Wraps a :class:`~repro.control.policies.GeoReadPolicy` on its own
+    :class:`~repro.control.plane.ControlPlane`: one stale-read model
+    instance per datacenter, so every site independently picks the replica
+    involvement that keeps its own stale-read estimate under its own
+    tolerance, and maps it onto the local levels.
 
     Parameters
     ----------
@@ -122,7 +128,8 @@ class GeoHarmonyPolicy(ConsistencyPolicy):
         super().__init__(read=ConsistencyLevel.LOCAL_ONE, write=write)
         self.config = config or HarmonyConfig()
         self.tolerated_stale_rates: Dict[str, float] = dict(tolerated_stale_rates or {})
-        self.controller: Optional[GeoHarmonyController] = None
+        self.plane = None
+        self.control: Optional["GeoReadPolicy"] = None
         if self.tolerated_stale_rates:
             rates = "/".join(
                 f"{dc}:{int(round(asr * 100))}%"
@@ -134,14 +141,19 @@ class GeoHarmonyPolicy(ConsistencyPolicy):
 
     # -- executor interface -------------------------------------------------
     def attach(self, cluster: SimulatedCluster) -> None:
-        self.controller = GeoHarmonyController(
-            cluster, self.config, tolerated_stale_rates=self.tolerated_stale_rates
+        from repro.control.plane import ControlPlane
+        from repro.control.policies import GeoReadPolicy
+
+        self.plane = ControlPlane(cluster, self.config, name="geo_harmony.tick")
+        self.control = GeoReadPolicy(
+            self.config, tolerated_stale_rates=self.tolerated_stale_rates
         )
-        self.controller.start()
+        self.plane.add(self.control)
+        self.plane.start()
 
     def detach(self) -> None:
-        if self.controller is not None:
-            self.controller.stop()
+        if self.plane is not None:
+            self.plane.stop()
 
     #: Blocking strength used to pick a site-agnostic level for unpinned
     #: clients: the strictest current per-site decision.
@@ -163,10 +175,10 @@ class GeoHarmonyPolicy(ConsistencyPolicy):
         equivalents because the client's coordinator may sit in a
         datacenter holding no replicas, where LOCAL_* is unsatisfiable.
         """
-        if self.controller is None:
+        if self.control is None:
             return ConsistencyLevel.ONE
         strictest = max(
-            (self.controller.read_level(dc) for dc in self.controller.models),
+            (self.control.current_level[dc] for dc in self.control.models),
             key=lambda level: self._STRICTNESS.get(level, 0),
         )
         return site_agnostic_level(strictest)
@@ -177,15 +189,15 @@ class GeoHarmonyPolicy(ConsistencyPolicy):
 
     def read_level_for(self, datacenter: str) -> ConsistencyLevel:
         """The adaptive read level of one site (LOCAL_ONE before attach)."""
-        if self.controller is None:
+        if self.control is None:
             return ConsistencyLevel.LOCAL_ONE
-        return self.controller.read_level(datacenter)
+        return self.control.current_level[datacenter]
 
     def write_level_for(self, datacenter: str) -> ConsistencyLevel:
-        # Mirror the controller's read-side fallback: a site holding no
-        # replicas cannot satisfy LOCAL_* levels, so its pinned clients
-        # write at the global equivalent.
-        if self.controller is not None and datacenter not in self.controller.models:
+        # Mirror the read-side fallback: a site holding no replicas cannot
+        # satisfy LOCAL_* levels, so its pinned clients write at the global
+        # equivalent.
+        if self.control is not None and datacenter not in self.control.models:
             return site_agnostic_level(self._write)
         return self._write
 

@@ -1,0 +1,40 @@
+"""Sharded conservative-PDES engine.
+
+Partitions the simulated ring into contiguous shards (whole racks by
+default, single nodes when the shard count outgrows the rack count and the
+intra-rack latency floor allows it), runs one
+:class:`~repro.sim.engine.SimulationEngine` (with a full ghost-cluster
+replica of the topology) per shard, and synchronises the shards on a
+conservative lookahead window derived from the minimum cross-shard link
+latency floor -- classic conservative parallel discrete-event simulation.
+
+Entry point: :func:`run_parallel_experiment`, mirrored by
+``run_experiment(workers=N)`` in :mod:`repro.experiments.runner`.
+
+The headline property is determinism: a same-seed run produces a
+byte-identical merged summary whether the shards execute in-process
+(``workers=1``) or across forked worker processes (``workers=N``), because
+every shard's event order is fully determined by its own seed streams plus
+the timestamped cross-shard arrivals, which the window protocol delivers in
+a canonical order.  See ``docs/architecture.md`` (parallel engine section)
+for the derivation.
+"""
+
+from repro.sim.parallel.merge import merge_run_metrics
+from repro.sim.parallel.plan import DEFAULT_SHARDS, ShardPlan, model_floor, plan_shards
+from repro.sim.parallel.runner import ParallelExperimentResult, run_parallel_experiment
+from repro.sim.parallel.shard import ShardRuntime, split_proportional, wire_decode, wire_encode
+
+__all__ = [
+    "DEFAULT_SHARDS",
+    "ShardPlan",
+    "model_floor",
+    "plan_shards",
+    "ShardRuntime",
+    "split_proportional",
+    "wire_decode",
+    "wire_encode",
+    "merge_run_metrics",
+    "ParallelExperimentResult",
+    "run_parallel_experiment",
+]

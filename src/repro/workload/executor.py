@@ -240,17 +240,21 @@ class WorkloadExecutor:
             threads=self.threads,
         )
         self._loaded = False
+        self._start_time = 0.0
+        self._clients: List[ClientThread] = []
 
     # ------------------------------------------------------------------
     # Load phase
     # ------------------------------------------------------------------
-    def load(self) -> int:
-        """Insert the initial ``record_count`` records (not measured).
+    def issue_load(self) -> List[OperationResult]:
+        """Issue every initial-load write; completions accumulate later.
 
-        Returns the number of records loaded.  The engine is run after the
-        inserts so all replicas converge before the run phase starts, which
-        matches the paper's setup of loading the dataset before running the
-        measured workloads.
+        Returns the (initially empty) completion list that fills in as the
+        engine delivers write acknowledgements.  Callers must drive the
+        engine themselves -- :meth:`load` settles a self-contained cluster;
+        the sharded engine drains the whole ring through its conservative
+        windows instead (CL ONE acks can come from remote replicas) -- and
+        then hand the list to :meth:`finish_load`.
         """
         keys = self.workload.load_keys()
         completed: List[OperationResult] = []
@@ -262,27 +266,49 @@ class WorkloadExecutor:
                 completed.append,
                 size_bytes=self.workload.value_size(),
             )
-        # Drain everything (writes + background propagation) so the run phase
-        # starts from a consistent store.
-        self.cluster.settle()
+        return completed
+
+    def finish_load(self, completed: List[OperationResult]) -> int:
+        """Account the drained load phase; returns the records loaded."""
         if self.auditor is not None:
             for result in completed:
                 self.auditor.observe_write(result)
         self._loaded = True
         return len(completed)
 
+    def load(self) -> int:
+        """Insert the initial ``record_count`` records (not measured).
+
+        Returns the number of records loaded.  The engine is run after the
+        inserts so all replicas converge before the run phase starts, which
+        matches the paper's setup of loading the dataset before running the
+        measured workloads.
+        """
+        completed = self.issue_load()
+        # Drain everything (writes + background propagation) so the run phase
+        # starts from a consistent store.
+        self.cluster.settle()
+        return self.finish_load(completed)
+
     # ------------------------------------------------------------------
     # Run phase
     # ------------------------------------------------------------------
-    def run(self) -> RunMetrics:
-        """Execute the run phase and return the collected metrics."""
-        if not self._loaded:
-            self.load()
+    def begin_run(
+        self, on_all_finished: Optional[Callable[[], None]] = None
+    ) -> List[ClientThread]:
+        """Attach the policy and start every client; do not drive the engine.
+
+        ``on_all_finished`` fires when the last client finishes; the default
+        stops the engine's run loop (what :meth:`run` wants).  The sharded
+        engine passes its own callback because its shard must keep serving
+        remote replica traffic after the local clients are done.
+        """
         self.policy.attach(self.cluster)
         if self.on_policy_attached is not None:
             self.on_policy_attached()
         engine = self.cluster.engine
         start_time = engine.now
+        self._start_time = start_time
         self.metrics.throughput.start(start_time)
 
         # One completion batch shared by every client: a burst of completions
@@ -311,8 +337,10 @@ class WorkloadExecutor:
             )
             for i in range(self.threads)
         ]
+        self._clients = clients
         finished = [0]
         n_clients = len(clients)
+        all_finished = on_all_finished if on_all_finished is not None else engine.stop
 
         def one_finished() -> None:
             # The last client to finish stops the engine's run loop; driving
@@ -320,29 +348,23 @@ class WorkloadExecutor:
             # one-Python-iteration-per-event outer loop.
             finished[0] += 1
             if finished[0] >= n_clients:
-                engine.stop()
+                all_finished()
 
         for client in clients:
             client.start(one_finished)
+        return clients
 
-        def deadline_stop() -> None:
-            # Safety bound on the virtual run duration: stop every client
-            # (each stop fires one_finished, so the engine stops once the
-            # last in-flight completion is accounted for).
-            for client in clients:
-                client.stop()
+    def stop_clients(self) -> None:
+        """Stop every running client (each stop fires its finish callback)."""
+        for client in self._clients:
+            client.stop()
 
-        engine.reset_stop()
-        deadline_guard = engine.at(
-            start_time + self.max_virtual_time, deadline_stop, label="run.deadline"
-        )
-        engine.run()
-        engine.reset_stop()
-        deadline_guard.cancel()
-
+    def finalize_run(self) -> RunMetrics:
+        """Close the measurement window and capture policy/auditor state."""
+        engine = self.cluster.engine
         end_time = engine.now
         self.metrics.throughput.stop(end_time)
-        self.metrics.duration = end_time - start_time
+        self.metrics.duration = end_time - self._start_time
         # Capture the controller's estimate trace, if the policy kept one.
         series = getattr(self.policy, "estimate_series", None)
         if series is not None:
@@ -360,6 +382,30 @@ class WorkloadExecutor:
             )
         self.policy.detach()
         return self.metrics
+
+    def run(self) -> RunMetrics:
+        """Execute the run phase and return the collected metrics."""
+        if not self._loaded:
+            self.load()
+        engine = self.cluster.engine
+        clients = self.begin_run()
+        start_time = self._start_time
+
+        def deadline_stop() -> None:
+            # Safety bound on the virtual run duration: stop every client
+            # (each stop fires one_finished, so the engine stops once the
+            # last in-flight completion is accounted for).
+            for client in clients:
+                client.stop()
+
+        engine.reset_stop()
+        deadline_guard = engine.at(
+            start_time + self.max_virtual_time, deadline_stop, label="run.deadline"
+        )
+        engine.run()
+        engine.reset_stop()
+        deadline_guard.cancel()
+        return self.finalize_run()
 
     # ------------------------------------------------------------------
     # Client callbacks

@@ -131,17 +131,15 @@ class TestLegacyControllersShareTheSpine:
         assert controller.plane.decision_counts == {"harmony.read_level": 3}
         assert len(controller.decisions) == 3  # legacy record stays in step
 
-    def test_geo_controller_runs_on_a_plane(self, geo_cluster):
-        from repro.geo.controller import GeoHarmonyController
+    def test_geo_policy_runs_on_a_plane(self, geo_cluster):
+        from repro.geo import GeoHarmonyPolicy
 
-        controller = GeoHarmonyController(
-            geo_cluster, HarmonyConfig(monitoring_interval=0.1)
-        )
-        controller.start()
+        policy = GeoHarmonyPolicy(config=HarmonyConfig(monitoring_interval=0.1))
+        policy.attach(geo_cluster)
         geo_cluster.engine.run_until(0.25)
-        controller.stop()
-        assert controller.plane.decision_counts == {"geo-harmony.read_level": 6}
-        assert len(controller.decisions) == 6
+        policy.detach()
+        assert policy.plane.decision_counts == {"geo-harmony.read_level": 6}
+        assert len(policy.plane.decisions) == 6
 
     def test_manual_decide_and_plane_tick_agree(self, plain_cluster):
         from repro.core.controller import HarmonyController

@@ -1,4 +1,4 @@
-"""Unit tests for the per-datacenter Harmony controller and geo policies."""
+"""Unit tests for the per-datacenter read-level control loop and geo policies."""
 
 from __future__ import annotations
 
@@ -6,9 +6,11 @@ import pytest
 
 from repro.cluster.cluster import ClusterConfig, SimulatedCluster
 from repro.cluster.consistency import ConsistencyLevel
+from repro.control.plane import ControlPlane
+from repro.control.policies import GeoReadPolicy
 from repro.core.config import HarmonyConfig
 from repro.core.monitor import MonitoringSample
-from repro.geo import GeoHarmonyController, GeoHarmonyPolicy, StaticGeoPolicy
+from repro.geo import GeoHarmonyPolicy, StaticGeoPolicy
 
 
 def make_sample(dc, read_rate, write_rate, tp, now=0.0):
@@ -25,116 +27,124 @@ def make_sample(dc, read_rate, write_rate, tp, now=0.0):
     )
 
 
+def make_control(cluster, config=None, tolerated_stale_rates=None):
+    """A GeoReadPolicy bound to its own plane (validation runs at add())."""
+    config = config or HarmonyConfig()
+    plane = ControlPlane(cluster, config, name="geo_harmony.tick")
+    control = plane.add(GeoReadPolicy(config, tolerated_stale_rates=tolerated_stale_rates))
+    return plane, control
+
+
 class TestConstruction:
     def test_requires_network_topology_strategy(self):
         plain = SimulatedCluster(ClusterConfig(n_nodes=6, replication_factor=3, seed=1))
         with pytest.raises(ValueError, match="NetworkTopologyStrategy"):
-            GeoHarmonyController(plain)
+            make_control(plain)
 
     def test_rejects_unknown_datacenter_override(self, geo_cluster):
         with pytest.raises(ValueError, match="unknown datacenter"):
-            GeoHarmonyController(geo_cluster, tolerated_stale_rates={"nowhere": 0.2})
+            make_control(geo_cluster, tolerated_stale_rates={"nowhere": 0.2})
 
     def test_rejects_out_of_range_asr(self, geo_cluster):
         with pytest.raises(ValueError, match="must be in"):
-            GeoHarmonyController(geo_cluster, tolerated_stale_rates={"alpha": 1.5})
+            make_control(geo_cluster, tolerated_stale_rates={"alpha": 1.5})
 
     def test_default_asr_fills_missing_sites(self, geo_cluster):
-        controller = GeoHarmonyController(
+        _, control = make_control(
             geo_cluster,
             HarmonyConfig(tolerated_stale_rate=0.4),
             tolerated_stale_rates={"alpha": 0.1},
         )
-        assert controller.tolerated_stale_rates == {
+        assert control.tolerated_stale_rates == {
             "alpha": 0.1,
             "beta": 0.4,
             "gamma": 0.4,
         }
 
     def test_one_model_per_replica_holding_site(self, geo_cluster):
-        controller = GeoHarmonyController(geo_cluster)
-        assert set(controller.models) == {"alpha", "beta", "gamma"}
-        assert controller.models["alpha"].replication_factor == 3
-        assert controller.models["beta"].replication_factor == 2
+        _, control = make_control(geo_cluster)
+        assert set(control.models) == {"alpha", "beta", "gamma"}
+        assert control.models["alpha"].replication_factor == 3
+        assert control.models["beta"].replication_factor == 2
 
     def test_initial_levels_are_local_one(self, geo_cluster):
-        controller = GeoHarmonyController(geo_cluster)
+        _, control = make_control(geo_cluster)
         for dc in geo_cluster.datacenter_names:
-            assert controller.read_level(dc) is ConsistencyLevel.LOCAL_ONE
+            assert control.current_level[dc] is ConsistencyLevel.LOCAL_ONE
 
 
 class TestDecisions:
     def test_idle_site_stays_local_one(self, geo_cluster):
-        controller = GeoHarmonyController(geo_cluster)
-        decision = controller.decide("beta", make_sample("beta", 0.0, 0.0, 0.005))
-        assert decision.level is ConsistencyLevel.LOCAL_ONE
+        _, control = make_control(geo_cluster)
+        decision = control.decide("beta", make_sample("beta", 0.0, 0.0, 0.005))
+        assert decision.value is ConsistencyLevel.LOCAL_ONE
         assert decision.replicas == 1
 
     def test_hot_site_escalates_while_idle_site_does_not(self, geo_cluster):
         """The tentpole behaviour: sites decide independently."""
-        controller = GeoHarmonyController(
+        _, control = make_control(
             geo_cluster, HarmonyConfig(tolerated_stale_rate=0.05)
         )
-        hot = controller.decide("alpha", make_sample("alpha", 500.0, 400.0, 0.008))
-        idle = controller.decide("beta", make_sample("beta", 1.0, 0.001, 0.0002))
+        hot = control.decide("alpha", make_sample("alpha", 500.0, 400.0, 0.008))
+        idle = control.decide("beta", make_sample("beta", 1.0, 0.001, 0.0002))
         assert hot.replicas > 1
-        assert hot.level in (
+        assert hot.value in (
             ConsistencyLevel.LOCAL_QUORUM,
             ConsistencyLevel.ALL,
         )
-        assert idle.level is ConsistencyLevel.LOCAL_ONE
+        assert idle.value is ConsistencyLevel.LOCAL_ONE
         # The decisions are stored per site and do not clobber each other.
-        assert controller.read_level("alpha") is hot.level
-        assert controller.read_level("beta") is ConsistencyLevel.LOCAL_ONE
+        assert control.current_level["alpha"] is hot.value
+        assert control.current_level["beta"] is ConsistencyLevel.LOCAL_ONE
 
     def test_per_site_tolerance_drives_the_decision(self, geo_cluster):
-        controller = GeoHarmonyController(
+        _, control = make_control(
             geo_cluster,
             HarmonyConfig(tolerated_stale_rate=0.4),
             tolerated_stale_rates={"alpha": 0.01, "beta": 0.99},
         )
         sample_kwargs = dict(read_rate=300.0, write_rate=250.0, tp=0.008)
-        strict = controller.decide("alpha", make_sample("alpha", **sample_kwargs))
-        lenient = controller.decide("beta", make_sample("beta", **sample_kwargs))
+        strict = control.decide("alpha", make_sample("alpha", **sample_kwargs))
+        lenient = control.decide("beta", make_sample("beta", **sample_kwargs))
         assert strict.replicas > lenient.replicas
-        assert lenient.level is ConsistencyLevel.LOCAL_ONE
+        assert lenient.value is ConsistencyLevel.LOCAL_ONE
 
     def test_decisions_recorded_per_site(self, geo_cluster):
-        controller = GeoHarmonyController(geo_cluster)
-        controller.decide("alpha", make_sample("alpha", 10.0, 5.0, 0.001))
-        controller.decide("alpha", make_sample("alpha", 10.0, 5.0, 0.001, now=1.0))
-        controller.decide("beta", make_sample("beta", 10.0, 5.0, 0.001))
-        assert len(controller.decisions_for("alpha")) == 2
-        assert len(controller.decisions_for("beta")) == 1
-        assert len(controller.estimate_series["alpha"]) == 2
+        _, control = make_control(geo_cluster)
+        decisions = []
+        control.on_decision = decisions.append
+        control.decide("alpha", make_sample("alpha", 10.0, 5.0, 0.001))
+        control.decide("alpha", make_sample("alpha", 10.0, 5.0, 0.001, now=1.0))
+        control.decide("beta", make_sample("beta", 10.0, 5.0, 0.001))
+        per_site = [d for d in decisions if d.scope == "dc:alpha"]
+        assert len(per_site) == 2
+        assert len([d for d in decisions if d.scope == "dc:beta"]) == 1
+        assert len(control.estimate_series["alpha"]) == 2
+        assert len(control.estimate_series["beta"]) == 1
 
     def test_unknown_site_rejected(self, geo_cluster):
-        controller = GeoHarmonyController(geo_cluster)
+        _, control = make_control(geo_cluster)
         with pytest.raises(ValueError, match="no replicas"):
-            controller.decide("nowhere", make_sample("nowhere", 1.0, 1.0, 0.001))
+            control.decide("nowhere", make_sample("nowhere", 1.0, 1.0, 0.001))
 
 
 class TestPeriodicLoop:
     def test_tick_samples_every_site(self, geo_cluster):
-        controller = GeoHarmonyController(
-            geo_cluster, HarmonyConfig(monitoring_interval=0.1)
-        )
-        controller.monitor.prime()
+        plane, _ = make_control(geo_cluster, HarmonyConfig(monitoring_interval=0.1))
+        plane.monitor.prime()
         geo_cluster.engine.run_until(0.5)
-        decisions = controller.tick()
-        assert set(decisions) == {"alpha", "beta", "gamma"}
+        decisions = plane.tick()
+        assert {d.scope for d in decisions} == {"dc:alpha", "dc:beta", "dc:gamma"}
 
     def test_start_stop(self, geo_cluster):
-        controller = GeoHarmonyController(
-            geo_cluster, HarmonyConfig(monitoring_interval=0.1)
-        )
-        controller.start()
+        plane, _ = make_control(geo_cluster, HarmonyConfig(monitoring_interval=0.1))
+        plane.start()
         geo_cluster.engine.run_until(0.55)
-        controller.stop()
-        assert len(controller.decisions_for("alpha")) >= 4
-        taken = len(controller.decisions)
+        plane.stop()
+        assert len([d for d in plane.decisions if d.scope == "dc:alpha"]) >= 4
+        taken = len(plane.decisions)
         geo_cluster.engine.run_until(1.5)
-        assert len(controller.decisions) == taken
+        assert len(plane.decisions) == taken
 
 
 class TestPolicies:
@@ -155,12 +165,12 @@ class TestPolicies:
 
         policy = GeoHarmonyPolicy(config=HarmonyConfig(tolerated_stale_rate=0.05))
         policy.attach(geo_cluster)
-        controller = policy.controller
-        assert controller is not None
-        controller.decide("alpha", make_sample("alpha", 500.0, 400.0, 0.008))
-        controller.decide("beta", make_sample("beta", 1.0, 0.001, 0.0002))
-        assert controller.read_level("beta") is ConsistencyLevel.LOCAL_ONE
-        assert policy.read_level() is site_agnostic_level(controller.read_level("alpha"))
+        control = policy.control
+        assert control is not None
+        control.decide("alpha", make_sample("alpha", 500.0, 400.0, 0.008))
+        control.decide("beta", make_sample("beta", 1.0, 0.001, 0.0002))
+        assert control.current_level["beta"] is ConsistencyLevel.LOCAL_ONE
+        assert policy.read_level() is site_agnostic_level(control.current_level["alpha"])
         assert policy.read_level() not in (
             ConsistencyLevel.ONE,
             ConsistencyLevel.LOCAL_ONE,
@@ -247,10 +257,10 @@ class TestPolicies:
         )
         assert policy.read_level_for("alpha") is ConsistencyLevel.LOCAL_ONE
         policy.attach(geo_cluster)
-        assert policy.controller is not None
+        assert policy.plane is not None and policy.control is not None
         geo_cluster.engine.run_until(0.35)
-        assert len(policy.controller.decisions) > 0
-        assert policy.read_level_for("alpha") is policy.controller.read_level("alpha")
+        assert len(policy.plane.decisions) > 0
+        assert policy.read_level_for("alpha") is policy.control.current_level["alpha"]
         policy.detach()
 
 

@@ -1,0 +1,136 @@
+"""Unit tests for shard-local pieces: workload splitting and the wire codec."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.storage import Cell
+from repro.network.fabric import Message, MessageKind
+from repro.network.topology import NodeAddress
+from repro.sim.parallel import split_proportional, wire_decode, wire_encode
+
+
+class TestSplitProportional:
+    @settings(deadline=None, max_examples=100)
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        weights=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=40),
+    )
+    def test_sums_exactly_and_stays_proportional(self, total, weights):
+        if sum(weights) == 0:
+            with pytest.raises(ValueError):
+                split_proportional(total, weights)
+            return
+        shares = split_proportional(total, weights)
+        assert sum(shares) == total
+        assert len(shares) == len(weights)
+        denominator = sum(weights)
+        for share, weight in zip(shares, weights):
+            exact = total * weight / denominator
+            # Largest-remainder apportionment never strays a full unit.
+            assert exact - 1 < share < exact + 1
+
+    def test_deterministic_tie_break_by_index(self):
+        assert split_proportional(3, [1, 1]) == [2, 1]
+        assert split_proportional(5, [1, 1, 1]) == [2, 2, 1]
+
+
+def _addr(i: int) -> NodeAddress:
+    return NodeAddress("dc1", f"rack{i % 3}", i)
+
+
+def _round_trip(message: Message) -> Message:
+    # Exactly the transport path: encode in the worker, pickle across the
+    # pipe, unpickle and decode on the destination shard.
+    return wire_decode(pickle.loads(pickle.dumps(wire_encode(message), -1)))
+
+
+class TestWireCodec:
+    def test_read_response_payload_round_trips(self):
+        cell = Cell(timestamp=1.5, value_id=42, key="user7", value=b"v", size_bytes=128)
+        message = Message(
+            msg_id=9,
+            src=_addr(1),
+            dst=_addr(2),
+            kind=MessageKind.intern("read_response"),
+            payload=(17, _addr(1), cell),
+            size_bytes=128,
+            sent_at=0.25,
+            delivered_at=0.2503,
+        )
+        decoded = _round_trip(message)
+        assert decoded == message
+        assert decoded.src == message.src and decoded.dst == message.dst
+        req_id, replica, decoded_cell = decoded.payload
+        assert req_id == 17
+        assert replica == _addr(1)
+        # Cell equality only compares (timestamp, value_id); check the
+        # non-compared fields explicitly.
+        assert (decoded_cell.key, decoded_cell.value, decoded_cell.size_bytes) == (
+            "user7",
+            b"v",
+            128,
+        )
+
+    def test_known_kinds_decode_to_interned_members(self):
+        for member in MessageKind:
+            message = Message(
+                msg_id=1, src=_addr(0), dst=_addr(1), kind=member, payload=None
+            )
+            decoded = _round_trip(message)
+            assert decoded.kind is member
+
+    def test_unknown_kind_passes_through_as_string(self):
+        message = Message(
+            msg_id=1, src=_addr(0), dst=_addr(1), kind="custom_probe", payload=(1, 2)
+        )
+        decoded = _round_trip(message)
+        assert decoded.kind == "custom_probe"
+        assert type(decoded.kind) is str
+
+    def test_nested_tuples_and_primitives(self):
+        payload = ("req", ("nested", (None, True, 2.5, 7)), b"blob")
+        message = Message(
+            msg_id=3, src=_addr(0), dst=_addr(2), kind=MessageKind.intern("write_request"),
+            payload=payload,
+        )
+        assert _round_trip(message).payload == payload
+
+    def test_unknown_payload_type_falls_back_to_pickle(self):
+        payload = {"weird": [1, 2, 3]}  # not a known wire shape
+        message = Message(
+            msg_id=4, src=_addr(0), dst=_addr(1), kind="custom", payload=payload
+        )
+        assert _round_trip(message).payload == payload
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        msg_id=st.integers(min_value=0, max_value=2**40),
+        timestamps=st.tuples(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        ),
+        key=st.text(max_size=20),
+        value_id=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_round_trip_is_exact_under_hypothesis(self, msg_id, timestamps, key, value_id):
+        sent_at, delivered_at = timestamps
+        cell = Cell(timestamp=sent_at, value_id=value_id, key=key, value=key.encode())
+        message = Message(
+            msg_id=msg_id,
+            src=_addr(5),
+            dst=_addr(6),
+            kind=MessageKind.intern("repair_write"),
+            payload=(msg_id, cell),
+            size_bytes=len(key),
+            sent_at=sent_at,
+            delivered_at=delivered_at,
+        )
+        decoded = _round_trip(message)
+        assert decoded == message
+        assert decoded.payload[1].key == key
+        assert decoded.sent_at == sent_at and decoded.delivered_at == delivered_at
