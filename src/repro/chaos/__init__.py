@@ -1,0 +1,62 @@
+"""Chaos search over the fault-schedule space, with deterministic shrinking.
+
+Hand-written fault schedules only test the failures someone thought to
+write down.  This package searches the schedule space instead: a seeded
+generator draws adversarial timelines over the full grey-failure menu
+(crashes, outages, symmetric and asymmetric partitions, packet loss,
+slow WAN), every run is judged by an invariant suite derived from the
+Cassandra 1.0 recovery contract, and -- because every run is
+deterministic -- any failing schedule is shrunk to a 1-minimal reproducer
+and committed to a corpus that replays forever in CI.
+
+Modules
+-------
+:mod:`repro.chaos.generator`
+    ``(seed, scenario, budget) -> FaultSchedule``, plus structural sanity
+    validation shared with the property tests.
+:mod:`repro.chaos.invariants`
+    The post-heal invariant suite: no lost acked writes, hint replay
+    exactly once, no stuck Unavailable, windowed staleness bounds.
+:mod:`repro.chaos.replay`
+    :func:`~repro.chaos.replay.run_chaos` -- the deterministic
+    load/run/heal/converge/check phase sequence all callers share.
+:mod:`repro.chaos.shrink`
+    ddmin-style minimization with trace-identity verification.
+:mod:`repro.chaos.corpus`
+    Canonical JSON round-trip for schedules and reproducer files.
+
+Entry point: ``tools/chaos_search.py``; docs: ``docs/chaos.md``.
+"""
+
+from repro.chaos.corpus import (
+    Reproducer,
+    load_reproducer,
+    schedule_from_dict,
+    schedule_signature,
+    schedule_to_dict,
+    write_reproducer,
+)
+from repro.chaos.generator import ScheduleGenerator, ScheduleValidationError, validate_schedule
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.replay import ChaosConfig, ChaosReport, run_chaos
+from repro.chaos.shrink import NondeterministicReplayError, ShrinkResult, shrink
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "InvariantChecker",
+    "NondeterministicReplayError",
+    "Reproducer",
+    "ScheduleGenerator",
+    "ScheduleValidationError",
+    "ShrinkResult",
+    "Violation",
+    "load_reproducer",
+    "run_chaos",
+    "schedule_from_dict",
+    "schedule_signature",
+    "schedule_to_dict",
+    "shrink",
+    "validate_schedule",
+    "write_reproducer",
+]

@@ -1,0 +1,271 @@
+"""Canonical JSON (de)serialization of fault schedules and reproducers.
+
+Two jobs share one wire format:
+
+* **Byte-identity.** The generator's determinism contract ("same
+  ``(seed, scenario, budget)`` gives a byte-identical schedule") is stated
+  over :func:`schedule_signature`, the sha256 of the canonical JSON form --
+  key-sorted, ms-rounded floats, addresses as ``[dc, rack, id]`` triples.
+* **The reproducer corpus.** ``tools/chaos_search.py`` writes every
+  minimized failing schedule as a reproducer file under
+  ``tests/chaos/corpus/``; ``tests/chaos/test_corpus_replay.py`` replays
+  each one against current code and asserts all invariants hold.
+
+The format is versioned (``"format": 1``) so later PRs can evolve it
+without invalidating committed corpus entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.faults.schedule import (
+    AsymmetricPartition,
+    DatacenterIsolation,
+    DatacenterOutage,
+    DatacenterPartition,
+    FaultEvent,
+    FaultSchedule,
+    NodeCrash,
+    NodeRestart,
+    PacketLoss,
+    SlowWan,
+)
+from repro.network.topology import NodeAddress
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "Reproducer",
+    "event_from_dict",
+    "event_to_dict",
+    "load_reproducer",
+    "schedule_from_dict",
+    "schedule_signature",
+    "schedule_to_dict",
+    "write_reproducer",
+]
+
+CORPUS_FORMAT = 1
+
+
+def _address_to_list(node: NodeAddress) -> List[Any]:
+    return [node.datacenter, node.rack, node.node_id]
+
+
+def _address_from_list(raw: Any) -> NodeAddress:
+    if not isinstance(raw, (list, tuple)) or len(raw) != 3:
+        raise ValueError(f"node address must be [dc, rack, id], got {raw!r}")
+    return NodeAddress(str(raw[0]), str(raw[1]), int(raw[2]))
+
+
+def event_to_dict(event: FaultEvent) -> Dict[str, Any]:
+    """One fault event as a plain JSON-ready dict with a ``type`` tag."""
+    if isinstance(event, NodeCrash):
+        return {"type": "node_crash", "at": event.at, "node": _address_to_list(event.node)}
+    if isinstance(event, NodeRestart):
+        out: Dict[str, Any] = {
+            "type": "node_restart",
+            "at": event.at,
+            "node": _address_to_list(event.node),
+        }
+        if not event.replay_hints:
+            out["replay_hints"] = False
+        return out
+    if isinstance(event, DatacenterOutage):
+        out = {"type": "dc_outage", "at": event.at, "datacenter": event.datacenter}
+        if event.duration is not None:
+            out["duration"] = event.duration
+        if not event.replay_hints:
+            out["replay_hints"] = False
+        return out
+    if isinstance(event, DatacenterIsolation):
+        out = {
+            "type": "dc_isolation",
+            "at": event.at,
+            "datacenter": event.datacenter,
+            "mode": event.mode,
+        }
+        if event.duration is not None:
+            out["duration"] = event.duration
+        if not event.replay_hints:
+            out["replay_hints"] = False
+        return out
+    if isinstance(event, DatacenterPartition):
+        out = {
+            "type": "partition",
+            "at": event.at,
+            "datacenters": list(event.datacenters),
+            "mode": event.mode,
+        }
+        if event.duration is not None:
+            out["duration"] = event.duration
+        if not event.replay_hints:
+            out["replay_hints"] = False
+        return out
+    if isinstance(event, AsymmetricPartition):
+        out = {
+            "type": "partition_oneway",
+            "at": event.at,
+            "datacenters": list(event.datacenters),
+            "mode": event.mode,
+        }
+        if event.duration is not None:
+            out["duration"] = event.duration
+        if not event.replay_hints:
+            out["replay_hints"] = False
+        return out
+    if isinstance(event, PacketLoss):
+        out = {
+            "type": "packet_loss",
+            "at": event.at,
+            "datacenters": list(event.datacenters),
+            "probability": event.probability,
+        }
+        if event.duration is not None:
+            out["duration"] = event.duration
+        return out
+    if isinstance(event, SlowWan):
+        out = {
+            "type": "slow_wan",
+            "at": event.at,
+            "datacenters": list(event.datacenters),
+            "scale": event.scale,
+        }
+        if event.duration is not None:
+            out["duration"] = event.duration
+        return out
+    raise TypeError(f"cannot serialize fault event {event!r}")
+
+
+def event_from_dict(raw: Dict[str, Any]) -> FaultEvent:
+    """Inverse of :func:`event_to_dict`."""
+    kind = raw.get("type")
+    at = float(raw["at"])
+    if kind == "node_crash":
+        return NodeCrash(at=at, node=_address_from_list(raw["node"]))
+    if kind == "node_restart":
+        return NodeRestart(
+            at=at,
+            node=_address_from_list(raw["node"]),
+            replay_hints=bool(raw.get("replay_hints", True)),
+        )
+    if kind == "dc_outage":
+        return DatacenterOutage(
+            at=at,
+            datacenter=str(raw["datacenter"]),
+            duration=raw.get("duration"),
+            replay_hints=bool(raw.get("replay_hints", True)),
+        )
+    if kind == "dc_isolation":
+        return DatacenterIsolation(
+            at=at,
+            datacenter=str(raw["datacenter"]),
+            duration=raw.get("duration"),
+            mode=str(raw.get("mode", "drop")),
+            replay_hints=bool(raw.get("replay_hints", True)),
+        )
+    if kind == "partition":
+        return DatacenterPartition(
+            at=at,
+            datacenters=tuple(raw["datacenters"]),
+            duration=raw.get("duration"),
+            mode=str(raw.get("mode", "drop")),
+            replay_hints=bool(raw.get("replay_hints", True)),
+        )
+    if kind == "partition_oneway":
+        return AsymmetricPartition(
+            at=at,
+            datacenters=tuple(raw["datacenters"]),
+            duration=raw.get("duration"),
+            mode=str(raw.get("mode", "drop")),
+            replay_hints=bool(raw.get("replay_hints", True)),
+        )
+    if kind == "packet_loss":
+        return PacketLoss(
+            at=at,
+            datacenters=tuple(raw["datacenters"]),
+            probability=float(raw["probability"]),
+            duration=raw.get("duration"),
+        )
+    if kind == "slow_wan":
+        return SlowWan(
+            at=at,
+            datacenters=tuple(raw["datacenters"]),
+            scale=float(raw["scale"]),
+            duration=raw.get("duration"),
+        )
+    raise ValueError(f"unknown fault event type {kind!r}")
+
+
+def schedule_to_dict(schedule: FaultSchedule) -> Dict[str, Any]:
+    return {"events": [event_to_dict(event) for event in schedule.events]}
+
+
+def schedule_from_dict(raw: Dict[str, Any]) -> FaultSchedule:
+    return FaultSchedule([event_from_dict(item) for item in raw["events"]])
+
+
+def schedule_signature(schedule: FaultSchedule) -> str:
+    """sha256 of the canonical JSON form -- the byte-identity the generator
+    property tests assert over."""
+    canonical = json.dumps(schedule_to_dict(schedule), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Reproducer:
+    """One corpus entry: a schedule plus the run configuration to replay it.
+
+    ``config`` holds :class:`repro.chaos.replay.ChaosConfig` field overrides
+    (kept as a plain dict so the corpus format does not chase the config
+    dataclass); ``expected_violations`` records which invariants failed when
+    the entry was discovered -- committed entries must replay clean, so the
+    replay test treats the field as provenance, not an expectation.
+    """
+
+    schedule: FaultSchedule
+    scenario: str
+    seed: int = 0
+    description: str = ""
+    source: str = ""
+    config: Dict[str, Any] = field(default_factory=dict)
+    expected_violations: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": CORPUS_FORMAT,
+            "description": self.description,
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "source": self.source,
+            "config": dict(self.config),
+            "events": schedule_to_dict(self.schedule)["events"],
+            "violations": list(self.expected_violations),
+        }
+
+
+def write_reproducer(path: Union[str, Path], reproducer: Reproducer) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(reproducer.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_reproducer(path: Union[str, Path]) -> Reproducer:
+    raw = json.loads(Path(path).read_text())
+    fmt = raw.get("format")
+    if fmt != CORPUS_FORMAT:
+        raise ValueError(f"unsupported corpus format {fmt!r} in {path}")
+    return Reproducer(
+        schedule=schedule_from_dict(raw),
+        scenario=str(raw["scenario"]),
+        seed=int(raw.get("seed", 0)),
+        description=str(raw.get("description", "")),
+        source=str(raw.get("source", "")),
+        config=dict(raw.get("config", {})),
+        expected_violations=[str(v) for v in raw.get("violations", [])],
+    )

@@ -1,0 +1,312 @@
+"""Seeded fault-schedule generation over the grey-failure space.
+
+The generator maps ``(seed, scenario, budget)`` deterministically to a
+:class:`~repro.faults.schedule.FaultSchedule`.  "Budget" counts *fault
+actions*, where a crash/restart pair is one action, as is a partition plus
+its heal -- so a budget of six produces a timeline with up to twelve raw
+events but six distinct injected faults.
+
+Action menu (multi-datacenter scenarios)::
+
+    crash        node crash + restart                       weight 0.30
+    outage       whole-datacenter outage + recovery         weight 0.10
+    partition    symmetric DC partition (drop or park)      weight 0.15
+    asym         asymmetric (one-way) DC partition          weight 0.15
+    loss         per-pair packet-loss probability window    weight 0.15
+    slow         per-pair WAN latency-scaling window        weight 0.15
+
+Single-datacenter scenarios only draw node crashes (the other actions are
+cross-DC by construction).
+
+Determinism contract
+--------------------
+All randomness comes from one named stream,
+``RandomStreams(seed).stream("chaos.<scenario>")``, so the same
+``(seed, scenario, budget)`` yields a byte-identical schedule (see
+:func:`repro.chaos.corpus.schedule_signature`) regardless of what else the
+process has sampled.  Times and durations are rounded to milliseconds so the
+serialized corpus form is exact.
+
+Structural sanity
+-----------------
+:func:`validate_schedule` enforces the invariants the rest of the chaos
+stack assumes: every fault heals (all windows carry a duration), windows end
+by ``0.92 * horizon`` so the run always has a post-heal tail, no
+crash/restart overlap per node, no node crash during its datacenter's
+outage, and no overlapping loss / slow-WAN windows on the same DC pair.
+The generator asserts it on every schedule it returns; the property tests
+re-check it over hundreds of seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.cluster import resolve_topology
+from repro.experiments.scenarios import Scenario
+from repro.faults.schedule import (
+    AsymmetricPartition,
+    DatacenterOutage,
+    DatacenterPartition,
+    FaultEvent,
+    FaultSchedule,
+    NodeCrash,
+    NodeRestart,
+    PacketLoss,
+    SlowWan,
+)
+from repro.network.topology import NodeAddress
+from repro.sim.rng import RandomStreams
+
+__all__ = ["ScheduleGenerator", "ScheduleValidationError", "validate_schedule"]
+
+# Fault windows must end by this fraction of the horizon so every run has a
+# guaranteed post-heal tail for hint replay and repair to act in.
+HEAL_FRACTION = 0.92
+
+# (action, cumulative-probability) menu for multi-DC scenarios.  Drawn via a
+# single uniform sample so the stream advances one draw per attempt.
+_MULTI_DC_MENU: Sequence[Tuple[str, float]] = (
+    ("crash", 0.30),
+    ("outage", 0.40),
+    ("partition", 0.55),
+    ("asym", 0.70),
+    ("loss", 0.85),
+    ("slow", 1.00),
+)
+
+_PLACEMENT_ATTEMPTS = 8
+
+
+class ScheduleValidationError(ValueError):
+    """A generated or deserialized schedule violates structural sanity."""
+
+
+def _overlaps(intervals: Sequence[Tuple[float, float]], start: float, end: float) -> bool:
+    return any(not (end < s or start > e) for s, e in intervals)
+
+
+@dataclass(frozen=True)
+class _Shape:
+    """Topology facts the generator needs, precomputed once."""
+
+    nodes: Tuple[NodeAddress, ...]
+    datacenters: Tuple[str, ...]
+
+
+class ScheduleGenerator:
+    """Deterministic ``(seed, budget) -> FaultSchedule`` for one scenario."""
+
+    def __init__(self, scenario: Scenario, *, horizon: float = 12.0) -> None:
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon!r}")
+        self.scenario = scenario
+        self.horizon = float(horizon)
+        topology = resolve_topology(scenario.cluster_config())
+        self._shape = _Shape(
+            nodes=tuple(topology.nodes),
+            datacenters=tuple(topology.datacenter_names),
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def generate(self, seed: int, budget: int) -> FaultSchedule:
+        """Draw a schedule of up to ``budget`` fault actions.
+
+        An action that cannot be placed without violating structural sanity
+        after a bounded number of attempts forfeits its slot, so the
+        returned schedule may contain fewer actions than ``budget`` -- but
+        the draw sequence (hence determinism) never depends on wall state.
+        """
+        if budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget!r}")
+        rng = RandomStreams(seed).stream(f"chaos.{self.scenario.name}")
+        multi_dc = len(self._shape.datacenters) > 1
+        events: List[FaultEvent] = []
+        node_busy: Dict[NodeAddress, List[Tuple[float, float]]] = {}
+        dc_busy: Dict[str, List[Tuple[float, float]]] = {}
+        loss_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        slow_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+
+        for _ in range(budget):
+            for _attempt in range(_PLACEMENT_ATTEMPTS):
+                kind = self._draw_kind(rng, multi_dc)
+                window = self._draw_window(rng)
+                if window is None:
+                    continue
+                start, end = window
+                placed = self._place(
+                    kind, rng, start, end, events, node_busy, dc_busy, loss_busy, slow_busy
+                )
+                if placed:
+                    break
+
+        events.sort(key=lambda e: (e.at, type(e).__name__))
+        schedule = FaultSchedule(events)
+        validate_schedule(schedule, horizon=self.horizon)
+        return schedule
+
+    # -- draw helpers ----------------------------------------------------
+
+    def _draw_kind(self, rng, multi_dc: bool) -> str:
+        if not multi_dc:
+            return "crash"
+        u = rng.random()
+        for kind, cumulative in _MULTI_DC_MENU:
+            if u < cumulative:
+                return kind
+        return _MULTI_DC_MENU[-1][0]
+
+    def _draw_window(self, rng):
+        """One (start, end) fault window, ms-rounded, ending by the heal cap."""
+        cap = HEAL_FRACTION * self.horizon
+        start = round(rng.random() * 0.55 * self.horizon, 3)
+        duration = round(0.8 + rng.random() * 0.30 * self.horizon, 3)
+        end = round(min(start + duration, cap), 3)
+        if end - start < 0.3:
+            return None
+        return start, end
+
+    def _draw_dc_pair(self, rng) -> Tuple[str, str]:
+        dcs = self._shape.datacenters
+        i = int(rng.integers(len(dcs)))
+        j = (i + 1 + int(rng.integers(len(dcs) - 1))) % len(dcs)
+        return dcs[i], dcs[j]
+
+    def _place(
+        self,
+        kind: str,
+        rng,
+        start: float,
+        end: float,
+        events: List[FaultEvent],
+        node_busy,
+        dc_busy,
+        loss_busy,
+        slow_busy,
+    ) -> bool:
+        duration = round(end - start, 3)
+        if kind == "crash":
+            node = self._shape.nodes[int(rng.integers(len(self._shape.nodes)))]
+            if _overlaps(node_busy.get(node, ()), start, end):
+                return False
+            if _overlaps(dc_busy.get(node.datacenter, ()), start, end):
+                return False
+            events.append(NodeCrash(at=start, node=node))
+            events.append(NodeRestart(at=end, node=node))
+            node_busy.setdefault(node, []).append((start, end))
+            return True
+        if kind == "outage":
+            dc = self._shape.datacenters[int(rng.integers(len(self._shape.datacenters)))]
+            if _overlaps(dc_busy.get(dc, ()), start, end):
+                return False
+            if any(
+                _overlaps(node_busy.get(node, ()), start, end)
+                for node in self._shape.nodes
+                if node.datacenter == dc
+            ):
+                return False
+            events.append(DatacenterOutage(at=start, datacenter=dc, duration=duration))
+            dc_busy.setdefault(dc, []).append((start, end))
+            return True
+        if kind == "partition":
+            a, b = self._draw_dc_pair(rng)
+            mode = "drop" if rng.random() < 0.7 else "park"
+            events.append(
+                DatacenterPartition(at=start, datacenters=(a, b), duration=duration, mode=mode)
+            )
+            return True
+        if kind == "asym":
+            src, dst = self._draw_dc_pair(rng)
+            mode = "drop" if rng.random() < 0.7 else "park"
+            events.append(
+                AsymmetricPartition(at=start, datacenters=(src, dst), duration=duration, mode=mode)
+            )
+            return True
+        if kind == "loss":
+            a, b = self._draw_dc_pair(rng)
+            pair = (a, b) if a <= b else (b, a)
+            if _overlaps(loss_busy.get(pair, ()), start, end):
+                return False
+            probability = round(0.05 + 0.30 * rng.random(), 3)
+            events.append(
+                PacketLoss(at=start, datacenters=pair, probability=probability, duration=duration)
+            )
+            loss_busy.setdefault(pair, []).append((start, end))
+            return True
+        if kind == "slow":
+            a, b = self._draw_dc_pair(rng)
+            pair = (a, b) if a <= b else (b, a)
+            if _overlaps(slow_busy.get(pair, ()), start, end):
+                return False
+            scale = round(2.0 + 10.0 * rng.random(), 2)
+            events.append(SlowWan(at=start, datacenters=pair, scale=scale, duration=duration))
+            slow_busy.setdefault(pair, []).append((start, end))
+            return True
+        raise AssertionError(f"unknown action kind {kind!r}")
+
+
+def validate_schedule(schedule: FaultSchedule, *, horizon: float) -> None:
+    """Raise :class:`ScheduleValidationError` unless ``schedule`` is sane.
+
+    Sanity means: every window heals by ``HEAL_FRACTION * horizon``, every
+    crash has exactly one matching restart (and vice versa) with no per-node
+    overlap, no crash window intersects its datacenter's outage, and loss /
+    slow-WAN windows never overlap on the same pair.
+    """
+    cap = HEAL_FRACTION * horizon + 1e-9
+    crash_windows: Dict[NodeAddress, List[Tuple[float, float]]] = {}
+    pending_crash: Dict[NodeAddress, float] = {}
+    dc_windows: Dict[str, List[Tuple[float, float]]] = {}
+    pair_windows: Dict[Tuple[str, Tuple[str, str]], List[Tuple[float, float]]] = {}
+
+    for event in schedule.events:
+        if event.at < 0:
+            raise ScheduleValidationError(f"event before time zero: {event!r}")
+
+    for event in sorted(schedule.events, key=lambda e: (e.at, type(e).__name__)):
+        if isinstance(event, NodeCrash):
+            if event.node in pending_crash:
+                raise ScheduleValidationError(f"double crash without restart: {event.node}")
+            pending_crash[event.node] = event.at
+        elif isinstance(event, NodeRestart):
+            start = pending_crash.pop(event.node, None)
+            if start is None:
+                raise ScheduleValidationError(f"restart without crash: {event.node}")
+            if event.at > cap:
+                raise ScheduleValidationError(
+                    f"restart of {event.node} at {event.at} past heal cap {cap:.3f}"
+                )
+            if _overlaps(crash_windows.get(event.node, ()), start, event.at):
+                raise ScheduleValidationError(f"overlapping crash windows for {event.node}")
+            crash_windows.setdefault(event.node, []).append((start, event.at))
+        else:
+            duration = getattr(event, "duration", None)
+            if duration is None:
+                raise ScheduleValidationError(f"unhealed fault window: {event!r}")
+            end = event.at + duration
+            if end > cap:
+                raise ScheduleValidationError(
+                    f"window ending at {end:.3f} past heal cap {cap:.3f}: {event!r}"
+                )
+            if isinstance(event, DatacenterOutage):
+                dc_windows.setdefault(event.datacenter, []).append((event.at, end))
+            elif isinstance(event, (PacketLoss, SlowWan)):
+                kind = "loss" if isinstance(event, PacketLoss) else "slow"
+                a, b = event.datacenters
+                pair = (a, b) if a <= b else (b, a)
+                key = (kind, pair)
+                if _overlaps(pair_windows.get(key, ()), event.at, end):
+                    raise ScheduleValidationError(f"overlapping {kind} windows on {pair}")
+                pair_windows.setdefault(key, []).append((event.at, end))
+
+    if pending_crash:
+        raise ScheduleValidationError(f"crashes never restarted: {sorted(pending_crash)}")
+
+    for node, windows in crash_windows.items():
+        for start, end in windows:
+            if _overlaps(dc_windows.get(node.datacenter, ()), start, end):
+                raise ScheduleValidationError(
+                    f"crash of {node} overlaps outage of {node.datacenter}"
+                )

@@ -662,6 +662,49 @@ class SimulatedCluster:
                     replayed += self._replay_hints_for(address)
         return released, replayed
 
+    def partition_datacenters_oneway(self, src_dc: str, dst_dc: str, *, mode: str = "drop") -> None:
+        """Sever one WAN direction (``src_dc -> dst_dc``) while the reverse
+        keeps flowing -- an asymmetric (grey) partition."""
+        self.fabric.partition_datacenters_oneway(src_dc, dst_dc, mode=mode)
+
+    def heal_datacenters_oneway(
+        self, src_dc: str, dst_dc: str, *, replay_hints: bool = True
+    ) -> Tuple[int, int]:
+        """Heal an asymmetric partition of the ``src_dc -> dst_dc`` direction.
+
+        Returns ``(parked_released, hints_replayed)``.  Only targets in
+        ``dst_dc`` regained reachability (the reverse direction was never
+        severed), so only their hints are replayed -- and only once no other
+        partition still blocks the direction.
+        """
+        released = self.fabric.heal_datacenters_oneway(src_dc, dst_dc)
+        replayed = 0
+        if replay_hints and not self.fabric.is_severed(src_dc, dst_dc):
+            for address in self.addresses_in(dst_dc):
+                replayed += self._replay_hints_for(address)
+        return released, replayed
+
+    def set_pair_loss(self, dc_a: str, dc_b: str, probability: float) -> None:
+        """Enable (or with 0.0 clear) per-pair WAN packet loss (see the fabric)."""
+        self.fabric.set_pair_loss(dc_a, dc_b, probability)
+
+    def set_pair_latency_scale(self, dc_a: str, dc_b: str, scale: float) -> None:
+        """Scale (or with 1.0 reset) the pair's WAN latency (see the fabric)."""
+        self.fabric.set_pair_latency_scale(dc_a, dc_b, scale)
+
+    def flush_hints(self) -> int:
+        """Replay every buffered hint whose target is live and reachable.
+
+        Models Cassandra's periodic hint-delivery sweep.  Crucial after pure
+        packet loss: a write whose replica never acked leaves a hint behind
+        with no node-recovery or partition-heal event to trigger replay --
+        this is the delivery path for those.  Returns hints replayed.
+        """
+        replayed = 0
+        for address in self.topology.nodes:
+            replayed += self._replay_hints_for(address)
+        return replayed
+
     def start_anti_entropy(self, config=None) -> "AntiEntropyService":
         """Start the periodic cross-DC Merkle repair process.
 
@@ -690,7 +733,9 @@ class SimulatedCluster:
         if not fabric.has_partitions:
             return True
         target_dc = self.topology.datacenter_of(target)
-        return coordinator.datacenter == target_dc or not fabric.is_partitioned(
+        # Directional check: a replay travels coordinator -> target, so an
+        # asymmetric partition of that direction alone is enough to lose it.
+        return coordinator.datacenter == target_dc or not fabric.is_severed(
             coordinator.datacenter, target_dc
         )
 

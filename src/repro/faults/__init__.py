@@ -40,6 +40,7 @@ byte-identically under a fixed seed.
 
 from repro.faults.detector import FailureDetector
 from repro.faults.schedule import (
+    AsymmetricPartition,
     DatacenterIsolation,
     DatacenterOutage,
     DatacenterPartition,
@@ -48,6 +49,8 @@ from repro.faults.schedule import (
     FaultSchedule,
     NodeCrash,
     NodeRestart,
+    PacketLoss,
+    SlowWan,
 )
 
 
@@ -64,6 +67,7 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "AsymmetricPartition",
     "DatacenterIsolation",
     "DatacenterOutage",
     "DatacenterPartition",
@@ -75,4 +79,6 @@ __all__ = [
     "NodeCrash",
     "NodeRestart",
     "OpEvent",
+    "PacketLoss",
+    "SlowWan",
 ]

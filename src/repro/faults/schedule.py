@@ -24,6 +24,12 @@ The three failure axes map onto the cluster layers like this:
 :class:`DatacenterPartition` / the **fabric** severs the DC pair(s); nodes stay up
 :class:`DatacenterIsolation`   and keep serving their own site, so both sides
                           diverge until heal + hinted handoff / anti-entropy.
+:class:`AsymmetricPartition` / grey failures, also at the fabric level: one WAN
+:class:`PacketLoss` /     *direction* severed, probabilistic per-pair message
+:class:`SlowWan`          loss, or a slowed (but lossless) WAN pair.  Invisible
+                          to the failure detector -- they surface as timeouts,
+                          hints and staleness, which is what makes them the
+                          interesting chaos-search axis.
 ========================  ==========================================================
 """
 
@@ -44,6 +50,9 @@ __all__ = [
     "DatacenterOutage",
     "DatacenterPartition",
     "DatacenterIsolation",
+    "AsymmetricPartition",
+    "PacketLoss",
+    "SlowWan",
     "FaultSchedule",
     "FaultInjector",
 ]
@@ -158,6 +167,87 @@ class DatacenterIsolation(FaultEvent):
             raise ValueError(f"isolation duration must be positive, got {self.duration!r}")
 
 
+@dataclass(frozen=True)
+class AsymmetricPartition(FaultEvent):
+    """Sever one WAN *direction*: ``datacenters[0] -> datacenters[1]`` is
+    blocked while the reverse keeps flowing (a grey failure: one-way
+    firewall rule, broken route announcement).
+
+    On heal, hints buffered for nodes of the destination site are replayed
+    (the direction they travel is the one that just reopened) unless
+    ``replay_hints=False``.  ``duration=None`` never heals.
+    """
+
+    datacenters: Tuple[str, str] = ("", "")
+    duration: Optional[float] = None
+    mode: str = "drop"
+    replay_hints: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.datacenters) != 2 or not all(self.datacenters):
+            raise ValueError(
+                f"AsymmetricPartition needs (src, dst) site names, got {self.datacenters!r}"
+            )
+        if self.datacenters[0] == self.datacenters[1]:
+            raise ValueError("cannot partition a datacenter from itself")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"partition duration must be positive, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class PacketLoss(FaultEvent):
+    """Drop each message crossing one DC pair with ``probability`` for
+    ``duration`` seconds (``None``: for the rest of the run).
+
+    Pure grey failure: no detector signal, no Unavailable -- lost requests
+    surface as timeouts and hinted writes with nothing to trigger their
+    replay (the chaos harness's final hint flush models Cassandra's
+    periodic hint delivery).
+    """
+
+    datacenters: Tuple[str, str] = ("", "")
+    probability: float = 0.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.datacenters) != 2 or not all(self.datacenters):
+            raise ValueError(f"PacketLoss needs two site names, got {self.datacenters!r}")
+        if self.datacenters[0] == self.datacenters[1]:
+            raise ValueError("cannot lose packets between a datacenter and itself")
+        if not 0.0 < self.probability < 1.0:
+            raise ValueError(f"loss probability must be in (0, 1), got {self.probability!r}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"loss duration must be positive, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class SlowWan(FaultEvent):
+    """Multiply the sampled WAN latency of one DC pair by ``scale`` for
+    ``duration`` seconds (``None``: for the rest of the run).
+
+    Lossless brown-out: everything still arrives, late.  FIFO links keep
+    their ordering guarantee; quorum paths crossing the pair slow down and
+    DC-local staleness windows stretch.
+    """
+
+    datacenters: Tuple[str, str] = ("", "")
+    scale: float = 1.0
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.datacenters) != 2 or not all(self.datacenters):
+            raise ValueError(f"SlowWan needs two site names, got {self.datacenters!r}")
+        if self.datacenters[0] == self.datacenters[1]:
+            raise ValueError("cannot slow the WAN between a datacenter and itself")
+        if self.scale <= 1.0:
+            raise ValueError(f"slow-WAN scale must be > 1, got {self.scale!r}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"slow-WAN duration must be positive, got {self.duration!r}")
+
+
 class FaultSchedule:
     """An immutable, time-ordered collection of fault events.
 
@@ -251,6 +341,26 @@ class FaultInjector:
                     engine.schedule(
                         event.at + event.duration, self._deisolate, event, label="fault.heal"
                     )
+            elif isinstance(event, AsymmetricPartition):
+                engine.schedule(
+                    event.at, self._partition_oneway, event, label="fault.partition_oneway"
+                )
+                if event.duration is not None:
+                    engine.schedule(
+                        event.at + event.duration, self._heal_oneway, event, label="fault.heal"
+                    )
+            elif isinstance(event, PacketLoss):
+                engine.schedule(event.at, self._loss_on, event, label="fault.packet_loss")
+                if event.duration is not None:
+                    engine.schedule(
+                        event.at + event.duration, self._loss_off, event, label="fault.heal"
+                    )
+            elif isinstance(event, SlowWan):
+                engine.schedule(event.at, self._slow_on, event, label="fault.slow_wan")
+                if event.duration is not None:
+                    engine.schedule(
+                        event.at + event.duration, self._slow_off, event, label="fault.heal"
+                    )
             else:  # pragma: no cover - FaultSchedule validates types
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -309,6 +419,40 @@ class FaultInjector:
             f"deisolate {event.datacenter} ({released} parked released, "
             f"{replayed} hints replayed)"
         )
+
+    def _partition_oneway(self, event: AsymmetricPartition) -> None:
+        src, dst = event.datacenters
+        self.cluster.partition_datacenters_oneway(src, dst, mode=event.mode)
+        self._note(f"partition {src}->{dst} ({event.mode})")
+
+    def _heal_oneway(self, event: AsymmetricPartition) -> None:
+        src, dst = event.datacenters
+        released, replayed = self.cluster.heal_datacenters_oneway(
+            src, dst, replay_hints=event.replay_hints
+        )
+        self._note(
+            f"heal {src}->{dst} ({released} parked released, {replayed} hints replayed)"
+        )
+
+    def _loss_on(self, event: PacketLoss) -> None:
+        a, b = event.datacenters
+        self.cluster.set_pair_loss(a, b, event.probability)
+        self._note(f"packet loss {a}|{b} p={event.probability}")
+
+    def _loss_off(self, event: PacketLoss) -> None:
+        a, b = event.datacenters
+        self.cluster.set_pair_loss(a, b, 0.0)
+        self._note(f"packet loss {a}|{b} cleared")
+
+    def _slow_on(self, event: SlowWan) -> None:
+        a, b = event.datacenters
+        self.cluster.set_pair_latency_scale(a, b, event.scale)
+        self._note(f"slow wan {a}|{b} x{event.scale}")
+
+    def _slow_off(self, event: SlowWan) -> None:
+        a, b = event.datacenters
+        self.cluster.set_pair_latency_scale(a, b, 1.0)
+        self._note(f"slow wan {a}|{b} cleared")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "armed" if self._armed else "idle"

@@ -23,6 +23,33 @@ serving while ``EACH_QUORUM`` degrades.  Blocked traffic is counted per DC
 pair (``NetworkStats.blocked`` / ``blocked_by_pair``), so tests and the
 fault benchmarks can assert where messages died.
 
+Grey failures (chaos injection)
+-------------------------------
+Three further WAN degradations model failures that are *partial* rather than
+binary, the space the chaos harness (:mod:`repro.chaos`) searches over:
+
+* **Asymmetric partitions** --
+  :meth:`NetworkFabric.partition_datacenters_oneway` severs one *ordered*
+  DC direction: ``A -> B`` traffic is dropped or parked while ``B -> A``
+  keeps flowing (a broken BGP announcement, a one-way firewall rule).
+  Directional blocks are refcounted and healed independently of the
+  symmetric partitions; directional blocked traffic is counted under
+  ``"A->B"`` keys in ``blocked_by_pair``.
+* **Per-pair packet loss** -- :meth:`NetworkFabric.set_pair_loss` drops each
+  message crossing one DC pair with a configured probability.  Losses are
+  drawn from a dedicated named stream per pair
+  (``network.loss.<a>|<b>``), so a given seed loses exactly the same
+  messages regardless of what else consumes randomness, and healthy runs
+  draw nothing.
+* **Slow WAN** -- :meth:`NetworkFabric.set_pair_latency_scale` multiplies
+  every sampled latency on one DC pair (brown-out, congested transit).
+  The scale applies to the propagation term only (not the bandwidth term),
+  and the ``fifo`` delivery clamp still guarantees per-link FIFO order.
+
+None of the three touches intra-DC traffic, and none perturbs any other
+random stream, so enabling a grey failure mid-run leaves the rest of the
+trace byte-identical up to the messages it actually affects.
+
 Hot-path design notes
 ---------------------
 Three things keep the per-message cost low on 100+ node rings:
@@ -150,8 +177,12 @@ class NetworkStats:
     blocked: int = 0
     #: Messages currently parked in a "park"-mode partition.
     parked: int = 0
-    #: Blocked-message counts per unordered DC pair ("dcA|dcB").
+    #: Blocked-message counts per DC pair: unordered ("dcA|dcB") for
+    #: symmetric partitions, ordered ("dcA->dcB") for asymmetric ones.
     blocked_by_pair: Counter = field(default_factory=Counter)
+    #: Messages dropped by per-pair packet loss, per unordered DC pair
+    #: ("dcA|dcB").  These also count into ``dropped``.
+    lost_by_pair: Counter = field(default_factory=Counter)
 
     def mean_latency(self) -> float:
         """Mean one-way delivery latency over all delivered messages."""
@@ -331,6 +362,21 @@ class NetworkFabric:
         self._partitions: Dict[Tuple[str, str], List] = {}
         # Messages parked by "park"-mode partitions, per pair, in send order.
         self._parked: Dict[Tuple[str, str], List[Tuple[Message, Optional[Callable]]]] = {}
+        # Asymmetric (one-way) partitions: *ordered* (src_dc, dst_dc) ->
+        # [mode, refcount].  Checked only after the symmetric map misses.
+        self._oneway: Dict[Tuple[str, str], List] = {}
+        self._parked_oneway: Dict[Tuple[str, str], List[Tuple[Message, Optional[Callable]]]] = {}
+        # Per-pair packet loss: unordered pair -> probability.  Loss draws
+        # come from a dedicated named stream per pair (cached in _loss_rng
+        # across enable/disable so re-arming continues the stream), so
+        # healthy traffic consumes no randomness from them.
+        self._pair_loss: Dict[Tuple[str, str], float] = {}
+        self._loss_rng: Dict[Tuple[str, str], np.random.Generator] = {}
+        # Per-pair latency multiplier (slow WAN): unordered pair -> scale.
+        self._pair_scale: Dict[Tuple[str, str], float] = {}
+        # True iff any grey-failure state is active; keeps the send hot path
+        # at one falsy check per message in healthy runs.
+        self._grey = False
         # Sharded-engine seam: when a remote sink is installed, messages to
         # destinations outside the owned set are handed to the sink (with
         # their already-sampled absolute delivery time) instead of being
@@ -496,12 +542,15 @@ class NetworkFabric:
         return len(parked)
 
     def heal_all_partitions(self) -> int:
-        """Fully heal every active partition (all refcounts drained);
-        returns total parked messages released."""
+        """Fully heal every active partition, symmetric and asymmetric (all
+        refcounts drained); returns total parked messages released."""
         released = 0
         for pair in list(self._partitions):
             while pair in self._partitions:
                 released += self.heal_datacenters(*pair)
+        for pair in list(self._oneway):
+            while pair in self._oneway:
+                released += self.heal_datacenters_oneway(*pair)
         return released
 
     def is_partitioned(self, dc_a: str, dc_b: str) -> bool:
@@ -510,12 +559,151 @@ class NetworkFabric:
 
     @property
     def has_partitions(self) -> bool:
-        """Whether any DC partition is active (cheap liveness-precheck guard)."""
-        return bool(self._partitions)
+        """Whether any DC partition (symmetric or asymmetric) is active
+        (cheap liveness-precheck guard)."""
+        return bool(self._partitions or self._oneway)
 
     def partitioned_pairs(self) -> List[Tuple[str, str]]:
-        """Active partitions as sorted ordered pairs (deterministic order)."""
+        """Active symmetric partitions as sorted ordered pairs."""
         return sorted(self._partitions)
+
+    # ------------------------------------------------------------------
+    # Grey failures (chaos injection)
+    # ------------------------------------------------------------------
+    def _check_dcs(self, dc_a: str, dc_b: str) -> None:
+        if dc_a == dc_b:
+            raise ValueError(f"need two distinct datacenters, got {dc_a!r} twice")
+        known = set(self._topology.datacenter_names)
+        for dc in (dc_a, dc_b):
+            if dc not in known:
+                raise ValueError(f"unknown datacenter {dc!r}; topology has {sorted(known)}")
+
+    def _sync_grey(self) -> None:
+        self._grey = bool(self._oneway or self._pair_loss or self._pair_scale)
+
+    def partition_datacenters_oneway(self, src_dc: str, dst_dc: str, *, mode: str = "drop") -> None:
+        """Sever one WAN *direction*: ``src_dc -> dst_dc`` traffic is blocked
+        while the reverse direction keeps flowing.
+
+        Semantics mirror :meth:`partition_datacenters` (drop vs park,
+        refcounting), but the key is the ordered direction.  A symmetric
+        partition of the same pair takes precedence while it is active.
+        """
+        if mode not in self.PARTITION_MODES:
+            raise ValueError(f"mode must be one of {self.PARTITION_MODES}, got {mode!r}")
+        self._check_dcs(src_dc, dst_dc)
+        direction = (src_dc, dst_dc)
+        entry = self._oneway.get(direction)
+        if entry is None:
+            self._oneway[direction] = [mode, 1]
+        else:
+            entry[0] = mode
+            entry[1] += 1
+        self.partition_epoch += 1
+        self._parked_oneway.setdefault(direction, [])
+        self._grey = True
+
+    def heal_datacenters_oneway(self, src_dc: str, dst_dc: str) -> int:
+        """Undo one asymmetric partition of the ``src_dc -> dst_dc``
+        direction; returns parked messages released (see
+        :meth:`heal_datacenters`)."""
+        direction = (src_dc, dst_dc)
+        entry = self._oneway.get(direction)
+        if entry is None:
+            return 0
+        entry[1] -= 1
+        if entry[1] > 0:
+            return 0
+        del self._oneway[direction]
+        self.partition_epoch += 1
+        self._sync_grey()
+        parked = self._parked_oneway.pop(direction, [])
+        for message, on_delivered in parked:
+            self._schedule_delivery(message, on_delivered)
+        self.stats.parked -= len(parked)
+        return len(parked)
+
+    def is_partitioned_oneway(self, src_dc: str, dst_dc: str) -> bool:
+        """Whether the ordered ``src_dc -> dst_dc`` direction has an active
+        asymmetric partition."""
+        return (src_dc, dst_dc) in self._oneway
+
+    def is_severed(self, src_dc: str, dst_dc: str) -> bool:
+        """Whether traffic from ``src_dc`` to ``dst_dc`` is currently blocked
+        by any partition, symmetric or asymmetric (directional query)."""
+        if src_dc == dst_dc:
+            return False
+        return (
+            self._pair_key(src_dc, dst_dc) in self._partitions
+            or (src_dc, dst_dc) in self._oneway
+        )
+
+    def oneway_partitioned_pairs(self) -> List[Tuple[str, str]]:
+        """Active asymmetric partitions as sorted (src_dc, dst_dc) pairs."""
+        return sorted(self._oneway)
+
+    def set_pair_loss(self, dc_a: str, dc_b: str, probability: float) -> None:
+        """Drop each message crossing the unordered DC pair with
+        ``probability``; 0.0 clears the loss.
+
+        Draws come from the pair's own ``network.loss.<a>|<b>`` stream, so
+        which messages die is a deterministic function of the seed and the
+        pair's traffic order alone.  Losses count into ``stats.dropped``
+        (which the incremental anti-entropy distrust guard watches) and
+        ``stats.lost_by_pair``.
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(f"loss probability must be in [0, 1), got {probability!r}")
+        self._check_dcs(dc_a, dc_b)
+        pair = self._pair_key(dc_a, dc_b)
+        if probability == 0.0:
+            self._pair_loss.pop(pair, None)
+        else:
+            self._pair_loss[pair] = float(probability)
+            if pair not in self._loss_rng:
+                self._loss_rng[pair] = self._streams.stream(
+                    f"network.loss.{pair[0]}|{pair[1]}"
+                )
+        self._sync_grey()
+
+    def pair_loss(self, dc_a: str, dc_b: str) -> float:
+        """Active loss probability of the unordered DC pair (0.0 if none)."""
+        return self._pair_loss.get(self._pair_key(dc_a, dc_b), 0.0)
+
+    def set_pair_latency_scale(self, dc_a: str, dc_b: str, scale: float) -> None:
+        """Multiply every sampled latency crossing the unordered DC pair by
+        ``scale`` (slow WAN); 1.0 clears the scaling.
+
+        Applies to the propagation term only, not the bandwidth term, and
+        composes multiplicatively with the global ``latency_scale``.
+        """
+        if scale <= 0:
+            raise ValueError(f"latency scale must be positive, got {scale!r}")
+        self._check_dcs(dc_a, dc_b)
+        pair = self._pair_key(dc_a, dc_b)
+        if scale == 1.0:
+            self._pair_scale.pop(pair, None)
+        else:
+            self._pair_scale[pair] = float(scale)
+        self._sync_grey()
+
+    def pair_latency_scale(self, dc_a: str, dc_b: str) -> float:
+        """Active latency multiplier of the unordered DC pair (1.0 if none)."""
+        return self._pair_scale.get(self._pair_key(dc_a, dc_b), 1.0)
+
+    def clear_pair_degradations(self) -> None:
+        """Clear all per-pair packet loss and latency scaling (used by the
+        chaos harness's final force-heal)."""
+        self._pair_loss.clear()
+        self._pair_scale.clear()
+        self._sync_grey()
+
+    def _pair_scale_for(self, src: NodeAddress, dst: NodeAddress) -> float:
+        src_dc = self._topology.datacenter_of(src)
+        dst_dc = self._topology.datacenter_of(dst)
+        if src_dc == dst_dc:
+            return 1.0
+        return self._pair_scale.get(self._pair_key(src_dc, dst_dc), 1.0)
 
     @property
     def delivery_mode(self) -> str:
@@ -581,6 +769,8 @@ class NetworkFabric:
     def one_way_delay(self, src: NodeAddress, dst: NodeAddress, size_bytes: int = 0) -> float:
         """Sample the delivery delay for one message from ``src`` to ``dst``."""
         latency = self._sample_latency(src, dst) * self._latency_scale
+        if self._pair_scale:
+            latency *= self._pair_scale_for(src, dst)
         if size_bytes:
             return latency + size_bytes / self._bandwidth
         return latency
@@ -590,7 +780,10 @@ class NetworkFabric:
     ) -> float:
         """Expected delivery delay (no sampling); used by analytic baselines."""
         model = self._topology.latency_model(src, dst)
-        return model.mean() * self._latency_scale + size_bytes / self._bandwidth
+        mean = model.mean() * self._latency_scale
+        if self._pair_scale:
+            mean *= self._pair_scale_for(src, dst)
+        return mean + size_bytes / self._bandwidth
 
     def send(
         self,
@@ -625,7 +818,8 @@ class NetworkFabric:
         if self._drop_probability and self._drop_rng.random() < self._drop_probability:
             stats.dropped += 1
             return message
-        if self._partitions:
+        pair_scale = 1.0
+        if self._partitions or self._grey:
             src_dc = self._topology.datacenter_of(src)
             dst_dc = self._topology.datacenter_of(dst)
             if src_dc != dst_dc:
@@ -640,8 +834,30 @@ class NetworkFabric:
                     else:
                         stats.dropped += 1
                     return message
+                if self._oneway:
+                    entry = self._oneway.get((src_dc, dst_dc))
+                    if entry is not None:
+                        stats.blocked += 1
+                        stats.blocked_by_pair[f"{src_dc}->{dst_dc}"] += 1
+                        if entry[0] == "park":
+                            self._parked_oneway[(src_dc, dst_dc)].append(
+                                (message, on_delivered)
+                            )
+                            stats.parked += 1
+                        else:
+                            stats.dropped += 1
+                        return message
+                if self._pair_loss:
+                    loss = self._pair_loss.get(pair)
+                    if loss is not None and self._loss_rng[pair].random() < loss:
+                        stats.dropped += 1
+                        stats.lost_by_pair[f"{pair[0]}|{pair[1]}"] += 1
+                        return message
+                if self._pair_scale:
+                    pair_scale = self._pair_scale.get(pair, 1.0)
 
         if self._per_message_delivery:
+            # one_way_delay applies the pair scale itself.
             delay = self.one_way_delay(src, dst, size_bytes=size_bytes)
             if self._remote_sink is not None and dst not in self._owned:
                 if on_delivered is not None:
@@ -671,6 +887,8 @@ class NetworkFabric:
                 latency = pool.next()
         else:
             latency = self._topology.latency_model(src, dst).sample(self._latency_rng)
+        if pair_scale != 1.0:
+            latency *= pair_scale
         delay = latency * self._latency_scale
         if size_bytes:
             delay += size_bytes / self._bandwidth
@@ -760,6 +978,8 @@ class NetworkFabric:
             latency = link.pool.next()
         else:
             latency = self._topology.latency_model(src, dst).sample(self._latency_rng)
+        if self._pair_scale:
+            latency *= self._pair_scale_for(src, dst)
         delay = latency * self._latency_scale
         if message.size_bytes:
             delay += message.size_bytes / self._bandwidth

@@ -219,6 +219,13 @@ class StalenessAuditor:
         history = self._history.get(key)
         return history.newest() if history else None
 
+    def audited_keys(self) -> List[str]:
+        """Keys with at least one acknowledged write on record.
+
+        The chaos invariant checker walks this to assert every acked write
+        is still readable after heal and repair."""
+        return [key for key, history in self._history.items() if history.versions]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"StalenessAuditor(judged={self.judged}, stale={self.stale_reads}, "

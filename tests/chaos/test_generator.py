@@ -1,0 +1,168 @@
+"""Property tests for the chaos schedule generator.
+
+Two contracts: determinism (same ``(seed, scenario, budget)`` gives a
+byte-identical schedule) and structural sanity (everything heals inside the
+horizon, no overlapping crash windows per node, loss/slow windows never
+stack on one pair).  Sanity is asserted twice -- through the shared
+:func:`validate_schedule` and through independent re-derivations -- so a
+bug in the validator cannot silently vouch for itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ScheduleGenerator, ScheduleValidationError, validate_schedule
+from repro.chaos.corpus import schedule_from_dict, schedule_signature, schedule_to_dict
+from repro.chaos.generator import HEAL_FRACTION
+from repro.experiments.scenarios import ScenarioRegistry
+from repro.faults.schedule import (
+    FaultSchedule,
+    NodeCrash,
+    NodeRestart,
+    PacketLoss,
+    SlowWan,
+)
+
+SEEDS = list(range(40))
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites"))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS[::4])
+    def test_same_inputs_give_byte_identical_schedules(self, generator, seed):
+        fresh = ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites"))
+        a = generator.generate(seed, budget=6)
+        b = fresh.generate(seed, budget=6)
+        assert schedule_signature(a) == schedule_signature(b)
+        assert [repr(e) for e in a.events] == [repr(e) for e in b.events]
+
+    def test_different_seeds_differ(self, generator):
+        signatures = {schedule_signature(generator.generate(seed, 6)) for seed in SEEDS}
+        # A few collisions would be astronomically unlikely; any would point
+        # at the generator ignoring its seed.
+        assert len(signatures) == len(SEEDS)
+
+    def test_scenario_name_isolates_the_stream(self):
+        a = ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites")).generate(7, 6)
+        b = ScheduleGenerator(ScenarioRegistry.get("ec2_multiregion")).generate(7, 6)
+        assert schedule_signature(a) != schedule_signature(b)
+
+    def test_round_trips_through_the_corpus_format(self, generator):
+        schedule = generator.generate(11, 6)
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert schedule_signature(restored) == schedule_signature(schedule)
+
+
+class TestStructuralSanity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_schedules_validate(self, generator, seed):
+        schedule = generator.generate(seed, budget=6)
+        validate_schedule(schedule, horizon=generator.horizon)  # shared validator
+        cap = HEAL_FRACTION * generator.horizon + 1e-9
+
+        # Independent re-derivation 1: all events inside [0, heal cap].
+        for event in schedule.events:
+            assert event.at >= 0.0
+            end = event.at + (getattr(event, "duration", None) or 0.0)
+            assert end <= cap
+
+        # Independent re-derivation 2: crash/restart windows pair up
+        # one-to-one per node and never overlap.
+        crashes = {}
+        for event in schedule.events:
+            if isinstance(event, NodeCrash):
+                crashes.setdefault(event.node, []).append([event.at, None])
+            elif isinstance(event, NodeRestart):
+                open_windows = [w for w in crashes.get(event.node, []) if w[1] is None]
+                assert open_windows, f"restart without crash for {event.node}"
+                open_windows[0][1] = event.at
+        for node, windows in crashes.items():
+            assert all(end is not None for _start, end in windows)
+            windows.sort()
+            for (s1, e1), (s2, _e2) in zip(windows, windows[1:]):
+                assert e1 < s2, f"overlapping crash windows for {node}"
+
+    @pytest.mark.parametrize("seed", SEEDS[::4])
+    def test_budget_bounds_the_action_count(self, generator, seed):
+        schedule = generator.generate(seed, budget=4)
+        actions = sum(1 for e in schedule.events if not isinstance(e, NodeRestart))
+        assert actions <= 4
+
+    def test_zero_budget_gives_an_empty_schedule(self, generator):
+        assert len(generator.generate(0, budget=0).events) == 0
+
+    def test_single_dc_scenarios_only_draw_crashes(self):
+        generator = ScheduleGenerator(ScenarioRegistry.get("scale_100"))
+        for seed in range(8):
+            schedule = generator.generate(seed, budget=5)
+            assert all(
+                isinstance(e, (NodeCrash, NodeRestart)) for e in schedule.events
+            ), f"seed {seed} drew a cross-DC fault on a single-DC scenario"
+
+    def test_loss_and_slow_draws_stay_in_their_validated_ranges(self, generator):
+        for seed in SEEDS:
+            for event in generator.generate(seed, 6).events:
+                if isinstance(event, PacketLoss):
+                    assert 0.05 <= event.probability <= 0.35
+                if isinstance(event, SlowWan):
+                    assert 2.0 <= event.scale <= 12.0
+
+
+class TestValidator:
+    def test_rejects_restart_without_crash(self):
+        generator = ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites"))
+        node = ScenarioRegistry.get("grid5000_3sites").topology.nodes[0]
+        with pytest.raises(ScheduleValidationError):
+            validate_schedule(
+                FaultSchedule([NodeRestart(at=1.0, node=node)]), horizon=generator.horizon
+            )
+
+    def test_rejects_unhealed_window(self):
+        with pytest.raises(ScheduleValidationError):
+            validate_schedule(
+                FaultSchedule(
+                    [PacketLoss(at=1.0, datacenters=("a", "b"), probability=0.2)]
+                ),
+                horizon=12.0,
+            )
+
+    def test_rejects_window_past_heal_cap(self):
+        with pytest.raises(ScheduleValidationError):
+            validate_schedule(
+                FaultSchedule(
+                    [
+                        PacketLoss(
+                            at=10.0, datacenters=("a", "b"), probability=0.2, duration=5.0
+                        )
+                    ]
+                ),
+                horizon=12.0,
+            )
+
+    def test_rejects_overlapping_loss_windows_on_one_pair(self):
+        with pytest.raises(ScheduleValidationError):
+            validate_schedule(
+                FaultSchedule(
+                    [
+                        PacketLoss(
+                            at=1.0, datacenters=("a", "b"), probability=0.2, duration=3.0
+                        ),
+                        PacketLoss(
+                            at=2.0, datacenters=("b", "a"), probability=0.3, duration=3.0
+                        ),
+                    ]
+                ),
+                horizon=12.0,
+            )
+
+    def test_generator_rejects_bad_inputs(self):
+        scenario = ScenarioRegistry.get("grid5000_3sites")
+        with pytest.raises(ValueError):
+            ScheduleGenerator(scenario, horizon=0.0)
+        with pytest.raises(ValueError):
+            ScheduleGenerator(scenario).generate(0, budget=-1)

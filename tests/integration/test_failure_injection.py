@@ -302,3 +302,149 @@ class TestMessageLoss:
         assert metrics.counters.total == 600
         # Allow a modest noise margin on top of the tolerated rate.
         assert metrics.staleness.stale_rate() <= 0.3 + 0.1
+
+
+class TestGreyFailureInjection:
+    """Injector-level coverage for the grey-failure event types
+    (:class:`AsymmetricPartition`, :class:`PacketLoss`, :class:`SlowWan`)
+    that the chaos generator draws from (see ``docs/chaos.md``)."""
+
+    @staticmethod
+    def build_geo_cluster(seed: int = 0) -> SimulatedCluster:
+        from repro.experiments.scenarios import ScenarioRegistry
+
+        scenario = ScenarioRegistry.get("grid5000_3sites")
+        return SimulatedCluster(scenario.cluster_config(seed=seed))
+
+    def test_asymmetric_partition_applies_and_heals_on_schedule(self):
+        from repro.faults.schedule import AsymmetricPartition, FaultInjector, FaultSchedule
+
+        cluster = self.build_geo_cluster(seed=21)
+        schedule = FaultSchedule(
+            [AsymmetricPartition(at=0.5, datacenters=("rennes", "sophia"), duration=1.0)]
+        )
+        FaultInjector(cluster, schedule).arm()
+        engine = cluster.engine
+        engine.run_until(0.75)
+        assert cluster.fabric.is_severed("rennes", "sophia")
+        assert not cluster.fabric.is_severed("sophia", "rennes")
+        engine.run_until(2.0)
+        assert not cluster.fabric.is_severed("rennes", "sophia")
+        assert not cluster.fabric.has_partitions
+
+    def test_asymmetric_partition_drops_only_the_severed_direction(self):
+        from repro.faults.schedule import AsymmetricPartition, FaultInjector, FaultSchedule
+
+        cluster = self.build_geo_cluster(seed=22)
+        schedule = FaultSchedule(
+            [AsymmetricPartition(at=0.0, datacenters=("rennes", "sophia"), duration=5.0)]
+        )
+        FaultInjector(cluster, schedule).arm()
+        engine = cluster.engine
+        engine.run_until(0.1)
+        # Writes coordinated on either side replicate cross-DC in the
+        # background; only the rennes->sophia direction is severed.
+        for i in range(10):
+            cluster.write_sync(f"grey{i}", "v", ConsistencyLevel.LOCAL_QUORUM, datacenter="rennes")
+            cluster.write_sync(f"yerg{i}", "v", ConsistencyLevel.LOCAL_QUORUM, datacenter="sophia")
+        engine.run_until(engine.now + 1.0)
+        assert cluster.fabric.stats.blocked_by_pair["rennes->sophia"] > 0
+        assert cluster.fabric.stats.blocked_by_pair["sophia->rennes"] == 0
+
+    def test_packet_loss_window_arms_and_disarms(self):
+        from repro.faults.schedule import FaultInjector, FaultSchedule, PacketLoss
+
+        cluster = self.build_geo_cluster(seed=23)
+        schedule = FaultSchedule(
+            [
+                PacketLoss(
+                    at=0.5,
+                    datacenters=("rennes", "nancy"),
+                    probability=0.4,
+                    duration=1.0,
+                )
+            ]
+        )
+        injector = FaultInjector(cluster, schedule)
+        injector.arm()
+        engine = cluster.engine
+        engine.run_until(0.75)
+        assert cluster.fabric.pair_loss("rennes", "nancy") == 0.4
+        assert cluster.fabric.pair_loss("rennes", "sophia") == 0.0
+        engine.run_until(2.0)
+        assert cluster.fabric.pair_loss("rennes", "nancy") == 0.0
+        assert any("packet loss" in note for _t, note in injector.log)
+
+    def test_packet_loss_drops_cross_dc_traffic(self):
+        from repro.faults.schedule import FaultInjector, FaultSchedule, PacketLoss
+
+        cluster = self.build_geo_cluster(seed=24)
+        schedule = FaultSchedule(
+            [
+                PacketLoss(
+                    at=0.0,
+                    datacenters=("rennes", "sophia"),
+                    probability=0.5,
+                    duration=30.0,
+                )
+            ]
+        )
+        FaultInjector(cluster, schedule).arm()
+        engine = cluster.engine
+        engine.run_until(0.1)
+        # Background replication of rennes-coordinated writes crosses the
+        # lossy pair; with p=0.5 over dozens of messages some must drop.
+        for i in range(30):
+            cluster.write_sync(f"grey{i}", "v", ConsistencyLevel.LOCAL_QUORUM, datacenter="rennes")
+        engine.run_until(engine.now + 1.0)
+        lost = cluster.fabric.stats.lost_by_pair["rennes|sophia"]
+        sent = cluster.fabric.stats.sent
+        assert 0 < lost < sent
+        assert cluster.fabric.stats.dropped >= lost
+
+    def test_slow_wan_window_scales_and_restores(self):
+        from repro.faults.schedule import FaultInjector, FaultSchedule, SlowWan
+
+        cluster = self.build_geo_cluster(seed=25)
+        schedule = FaultSchedule(
+            [SlowWan(at=0.5, datacenters=("nancy", "sophia"), scale=6.0, duration=1.0)]
+        )
+        injector = FaultInjector(cluster, schedule)
+        injector.arm()
+        engine = cluster.engine
+        nancy = cluster.addresses_in("nancy")[0]
+        sophia = cluster.addresses_in("sophia")[0]
+        base = cluster.fabric.expected_one_way_delay(nancy, sophia)
+        engine.run_until(0.75)
+        assert cluster.fabric.pair_latency_scale("nancy", "sophia") == 6.0
+        assert cluster.fabric.expected_one_way_delay(nancy, sophia) == pytest.approx(6.0 * base)
+        engine.run_until(2.0)
+        assert cluster.fabric.pair_latency_scale("nancy", "sophia") == 1.0
+        assert cluster.fabric.expected_one_way_delay(nancy, sophia) == pytest.approx(base)
+        assert any("slow wan" in note for _t, note in injector.log)
+
+    def test_oneway_heal_replays_hints_across_the_reopened_direction(self):
+        from repro.faults.schedule import AsymmetricPartition, FaultInjector, FaultSchedule
+
+        cluster = self.build_geo_cluster(seed=26)
+        key = "grey-hinted"
+        schedule = FaultSchedule(
+            [AsymmetricPartition(at=0.0, datacenters=("rennes", "sophia"), duration=2.0)]
+        )
+        FaultInjector(cluster, schedule).arm()
+        engine = cluster.engine
+        engine.run_until(0.1)
+        # A rennes-coordinated EACH_QUORUM write cannot reach sophia: the
+        # coordinator times out on those replicas and stores hints.
+        result = cluster.write_sync(
+            key, "v1", ConsistencyLevel.LOCAL_QUORUM, datacenter="rennes"
+        )
+        assert not result.unavailable
+        engine.run_until(1.5)  # write timeout fires, hints stored
+        stored = sum(c.hints.stored for c in cluster.coordinators.values())
+        assert stored > 0
+        engine.run_until(3.0)  # heal fires, hints replay
+        cluster.settle()
+        replayed = sum(c.hints.replayed for c in cluster.coordinators.values())
+        assert replayed == stored
+        assert cluster.is_consistent(key)
