@@ -35,15 +35,23 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.cluster.antientropy import AntiEntropyConfig
 from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.consistency import ConsistencyLevel
+from repro.control.plane import ControlPlane
+from repro.control.policies import RepairControlConfig, RepairSchedulePolicy
 from repro.experiments.runner import run_experiment
-from repro.experiments.scenarios import GRID5000_3SITES, grid5000_3sites_faults
+from repro.experiments.scenarios import (
+    GRID5000_3SITES,
+    GRID5000_3SITES_WAN,
+    grid5000_3sites_faults,
+)
 from repro.geo.policy import StaticGeoPolicy
 from repro.workload.executor import WorkloadExecutor
 
@@ -226,11 +234,188 @@ def run_steady_state(quick: bool) -> Dict[str, object]:
     }
 
 
+def _percentile(values: List[float], pct: float) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(pct / 100.0 * (len(ordered) - 1))))
+    return ordered[index]
+
+
+#: Bandwidth-contention arm sizes: enough diverged bytes that repair keeps
+#: the 4 MB/s WAN busy for several seconds after the heal.  ``fg_keys`` are
+#: written everywhere before the partition, so the foreground QUORUM probes
+#: never trigger read repair -- convergence of the diverged keys is
+#: attributable to anti-entropy alone.
+BANDWIDTH_FULL = {"keys": 400, "value_bytes": 16_000, "fg_keys": 24,
+                  "fg_value_bytes": 8_000, "repair_interval": 2.0,
+                  "read_gap": 0.05, "max_window": 120.0}
+BANDWIDTH_QUICK = {"keys": 150, "value_bytes": 16_000, "fg_keys": 16,
+                   "fg_value_bytes": 8_000, "repair_interval": 1.0,
+                   "read_gap": 0.05, "max_window": 60.0}
+
+#: The throttled arm's repair budget: a quarter of the link, leaving 3 MB/s
+#: of residual bandwidth for foreground traffic.
+WAN_BUDGET_BYTES_PER_S = 1_000_000.0
+
+
+def run_bandwidth_arm(
+    cfg: Dict[str, float], *, bandwidth: bool, wan_budget: Optional[float] = None
+) -> Dict[str, object]:
+    """Post-partition recovery under the bandwidth model (or without it).
+
+    One DC pair diverges behind a drop partition, heals without hints, and
+    anti-entropy streams the diverged cells back across the WAN.  While that
+    recovery runs, a foreground client in the stale site issues QUORUM reads
+    whose cross-DC responses share the same link -- the read p99 is the
+    contention signal.  ``wan_budget`` additionally installs the repair
+    policy's physical throttle (fair-share group cap + backlog pacing).
+    """
+    cluster_config = GRID5000_3SITES_WAN.cluster_config(seed=SEED)
+    if not bandwidth:
+        cluster_config = dataclasses.replace(cluster_config, bandwidth=None)
+    cluster = SimulatedCluster(cluster_config)
+    engine = cluster.engine
+    dc_fresh, dc_stale = "nancy", "rennes"
+    keys = [f"bw-key{i}" for i in range(int(cfg["keys"]))]
+    fg_keys = [f"fg-key{i}" for i in range(int(cfg["fg_keys"]))]
+    value = "x" * int(cfg["value_bytes"])
+    fg_value = "f" * int(cfg["fg_value_bytes"])
+    for key in keys:
+        result = cluster.write_sync(
+            key, "seed", ConsistencyLevel.EACH_QUORUM, datacenter=dc_fresh
+        )
+        assert not result.unavailable
+    # The foreground working set replicates everywhere *before* the
+    # partition: QUORUM probes of these keys stay read-repair-free, so the
+    # diverged keys converge through anti-entropy alone.
+    for key in fg_keys:
+        result = cluster.write_sync(
+            key,
+            fg_value,
+            ConsistencyLevel.EACH_QUORUM,
+            datacenter=dc_stale,
+            size_bytes=int(cfg["fg_value_bytes"]),
+        )
+        assert not result.unavailable
+    cluster.settle()
+
+    cluster.partition_datacenters(dc_fresh, dc_stale, mode="drop")
+    for key in keys:
+        result = cluster.write_sync(
+            key,
+            value,
+            ConsistencyLevel.LOCAL_QUORUM,
+            datacenter=dc_fresh,
+            size_bytes=int(cfg["value_bytes"]),
+        )
+        assert not result.unavailable
+    engine.run_until(engine.now + 2.0)
+    cluster.heal_datacenters(dc_fresh, dc_stale, replay_hints=False)
+    heal_at = engine.now
+
+    service = cluster.start_anti_entropy(
+        AntiEntropyConfig(interval=cfg["repair_interval"], depth=6)
+    )
+    plane = None
+    if wan_budget is not None:
+        plane = ControlPlane(cluster, interval=1.0, name="repair-throttle")
+        plane.add(
+            RepairSchedulePolicy(
+                service,
+                RepairControlConfig(
+                    min_interval=cfg["repair_interval"],
+                    max_interval=8.0,
+                    wan_budget_bytes_per_s=wan_budget,
+                    backlog_pace_s=0.5,
+                ),
+            )
+        )
+        plane.start()
+
+    t0 = time.perf_counter()
+    latencies: List[float] = []
+    timeouts = 0
+    recovery_s: Optional[float] = None
+    index = 0
+    while engine.now - heal_at < cfg["max_window"]:
+        key = fg_keys[index % len(fg_keys)]
+        index += 1
+        result = cluster.read_sync(key, ConsistencyLevel.QUORUM, datacenter=dc_stale)
+        latencies.append(result.completed_at - result.started_at)
+        if result.timed_out:
+            timeouts += 1
+        engine.run_until(engine.now + cfg["read_gap"])
+        if index % 5 == 0 and all(cluster.is_consistent(k) for k in keys):
+            recovery_s = engine.now - heal_at
+            break
+    if plane is not None:
+        plane.stop()
+    service.stop()
+    wall = time.perf_counter() - t0
+
+    stats = service.stats.get((dc_fresh, dc_stale)) or service.stats.get(
+        (dc_stale, dc_fresh)
+    )
+    fabric = cluster.fabric
+    return {
+        "bandwidth_model": bandwidth,
+        "wan_budget_bytes_per_s": wan_budget,
+        "diverged_bytes": int(cfg["keys"]) * int(cfg["value_bytes"]),
+        "recovery_s": round(recovery_s, 3) if recovery_s is not None else None,
+        "foreground_reads": len(latencies),
+        "read_p50_ms": round(_percentile(latencies, 50) * 1e3, 3) if latencies else None,
+        "read_p99_ms": round(_percentile(latencies, 99) * 1e3, 3) if latencies else None,
+        "read_timeouts": timeouts,
+        "stream_deferrals": stats.stream_deferrals if stats else 0,
+        "transfers_started": fabric.stats.transfers_started,
+        "transfers_completed": fabric.stats.transfers_completed,
+        "transfer_bytes_completed": fabric.stats.transfer_bytes_completed,
+        "wall_s": round(wall, 2),
+    }
+
+
+def run_bandwidth_contention(quick: bool) -> Dict[str, object]:
+    cfg = BANDWIDTH_QUICK if quick else BANDWIDTH_FULL
+    off = run_bandwidth_arm(cfg, bandwidth=False)
+    on = run_bandwidth_arm(cfg, bandwidth=True)
+    throttled = run_bandwidth_arm(cfg, bandwidth=True, wan_budget=WAN_BUDGET_BYTES_PER_S)
+    p99_off, p99_on, p99_throttled = (
+        arm["read_p99_ms"] for arm in (off, on, throttled)
+    )
+    claims = {
+        # The bandwidth model makes repair traffic visible to foreground
+        # reads: contention inflates p99 relative to the constant-delay arm.
+        "bandwidth_inflates_foreground_p99": (
+            p99_off is not None and p99_on is not None and p99_on > p99_off
+        ),
+        # The physical throttle bounds that inflation...
+        "throttle_bounds_p99_inflation": (
+            p99_on is not None and p99_throttled is not None and p99_throttled < p99_on
+        ),
+        # ...while recovery still completes inside the measurement window.
+        "recovery_completes_in_every_arm": all(
+            arm["recovery_s"] is not None for arm in (off, on, throttled)
+        ),
+        "throttle_engages_backpressure": throttled["stream_deferrals"] > 0,
+    }
+    return {
+        "scenario": GRID5000_3SITES_WAN.name,
+        "link_capacity_bytes_per_s": GRID5000_3SITES_WAN.bandwidth.capacity_bytes_per_s,
+        "config": dict(cfg),
+        "bandwidth_off": off,
+        "bandwidth_on": on,
+        "bandwidth_throttled": throttled,
+        "claims": claims,
+    }
+
+
 def run_bench(quick: bool = False) -> Dict[str, object]:
     cfg = QUICK_CONFIG if quick else FULL_CONFIG
     arm_on = run_arm(cfg, repair=True)
     arm_off = run_arm(cfg, repair=False)
     steady_state = run_steady_state(quick)
+    bandwidth = run_bandwidth_contention(quick)
     asr = grid5000_3sites_faults().harmony_stale_rates_by_dc[ISOLATED]
     recovery_on = arm_on["stale_rate_by_window"]["recovery"][ISOLATED]
     recovery_off = arm_off["stale_rate_by_window"]["recovery"][ISOLATED]
@@ -246,6 +431,7 @@ def run_bench(quick: bool = False) -> Dict[str, object]:
         "repair_on": arm_on,
         "repair_off": arm_off,
         "steady_state": steady_state,
+        "bandwidth_contention": bandwidth,
         "comparison": {
             "stale_rate_during_partition": during_on,
             "post_heal_recovery_stale_rate_repair_on": recovery_on,
@@ -295,6 +481,10 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         failed = True
+    for claim, held in report["bandwidth_contention"]["claims"].items():
+        if not held:
+            print(f"FAIL: bandwidth-contention claim {claim!r} did not hold", file=sys.stderr)
+            failed = True
     if failed:
         return 1
     print(f"\nwrote {args.out}")

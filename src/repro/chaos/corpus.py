@@ -34,6 +34,7 @@ from repro.faults.schedule import (
     NodeRestart,
     PacketLoss,
     SlowWan,
+    WanCongestion,
 )
 from repro.network.topology import NodeAddress
 
@@ -138,6 +139,17 @@ def event_to_dict(event: FaultEvent) -> Dict[str, Any]:
         if event.duration is not None:
             out["duration"] = event.duration
         return out
+    if isinstance(event, WanCongestion):
+        out = {
+            "type": "wan_congestion",
+            "at": event.at,
+            "datacenters": list(event.datacenters),
+            "bytes": event.bytes,
+            "duration": event.duration,
+        }
+        if event.rate_cap is not None:
+            out["rate_cap"] = event.rate_cap
+        return out
     raise TypeError(f"cannot serialize fault event {event!r}")
 
 
@@ -197,6 +209,15 @@ def event_from_dict(raw: Dict[str, Any]) -> FaultEvent:
             datacenters=tuple(raw["datacenters"]),
             scale=float(raw["scale"]),
             duration=raw.get("duration"),
+        )
+    if kind == "wan_congestion":
+        rate_cap = raw.get("rate_cap")
+        return WanCongestion(
+            at=at,
+            datacenters=tuple(raw["datacenters"]),
+            bytes=float(raw["bytes"]),
+            duration=float(raw["duration"]),
+            rate_cap=float(rate_cap) if rate_cap is not None else None,
         )
     raise ValueError(f"unknown fault event type {kind!r}")
 

@@ -12,8 +12,9 @@ Action menu (multi-datacenter scenarios)::
     outage       whole-datacenter outage + recovery         weight 0.10
     partition    symmetric DC partition (drop or park)      weight 0.15
     asym         asymmetric (one-way) DC partition          weight 0.15
-    loss         per-pair packet-loss probability window    weight 0.15
-    slow         per-pair WAN latency-scaling window        weight 0.15
+    loss         per-pair packet-loss probability window    weight 0.10
+    slow         per-pair WAN latency-scaling window        weight 0.10
+    congestion   bulk background transfer saturating a pair weight 0.10
 
 Single-datacenter scenarios only draw node crashes (the other actions are
 cross-DC by construction).
@@ -33,7 +34,8 @@ Structural sanity
 stack assumes: every fault heals (all windows carry a duration), windows end
 by ``0.92 * horizon`` so the run always has a post-heal tail, no
 crash/restart overlap per node, no node crash during its datacenter's
-outage, and no overlapping loss / slow-WAN windows on the same DC pair.
+outage, and no overlapping loss / slow-WAN / congestion windows on the
+same DC pair.
 The generator asserts it on every schedule it returns; the property tests
 re-check it over hundreds of seeds.
 """
@@ -44,6 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cluster.cluster import resolve_topology
+from repro.constants import DEFAULT_BANDWIDTH_BYTES_PER_S
 from repro.experiments.scenarios import Scenario
 from repro.faults.schedule import (
     AsymmetricPartition,
@@ -55,6 +58,7 @@ from repro.faults.schedule import (
     NodeRestart,
     PacketLoss,
     SlowWan,
+    WanCongestion,
 )
 from repro.network.topology import NodeAddress
 from repro.sim.rng import RandomStreams
@@ -72,8 +76,9 @@ _MULTI_DC_MENU: Sequence[Tuple[str, float]] = (
     ("outage", 0.40),
     ("partition", 0.55),
     ("asym", 0.70),
-    ("loss", 0.85),
-    ("slow", 1.00),
+    ("loss", 0.80),
+    ("slow", 0.90),
+    ("congestion", 1.00),
 )
 
 _PLACEMENT_ATTEMPTS = 8
@@ -108,6 +113,14 @@ class ScheduleGenerator:
             nodes=tuple(topology.nodes),
             datacenters=tuple(topology.datacenter_names),
         )
+        bandwidth = getattr(scenario, "bandwidth", None)
+        #: Link capacity congestion bytes are sized against: the scenario's
+        #: modeled capacity when it sets one, otherwise the shared default.
+        self._capacity = (
+            bandwidth.capacity_bytes_per_s
+            if bandwidth is not None
+            else DEFAULT_BANDWIDTH_BYTES_PER_S
+        )
 
     # -- public API ------------------------------------------------------
 
@@ -128,6 +141,7 @@ class ScheduleGenerator:
         dc_busy: Dict[str, List[Tuple[float, float]]] = {}
         loss_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
         slow_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        congestion_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
 
         for _ in range(budget):
             for _attempt in range(_PLACEMENT_ATTEMPTS):
@@ -137,7 +151,16 @@ class ScheduleGenerator:
                     continue
                 start, end = window
                 placed = self._place(
-                    kind, rng, start, end, events, node_busy, dc_busy, loss_busy, slow_busy
+                    kind,
+                    rng,
+                    start,
+                    end,
+                    events,
+                    node_busy,
+                    dc_busy,
+                    loss_busy,
+                    slow_busy,
+                    congestion_busy,
                 )
                 if placed:
                     break
@@ -185,6 +208,7 @@ class ScheduleGenerator:
         dc_busy,
         loss_busy,
         slow_busy,
+        congestion_busy,
     ) -> bool:
         duration = round(end - start, 3)
         if kind == "crash":
@@ -244,6 +268,23 @@ class ScheduleGenerator:
             events.append(SlowWan(at=start, datacenters=pair, scale=scale, duration=duration))
             slow_busy.setdefault(pair, []).append((start, end))
             return True
+        if kind == "congestion":
+            a, b = self._draw_dc_pair(rng)
+            pair = (a, b) if a <= b else (b, a)
+            if _overlaps(congestion_busy.get(pair, ()), start, end):
+                return False
+            # Size the bulk transfer to 0.6x..1.4x of what the link can move
+            # in the window, so roughly half the draws keep the link pinned
+            # for the whole window (the injector aborts leftovers on heal).
+            fraction = 0.6 + 0.8 * rng.random()
+            size = float(round(self._capacity * duration * fraction))
+            if size <= 0:
+                return False
+            events.append(
+                WanCongestion(at=start, datacenters=pair, bytes=size, duration=duration)
+            )
+            congestion_busy.setdefault(pair, []).append((start, end))
+            return True
         raise AssertionError(f"unknown action kind {kind!r}")
 
 
@@ -253,7 +294,7 @@ def validate_schedule(schedule: FaultSchedule, *, horizon: float) -> None:
     Sanity means: every window heals by ``HEAL_FRACTION * horizon``, every
     crash has exactly one matching restart (and vice versa) with no per-node
     overlap, no crash window intersects its datacenter's outage, and loss /
-    slow-WAN windows never overlap on the same pair.
+    slow-WAN / congestion windows never overlap on the same pair.
     """
     cap = HEAL_FRACTION * horizon + 1e-9
     crash_windows: Dict[NodeAddress, List[Tuple[float, float]]] = {}
@@ -292,8 +333,13 @@ def validate_schedule(schedule: FaultSchedule, *, horizon: float) -> None:
                 )
             if isinstance(event, DatacenterOutage):
                 dc_windows.setdefault(event.datacenter, []).append((event.at, end))
-            elif isinstance(event, (PacketLoss, SlowWan)):
-                kind = "loss" if isinstance(event, PacketLoss) else "slow"
+            elif isinstance(event, (PacketLoss, SlowWan, WanCongestion)):
+                if isinstance(event, PacketLoss):
+                    kind = "loss"
+                elif isinstance(event, SlowWan):
+                    kind = "slow"
+                else:
+                    kind = "congestion"
                 a, b = event.datacenters
                 pair = (a, b) if a <= b else (b, a)
                 key = (kind, pair)

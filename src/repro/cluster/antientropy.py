@@ -236,6 +236,9 @@ class RepairPairStats:
     bytes_sent: int = 0
     leaves_exchanged: int = 0
     full_sessions: int = 0
+    #: Times a stream batch was deferred because the pair's link backlog
+    #: exceeded the service's ``stream_backlog_limit`` (bandwidth modeling).
+    stream_deferrals: int = 0
     last_session_at: float = -1.0
 
     def as_dict(self) -> Dict[str, object]:
@@ -247,6 +250,7 @@ class RepairPairStats:
             "bytes_sent": self.bytes_sent,
             "leaves_exchanged": self.leaves_exchanged,
             "full_sessions": self.full_sessions,
+            "stream_deferrals": self.stream_deferrals,
         }
 
 
@@ -387,6 +391,12 @@ class AntiEntropyService:
         #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`):
         #: completed sessions are mirrored into the trace.
         self.tracer = None
+        #: Physical repair backpressure (set by ``RepairSchedulePolicy``
+        #: when the fabric models bandwidth): while a pair's unstreamed
+        #: transfer backlog is at or above this many bytes,
+        #: :meth:`_stream_keys` defers the rest of its batch instead of
+        #: flooding the link.  ``None`` disables pacing.
+        self.stream_backlog_limit: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -791,12 +801,36 @@ class AntiEntropyService:
         view_b: Dict[str, Cell],
     ) -> None:
         """Bring every behind replica (both sites) of ``keys`` up to the
-        pairwise-newest version."""
+        pairwise-newest version.
+
+        With bandwidth modeling on and a ``stream_backlog_limit`` set, the
+        batch self-paces: once the pair's link carries that many unstreamed
+        bytes, the remaining keys are re-scheduled after roughly half the
+        backlog's drain time.  Repair then trickles at the link's pace
+        instead of dumping the whole diff into the fair share at once --
+        which is what keeps the residual bandwidth (and so foreground
+        latency) bounded during a post-heal repair storm.
+        """
         cluster = self.cluster
         stats = self.stats[session.pair]
         fabric = cluster.fabric
         topology = cluster.topology
-        for key in keys:
+        limit = self.stream_backlog_limit
+        pace = limit is not None and fabric.bandwidth_enabled
+        for index, key in enumerate(keys):
+            if pace and index and fabric.transfer_backlog_bytes(*session.pair) >= limit:
+                stats.stream_deferrals += 1
+                delay = max(0.01, 0.5 * fabric.transfer_drain_estimate(*session.pair))
+                cluster.engine.schedule(
+                    delay,
+                    self._stream_keys,
+                    session,
+                    keys[index:],
+                    view_a,
+                    view_b,
+                    label="repair.pace",
+                )
+                return
             cell_a = view_a.get(key)
             cell_b = view_b.get(key)
             newest = cell_a if cell_b is None or (

@@ -39,6 +39,7 @@ from repro.cluster.storage import Cell
 from repro.faults.detector import FailureDetector
 from repro.network.fabric import Message, MessageKind, NetworkFabric
 from repro.network.latency import LatencyModel
+from repro.network.transfers import BandwidthConfig
 from repro.network.topology import NodeAddress, Topology, uniform_topology
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
@@ -130,6 +131,11 @@ class ClusterConfig:
         defaults are the fast paths; ``"per_message"`` reproduces the
         pre-refactor behaviour and is what the fabric benchmark compares
         against.
+    bandwidth:
+        Optional :class:`~repro.network.transfers.BandwidthConfig` turning
+        on shared-link WAN bandwidth modeling (large payloads become
+        fair-share transfers; foreground serialization sees the residual).
+        ``None`` (default) keeps the constant serialization delay.
     """
 
     n_nodes: int = 6
@@ -151,6 +157,7 @@ class ClusterConfig:
     partitioner: Optional[Partitioner] = None
     fabric_delivery: str = "coalesced"
     latency_sampling: str = "pooled"
+    bandwidth: Optional["BandwidthConfig"] = None
 
     def __post_init__(self) -> None:
         if self.replication_factors is not None:
@@ -214,6 +221,7 @@ class SimulatedCluster:
             drop_probability=config.drop_probability,
             delivery=config.fabric_delivery,
             latency_sampling=config.latency_sampling,
+            bandwidth=config.bandwidth,
         )
         self.ring = TokenRing(
             self.topology.nodes,

@@ -408,6 +408,17 @@ class RepairControlConfig:
         Optional cost cap: when the pair's repair traffic over the control
         window exceeds this rate, the interval is relaxed even under
         divergence -- ``repair_bytes`` feeding back into the decision.
+        When the cluster's fabric models bandwidth
+        (:class:`~repro.network.transfers.BandwidthConfig`), the budget
+        additionally becomes *physical* backpressure: the policy installs
+        it as the aggregate rate cap of the ``"repair"`` transfer group and
+        sets the repair service's stream-issue backlog limit, so repair
+        flows cannot exceed the budget no matter how many streams are live.
+    backlog_pace_s:
+        Stream-issue pacing horizon: the repair service is allowed to keep
+        up to ``wan_budget_bytes_per_s * backlog_pace_s`` unstreamed bytes
+        queued per link before deferring the rest of a diff (only
+        meaningful with bandwidth modeling on).
     """
 
     min_interval: float = 5.0
@@ -416,6 +427,7 @@ class RepairControlConfig:
     relax_factor: float = 1.5
     divergence_threshold: int = 1
     wan_budget_bytes_per_s: Optional[float] = None
+    backlog_pace_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.min_interval <= 0:
@@ -430,6 +442,8 @@ class RepairControlConfig:
             raise ValueError("divergence_threshold must be >= 1")
         if self.wan_budget_bytes_per_s is not None and self.wan_budget_bytes_per_s <= 0:
             raise ValueError("wan_budget_bytes_per_s must be positive")
+        if self.backlog_pace_s <= 0:
+            raise ValueError("backlog_pace_s must be positive")
 
 
 class RepairSchedulePolicy(ControlPolicy):
@@ -449,6 +463,14 @@ class RepairSchedulePolicy(ControlPolicy):
       divergence: the pair is already streaming as fast as the budget
       allows, and more sessions would only add tree-exchange overhead.
 
+    When the fabric models bandwidth, the budget is additionally enforced
+    *physically* at bind time: it becomes the aggregate fair-share rate cap
+    of the ``"repair"`` transfer group on every link, and the repair
+    service's stream issue is paced against the measured link backlog
+    (``stream_backlog_limit``).  A pair whose link still carries a full
+    backlog at tick time counts as over budget even if little traffic
+    *completed* in the window -- queue depth is the real congestion signal.
+
     Ticks where a pair completed no session carry no new information and
     leave its interval untouched.  The policy consumes no randomness.
     """
@@ -465,10 +487,20 @@ class RepairSchedulePolicy(ControlPolicy):
         self.config = config or RepairControlConfig()
         self._previous: Dict[Tuple[str, str], Tuple[int, int, int]] = {}
         self._last_tick_at: float = 0.0
+        self._fabric = None
 
     def bind(self, plane) -> None:
         super().bind(plane)
         self._last_tick_at = plane.cluster.engine.now
+        fabric = plane.cluster.fabric
+        budget = self.config.wan_budget_bytes_per_s
+        if budget is not None and fabric.bandwidth_enabled:
+            # Make the budget physical: cap the repair transfer group's
+            # aggregate fair-share rate per link and pace the service's
+            # stream issue against measured backlog.
+            self._fabric = fabric
+            fabric.set_transfer_group_cap("repair", budget)
+            self.service.stream_backlog_limit = budget * self.config.backlog_pace_s
         for pair in self.service.pairs:
             stats = self.service.stats[pair]
             self._previous[pair] = (
@@ -500,6 +532,13 @@ class RepairSchedulePolicy(ControlPolicy):
             diverging = diffs >= self.config.divergence_threshold
             budget = self.config.wan_budget_bytes_per_s
             over_budget = budget is not None and traffic / window > budget
+            if not over_budget and self._fabric is not None:
+                # Physical signal: unstreamed backlog still queued on the
+                # pair's link means the pipe is saturated regardless of how
+                # much traffic completed inside this window.
+                limit = self.service.stream_backlog_limit
+                if limit is not None and self._fabric.transfer_backlog_bytes(*pair) >= limit:
+                    over_budget = True
             if diverging and not over_budget:
                 target = max(self.config.min_interval, current * self.config.tighten_factor)
             else:

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.constants import DEFAULT_BANDWIDTH_BYTES_PER_S
+
 __all__ = ["HarmonyConfig"]
 
 
@@ -45,7 +47,7 @@ class HarmonyConfig:
     rate_smoothing: float = 0.6
     latency_probes_per_sample: int = 8
     avg_write_size: float = 1024.0
-    bandwidth_bytes_per_s: float = 125_000_000.0
+    bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH_BYTES_PER_S
     propagation_overhead: float = 0.000005
     use_named_levels: bool = True
 

@@ -49,13 +49,15 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.constants import DEFAULT_BANDWIDTH_BYTES_PER_S
+
 __all__ = ["StaleReadModel", "StaleEstimate", "propagation_time"]
 
 
 def propagation_time(
     network_latency: float,
     avg_write_size: float = 0.0,
-    bandwidth_bytes_per_s: float = 125_000_000.0,
+    bandwidth_bytes_per_s: float = DEFAULT_BANDWIDTH_BYTES_PER_S,
     overhead: float = 0.0,
 ) -> float:
     """The paper's ``Tp(Ln, avg_w)``: time to propagate a write to all replicas.

@@ -49,6 +49,7 @@ from repro.network.latency import (
     LogNormalLatency,
 )
 from repro.network.topology import Topology, TopologyBuilder
+from repro.network.transfers import BandwidthConfig
 
 __all__ = [
     "Scenario",
@@ -59,6 +60,7 @@ __all__ = [
     "GRID5000_3SITES_FAULTS",
     "grid5000_3sites_faults",
     "GRID5000_3SITES_ADAPTIVE",
+    "GRID5000_3SITES_WAN",
     "SCALE_100",
     "SCALE_300",
     "SCALE_1000",
@@ -101,6 +103,9 @@ class Scenario:
         :class:`~repro.network.fabric.NetworkFabric`).  The scale scenarios
         use ``"fifo"`` in-order links; the paper-faithful scenarios keep the
         default time-faithful ``"coalesced"`` delivery.
+    bandwidth:
+        Optional :class:`~repro.network.transfers.BandwidthConfig` enabling
+        shared-link WAN bandwidth modeling (see ``GRID5000_3SITES_WAN``).
     fault_schedule:
         Optional :class:`~repro.faults.schedule.FaultSchedule`; the
         experiment runner arms it after the load phase, so event times are
@@ -136,6 +141,7 @@ class Scenario:
     harmony_stale_rates_by_dc: Optional[Dict[str, float]] = None
     fabric_delivery: str = "coalesced"
     latency_sampling: str = "pooled"
+    bandwidth: Optional[BandwidthConfig] = None
     fault_schedule: Optional[FaultSchedule] = None
     anti_entropy: Optional[AntiEntropyConfig] = None
     adaptive_repair: Optional[RepairControlConfig] = None
@@ -175,6 +181,7 @@ class Scenario:
             seed=seed,
             fabric_delivery=self.fabric_delivery,
             latency_sampling=self.latency_sampling,
+            bandwidth=self.bandwidth,
         )
 
     def with_overrides(self, **kwargs) -> "Scenario":
@@ -557,6 +564,26 @@ GRID5000_3SITES_ADAPTIVE = GRID5000_3SITES.with_overrides(
 )
 
 
+#: The bandwidth-realism scenario: the canonical fault timeline on a
+#: *finite* WAN.  Each inter-site link carries 4 MB/s (a provisioned WAN
+#: pipe, not the 1 Gbit/s LAN default), so the post-heal repair storm and
+#: hint replay become fair-share transfers that contend with foreground
+#: traffic -- the contention the paper's Grid'5000 runs actually faced.
+#: ``benchmarks/bench_repair.py`` compares this against the infinite-pipe
+#: arm and against the repair policy's physical WAN budget throttle.
+GRID5000_3SITES_WAN = GRID5000_3SITES_FAULTS.with_overrides(
+    name="grid5000_3sites_wan",
+    bandwidth=BandwidthConfig(capacity_bytes_per_s=4_000_000.0),
+    description=(
+        "GRID5000_3SITES_FAULTS on a finite WAN: every inter-site link has "
+        "4 MB/s shared capacity, repair streams / hint replay / tree "
+        "exchanges are max-min fair-share transfers, and foreground "
+        "serialization runs at the residual bandwidth, so repair storms "
+        "after the heal visibly inflate foreground latency."
+    ),
+)
+
+
 class ScenarioRegistry:
     """Name -> scenario lookup used by the CLI-ish helpers and benches."""
 
@@ -567,6 +594,7 @@ class ScenarioRegistry:
         EC2_MULTIREGION.name: EC2_MULTIREGION,
         GRID5000_3SITES_FAULTS.name: GRID5000_3SITES_FAULTS,
         GRID5000_3SITES_ADAPTIVE.name: GRID5000_3SITES_ADAPTIVE,
+        GRID5000_3SITES_WAN.name: GRID5000_3SITES_WAN,
         SCALE_100.name: SCALE_100,
         SCALE_300.name: SCALE_300,
         SCALE_1000.name: SCALE_1000,

@@ -30,6 +30,11 @@ The three failure axes map onto the cluster layers like this:
                           to the failure detector -- they surface as timeouts,
                           hints and staleness, which is what makes them the
                           interesting chaos-search axis.
+:class:`WanCongestion`    a background bulk transfer saturates one WAN pair's
+                          shared bandwidth (lazily enabling the fabric's
+                          bandwidth model): nothing is lost or severed, but
+                          foreground serialization runs at the residual rate
+                          and repair streams contend in the fair share.
 ========================  ==========================================================
 """
 
@@ -53,6 +58,7 @@ __all__ = [
     "AsymmetricPartition",
     "PacketLoss",
     "SlowWan",
+    "WanCongestion",
     "FaultSchedule",
     "FaultInjector",
 ]
@@ -248,6 +254,42 @@ class SlowWan(FaultEvent):
             raise ValueError(f"slow-WAN duration must be positive, got {self.duration!r}")
 
 
+@dataclass(frozen=True)
+class WanCongestion(FaultEvent):
+    """Saturate one WAN pair with a seeded background bulk transfer for
+    ``duration`` seconds.
+
+    At ``at``, a background transfer of ``bytes`` enters the pair's
+    fair-share scheduler (lazily enabling the fabric's bandwidth model with
+    defaults if the scenario did not configure one); at ``at + duration``
+    whatever is left unstreamed is aborted, so the link is guaranteed clean
+    again inside the schedule horizon.  ``rate_cap`` optionally bounds the
+    transfer's own rate (a throttled bulk load rather than a greedy one).
+
+    Pure grey failure: nothing is dropped or severed -- foreground messages
+    just serialize at the link's residual bandwidth and concurrent repair /
+    hint-replay transfers slow down in the fair share.
+    """
+
+    datacenters: Tuple[str, str] = ("", "")
+    bytes: float = 0.0
+    duration: float = 0.0
+    rate_cap: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.datacenters) != 2 or not all(self.datacenters):
+            raise ValueError(f"WanCongestion needs two site names, got {self.datacenters!r}")
+        if self.datacenters[0] == self.datacenters[1]:
+            raise ValueError("cannot congest the WAN between a datacenter and itself")
+        if self.bytes <= 0:
+            raise ValueError(f"congestion bytes must be positive, got {self.bytes!r}")
+        if self.duration <= 0:
+            raise ValueError(f"congestion duration must be positive, got {self.duration!r}")
+        if self.rate_cap is not None and self.rate_cap <= 0:
+            raise ValueError(f"congestion rate cap must be positive, got {self.rate_cap!r}")
+
+
 class FaultSchedule:
     """An immutable, time-ordered collection of fault events.
 
@@ -306,6 +348,8 @@ class FaultInjector:
         self._armed = False
         #: Optional op-lifecycle tracer (see :mod:`repro.obs.tracer`).
         self.tracer = None
+        # Background-transfer handles of active WanCongestion events.
+        self._congestion_handles: dict = {}
 
     @property
     def armed(self) -> bool:
@@ -361,6 +405,13 @@ class FaultInjector:
                     engine.schedule(
                         event.at + event.duration, self._slow_off, event, label="fault.heal"
                     )
+            elif isinstance(event, WanCongestion):
+                engine.schedule(
+                    event.at, self._congestion_on, event, label="fault.wan_congestion"
+                )
+                engine.schedule(
+                    event.at + event.duration, self._congestion_off, event, label="fault.heal"
+                )
             else:  # pragma: no cover - FaultSchedule validates types
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -453,6 +504,23 @@ class FaultInjector:
         a, b = event.datacenters
         self.cluster.set_pair_latency_scale(a, b, 1.0)
         self._note(f"slow wan {a}|{b} cleared")
+
+    def _congestion_on(self, event: WanCongestion) -> None:
+        a, b = event.datacenters
+        handle = self.cluster.fabric.start_background_transfer(
+            a, b, event.bytes, rate_cap=event.rate_cap
+        )
+        self._congestion_handles[event] = handle
+        cap = f" cap={event.rate_cap:g}B/s" if event.rate_cap is not None else ""
+        self._note(f"wan congestion {a}|{b} {event.bytes:g}B{cap}")
+
+    def _congestion_off(self, event: WanCongestion) -> None:
+        a, b = event.datacenters
+        handle = self._congestion_handles.pop(event, None)
+        aborted = 0.0
+        if handle is not None:
+            aborted = self.cluster.fabric.cancel_background_transfer(handle)
+        self._note(f"wan congestion {a}|{b} cleared ({aborted:g}B aborted)")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "armed" if self._armed else "idle"

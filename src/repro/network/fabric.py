@@ -84,8 +84,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.constants import DEFAULT_BANDWIDTH_BYTES_PER_S
 from repro.network.latency import LatencyModel
 from repro.network.topology import NodeAddress, Topology
+from repro.network.transfers import BandwidthConfig, TransferScheduler
 from repro.sim.engine import Event, SimulationEngine
 from repro.sim.rng import RandomStreams
 
@@ -183,6 +185,13 @@ class NetworkStats:
     #: Messages dropped by per-pair packet loss, per unordered DC pair
     #: ("dcA|dcB").  These also count into ``dropped``.
     lost_by_pair: Counter = field(default_factory=Counter)
+    #: Bulk-transfer lifecycle counters (bandwidth modeling; see
+    #: :mod:`repro.network.transfers`).  Aborted message-borne transfers
+    #: also count into ``dropped``.
+    transfers_started: int = 0
+    transfers_completed: int = 0
+    transfers_aborted: int = 0
+    transfer_bytes_completed: float = 0.0
 
     def mean_latency(self) -> float:
         """Mean one-way delivery latency over all delivered messages."""
@@ -292,9 +301,17 @@ class NetworkFabric:
         ``"pooled"`` (default) pre-draws vectorised latency pools per latency
         class; ``"per_message"`` samples one value per message from the
         shared ``"network.latency"`` stream (pre-refactor behaviour).
+    bandwidth:
+        Optional :class:`~repro.network.transfers.BandwidthConfig` enabling
+        shared-link capacity modeling: eligible large payloads become
+        fair-share transfers and foreground serialization uses the link's
+        residual bandwidth.  ``None`` (default) keeps the constant
+        per-message serialization delay.  Can also be enabled later via
+        :meth:`enable_bandwidth` (the ``wan_congestion`` fault does this
+        lazily).
     """
 
-    DEFAULT_BANDWIDTH = 125_000_000.0  # 1 Gbit/s in bytes per second
+    DEFAULT_BANDWIDTH = DEFAULT_BANDWIDTH_BYTES_PER_S  # 1 Gbit/s in bytes per second
 
     DELIVERY_MODES = ("coalesced", "fifo", "per_message")
     SAMPLING_MODES = ("pooled", "per_message")
@@ -309,6 +326,7 @@ class NetworkFabric:
         drop_probability: float = 0.0,
         delivery: str = "coalesced",
         latency_sampling: str = "pooled",
+        bandwidth: Optional[BandwidthConfig] = None,
     ) -> None:
         if bandwidth_bytes_per_s <= 0:
             raise ValueError("bandwidth must be positive")
@@ -384,6 +402,15 @@ class NetworkFabric:
         # pays one falsy check per send.
         self._remote_sink: Optional[Callable[[float, Message], None]] = None
         self._owned: Optional[frozenset] = None
+        # Optional op-lifecycle tracer (set by Tracer.attach_cluster); when
+        # present, transfer start/end events are emitted through it.
+        self.tracer = None
+        # Bandwidth modeling (shared-link capacity).  None keeps the
+        # constant serialization delay -- the hot path pays one falsy
+        # check per sized message.
+        self._transfers: Optional[TransferScheduler] = None
+        if bandwidth is not None:
+            self.enable_bandwidth(bandwidth)
 
     # ------------------------------------------------------------------
     # Registration
@@ -478,6 +505,132 @@ class NetworkFabric:
         self._drop_probability = float(value)
 
     # ------------------------------------------------------------------
+    # Bandwidth modeling (shared-link capacity; see repro.network.transfers)
+    # ------------------------------------------------------------------
+    @property
+    def bandwidth_enabled(self) -> bool:
+        """Whether shared-link bandwidth modeling is active."""
+        return self._transfers is not None
+
+    @property
+    def transfers(self) -> Optional[TransferScheduler]:
+        """The active transfer scheduler (``None`` when modeling is off)."""
+        return self._transfers
+
+    def enable_bandwidth(self, config: Optional[BandwidthConfig] = None) -> TransferScheduler:
+        """Turn on shared-link bandwidth modeling (idempotent).
+
+        Eligible large payloads sent after this call become fair-share
+        transfers; messages already in flight are unaffected.  The
+        scheduler consumes no randomness, so enabling it mid-run leaves
+        the trace byte-identical up to the messages it actually reprices.
+        """
+        if self._transfers is not None:
+            return self._transfers
+        if self._per_message_delivery:
+            raise ValueError(
+                "bandwidth modeling requires a per-link delivery mode "
+                "('coalesced' or 'fifo'), not 'per_message'"
+            )
+        self._transfers = TransferScheduler(
+            self._engine,
+            config if config is not None else BandwidthConfig(
+                capacity_bytes_per_s=self._bandwidth
+            ),
+            deliver=self._deliver_transfer,
+            severed=self.is_severed,
+            stats=self.stats,
+        )
+        return self._transfers
+
+    def _deliver_transfer(
+        self, message: Message, on_delivered: Optional[Callable], deliver_at: float
+    ) -> None:
+        """Delivery seam for completed transfers (called by the scheduler):
+        honours the sharded-engine remote sink, then delivers through one
+        engine event exactly like a fast-path message."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.transfer_end(message, deliver_at)
+        if self._remote_sink is not None and message.dst not in self._owned:
+            if on_delivered is not None:
+                raise ValueError(
+                    f"on_delivered callbacks cannot cross a shard boundary "
+                    f"({message.src} -> {message.dst})"
+                )
+            self._remote_sink(deliver_at, message)
+            return
+        self._engine.at(
+            deliver_at, self._deliver, message, on_delivered, label="transfer_delivery"
+        )
+
+    def start_background_transfer(
+        self,
+        dc_a: str,
+        dc_b: str,
+        total_bytes: float,
+        *,
+        rate_cap: Optional[float] = None,
+    ) -> int:
+        """Inject a background bulk transfer on the unordered DC pair (the
+        ``wan_congestion`` fault).  Lazily enables bandwidth modeling with
+        defaults when it is off; returns a cancellation handle."""
+        self._check_dcs(dc_a, dc_b)
+        scheduler = self.enable_bandwidth()
+        handle = scheduler.start_background(dc_a, dc_b, total_bytes, rate_cap=rate_cap)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "transfer.background",
+                pair=TransferScheduler.pair_key(dc_a, dc_b),
+                bytes=total_bytes,
+                rate_cap=rate_cap,
+            )
+        return handle
+
+    def cancel_background_transfer(self, handle: int) -> float:
+        """Abort an injected background transfer; returns bytes left
+        unstreamed (0.0 when already complete or unknown)."""
+        if self._transfers is None:
+            return 0.0
+        return self._transfers.cancel_background(handle)
+
+    def set_transfer_group_cap(self, group: str, cap: Optional[float]) -> None:
+        """Cap a transfer group's aggregate rate on every link (``None``
+        clears); requires bandwidth modeling to be enabled."""
+        if self._transfers is None:
+            raise ValueError("bandwidth modeling is not enabled")
+        self._transfers.set_group_cap(group, cap)
+
+    def transfer_group_cap(self, group: str) -> Optional[float]:
+        return self._transfers.group_cap(group) if self._transfers is not None else None
+
+    def transfer_backlog_bytes(self, dc_a: Optional[str] = None, dc_b: Optional[str] = None) -> float:
+        """Unstreamed transfer bytes on one DC pair (or all links)."""
+        if self._transfers is None:
+            return 0.0
+        return self._transfers.backlog_bytes(dc_a, dc_b)
+
+    def transfer_drain_estimate(self, dc_a: str, dc_b: str) -> float:
+        """Seconds to stream the pair's backlog at full capacity."""
+        if self._transfers is None:
+            return 0.0
+        return self._transfers.drain_estimate(dc_a, dc_b)
+
+    def transfer_utilization(self) -> Dict[str, float]:
+        """Per-link ``∫ utilization dt`` so far (empty when modeling off)."""
+        if self._transfers is None:
+            return {}
+        return self._transfers.utilization_integrals()
+
+    def active_transfer_count(
+        self, dc_a: Optional[str] = None, dc_b: Optional[str] = None
+    ) -> int:
+        if self._transfers is None:
+            return 0
+        return self._transfers.active_count(dc_a, dc_b)
+
+    # ------------------------------------------------------------------
     # Datacenter partitions (fault injection)
     # ------------------------------------------------------------------
     PARTITION_MODES = ("drop", "park")
@@ -516,6 +669,8 @@ class NetworkFabric:
             entry[1] += 1
         self.partition_epoch += 1
         self._parked.setdefault(pair, [])
+        if self._transfers is not None:
+            self._transfers.on_partition(dc_a, dc_b, mode)
 
     def heal_datacenters(self, dc_a: str, dc_b: str) -> int:
         """Undo one partition of a DC pair.
@@ -535,6 +690,8 @@ class NetworkFabric:
             return 0
         del self._partitions[pair]
         self.partition_epoch += 1
+        if self._transfers is not None:
+            self._transfers.on_heal(dc_a, dc_b)
         parked = self._parked.pop(pair, [])
         for message, on_delivered in parked:
             self._schedule_delivery(message, on_delivered)
@@ -602,6 +759,8 @@ class NetworkFabric:
         self.partition_epoch += 1
         self._parked_oneway.setdefault(direction, [])
         self._grey = True
+        if self._transfers is not None:
+            self._transfers.on_partition_oneway(src_dc, dst_dc, mode)
 
     def heal_datacenters_oneway(self, src_dc: str, dst_dc: str) -> int:
         """Undo one asymmetric partition of the ``src_dc -> dst_dc``
@@ -617,6 +776,8 @@ class NetworkFabric:
         del self._oneway[direction]
         self.partition_epoch += 1
         self._sync_grey()
+        if self._transfers is not None:
+            self._transfers.on_heal(src_dc, dst_dc)
         parked = self._parked_oneway.pop(direction, [])
         for message, on_delivered in parked:
             self._schedule_delivery(message, on_delivered)
@@ -686,6 +847,10 @@ class NetworkFabric:
         else:
             self._pair_scale[pair] = float(scale)
         self._sync_grey()
+        if self._transfers is not None:
+            # A slow WAN narrows the pipe too: scale the link capacity
+            # down by the same factor that stretches propagation.
+            self._transfers.set_capacity_scale(dc_a, dc_b, scale)
 
     def pair_latency_scale(self, dc_a: str, dc_b: str) -> float:
         """Active latency multiplier of the unordered DC pair (1.0 if none)."""
@@ -697,6 +862,8 @@ class NetworkFabric:
         self._pair_loss.clear()
         self._pair_scale.clear()
         self._sync_grey()
+        if self._transfers is not None:
+            self._transfers.clear_capacity_scales()
 
     def _pair_scale_for(self, src: NodeAddress, dst: NodeAddress) -> float:
         src_dc = self._topology.datacenter_of(src)
@@ -891,7 +1058,40 @@ class NetworkFabric:
             latency *= pair_scale
         delay = latency * self._latency_scale
         if size_bytes:
-            delay += size_bytes / self._bandwidth
+            transfers = self._transfers
+            if transfers is None:
+                delay += size_bytes / self._bandwidth
+            else:
+                src_dc = self._topology.datacenter_of(src)
+                dst_dc = self._topology.datacenter_of(dst)
+                if src_dc == dst_dc:
+                    delay += size_bytes / self._bandwidth
+                else:
+                    config = transfers.config
+                    if (
+                        size_bytes >= config.transfer_threshold_bytes
+                        and kind in config.transfer_kinds
+                    ):
+                        # Bulk payload: enters the link's fair share; the
+                        # propagation latency (already sampled, so RNG
+                        # order matches a modeling-off run) is applied
+                        # after streaming completes.
+                        transfer = transfers.submit(
+                            src_dc,
+                            dst_dc,
+                            size_bytes,
+                            delay,
+                            message=message,
+                            on_delivered=on_delivered,
+                            group=transfers.group_for_kind(kind),
+                        )
+                        tracer = self.tracer
+                        if tracer is not None:
+                            tracer.transfer_start(message, transfer)
+                        return message
+                    # Foreground message on a contended link: serialization
+                    # runs at the residual (capacity minus transfer share).
+                    delay += size_bytes / transfers.foreground_rate(src_dc, dst_dc)
         deliver_at = now + delay
         if self._fifo:
             # In-order links: a message never overtakes the one before it.
@@ -981,8 +1181,36 @@ class NetworkFabric:
         if self._pair_scale:
             latency *= self._pair_scale_for(src, dst)
         delay = latency * self._latency_scale
-        if message.size_bytes:
-            delay += message.size_bytes / self._bandwidth
+        size_bytes = message.size_bytes
+        if size_bytes:
+            transfers = self._transfers
+            if transfers is None:
+                delay += size_bytes / self._bandwidth
+            else:
+                src_dc = self._topology.datacenter_of(src)
+                dst_dc = self._topology.datacenter_of(dst)
+                if src_dc == dst_dc:
+                    delay += size_bytes / self._bandwidth
+                else:
+                    config = transfers.config
+                    if (
+                        size_bytes >= config.transfer_threshold_bytes
+                        and message.kind in config.transfer_kinds
+                    ):
+                        transfer = transfers.submit(
+                            src_dc,
+                            dst_dc,
+                            size_bytes,
+                            delay,
+                            message=message,
+                            on_delivered=on_delivered,
+                            group=transfers.group_for_kind(message.kind),
+                        )
+                        tracer = self.tracer
+                        if tracer is not None:
+                            tracer.transfer_start(message, transfer)
+                        return
+                    delay += size_bytes / transfers.foreground_rate(src_dc, dst_dc)
         deliver_at = now + delay
         if self._fifo:
             if deliver_at < link.last_time:

@@ -11,7 +11,11 @@ series per tick:
 * ``read_latency_mean[<dc>]`` -- per-datacenter mean read latency of the
   window (from the run metrics' per-DC histograms);
 * ``repair_bytes`` -- anti-entropy WAN bytes sent in the window;
-* ``control_decisions`` -- control-plane decisions taken in the window.
+* ``control_decisions`` -- control-plane decisions taken in the window;
+* ``wan_utilization[<dcA|dcB>]`` -- fraction of the window each modeled
+  inter-DC link spent busy (only when the fabric's bandwidth model is on);
+* ``transfer_backlog_bytes`` -- bytes still queued across all fair-share
+  transfers at the tick instant (only with bandwidth modeling on).
 
 The recorder consumes no randomness (window deltas over counters that
 already exist), so enabling it shifts no random stream; it *does* schedule
@@ -78,6 +82,8 @@ class RunSeriesRecorder:
         self._prev_decisions = 0
         # Per-DC latency window state: dc -> (count, total seconds).
         self._prev_latency: Dict[str, tuple] = {}
+        # Per-link busy-time integrals (seconds), for utilization deltas.
+        self._prev_busy: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -131,6 +137,21 @@ class RunSeriesRecorder:
                 series.append(
                     now, (total - prev_total) / d_count if d_count > 0 else 0.0
                 )
+        fabric = getattr(self.cluster, "fabric", None)
+        if fabric is not None and fabric.bandwidth_enabled:
+            for pair, busy in sorted(fabric.transfer_utilization().items()):
+                prev = self._prev_busy.get(pair, 0.0)
+                self._prev_busy[pair] = busy
+                name = f"wan_utilization[{pair}]"
+                series = self.series.get(name)
+                if series is None:
+                    series = self.series[name] = TimeSeries(name)
+                series.append(now, (busy - prev) / self.interval)
+            name = "transfer_backlog_bytes"
+            series = self.series.get(name)
+            if series is None:
+                series = self.series[name] = TimeSeries(name)
+            series.append(now, fabric.transfer_backlog_bytes())
 
     # ------------------------------------------------------------------
     def rows(self) -> Dict[str, List[Dict[str, float]]]:

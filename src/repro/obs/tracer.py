@@ -27,6 +27,12 @@ kind                  emitted when
                       diffed, cumulative pair bytes)
 ``control.decision``  a control-plane policy moved a knob
 ``fault``             the fault injector applied a schedule event
+``transfer.start``    a bulk message entered the fair-share transfer
+                      scheduler instead of the foreground fast path
+``transfer.end``      a bulk transfer finished streaming and its message
+                      was handed to the delivery path
+``transfer.background``  a non-message background transfer (e.g. a
+                      ``wan_congestion`` fault) started occupying a link
 ====================  =====================================================
 
 Spans: an operation's lifecycle is the ``op.issue`` -> ``op.fanout`` ->
@@ -78,6 +84,7 @@ class Tracer:
             self._engine = cluster.engine
         for coordinator in cluster.coordinators.values():
             coordinator.tracer = self
+        cluster.fabric.tracer = self
         return self
 
     def attach_plane(self, plane) -> "Tracer":
@@ -183,6 +190,27 @@ class Tracer:
 
     def fault(self, description: str) -> None:
         self.emit("fault", description=description)
+
+    def transfer_start(self, message, transfer) -> None:
+        """Trace a message diverted onto the fair-share transfer scheduler."""
+        self.emit(
+            "transfer.start",
+            seq=transfer.seq,
+            pair=transfer.pair_key,
+            message_kind=getattr(message.kind, "value", message.kind),
+            bytes=transfer.total_bytes,
+            group=transfer.group,
+            dst=str(message.dst),
+        )
+
+    def transfer_end(self, message, deliver_at: float) -> None:
+        """Trace a transfer whose last byte streamed; delivery is scheduled."""
+        self.emit(
+            "transfer.end",
+            message_kind=getattr(message.kind, "value", message.kind),
+            dst=str(message.dst),
+            deliver_at=deliver_at,
+        )
 
     # ------------------------------------------------------------------
     # Export

@@ -1,0 +1,162 @@
+"""The ``wan_congestion`` fault: generation, validation, injection, replay.
+
+Congestion is the one fault that goes through the bandwidth model rather
+than around it: the injector starts a background bulk transfer on the pair
+(lazily enabling the fair-share scheduler on scenarios that never
+configured one) and cancels whatever is left when the window closes.  The
+tests here pin the full loop: the generator draws congestion actions that
+validate and round-trip through the corpus format, the injector applies
+and clears them at the scheduled times, and a chaos run containing one
+replays trace-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.generator import ScheduleGenerator, ScheduleValidationError, validate_schedule
+from repro.chaos.corpus import (
+    event_from_dict,
+    event_to_dict,
+    schedule_from_dict,
+    schedule_signature,
+    schedule_to_dict,
+)
+from repro.chaos.replay import ChaosConfig, run_chaos
+from repro.cluster.cluster import ClusterConfig, SimulatedCluster
+from repro.experiments.scenarios import ScenarioRegistry
+from repro.faults.schedule import FaultInjector, FaultSchedule, WanCongestion
+
+SEEDS = list(range(30))
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites_wan"))
+
+
+class TestEvent:
+    def test_needs_two_distinct_datacenters(self):
+        with pytest.raises(ValueError, match="itself"):
+            WanCongestion(at=0.0, datacenters=("a", "a"), bytes=10.0, duration=1.0)
+
+    def test_needs_positive_bytes_and_duration(self):
+        with pytest.raises(ValueError, match="bytes"):
+            WanCongestion(at=0.0, datacenters=("a", "b"), bytes=0.0, duration=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            WanCongestion(at=0.0, datacenters=("a", "b"), bytes=10.0, duration=0.0)
+
+    def test_rate_cap_must_be_positive_when_set(self):
+        with pytest.raises(ValueError, match="rate cap"):
+            WanCongestion(
+                at=0.0, datacenters=("a", "b"), bytes=10.0, duration=1.0, rate_cap=0.0
+            )
+
+    def test_corpus_round_trip_is_exact(self):
+        event = WanCongestion(
+            at=1.5, datacenters=("nancy", "rennes"), bytes=2.5e6, duration=3.0,
+            rate_cap=1e6,
+        )
+        assert event_from_dict(event_to_dict(event)) == event
+        bare = WanCongestion(at=0.25, datacenters=("a", "b"), bytes=100.0, duration=0.5)
+        assert event_from_dict(event_to_dict(bare)) == bare
+
+
+class TestGenerator:
+    def test_congestion_actions_appear_and_validate(self, generator):
+        found = 0
+        for seed in SEEDS:
+            schedule = generator.generate(seed, budget=6)
+            validate_schedule(schedule, horizon=generator.horizon)
+            found += sum(
+                1 for e in schedule.events if isinstance(e, WanCongestion)
+            )
+        assert found > 0
+
+    def test_congestion_bytes_scale_with_scenario_capacity(self, generator):
+        # grid5000_3sites_wan models 4 MB/s links; the draw range is
+        # 0.6..1.4 of capacity * duration.
+        for seed in SEEDS:
+            for event in generator.generate(seed, budget=6).events:
+                if isinstance(event, WanCongestion):
+                    full_window = 4_000_000.0 * event.duration
+                    assert 0.59 * full_window <= event.bytes <= 1.41 * full_window
+
+    def test_schedules_with_congestion_round_trip_byte_identically(self, generator):
+        for seed in SEEDS[:10]:
+            schedule = generator.generate(seed, budget=6)
+            clone = schedule_from_dict(schedule_to_dict(schedule))
+            assert schedule_signature(clone) == schedule_signature(schedule)
+
+    def test_validator_rejects_overlapping_congestion_on_one_pair(self):
+        schedule = FaultSchedule(
+            [
+                WanCongestion(at=1.0, datacenters=("a", "b"), bytes=100.0, duration=3.0),
+                WanCongestion(at=2.0, datacenters=("b", "a"), bytes=100.0, duration=3.0),
+            ]
+        )
+        with pytest.raises(ScheduleValidationError, match="congestion"):
+            validate_schedule(schedule, horizon=12.0)
+
+    def test_validator_rejects_window_past_heal_cap(self):
+        schedule = FaultSchedule(
+            [WanCongestion(at=10.0, datacenters=("a", "b"), bytes=100.0, duration=5.0)]
+        )
+        with pytest.raises(ScheduleValidationError, match="heal cap"):
+            validate_schedule(schedule, horizon=12.0)
+
+
+class TestInjector:
+    def test_congestion_window_occupies_and_clears_the_link(self):
+        cluster = SimulatedCluster(
+            ClusterConfig(n_nodes=4, datacenters=2, replication_factor=2, seed=11)
+        )
+        fabric = cluster.fabric
+        assert not fabric.bandwidth_enabled
+        schedule = FaultSchedule(
+            [
+                WanCongestion(
+                    at=1.0, datacenters=("dc1", "dc2"), bytes=1e12, duration=2.0
+                )
+            ]
+        )
+        injector = FaultInjector(cluster, schedule)
+        injector.arm()
+        cluster.engine.run_until(0.5)
+        assert fabric.active_transfer_count() == 0
+        cluster.engine.run_until(2.0)
+        # Lazily enabled by the fault, mid-window the link is saturated.
+        assert fabric.bandwidth_enabled
+        assert fabric.active_transfer_count() == 1
+        assert fabric.transfer_backlog_bytes() > 0
+        cluster.engine.run_until(4.0)
+        # Window closed: the unfinished remainder was aborted, link is free.
+        assert fabric.active_transfer_count() == 0
+        assert fabric.transfer_backlog_bytes() == 0.0
+        assert fabric.stats.transfers_aborted == 1
+        assert any("wan congestion" in note for _, note in injector.log)
+        assert any("cleared" in note for _, note in injector.log)
+
+
+class TestReplay:
+    def test_chaos_run_with_congestion_replays_trace_identically(self, generator):
+        seed = next(
+            s
+            for s in SEEDS
+            if any(
+                isinstance(e, WanCongestion)
+                for e in generator.generate(s, budget=6).events
+            )
+        )
+        schedule = generator.generate(seed, budget=6)
+        config = ChaosConfig(
+            scenario="grid5000_3sites_wan",
+            seed=seed,
+            record_count=30,
+            operation_count=180,
+            threads=4,
+        )
+        first = run_chaos(schedule, config)
+        second = run_chaos(schedule, config)
+        assert first.signature() == second.signature()
+        assert not first.failed()

@@ -13,14 +13,36 @@ spec = importlib.util.spec_from_file_location("check_perf_trend", GUARD)
 _module = importlib.util.module_from_spec(spec)
 spec.loader.exec_module(_module)
 compare, main = _module.compare, _module.main
+compare_repair = _module.compare_repair
 
 
-def report(ops=7000.0, ratio=1.2, config=None):
+def report(ops=7000.0, ratio=1.2, config=None, scenario=None):
     return {
+        "scenario": scenario,
         "config": config or {"operation_count": 8000, "threads": 50, "seed": 1},
         "optimized": {"ops_per_wall_s": ops},
         "speedup_vs_legacy_fabric": ratio,
     }
+
+
+def repair_report(bytes_per_session=2000.0, ratio=8.0, claims=None):
+    doc = {
+        "steady_state": {
+            "incremental": {"bytes_per_session": bytes_per_session},
+            "full_vs_incremental_bytes_ratio": ratio,
+        }
+    }
+    if claims is not None:
+        doc["bandwidth_contention"] = {"claims": claims}
+    return doc
+
+
+ALL_CLAIMS = {
+    "bandwidth_inflates_foreground_p99": True,
+    "throttle_bounds_p99_inflation": True,
+    "recovery_completes_in_every_arm": True,
+    "throttle_engages_backpressure": True,
+}
 
 
 class TestCompare:
@@ -53,6 +75,53 @@ class TestCompare:
 
     def test_improvement_passes(self):
         _lines, failures = compare(report(ops=9000.0, ratio=1.5), report(), 0.25)
+        assert failures == []
+
+    def test_scale_100_gets_the_tighter_five_percent_floor(self):
+        fresh = report(ops=6500.0, scenario="scale_100")
+        base = report(ops=7000.0, scenario="scale_100")
+        # A ~7% dip passes the generic 25% budget but not the hot-path floor.
+        _lines, failures = compare(fresh, base, 0.25)
+        assert any("5%" in f for f in failures)
+
+    def test_scale_100_within_five_percent_passes(self):
+        fresh = report(ops=6700.0, scenario="scale_100")
+        base = report(ops=7000.0, scenario="scale_100")
+        _lines, failures = compare(fresh, base, 0.25)
+        assert failures == []
+
+    def test_other_scenarios_keep_the_generic_budget(self):
+        fresh = report(ops=6500.0, scenario="scale_1000")
+        base = report(ops=7000.0, scenario="scale_1000")
+        _lines, failures = compare(fresh, base, 0.25)
+        assert failures == []
+
+
+class TestCompareRepair:
+    def test_all_claims_holding_pass(self):
+        _lines, failures = compare_repair(
+            repair_report(claims=ALL_CLAIMS), repair_report(claims=ALL_CLAIMS), 0.25
+        )
+        assert failures == []
+
+    def test_missing_contention_section_fails(self):
+        _lines, failures = compare_repair(
+            repair_report(), repair_report(claims=ALL_CLAIMS), 0.25
+        )
+        assert any("bandwidth_contention" in f for f in failures)
+
+    def test_failed_claim_is_named(self):
+        claims = dict(ALL_CLAIMS, throttle_bounds_p99_inflation=False)
+        _lines, failures = compare_repair(
+            repair_report(claims=claims), repair_report(claims=ALL_CLAIMS), 0.25
+        )
+        assert any("throttle_bounds_p99_inflation" in f for f in failures)
+
+    def test_real_recorded_repair_baseline_passes(self):
+        path = os.path.join(REPO_ROOT, "BENCH_repair.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        _lines, failures = compare_repair(doc, doc, 0.25)
         assert failures == []
 
 

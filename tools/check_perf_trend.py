@@ -45,6 +45,12 @@ from typing import Dict, List, Optional, Tuple
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_fabric.json")
 
+#: The SCALE_100 hot path carries its own tighter floor: foreground
+#: messages must keep the bandwidth-model fast path, so the headline
+#: ops/wall-s number may not regress more than 5% even when the general
+#: ``--max-regression`` budget is looser.
+SCALE_100_MAX_REGRESSION = 0.05
+
 
 def _load(path: str) -> Dict[str, object]:
     with open(path, "r", encoding="utf-8") as handle:
@@ -71,7 +77,13 @@ def compare(
     lines: List[str] = []
     failures: List[str] = []
 
-    def check(name: str, fresh_value: Optional[float], base_value: Optional[float]) -> bool:
+    def check(
+        name: str,
+        fresh_value: Optional[float],
+        base_value: Optional[float],
+        allowed: Optional[float] = None,
+    ) -> bool:
+        budget = max_regression if allowed is None else allowed
         if fresh_value is None or base_value is None or base_value <= 0:
             return False
         change = fresh_value / base_value - 1.0
@@ -79,16 +91,27 @@ def compare(
             f"{name}: fresh={fresh_value:.3f} baseline={base_value:.3f} "
             f"({change:+.1%})"
         )
-        if change < -max_regression:
+        if change < -budget:
             failures.append(
-                f"{name} regressed {-change:.1%} (> {max_regression:.0%} allowed)"
+                f"{name} regressed {-change:.1%} (> {budget:.0%} allowed)"
             )
         return True
 
     compared = False
     same_scenario = fresh.get("scenario") == baseline.get("scenario")
     if same_scenario and fresh.get("config") == baseline.get("config"):
-        compared |= check("optimized ops_per_wall_s", _ops_metric(fresh), _ops_metric(baseline))
+        # The SCALE_100 hot path gets the tighter bandwidth-model floor.
+        allowed = (
+            min(max_regression, SCALE_100_MAX_REGRESSION)
+            if fresh.get("scenario") == "scale_100"
+            else None
+        )
+        compared |= check(
+            "optimized ops_per_wall_s",
+            _ops_metric(fresh),
+            _ops_metric(baseline),
+            allowed=allowed,
+        )
     else:
         lines.append(
             "configs differ -- skipping the ops/s comparison "
@@ -136,9 +159,29 @@ def compare_repair(
     more than ``max_regression`` over the baseline, and the full-keyspace
     vs incremental reduction ratio may not shrink below 5x (the recorded
     acceptance floor) or ``max_regression`` under the baseline's ratio.
+
+    The fresh report must also carry the ``bandwidth_contention`` section
+    with every claim holding: bandwidth-on shows measurable contention
+    (foreground read p99 inflated over the bandwidth-off arm during the
+    repair storm) and the ``wan_budget_bytes_per_s`` throttle bounds that
+    inflation while recovery still completes in every arm.  These are
+    virtual-time measurements of a deterministic simulation, so any
+    hardware reproduces them.
     """
     lines: List[str] = []
     failures: List[str] = []
+    contention = fresh.get("bandwidth_contention")
+    if not isinstance(contention, dict):
+        failures.append("bandwidth_contention section missing from the fresh repair report")
+    else:
+        claims = contention.get("claims", {})
+        summary = " ".join(f"{name}={bool(value)}" for name, value in sorted(claims.items()))
+        lines.append(f"bandwidth contention claims: {summary or '(none)'}")
+        if not claims:
+            failures.append("bandwidth_contention.claims missing from the fresh repair report")
+        for name, value in sorted(claims.items()):
+            if value is not True:
+                failures.append(f"bandwidth contention claim failed: {name}")
     fresh_bytes = _steady_state_bytes(fresh)
     base_bytes = _steady_state_bytes(baseline)
     if fresh_bytes is None or base_bytes is None:

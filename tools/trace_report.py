@@ -36,6 +36,7 @@ _COLUMNS = (
     ("repair", lambda e: e["kind"] == "repair.session"),
     ("ctrl", lambda e: e["kind"] == "control.decision"),
     ("fault", lambda e: e["kind"] == "fault"),
+    ("xfer", lambda e: e["kind"] in ("transfer.start", "transfer.end")),
 )
 
 
@@ -69,6 +70,16 @@ def _annotations(window_events: List[Dict[str, object]]) -> List[str]:
             scope = e.get("scope", "cluster")
             notes.append(
                 f"{e['policy']} [{scope}] {e.get('decision', '?')} -> {e.get('value')}"
+            )
+        elif e["kind"] == "transfer.start":
+            notes.append(
+                f"transfer #{e.get('seq')} start [{e.get('pair')}] "
+                f"{e.get('bytes')}B {e.get('group')} ({e.get('dst')})"
+            )
+        elif e["kind"] == "transfer.background":
+            notes.append(
+                f"background transfer [{e.get('pair')}] {e.get('bytes')}B"
+                + (f" capped {e['rate_cap']}B/s" if e.get("rate_cap") else "")
             )
     return notes
 
