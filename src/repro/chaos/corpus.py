@@ -30,7 +30,9 @@ from repro.faults.schedule import (
     DatacenterPartition,
     FaultEvent,
     FaultSchedule,
+    NodeBootstrap,
     NodeCrash,
+    NodeDecommission,
     NodeRestart,
     PacketLoss,
     SlowWan,
@@ -150,6 +152,18 @@ def event_to_dict(event: FaultEvent) -> Dict[str, Any]:
         if event.rate_cap is not None:
             out["rate_cap"] = event.rate_cap
         return out
+    if isinstance(event, NodeBootstrap):
+        return {
+            "type": "node_bootstrap",
+            "at": event.at,
+            "node": _address_to_list(event.node),
+        }
+    if isinstance(event, NodeDecommission):
+        return {
+            "type": "node_decommission",
+            "at": event.at,
+            "node": _address_to_list(event.node),
+        }
     raise TypeError(f"cannot serialize fault event {event!r}")
 
 
@@ -219,6 +233,10 @@ def event_from_dict(raw: Dict[str, Any]) -> FaultEvent:
             duration=float(raw["duration"]),
             rate_cap=float(rate_cap) if rate_cap is not None else None,
         )
+    if kind == "node_bootstrap":
+        return NodeBootstrap(at=at, node=_address_from_list(raw["node"]))
+    if kind == "node_decommission":
+        return NodeDecommission(at=at, node=_address_from_list(raw["node"]))
     raise ValueError(f"unknown fault event type {kind!r}")
 
 

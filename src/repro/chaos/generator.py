@@ -19,6 +19,16 @@ Action menu (multi-datacenter scenarios)::
 Single-datacenter scenarios only draw node crashes (the other actions are
 cross-DC by construction).
 
+Scenarios that provision ring spares (``spares_per_dc > 0``, e.g.
+``grid5000_3sites_elastic``) draw from an *extended* menu that adds a
+``membership`` action: a spare begins bootstrapping at the window start and,
+half the time, begins decommissioning again at the window end -- so the
+streaming / catch-up / cutover machinery runs concurrently with every other
+fault kind.  Each spare is used at most once per schedule, which is what
+makes "no overlapping join/leave of the same node" hold by construction.
+Scenarios without spares keep the original menus, so their schedules stay
+byte-identical.
+
 Determinism contract
 --------------------
 All randomness comes from one named stream,
@@ -45,7 +55,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from repro.cluster.cluster import resolve_topology
+from repro.cluster.cluster import resolve_spares, resolve_topology
 from repro.constants import DEFAULT_BANDWIDTH_BYTES_PER_S
 from repro.experiments.scenarios import Scenario
 from repro.faults.schedule import (
@@ -54,7 +64,9 @@ from repro.faults.schedule import (
     DatacenterPartition,
     FaultEvent,
     FaultSchedule,
+    NodeBootstrap,
     NodeCrash,
+    NodeDecommission,
     NodeRestart,
     PacketLoss,
     SlowWan,
@@ -81,6 +93,23 @@ _MULTI_DC_MENU: Sequence[Tuple[str, float]] = (
     ("congestion", 1.00),
 )
 
+# Extended menus for scenarios provisioning ring spares: every original
+# weight shrinks proportionally to make room for the membership action.
+_MULTI_DC_ELASTIC_MENU: Sequence[Tuple[str, float]] = (
+    ("crash", 0.26),
+    ("outage", 0.34),
+    ("partition", 0.47),
+    ("asym", 0.60),
+    ("loss", 0.69),
+    ("slow", 0.78),
+    ("congestion", 0.86),
+    ("membership", 1.00),
+)
+_SINGLE_DC_ELASTIC_MENU: Sequence[Tuple[str, float]] = (
+    ("crash", 0.80),
+    ("membership", 1.00),
+)
+
 _PLACEMENT_ATTEMPTS = 8
 
 
@@ -98,6 +127,7 @@ class _Shape:
 
     nodes: Tuple[NodeAddress, ...]
     datacenters: Tuple[str, ...]
+    spares: Tuple[NodeAddress, ...] = ()
 
 
 class ScheduleGenerator:
@@ -108,10 +138,12 @@ class ScheduleGenerator:
             raise ValueError(f"horizon must be positive, got {horizon!r}")
         self.scenario = scenario
         self.horizon = float(horizon)
-        topology = resolve_topology(scenario.cluster_config())
+        cluster_config = scenario.cluster_config()
+        topology = resolve_topology(cluster_config)
         self._shape = _Shape(
             nodes=tuple(topology.nodes),
             datacenters=tuple(topology.datacenter_names),
+            spares=resolve_spares(cluster_config, topology),
         )
         bandwidth = getattr(scenario, "bandwidth", None)
         #: Link capacity congestion bytes are sized against: the scenario's
@@ -142,6 +174,7 @@ class ScheduleGenerator:
         loss_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
         slow_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
         congestion_busy: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+        membership_used: set = set()
 
         for _ in range(budget):
             for _attempt in range(_PLACEMENT_ATTEMPTS):
@@ -161,6 +194,7 @@ class ScheduleGenerator:
                     loss_busy,
                     slow_busy,
                     congestion_busy,
+                    membership_used,
                 )
                 if placed:
                     break
@@ -173,13 +207,17 @@ class ScheduleGenerator:
     # -- draw helpers ----------------------------------------------------
 
     def _draw_kind(self, rng, multi_dc: bool) -> str:
-        if not multi_dc:
+        if self._shape.spares:
+            menu = _MULTI_DC_ELASTIC_MENU if multi_dc else _SINGLE_DC_ELASTIC_MENU
+        elif not multi_dc:
             return "crash"
+        else:
+            menu = _MULTI_DC_MENU
         u = rng.random()
-        for kind, cumulative in _MULTI_DC_MENU:
+        for kind, cumulative in menu:
             if u < cumulative:
                 return kind
-        return _MULTI_DC_MENU[-1][0]
+        return menu[-1][0]
 
     def _draw_window(self, rng):
         """One (start, end) fault window, ms-rounded, ending by the heal cap."""
@@ -209,6 +247,7 @@ class ScheduleGenerator:
         loss_busy,
         slow_busy,
         congestion_busy,
+        membership_used,
     ) -> bool:
         duration = round(end - start, 3)
         if kind == "crash":
@@ -285,6 +324,19 @@ class ScheduleGenerator:
             )
             congestion_busy.setdefault(pair, []).append((start, end))
             return True
+        if kind == "membership":
+            spares = self._shape.spares
+            spare = spares[int(rng.integers(len(spares)))]
+            # Draw the leave coin before the used-check so the stream
+            # consumption per attempt never depends on placement state.
+            leave = rng.random() < 0.5
+            if spare in membership_used:
+                return False
+            events.append(NodeBootstrap(at=start, node=spare))
+            if leave:
+                events.append(NodeDecommission(at=end, node=spare))
+            membership_used.add(spare)
+            return True
         raise AssertionError(f"unknown action kind {kind!r}")
 
 
@@ -295,12 +347,20 @@ def validate_schedule(schedule: FaultSchedule, *, horizon: float) -> None:
     crash has exactly one matching restart (and vice versa) with no per-node
     overlap, no crash window intersects its datacenter's outage, and loss /
     slow-WAN / congestion windows never overlap on the same pair.
+
+    Membership events carry two rules of their own: every bootstrap /
+    decommission must *begin* by the heal cap (the transition then has the
+    run's convergence tail to complete or be aborted in), and consecutive
+    membership events for the same node must alternate in kind -- two
+    bootstraps (or two decommissions) of one node in a row necessarily
+    describe an overlapping or invalid join/leave.
     """
     cap = HEAL_FRACTION * horizon + 1e-9
     crash_windows: Dict[NodeAddress, List[Tuple[float, float]]] = {}
     pending_crash: Dict[NodeAddress, float] = {}
     dc_windows: Dict[str, List[Tuple[float, float]]] = {}
     pair_windows: Dict[Tuple[str, Tuple[str, str]], List[Tuple[float, float]]] = {}
+    last_membership: Dict[NodeAddress, str] = {}
 
     for event in schedule.events:
         if event.at < 0:
@@ -322,6 +382,17 @@ def validate_schedule(schedule: FaultSchedule, *, horizon: float) -> None:
             if _overlaps(crash_windows.get(event.node, ()), start, event.at):
                 raise ScheduleValidationError(f"overlapping crash windows for {event.node}")
             crash_windows.setdefault(event.node, []).append((start, event.at))
+        elif isinstance(event, (NodeBootstrap, NodeDecommission)):
+            kind = "bootstrap" if isinstance(event, NodeBootstrap) else "decommission"
+            if event.at > cap:
+                raise ScheduleValidationError(
+                    f"{kind} of {event.node} at {event.at} past heal cap {cap:.3f}"
+                )
+            if last_membership.get(event.node) == kind:
+                raise ScheduleValidationError(
+                    f"consecutive {kind} events for {event.node} (overlapping join/leave)"
+                )
+            last_membership[event.node] = kind
         else:
             duration = getattr(event, "duration", None)
             if duration is None:

@@ -25,6 +25,16 @@ simulator reproduces (and that Harmony's staleness bounds assume):
     detector that never observed a recovery and fabric state that never
     tore down.
 
+``no_pending_range_reads``
+    Elastic membership must never serve reads from a pending-range node:
+    while a bootstrap or decommission is streaming, the joining (or
+    gaining) replica counts toward *write* quorums only.  The membership
+    manager's read guard counts every read that contacted a pending target;
+    any nonzero count fails here.  ``membership_converged`` additionally
+    fails when a transition is still active at check time -- the replay
+    driver force-aborts stragglers, so seeing one here means the
+    sequencing contract broke.
+
 ``windowed_stale_rate``
     PBS-style bound (Bailis et al., VLDB 2012): in the post-heal window
     ``[heal + grace, end of run]`` the observed stale rate from
@@ -99,6 +109,7 @@ class InvariantChecker:
         self._check_no_stuck_unavailable(cluster, timeline)
         self._check_no_lost_acked_writes(cluster, timeline)
         self._check_hints(cluster)
+        self._check_membership(cluster)
         self._check_windowed_stale_rate(timeline, heal_time, end_time)
         return self.violations
 
@@ -208,6 +219,26 @@ class InvariantChecker:
                     f"{address}: {pending} hints still pending after final flush",
                     counter,
                 )
+
+    # ------------------------------------------------------------------
+    def _check_membership(self, cluster: SimulatedCluster) -> None:
+        manager = getattr(cluster, "membership", None)
+        if manager is None:
+            return
+        counter: dict = {}
+        if manager.pending_read_violations:
+            self._add(
+                "no_pending_range_reads",
+                f"{manager.pending_read_violations} reads contacted a "
+                "pending-range node before its cutover",
+                counter,
+            )
+        for transition in manager.active_transitions():
+            self._add(
+                "membership_converged",
+                f"{transition.kind} of {transition.node} still active at check time",
+                counter,
+            )
 
     # ------------------------------------------------------------------
     def _check_windowed_stale_rate(

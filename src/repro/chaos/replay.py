@@ -40,6 +40,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.chaos.invariants import InvariantChecker, Violation
 from repro.cluster.antientropy import AntiEntropyConfig
 from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.membership import MembershipManager
 from repro.experiments.runner import make_policy
 from repro.experiments.scenarios import Scenario, ScenarioRegistry
 from repro.faults.schedule import FaultInjector, FaultSchedule
@@ -183,6 +184,13 @@ def run_chaos(schedule: FaultSchedule, config: ChaosConfig) -> ChaosReport:
 
     engine = cluster.engine
     arm_time = engine.now
+    if cluster.config.spares_per_dc > 0:
+        # Elastic scenarios run a membership manager for the measured phase
+        # so schedule events can begin transitions.  Started after the load
+        # settle (a ticking periodic process would keep settle spinning) and
+        # stopped before the convergence settles below; scenarios without
+        # spares never construct one and stay byte-identical.
+        MembershipManager(cluster).start()
     injector = FaultInjector(cluster, schedule)
     injector.arm()
     service = None
@@ -242,6 +250,25 @@ def run_chaos(schedule: FaultSchedule, config: ChaosConfig) -> ChaosReport:
     if service is not None:
         engine.run_until(engine.now + config.repair_rounds * config.repair_interval + 0.5)
         service.stop()
+    # Membership transitions (schedule-started or injector-created) must
+    # complete or abort before the suite judges the run: give stragglers one
+    # extra grace window, then force-abort whatever is left -- an abort is
+    # clean by design, but a transition that could not finish once every
+    # fault healed means streaming or cutover wedged, so record it.
+    membership = cluster.membership
+    if membership is not None:
+        if membership.has_active:
+            engine.run_until(engine.now + config.post_heal_grace + 5.0)
+        for transition in membership.active_transitions():
+            extra_violations.append(
+                Violation(
+                    "membership_converged",
+                    f"{transition.kind} of {transition.node} still active past "
+                    "the convergence tail; force-aborted",
+                )
+            )
+            membership.abort(transition.node)
+        membership.stop()
     cluster.settle()
     flushed = cluster.flush_hints()
     cluster.settle()

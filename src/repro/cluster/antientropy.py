@@ -418,6 +418,20 @@ class AntiEntropyService:
         if self._process is not None:
             self._process.stop()
 
+    def invalidate_caches(self) -> None:
+        """Drop the persistent tree caches and force full exchanges.
+
+        Called after a ring membership change: the per-DC views fold cells
+        per *placement*, and the incremental sync markers assume the leaves
+        kept meaning the same ranges.  Neither survives a topology change
+        (liveness tracking alone cannot detect one -- the same nodes may be
+        up while owning different ranges).
+        """
+        self._caches.clear()
+        for sync in self._pair_sync.values():
+            sync.initiator_seen = -1
+            sync.partner_seen = -1
+
     @property
     def running(self) -> bool:
         return self._process is not None and self._process.running

@@ -44,7 +44,13 @@ from repro.network.topology import NodeAddress, Topology, uniform_topology
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import RandomStreams
 
-__all__ = ["ClusterConfig", "SimulatedCluster", "NoLiveCoordinator", "resolve_topology"]
+__all__ = [
+    "ClusterConfig",
+    "SimulatedCluster",
+    "NoLiveCoordinator",
+    "resolve_topology",
+    "resolve_spares",
+]
 
 
 def _discard_result(result: "OperationResult") -> None:
@@ -80,13 +86,35 @@ def resolve_topology(config: "ClusterConfig") -> Topology:
 
         inter_dc = LogNormalLatency(median=0.0005, sigma=0.3, floor=0.0002)
     return uniform_topology(
-        config.n_nodes,
+        config.n_nodes + config.spares_per_dc * config.datacenters,
         racks_per_dc=config.racks_per_dc,
         datacenters=config.datacenters,
         intra_rack=config.intra_rack_latency,
         inter_rack=config.inter_rack_latency,
         inter_dc=inter_dc,
     )
+
+
+def resolve_spares(config: "ClusterConfig", topology: Topology) -> Tuple[NodeAddress, ...]:
+    """The spare (non-ring) addresses a cluster built from ``config`` will have.
+
+    The last ``spares_per_dc`` addresses of every datacenter (in topology
+    order) are provisioned but kept out of the initial token ring; membership
+    transitions move them in and out.  Deterministic in ``(config, topology)``
+    so planners can reason about the initial ring without building a cluster.
+    """
+    if config.spares_per_dc <= 0:
+        return ()
+    spares: List[NodeAddress] = []
+    for dc in topology.datacenter_names:
+        in_dc = topology.nodes_in_datacenter(dc)
+        if len(in_dc) <= config.spares_per_dc:
+            raise ValueError(
+                f"datacenter {dc!r} has {len(in_dc)} nodes, need more than "
+                f"spares_per_dc ({config.spares_per_dc}) so at least one ring member remains"
+            )
+        spares.extend(in_dc[-config.spares_per_dc :])
+    return tuple(spares)
 
 
 @dataclass
@@ -153,6 +181,11 @@ class ClusterConfig:
     write_size_bytes: int = 1024
     vnodes: int = 8
     seed: int = 0
+    #: Extra nodes provisioned per datacenter but kept *out* of the initial
+    #: token ring: elastic capacity for membership transitions (bootstrap
+    #: moves a spare into the ring, decommission moves a member out).  With
+    #: the default 0 the cluster is exactly the classic static ring.
+    spares_per_dc: int = 0
     drop_probability: float = 0.0
     partitioner: Optional[Partitioner] = None
     fabric_delivery: str = "coalesced"
@@ -183,6 +216,8 @@ class ClusterConfig:
             )
         if self.write_size_bytes <= 0:
             raise ValueError("write_size_bytes must be positive")
+        if self.spares_per_dc < 0:
+            raise ValueError("spares_per_dc must be non-negative")
 
 
 class SimulatedCluster:
@@ -223,9 +258,29 @@ class SimulatedCluster:
             latency_sampling=config.latency_sampling,
             bandwidth=config.bandwidth,
         )
+        #: Spare addresses: provisioned (full node + coordinator wiring,
+        #: reachable over the fabric) but outside the token ring until a
+        #: bootstrap transition moves them in.
+        self.spares: Tuple[NodeAddress, ...] = resolve_spares(config, self.topology)
+        self._spare_set = frozenset(self.spares)
+        #: Current ring members in deterministic (topology) order.
+        self.members: List[NodeAddress] = [
+            a for a in self.topology.nodes if a not in self._spare_set
+        ]
+        if len(self.members) < config.replication_factor:
+            raise ValueError(
+                f"only {len(self.members)} ring members after reserving spares, fewer "
+                f"than the replication factor {config.replication_factor}"
+            )
+        #: Bumped on every ring membership change (bootstrap cutover,
+        #: decommission, abort rollback).  The sharded-PDES runtime checks it
+        #: between windows: a mid-window change is a loud error, never silent
+        #: corruption.
+        self.membership_epoch = 0
+        self._partitioner = config.partitioner or Murmur3Partitioner()
         self.ring = TokenRing(
-            self.topology.nodes,
-            partitioner=config.partitioner or Murmur3Partitioner(),
+            self.members,
+            partitioner=self._partitioner,
             vnodes=config.vnodes,
         )
         self.strategy: ReplicationStrategy
@@ -272,15 +327,81 @@ class SimulatedCluster:
             self.fabric.register(address, node.handle_message)
         # Round-robin over (node, coordinator) pairs: picking a coordinator
         # costs one cycle step and one attribute check, no dict lookups.
-        self._round_robin = itertools.cycle(
-            [(self.nodes[a], self.coordinators[a]) for a in self.topology.nodes]
-        )
+        # Built over ring *members* only -- spares never coordinate client
+        # operations until a bootstrap completes.
         self._round_robin_by_dc: Dict[str, tuple] = {}
+        self._rebuild_round_robins()
+        #: Active membership manager, installed by
+        #: :class:`~repro.cluster.membership.MembershipManager` when
+        #: transitions are possible (``None`` on a static ring).
+        self.membership = None
         self._operation_observers: List[Callable[[OperationResult], None]] = []
         #: The most recently started anti-entropy service (None until
         #: :meth:`start_anti_entropy`); monitors discover it here so repair
         #: traffic shows up in samples without explicit wiring.
         self.anti_entropy: Optional["AntiEntropyService"] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def _rebuild_round_robins(self) -> None:
+        """(Re)build the coordinator round-robins from the current members."""
+        self._round_robin = itertools.cycle(
+            [(self.nodes[a], self.coordinators[a]) for a in self.members]
+        )
+        self._round_robin_size = len(self.members)
+        self._round_robin_by_dc.clear()
+
+    def members_in(self, datacenter: str) -> List[NodeAddress]:
+        """Current ring members of one datacenter (deterministic order)."""
+        in_dc = self.topology.nodes_in_datacenter(datacenter)
+        if not self._spare_set:
+            return in_dc
+        member_set = set(self.members)
+        return [a for a in in_dc if a in member_set]
+
+    def set_members(self, members: Sequence[NodeAddress]) -> None:
+        """Install a new ring membership (the membership cutover hook).
+
+        Rebuilds the token ring from ``members``, bumps
+        :attr:`membership_epoch` and invalidates every placement-derived
+        cache.  Callers (the membership manager) are responsible for data
+        movement -- this only flips what ``replicas_for`` answers.
+        """
+        members = list(members)
+        member_set = set(members)
+        for address in members:
+            if address not in self.nodes:
+                raise ValueError(f"unknown address {address!r} in new membership")
+        if len(member_set) != len(members):
+            raise ValueError("duplicate address in new membership")
+        if len(members) < self.config.replication_factor:
+            raise ValueError(
+                f"new membership has {len(members)} nodes, fewer than the "
+                f"replication factor {self.config.replication_factor}"
+            )
+        self.members = members
+        self._spare_set = frozenset(a for a in self.topology.nodes if a not in member_set)
+        self.spares = tuple(a for a in self.topology.nodes if a not in member_set)
+        self.ring = TokenRing(
+            members, partitioner=self._partitioner, vnodes=self.config.vnodes
+        )
+        self.membership_epoch += 1
+        self.invalidate_placement()
+
+    def invalidate_placement(self) -> None:
+        """Drop every cache derived from ring placement.
+
+        Must run after any membership change: the cluster replica cache, the
+        coordinator route/proximity/requirement caches and the anti-entropy
+        tree caches all assume a static ring between invalidations.
+        """
+        self._replica_cache.clear()
+        self._rebuild_round_robins()
+        for coordinator in self.coordinators.values():
+            coordinator.invalidate_routes()
+        if self.anti_entropy is not None:
+            self.anti_entropy.invalidate_caches()
 
     # ------------------------------------------------------------------
     # Placement
@@ -392,9 +513,13 @@ class SimulatedCluster:
         if datacenter is not None:
             pool = self._round_robin_by_dc.get(datacenter)
             if pool is None:
-                members = self.addresses_in(datacenter)
-                if not members:
+                if not self.topology.nodes_in_datacenter(datacenter):
                     raise ValueError(f"unknown datacenter {datacenter!r}")
+                members = self.members_in(datacenter)
+                if not members:
+                    raise NoLiveCoordinator(
+                        f"no ring member available in datacenter {datacenter!r}"
+                    )
                 pool = (
                     itertools.cycle([(self.nodes[a], self.coordinators[a]) for a in members]),
                     len(members),
@@ -403,7 +528,7 @@ class SimulatedCluster:
             cycle, pool_size = pool
         else:
             cycle = self._round_robin
-            pool_size = len(self.coordinators)
+            pool_size = self._round_robin_size
         for _ in range(pool_size):
             node, picked = next(cycle)
             if node._up:

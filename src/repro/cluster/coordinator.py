@@ -311,6 +311,13 @@ class Coordinator:
         #: ``None`` by default; every hook below is a single identity check,
         #: so the traced and untraced hot paths schedule identical events.
         self.tracer = None
+        # Membership pending-range hooks (see repro.cluster.membership).
+        # ``None`` outside transitions, so the static-ring hot path pays one
+        # identity check.  The provider maps key -> extra write targets (the
+        # joining/new owners); the read guard observes the contacted set so
+        # the no-pending-range-reads invariant is checkable at runtime.
+        self._pending_provider: Optional[Callable[[str], Tuple[NodeAddress, ...]]] = None
+        self._pending_read_guard: Optional[Callable[[str, Sequence[NodeAddress]], None]] = None
         # The coordinator receives replica responses at a dedicated logical
         # address component; responses are routed back via the fabric handler
         # installed by the owning cluster (see SimulatedCluster).
@@ -326,6 +333,24 @@ class Coordinator:
         self._proximity_cache.clear()
         self._requirement_cache.clear()
         self._dc_contacts_cache.clear()
+
+    def set_pending_hooks(
+        self,
+        provider: Optional[Callable[[str], Tuple[NodeAddress, ...]]],
+        read_guard: Optional[Callable[[str, Sequence[NodeAddress]], None]] = None,
+    ) -> None:
+        """Install (or with ``None`` remove) the membership pending hooks.
+
+        While a pending-range provider is installed, writes fan out to the
+        pending targets *in addition to* the natural replicas and the
+        blocked-for requirement grows by the pending count (Cassandra's
+        pending-endpoint rule): a quorum of the post-cutover replica set is
+        then guaranteed to intersect the writers of every acknowledged
+        write.  Reads are never routed to pending targets; the read guard
+        only observes the contacted set for invariant checking.
+        """
+        self._pending_provider = provider
+        self._pending_read_guard = read_guard
 
     def _after(self, delay: float, fn, arg):
         """Schedule ``fn(arg)`` on the shared timer queue for ``delay``."""
@@ -364,6 +389,30 @@ class Coordinator:
             replicas = route[0]
             required = route[1]
             required_by_dc = route[2]
+        pending_provider = self._pending_provider
+        if pending_provider is not None:
+            extra = pending_provider(key)
+            if extra:
+                # Pending-range write: fan out to the future owners as well
+                # and raise the requirement by the pending count, so enough
+                # *natural* acknowledgements remain even if every pending
+                # target answered (quorum-intersection safety across both
+                # an abort and a cutover).  Route-cache entries stay
+                # pending-free: the adjustment is applied per write and
+                # vanishes with the provider.
+                replicas = replicas + extra
+                if required_by_dc is None:
+                    required = required + len(extra)
+                else:
+                    # DC-aware level: bump only the buckets the level blocks
+                    # on (a pending target in a DC outside the requirement
+                    # still receives the write, it just cannot count).
+                    required_by_dc = dict(required_by_dc)
+                    for target in extra:
+                        dc = self._topology.datacenter_of(target)
+                        if dc in required_by_dc:
+                            required_by_dc[dc] += 1
+                    required = sum(required_by_dc.values())
         if not self._is_achievable(replicas, required, required_by_dc):
             return self._reject_unavailable(
                 "write", key, consistency_level, required, replicas, callback
@@ -467,6 +516,11 @@ class Coordinator:
         # levels this round is also the cross-DC anti-entropy path).
         if len(contacted) < len(replicas) and self._read_repair_roll():
             contacted = self._order_by_proximity(replicas)
+        read_guard = self._pending_read_guard
+        if read_guard is not None:
+            # Membership invariant probe: reads must route by the *current*
+            # placement only, never to a pending (still-streaming) target.
+            read_guard(key, contacted)
         pending = _PendingRead(
             request_id=request_id,
             key=key,

@@ -248,6 +248,14 @@ class StorageNode:
             # observable.
             self._apply_write(message.payload, is_repair=False)
             self.counters.anti_entropy_cells += 1
+        elif kind == MessageKind.RANGE_STREAM:
+            # Membership bulk transfer: a batch of cells for a moving range.
+            # Background work (no foreground worker), applied newest-wins
+            # like any other write; the membership manager drives progress
+            # through the on-delivered callback attached to the send.
+            for cell in message.payload:
+                self._apply_write(cell, is_repair=False)
+            self.counters.range_stream_cells += len(message.payload)
         elif kind in (MessageKind.TREE_REQUEST, MessageKind.TREE_RESPONSE):
             # Merkle tree exchange: the anti-entropy service drives its own
             # state machine through delivery callbacks; the node itself has

@@ -32,6 +32,8 @@ class NodeCounters:
     unavailable_rejections: int = 0
     #: Cells applied from anti-entropy repair streams (Merkle repair).
     anti_entropy_cells: int = 0
+    #: Cells applied from membership range streaming (bootstrap/decommission).
+    range_stream_cells: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view used by reports and the monitoring module."""
@@ -47,6 +49,7 @@ class NodeCounters:
             "queue_rejections": self.queue_rejections,
             "unavailable_rejections": self.unavailable_rejections,
             "anti_entropy_cells": self.anti_entropy_cells,
+            "range_stream_cells": self.range_stream_cells,
         }
 
 

@@ -52,6 +52,8 @@ __all__ = [
     "RepairSchedulePolicy",
     "ThresholdReadPolicy",
     "StalenessSLAPolicy",
+    "ScaleOutConfig",
+    "ScaleOutPolicy",
 ]
 
 
@@ -719,3 +721,196 @@ class StalenessSLAPolicy(ControlPolicy):
                 replicas=replicas,
             )
         ]
+
+
+@dataclass(frozen=True)
+class ScaleOutConfig:
+    """Tunables of the demand-driven membership policy.
+
+    Attributes
+    ----------
+    high_ops_per_node / low_ops_per_node:
+        Per-member operation rate (reads + writes per second divided by the
+        datacenter's ring members) above which the site counts as under
+        pressure, and below which it counts as over-provisioned.
+    high_p99:
+        Optional latency ceiling in seconds; breaching it counts as
+        pressure regardless of the rate (requires ``p99_source``).
+    p99_source:
+        Optional callable ``datacenter -> seconds`` supplying the measured
+        p99 the latency test is evaluated against (e.g. a closure over a
+        :class:`~repro.metrics.collectors.MetricsCollector`).
+    sustain_ticks:
+        Consecutive ticks a signal must persist before acting -- transient
+        spikes never trigger a topology change.
+    cooldown:
+        Minimum virtual seconds between membership actions in one
+        datacenter (a transition must also have fully completed).
+    min_members_per_dc:
+        Never decommission below this many members per site.
+    """
+
+    high_ops_per_node: float = 120.0
+    low_ops_per_node: float = 40.0
+    high_p99: Optional[float] = None
+    p99_source: Optional[Callable[[str], float]] = None
+    sustain_ticks: int = 3
+    cooldown: float = 30.0
+    min_members_per_dc: int = 1
+
+    def __post_init__(self) -> None:
+        if self.high_ops_per_node <= 0:
+            raise ValueError("high_ops_per_node must be positive")
+        if not 0 <= self.low_ops_per_node < self.high_ops_per_node:
+            raise ValueError("low_ops_per_node must be in [0, high_ops_per_node)")
+        if self.high_p99 is not None and self.high_p99 <= 0:
+            raise ValueError("high_p99 must be positive")
+        if self.high_p99 is not None and self.p99_source is None:
+            raise ValueError("high_p99 needs a p99_source to evaluate against")
+        if self.sustain_ticks < 1:
+            raise ValueError("sustain_ticks must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.min_members_per_dc < 1:
+            raise ValueError("min_members_per_dc must be >= 1")
+
+
+class ScaleOutPolicy(ControlPolicy):
+    """Demand-driven elasticity: add/remove ring members per datacenter.
+
+    Sustained per-member load (and optionally a measured p99 breach) above
+    the high watermark bootstraps a provisioned spare into the site's ring;
+    sustained load below the low watermark decommissions the most recently
+    provisioned member back to spare.  All data movement runs through the
+    cluster's :class:`~repro.cluster.membership.MembershipManager`, so every
+    scaling action inherits the pending-range write guarantees -- a scaling
+    decision can be slow, but never wrong.
+    """
+
+    name = "scale_out"
+    kind = "membership"
+    uses_monitor = True
+
+    def __init__(self, config: Optional[ScaleOutConfig] = None) -> None:
+        super().__init__()
+        self.config = config or ScaleOutConfig()
+        self._pressure: Dict[str, int] = {}
+        self._relief: Dict[str, int] = {}
+        self._last_action: Dict[str, float] = {}
+        self.member_series = TimeSeries("ring_members")
+
+    def bind(self, plane) -> None:
+        super().bind(plane)
+        cluster = plane.cluster
+        if getattr(cluster, "membership", None) is None:
+            raise ValueError(
+                "ScaleOutPolicy needs a MembershipManager installed on the "
+                "cluster (repro.cluster.membership) -- it owns the transitions"
+            )
+        for dc in cluster.datacenter_names:
+            self._pressure[dc] = 0
+            self._relief[dc] = 0
+            self._last_action[dc] = float("-inf")
+
+    # ------------------------------------------------------------------
+    def tick(self, tick: ControlTick) -> List[Decision]:
+        cluster = self.cluster
+        manager = cluster.membership
+        config = self.config
+        dcs = cluster.datacenter_names
+        if len(dcs) > 1:
+            samples = tick.samples_by_dc
+        else:
+            samples = {dcs[0]: tick.sample}
+        decisions: List[Decision] = []
+        self.member_series.append(tick.now, float(len(cluster.members)))
+        for dc in dcs:
+            sample = samples.get(dc)
+            if sample is None:
+                continue
+            members = cluster.members_in(dc)
+            ops_per_node = (sample.read_rate + sample.write_rate) / max(1, len(members))
+            hot = ops_per_node >= config.high_ops_per_node
+            if not hot and config.high_p99 is not None:
+                hot = config.p99_source(dc) >= config.high_p99
+            cold = not hot and ops_per_node <= config.low_ops_per_node
+            self._pressure[dc] = self._pressure[dc] + 1 if hot else 0
+            self._relief[dc] = self._relief[dc] + 1 if cold else 0
+            if self._busy(dc) or tick.now - self._last_action[dc] < config.cooldown:
+                continue
+            if self._pressure[dc] >= config.sustain_ticks:
+                decision = self._scale_out(dc, tick, sample)
+            elif self._relief[dc] >= config.sustain_ticks:
+                decision = self._scale_in(dc, tick, sample, members)
+            else:
+                continue
+            if decision is not None:
+                self._pressure[dc] = 0
+                self._relief[dc] = 0
+                self._last_action[dc] = tick.now
+                decisions.append(decision)
+        return decisions
+
+    # ------------------------------------------------------------------
+    def _busy(self, dc: str) -> bool:
+        """Whether the site already has a membership transition in flight."""
+        cluster = self.cluster
+        manager = cluster.membership
+        return any(
+            cluster.topology.datacenter_of(t.node) == dc
+            for t in manager.active_transitions()
+        )
+
+    def _scale_out(self, dc: str, tick: ControlTick, sample) -> Optional[Decision]:
+        cluster = self.cluster
+        spare = next(
+            (
+                a
+                for a in cluster.spares
+                if cluster.topology.datacenter_of(a) == dc and cluster.nodes[a].is_up
+            ),
+            None,
+        )
+        if spare is None:
+            return None  # site fully scaled out
+        cluster.membership.begin_bootstrap(spare)
+        return Decision(
+            time=tick.now,
+            policy=self.name,
+            scope=f"dc:{dc}",
+            kind=self.kind,
+            value=f"bootstrap:{spare}",
+            sample=sample,
+        )
+
+    def _scale_in(self, dc: str, tick: ControlTick, sample, members) -> Optional[Decision]:
+        cluster = self.cluster
+        config = self.config
+        floor = config.min_members_per_dc
+        factors = cluster.replication_factors
+        if factors is not None:
+            floor = max(floor, factors.get(dc, 0))
+        if len(members) - 1 < floor:
+            return None
+        if len(cluster.members) - 1 < cluster.config.replication_factor:
+            return None
+        manager = cluster.membership
+        candidate = next(
+            (
+                a
+                for a in reversed(members)
+                if manager.transition(a) is None and cluster.nodes[a].is_up
+            ),
+            None,
+        )
+        if candidate is None:
+            return None
+        manager.begin_decommission(candidate)
+        return Decision(
+            time=tick.now,
+            policy=self.name,
+            scope=f"dc:{dc}",
+            kind=self.kind,
+            value=f"decommission:{candidate}",
+            sample=sample,
+        )

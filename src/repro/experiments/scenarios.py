@@ -61,6 +61,7 @@ __all__ = [
     "grid5000_3sites_faults",
     "GRID5000_3SITES_ADAPTIVE",
     "GRID5000_3SITES_WAN",
+    "GRID5000_3SITES_ELASTIC",
     "SCALE_100",
     "SCALE_300",
     "SCALE_1000",
@@ -141,6 +142,7 @@ class Scenario:
     harmony_stale_rates_by_dc: Optional[Dict[str, float]] = None
     fabric_delivery: str = "coalesced"
     latency_sampling: str = "pooled"
+    spares_per_dc: int = 0
     bandwidth: Optional[BandwidthConfig] = None
     fault_schedule: Optional[FaultSchedule] = None
     anti_entropy: Optional[AntiEntropyConfig] = None
@@ -182,6 +184,7 @@ class Scenario:
             fabric_delivery=self.fabric_delivery,
             latency_sampling=self.latency_sampling,
             bandwidth=self.bandwidth,
+            spares_per_dc=self.spares_per_dc,
         )
 
     def with_overrides(self, **kwargs) -> "Scenario":
@@ -584,6 +587,23 @@ GRID5000_3SITES_WAN = GRID5000_3SITES_FAULTS.with_overrides(
 )
 
 
+#: Elastic-membership scenario: the three-site platform with one provisioned
+#: spare per site kept out of the initial token ring.  Membership transitions
+#: (bootstrap / decommission) move the spares in and out; the chaos generator
+#: only draws membership actions for scenarios like this one, so every
+#: pre-existing scenario's schedules stay byte-identical.
+GRID5000_3SITES_ELASTIC = GRID5000_3SITES.with_overrides(
+    name="grid5000_3sites_elastic",
+    spares_per_dc=1,
+    description=(
+        "GRID5000_3SITES with one provisioned spare per site outside the "
+        "initial ring: elastic bootstrap / decommission transitions (and the "
+        "chaos schedules that exercise them) move spares in and out while "
+        "pending-range writes keep acked data safe."
+    ),
+)
+
+
 class ScenarioRegistry:
     """Name -> scenario lookup used by the CLI-ish helpers and benches."""
 
@@ -595,6 +615,7 @@ class ScenarioRegistry:
         GRID5000_3SITES_FAULTS.name: GRID5000_3SITES_FAULTS,
         GRID5000_3SITES_ADAPTIVE.name: GRID5000_3SITES_ADAPTIVE,
         GRID5000_3SITES_WAN.name: GRID5000_3SITES_WAN,
+        GRID5000_3SITES_ELASTIC.name: GRID5000_3SITES_ELASTIC,
         SCALE_100.name: SCALE_100,
         SCALE_300.name: SCALE_300,
         SCALE_1000.name: SCALE_1000,

@@ -35,6 +35,13 @@ The three failure axes map onto the cluster layers like this:
                           bandwidth model): nothing is lost or severed, but
                           foreground serialization runs at the residual rate
                           and repair streams contend in the fair share.
+:class:`NodeBootstrap` /  elastic membership (see
+:class:`NodeDecommission` :mod:`repro.cluster.membership`): a provisioned
+                          spare begins joining the ring, or a member begins
+                          leaving.  Both are *transition starts* -- streaming,
+                          catch-up and cutover run asynchronously, so the
+                          interesting chaos axis is everything that can fire
+                          while a transition is in flight.
 ========================  ==========================================================
 """
 
@@ -59,6 +66,8 @@ __all__ = [
     "PacketLoss",
     "SlowWan",
     "WanCongestion",
+    "NodeBootstrap",
+    "NodeDecommission",
     "FaultSchedule",
     "FaultInjector",
 ]
@@ -290,6 +299,45 @@ class WanCongestion(FaultEvent):
             raise ValueError(f"congestion rate cap must be positive, got {self.rate_cap!r}")
 
 
+@dataclass(frozen=True)
+class NodeBootstrap(FaultEvent):
+    """Begin joining a provisioned spare into the ring at ``at``.
+
+    The transition itself (pending-range registration, range streaming over
+    the fabric, catch-up verification, cutover) runs asynchronously under the
+    cluster's :class:`~repro.cluster.membership.MembershipManager`; the
+    injector creates and starts one on demand.  A begin the manager refuses
+    (node already a member, transition already in flight) is logged as
+    rejected rather than failing the run -- it models an admin command being
+    turned away.
+    """
+
+    node: NodeAddress = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node is None:
+            raise ValueError("NodeBootstrap needs a node address")
+
+
+@dataclass(frozen=True)
+class NodeDecommission(FaultEvent):
+    """Begin removing a ring member at ``at``.
+
+    The new owners of its ranges become pending write targets; the node
+    leaves only once they have caught up, draining its hints on the way out.
+    Refused begins (not a member, would shrink below the replication factor)
+    are logged as rejected, same as :class:`NodeBootstrap`.
+    """
+
+    node: NodeAddress = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node is None:
+            raise ValueError("NodeDecommission needs a node address")
+
+
 class FaultSchedule:
     """An immutable, time-ordered collection of fault events.
 
@@ -412,6 +460,14 @@ class FaultInjector:
                 engine.schedule(
                     event.at + event.duration, self._congestion_off, event, label="fault.heal"
                 )
+            elif isinstance(event, NodeBootstrap):
+                engine.schedule(
+                    event.at, self._bootstrap_node, event, label="fault.node_bootstrap"
+                )
+            elif isinstance(event, NodeDecommission):
+                engine.schedule(
+                    event.at, self._decommission_node, event, label="fault.node_decommission"
+                )
             else:  # pragma: no cover - FaultSchedule validates types
                 raise TypeError(f"unknown fault event {event!r}")
 
@@ -513,6 +569,33 @@ class FaultInjector:
         self._congestion_handles[event] = handle
         cap = f" cap={event.rate_cap:g}B/s" if event.rate_cap is not None else ""
         self._note(f"wan congestion {a}|{b} {event.bytes:g}B{cap}")
+
+    def _membership_manager(self):
+        """The cluster's membership manager, created and started on demand."""
+        manager = self.cluster.membership
+        if manager is None:
+            from repro.cluster.membership import MembershipManager
+
+            manager = MembershipManager(self.cluster)
+        if not manager.running:
+            manager.start()
+        return manager
+
+    def _bootstrap_node(self, event: NodeBootstrap) -> None:
+        try:
+            self._membership_manager().begin_bootstrap(event.node)
+        except ValueError as exc:
+            self._note(f"bootstrap of {event.node} rejected: {exc}")
+            return
+        self._note(f"bootstrap of {event.node} started")
+
+    def _decommission_node(self, event: NodeDecommission) -> None:
+        try:
+            self._membership_manager().begin_decommission(event.node)
+        except ValueError as exc:
+            self._note(f"decommission of {event.node} rejected: {exc}")
+            return
+        self._note(f"decommission of {event.node} started")
 
     def _congestion_off(self, event: WanCongestion) -> None:
         a, b = event.datacenters

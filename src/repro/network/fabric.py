@@ -117,6 +117,9 @@ class MessageKind(str, Enum):
     TREE_REQUEST = "tree_request"
     TREE_RESPONSE = "tree_response"
     REPAIR_STREAM = "repair_stream"
+    # Membership (bootstrap/decommission) bulk range transfer: cells streamed
+    # from an old owner to a joining/new owner while the range moves.
+    RANGE_STREAM = "range_stream"
 
     def __str__(self) -> str:  # keep str(kind) == the wire name
         return self.value

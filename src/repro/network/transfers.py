@@ -60,7 +60,7 @@ __all__ = ["BandwidthConfig", "TransferScheduler", "Transfer", "DEFAULT_TRANSFER
 
 #: Message kinds that become transfers when at/above the size threshold.
 DEFAULT_TRANSFER_KINDS = frozenset(
-    {"repair_stream", "hint_replay", "tree_request", "tree_response"}
+    {"repair_stream", "hint_replay", "tree_request", "tree_response", "range_stream"}
 )
 
 #: Transfer group per kind; groups are the unit of aggregate rate caps.
@@ -69,6 +69,9 @@ DEFAULT_KIND_GROUPS: Mapping[str, str] = {
     "tree_request": "repair",
     "tree_response": "repair",
     "hint_replay": "hints",
+    # Membership range streaming rides the shared background-transfer group
+    # so bootstrap traffic competes fairly with other bulk flows.
+    "range_stream": "background",
 }
 
 #: Group assigned to injected background bulk transfers (wan_congestion).

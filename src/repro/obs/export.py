@@ -15,7 +15,12 @@ series per tick:
 * ``wan_utilization[<dcA|dcB>]`` -- fraction of the window each modeled
   inter-DC link spent busy (only when the fabric's bandwidth model is on);
 * ``transfer_backlog_bytes`` -- bytes still queued across all fair-share
-  transfers at the tick instant (only with bandwidth modeling on).
+  transfers at the tick instant (only with bandwidth modeling on);
+* ``pending_ranges`` -- membership transitions (token ranges in pending
+  state) active at the tick instant (only when a
+  :class:`~repro.cluster.membership.MembershipManager` is installed);
+* ``streaming_backlog_bytes`` -- bytes still to stream across every
+  active bootstrap/decommission at the tick instant (same condition).
 
 The recorder consumes no randomness (window deltas over counters that
 already exist), so enabling it shifts no random stream; it *does* schedule
@@ -152,6 +157,16 @@ class RunSeriesRecorder:
             if series is None:
                 series = self.series[name] = TimeSeries(name)
             series.append(now, fabric.transfer_backlog_bytes())
+        membership = getattr(self.cluster, "membership", None)
+        if membership is not None:
+            for name, value in (
+                ("pending_ranges", float(membership.pending_range_count())),
+                ("streaming_backlog_bytes", float(membership.streaming_backlog_bytes())),
+            ):
+                series = self.series.get(name)
+                if series is None:
+                    series = self.series[name] = TimeSeries(name)
+                series.append(now, value)
 
     # ------------------------------------------------------------------
     def rows(self) -> Dict[str, List[Dict[str, float]]]:

@@ -33,6 +33,15 @@ kind                  emitted when
                       was handed to the delivery path
 ``transfer.background``  a non-message background transfer (e.g. a
                       ``wan_congestion`` fault) started occupying a link
+``bootstrap.*`` /     an elastic-membership transition changed phase:
+``decommission.*``    ``.start`` (the transition was admitted), ``.stream``
+                      (a catch-up pass found divergent keys and queued
+                      them), ``.pause`` (streaming backpressured by a down
+                      or partitioned endpoint), ``.cutover`` (the ring
+                      flipped: the node is a full member / a spare again)
+                      and ``.abort``.  Every event carries the
+                      transition's node, state, streamed totals and
+                      backlog
 ====================  =====================================================
 
 Spans: an operation's lifecycle is the ``op.issue`` -> ``op.fanout`` ->
@@ -100,6 +109,11 @@ class Tracer:
     def attach_service(self, service) -> "Tracer":
         """Trace an anti-entropy service's completed sessions."""
         service.tracer = self
+        return self
+
+    def attach_membership(self, manager) -> "Tracer":
+        """Trace a membership manager's transition phase changes."""
+        manager.tracer = self
         return self
 
     # ------------------------------------------------------------------
@@ -190,6 +204,24 @@ class Tracer:
 
     def fault(self, description: str) -> None:
         self.emit("fault", description=description)
+
+    def membership_event(self, kind: str, transition, **fields: object) -> None:
+        """Trace one phase change of an elastic-membership transition.
+
+        ``kind`` arrives fully formed from the manager (``bootstrap.start``,
+        ``decommission.cutover``, ...); the transition's identity and
+        streaming progress ride along so a span can be reconstructed from
+        any single event.
+        """
+        payload: Dict[str, object] = {
+            "node": str(transition.node),
+            "state": transition.state,
+            "streamed_cells": transition.streamed_cells,
+            "streamed_bytes": transition.streamed_bytes,
+            "backlog_bytes": transition.backlog_bytes,
+        }
+        payload.update(fields)
+        self.emit(kind, **payload)
 
     def transfer_start(self, message, transfer) -> None:
         """Trace a message diverted onto the fair-share transfer scheduler."""

@@ -182,8 +182,19 @@ class ShardRuntime:
         self.shard_index = shard_index
         self.owned = tuple(owned)
         self._shard_of = shard_of if shard_of is not None else (lambda _address: 0)
+        if cluster_config.spares_per_dc:
+            raise ValueError(
+                "sharded runs do not support elastic membership "
+                "(spares_per_dc > 0): a topology change would invalidate the "
+                "shard plan; run membership scenarios on the single engine"
+            )
         streams = RandomStreams(seed=seed).fork(f"shard.{shard_index}")
         self.cluster = SimulatedCluster(cluster_config, streams=streams)
+        # The shard plan is a pure function of the topology; a ring
+        # membership change mid-run would silently invalidate node
+        # ownership, so any epoch movement is a hard error (checked per
+        # window in _advance/align).
+        self._membership_epoch = self.cluster.membership_epoch
         self.engine = self.cluster.engine
         # Pin this shard's clients to its owned coordinators only; ghost
         # nodes must never coordinate (their completions would be invisible
@@ -240,6 +251,7 @@ class ShardRuntime:
             return self._advance(command[1], command[2])
         if op == "align":
             self.engine.run_until(command[1])
+            self._check_membership_epoch()
             return self._reply()
         if op == "issue_load":
             self._load_completed = self.executor.issue_load()
@@ -270,7 +282,17 @@ class ShardRuntime:
             # silently reordered delivery.
             fabric.inject_remote(deliver_at, message)
         self.engine.run_until(window)
+        self._check_membership_epoch()
         return self._reply()
+
+    def _check_membership_epoch(self) -> None:
+        if self.cluster.membership_epoch != self._membership_epoch:
+            raise RuntimeError(
+                f"shard {self.shard_index}: ring membership changed mid-run "
+                f"(epoch {self._membership_epoch} -> "
+                f"{self.cluster.membership_epoch}); the shard plan is "
+                f"invalidated -- sharded runs must keep the topology static"
+            )
 
     def _begin_run(self) -> ShardReply:
         self.executor.begin_run(on_all_finished=self._on_clients_finished)

@@ -18,7 +18,9 @@ from repro.chaos.generator import HEAL_FRACTION
 from repro.experiments.scenarios import ScenarioRegistry
 from repro.faults.schedule import (
     FaultSchedule,
+    NodeBootstrap,
     NodeCrash,
+    NodeDecommission,
     NodeRestart,
     PacketLoss,
     SlowWan,
@@ -166,3 +168,97 @@ class TestValidator:
             ScheduleGenerator(scenario, horizon=0.0)
         with pytest.raises(ValueError):
             ScheduleGenerator(scenario).generate(0, budget=-1)
+
+
+class TestElasticMenu:
+    """Membership events: only on elastic scenarios, validated, deterministic."""
+
+    @pytest.fixture(scope="class")
+    def elastic(self):
+        return ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites_elastic"))
+
+    def test_non_elastic_scenarios_never_draw_membership(self, generator):
+        for seed in range(20):
+            for event in generator.generate(seed, 6).events:
+                assert not isinstance(event, (NodeBootstrap, NodeDecommission))
+
+    def test_elastic_menu_eventually_draws_membership(self, elastic):
+        drawn = sum(
+            any(
+                isinstance(e, (NodeBootstrap, NodeDecommission))
+                for e in elastic.generate(seed, 6).events
+            )
+            for seed in range(20)
+        )
+        assert drawn >= 3, "elastic menu almost never draws membership events"
+
+    def test_membership_events_target_spares_only(self, elastic):
+        scenario = ScenarioRegistry.get("grid5000_3sites_elastic")
+        from repro.cluster.cluster import resolve_spares
+
+        spares = set(resolve_spares(scenario.cluster_config(), scenario.topology))
+        for seed in range(20):
+            for event in elastic.generate(seed, 6).events:
+                if isinstance(event, (NodeBootstrap, NodeDecommission)):
+                    assert event.node in spares
+
+    @pytest.mark.parametrize("seed", range(0, 20, 4))
+    def test_elastic_schedules_are_deterministic_and_validate(self, elastic, seed):
+        fresh = ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites_elastic"))
+        a = elastic.generate(seed, budget=6)
+        b = fresh.generate(seed, budget=6)
+        assert schedule_signature(a) == schedule_signature(b)
+        validate_schedule(a, horizon=elastic.horizon)
+
+    def test_membership_round_trips_through_the_corpus_format(self, elastic):
+        for seed in range(20):
+            schedule = elastic.generate(seed, budget=6)
+            if any(isinstance(e, (NodeBootstrap, NodeDecommission)) for e in schedule.events):
+                restored = schedule_from_dict(schedule_to_dict(schedule))
+                assert schedule_signature(restored) == schedule_signature(schedule)
+                return
+        pytest.fail("no seed drew a membership event to round-trip")
+
+    def test_spareless_config_keeps_preexisting_schedules_byte_identical(self):
+        # The elastic menu must only engage when spares exist: every
+        # schedule of the non-elastic twin scenario is unchanged by the
+        # feature (guards the corpus signatures of earlier PRs).
+        base = ScheduleGenerator(ScenarioRegistry.get("grid5000_3sites"))
+        for seed in range(12):
+            schedule = base.generate(seed, budget=6)
+            assert not any(
+                isinstance(e, (NodeBootstrap, NodeDecommission)) for e in schedule.events
+            )
+            validate_schedule(schedule, horizon=base.horizon)
+
+    def test_validator_rejects_membership_past_heal_cap(self):
+        scenario = ScenarioRegistry.get("grid5000_3sites_elastic")
+        node = scenario.topology.nodes[0]
+        generator = ScheduleGenerator(scenario)
+        cap = HEAL_FRACTION * generator.horizon
+        with pytest.raises(ScheduleValidationError, match="past heal cap"):
+            validate_schedule(
+                FaultSchedule([NodeBootstrap(at=cap + 1.0, node=node)]),
+                horizon=generator.horizon,
+            )
+
+    def test_validator_rejects_overlapping_join_join(self):
+        scenario = ScenarioRegistry.get("grid5000_3sites_elastic")
+        node = scenario.topology.nodes[0]
+        with pytest.raises(ScheduleValidationError, match="consecutive bootstrap"):
+            validate_schedule(
+                FaultSchedule(
+                    [NodeBootstrap(at=1.0, node=node), NodeBootstrap(at=2.0, node=node)]
+                ),
+                horizon=12.0,
+            )
+
+    def test_validator_accepts_alternating_join_leave(self):
+        scenario = ScenarioRegistry.get("grid5000_3sites_elastic")
+        node = scenario.topology.nodes[0]
+        validate_schedule(
+            FaultSchedule(
+                [NodeBootstrap(at=1.0, node=node), NodeDecommission(at=3.0, node=node)]
+            ),
+            horizon=12.0,
+        )

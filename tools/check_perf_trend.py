@@ -269,6 +269,54 @@ def compare_staleness(
     return lines, failures
 
 
+def compare_elasticity(
+    fresh: Dict[str, object], baseline: Dict[str, object], max_regression: float
+) -> Tuple[List[str], List[str]]:
+    """Guard the elasticity benchmark's machine-independent claims.
+
+    Every headline quantity in ``BENCH_elasticity.json`` is virtual-time or
+    a deterministic count, so a fresh run on any hardware must reproduce
+    the economics exactly:
+
+    * ``adaptive_beats_all_static`` -- the demand-driven arm's cost x p99
+      score beats every static ring size it can reach;
+    * ``deterministic`` -- two same-seed adaptive runs were byte-identical
+      (decisions, transitions and scores included);
+    * ``zero_pending_read_violations`` -- no read ever contacted a
+      pending-range node mid-bootstrap/decommission.
+
+    When fresh and baseline share a configuration, the adaptive score
+    (lower is better) additionally may not grow by more than
+    ``max_regression`` over the recorded baseline.
+    """
+    lines: List[str] = []
+    failures: List[str] = []
+    for claim in ("adaptive_beats_all_static", "deterministic", "zero_pending_read_violations"):
+        value = fresh.get(claim)
+        lines.append(f"elasticity {claim}={value}")
+        if value is not True:
+            failures.append(f"elasticity bench: {claim} does not hold in the fresh run")
+    fresh_score = fresh.get("adaptive", {}).get("score")
+    base_score = baseline.get("adaptive", {}).get("score")
+    if fresh.get("config") == baseline.get("config"):
+        if fresh_score is not None and base_score is not None and float(base_score) > 0:
+            growth = float(fresh_score) / float(base_score) - 1.0
+            lines.append(
+                f"elasticity adaptive score: fresh={float(fresh_score):.4f} "
+                f"baseline={float(base_score):.4f} ({growth:+.1%})"
+            )
+            if growth > max_regression:
+                failures.append(
+                    f"elasticity adaptive score grew {growth:.1%} "
+                    f"(> {max_regression:.0%} allowed; lower is better)"
+                )
+        else:
+            failures.append("elasticity report is missing adaptive.score")
+    else:
+        lines.append("elasticity configs differ -- skipping the score comparison")
+    return lines, failures
+
+
 def _parallel_section(doc: Dict[str, object]) -> Optional[Dict[str, object]]:
     """Find the sharded-engine report in a BENCH JSON document.
 
@@ -413,6 +461,17 @@ def main(argv=None) -> int:
         help="recorded BENCH_staleness baseline (used with --staleness-fresh)",
     )
     parser.add_argument(
+        "--elasticity-fresh",
+        default=None,
+        help="freshly measured BENCH_elasticity JSON (adds the machine-"
+        "independent adaptive-beats-static and determinism guard)",
+    )
+    parser.add_argument(
+        "--elasticity-baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_elasticity.json"),
+        help="recorded BENCH_elasticity baseline (used with --elasticity-fresh)",
+    )
+    parser.add_argument(
         "--parallel-fresh",
         default=None,
         help="freshly measured parallel (bench_fabric.py --workers) JSON "
@@ -445,6 +504,14 @@ def main(argv=None) -> int:
         )
         lines.extend(staleness_lines)
         failures.extend(staleness_failures)
+    if args.elasticity_fresh is not None:
+        elasticity_lines, elasticity_failures = compare_elasticity(
+            _load(args.elasticity_fresh),
+            _load(args.elasticity_baseline),
+            args.max_regression,
+        )
+        lines.extend(elasticity_lines)
+        failures.extend(elasticity_failures)
     if args.parallel_fresh is not None:
         parallel_lines, parallel_failures = compare_parallel(
             _load(args.parallel_fresh),

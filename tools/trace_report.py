@@ -4,9 +4,10 @@
 Reads a trace written by :meth:`repro.obs.tracer.Tracer.dump_jsonl` and
 renders a per-window timeline: how many operations were issued and
 completed, how many timed out or were rejected Unavailable, how many
-retries, hint replays, repair sessions and control decisions fell into each
-window -- with the control decisions and fault events spelled out under
-their window row.  This is the "what happened when" view of a run: fault
+retries, hint replays, repair sessions, control decisions and membership
+phase changes fell into each window -- with the control decisions, fault
+events and bootstrap/decommission progress spelled out under their window
+row.  This is the "what happened when" view of a run: fault
 windows show up as Unavailable spikes, the control plane's reaction shows
 up one tick later.
 
@@ -37,6 +38,10 @@ _COLUMNS = (
     ("ctrl", lambda e: e["kind"] == "control.decision"),
     ("fault", lambda e: e["kind"] == "fault"),
     ("xfer", lambda e: e["kind"] in ("transfer.start", "transfer.end")),
+    (
+        "member",
+        lambda e: e["kind"].startswith(("bootstrap.", "decommission.")),
+    ),
 )
 
 
@@ -81,6 +86,13 @@ def _annotations(window_events: List[Dict[str, object]]) -> List[str]:
                 f"background transfer [{e.get('pair')}] {e.get('bytes')}B"
                 + (f" capped {e['rate_cap']}B/s" if e.get("rate_cap") else "")
             )
+        elif e["kind"].startswith(("bootstrap.", "decommission.")):
+            detail = f"{e['kind']} {e.get('node')} [{e.get('state')}]"
+            if e.get("streamed_bytes"):
+                detail += f" streamed={e['streamed_bytes']}B"
+            if e.get("backlog_bytes"):
+                detail += f" backlog={e['backlog_bytes']}B"
+            notes.append(detail)
     return notes
 
 
